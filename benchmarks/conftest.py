@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (visible with ``-s`` or in the captured output
+of a failing shape check).  Set ``REPRO_BENCH_FULL=1`` to run the synthetic
+experiments at the paper's full scale (50 graphs × 200 nodes) instead of the
+reduced quick family.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the paper-scale synthetic family was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in {"0", "", "false", "False"}
+
+
+@pytest.fixture(scope="session")
+def bench_quick() -> bool:
+    """Whether benchmarks should use the reduced synthetic family."""
+    return not full_scale()

@@ -1,0 +1,43 @@
+"""E3 — regenerate Figure 7: surrogating vs hiding on the classic motifs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_bench_figure7_motifs(benchmark):
+    """Time the motif sweep and check the paper's qualitative findings."""
+    result = benchmark(run_figure7)
+    print()
+    print(result.render())
+
+    by_motif = result.by_motif()
+    # Surrogating is never worse than hiding on any motif, for either measure.
+    for comparison in result.comparisons:
+        assert comparison.utility_difference >= -1e-9, comparison.motif
+        assert comparison.opacity_difference >= -1e-9, comparison.motif
+    # Bipartite and lattice show no difference at all (Section 6.2's analysis).
+    for name in ("bipartite", "lattice"):
+        assert by_motif[name].utility_difference == pytest.approx(0.0)
+        assert by_motif[name].opacity_difference == pytest.approx(0.0)
+    # Motifs whose connectivity is severed by hiding regain it through surrogates.
+    for name in ("star", "chain", "tree", "inverted_tree"):
+        assert by_motif[name].utility_difference > 0.0
+    # Opacity improves for the motifs whose endpoints stop looking like loners.
+    assert by_motif["star"].opacity_difference > 0.0
+    assert by_motif["diamond"].opacity_difference > 0.0
+    assert by_motif["tree"].opacity_difference > 0.0
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_bench_single_motif_protection(benchmark):
+    """Time one hide-vs-surrogate comparison (the unit of work behind each bar)."""
+    from repro.experiments.figure7 import compare_motif
+    from repro.workloads.motifs import motif
+
+    tree = motif("tree")
+    comparison = benchmark(compare_motif, tree)
+    assert comparison.utility_surrogate >= comparison.utility_hide

@@ -1,0 +1,27 @@
+"""E4 — regenerate Figure 8: the best utility achievable at a given opacity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_bench_figure8_frontier(benchmark, bench_quick):
+    """Time the frontier computation and check that surrogating dominates hiding."""
+    result = benchmark.pedantic(
+        lambda: run_figure8(quick=bench_quick, seed=2011), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # The paper's reading of Figure 8: at any required opacity level, the best
+    # surrogate account is at least as useful as the best hide account.
+    assert result.surrogate_dominates()
+    # At least one bin is populated by both strategies (the frontier is real).
+    populated = [
+        values for values in result.frontier.values()
+        if values.get("hide") is not None and values.get("surrogate") is not None
+    ]
+    assert populated

@@ -1,0 +1,52 @@
+"""E5 — regenerate Figure 9: Surrogate-Hide differences over the synthetic family.
+
+By default the reduced family is used so the benchmark completes quickly;
+set ``REPRO_BENCH_FULL=1`` to run the paper's 50-graph, 200-node family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.sweep import measure_instance
+from repro.workloads.synthetic import SyntheticGraphSpec, synthetic_graph
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_bench_figure9_synthetic_sweep(benchmark, bench_quick):
+    """Time the full sweep and check the paper's Figure-9 claims on its output."""
+    result = benchmark.pedantic(
+        lambda: run_figure9(quick=bench_quick, seed=2011), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+    # Headline claim: every value in Figure 9 is positive (non-negative here):
+    # surrogating is always at least as good as hiding.
+    assert result.all_differences_nonnegative()
+    # The opacity advantage grows (weakly) with the protected fraction.
+    by_protection = result.by_protection.points
+    fractions = sorted(by_protection)
+    assert by_protection[fractions[-1]]["opacity_diff"] >= by_protection[fractions[0]]["opacity_diff"] - 1e-9
+    # Utility differences are strictly positive once a meaningful share is protected.
+    assert by_protection[fractions[-1]]["utility_diff"] > 0.0
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_bench_one_synthetic_instance(benchmark, bench_quick):
+    """Time the per-instance unit of work (generate both accounts + score them)."""
+    node_count = 200 if not bench_quick else 80
+    instance = synthetic_graph(
+        SyntheticGraphSpec(
+            node_count=node_count,
+            target_connected_pairs=30 if not bench_quick else 15,
+            protect_fraction=0.5,
+            seed=99,
+        )
+    )
+    record = benchmark.pedantic(measure_instance, args=(instance,), rounds=2, iterations=1)
+    print()
+    print(record.as_dict())
+    assert record.utility_difference >= -1e-9
+    assert record.opacity_difference >= -1e-9

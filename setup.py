@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on environments whose setuptools/pip do not
+support PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — reproduction of *Surrogate Parenthood: Protected and Informative Graphs*.
+
+This package reimplements, in pure Python, the system described in
+Blaustein et al., PVLDB 4(8), 2011:
+
+* a property-graph substrate with per-incidence release markings
+  (:mod:`repro.graph`),
+* privilege-predicates, dominance lattices and high-water sets
+  (:mod:`repro.core.privileges`, :mod:`repro.security`),
+* surrogate nodes, surrogate edges and the Surrogate Generation Algorithm
+  that builds *protected accounts* (:mod:`repro.core`),
+* the paper's Path Utility, Node Utility and Opacity measures
+  (:mod:`repro.core.utility`, :mod:`repro.core.opacity`),
+* a PLUS-style provenance substrate and an embedded graph store used for the
+  performance evaluation (:mod:`repro.provenance`, :mod:`repro.store`),
+* the workload generators and experiment drivers that regenerate every table
+  and figure of the paper's evaluation (:mod:`repro.workloads`,
+  :mod:`repro.experiments`).
+
+The most common entry points are re-exported here::
+
+    from repro import (
+        PropertyGraph, PrivilegeLattice, SurrogateRegistry, MarkingPolicy,
+        ProtectionEngine, path_utility, node_utility, opacity,
+    )
+"""
+
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.core.privileges import (
+    HighWaterSet,
+    Privilege,
+    PrivilegeLattice,
+)
+from repro.core.surrogates import NULL_SURROGATE, Surrogate, SurrogateRegistry
+from repro.core.markings import Marking, MarkingPolicy
+from repro.core.protected_account import ProtectedAccount
+from repro.core.generation import ProtectionEngine, generate_protected_account
+from repro.core.multi import generate_multi_privilege_account
+from repro.core.hiding import hide_protected_account, naive_protected_account
+from repro.core.utility import node_utility, path_utility
+from repro.core.opacity import AdvancedAdversary, NaiveAdversary, average_opacity, opacity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Edge",
+    "Node",
+    "PropertyGraph",
+    "Privilege",
+    "PrivilegeLattice",
+    "HighWaterSet",
+    "Surrogate",
+    "SurrogateRegistry",
+    "NULL_SURROGATE",
+    "Marking",
+    "MarkingPolicy",
+    "ProtectedAccount",
+    "ProtectionEngine",
+    "generate_protected_account",
+    "generate_multi_privilege_account",
+    "hide_protected_account",
+    "naive_protected_account",
+    "path_utility",
+    "node_utility",
+    "opacity",
+    "average_opacity",
+    "NaiveAdversary",
+    "AdvancedAdversary",
+    "__version__",
+]

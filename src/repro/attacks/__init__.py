@@ -1,0 +1,21 @@
+"""Attacker simulation: empirical counterpart of the opacity measure.
+
+Opacity (Section 4.2) is an *analytic* estimate of how likely an attacker is
+to infer a hidden edge.  This package implements the attacker itself so the
+estimate can be sanity-checked empirically: the adversary ranks candidate
+missing edges over a protected account using the same background knowledge
+the opacity formula assumes (focus on loners, preference for low-degree
+endpoints), and the simulation scores those guesses against the original
+graph.  Accounts with higher average opacity should — and, in the test
+suite, do — yield lower attack success.
+"""
+
+from repro.attacks.inference import EdgeInferenceAttack, InferredEdge
+from repro.attacks.adversary import AttackOutcome, simulate_attack
+
+__all__ = [
+    "EdgeInferenceAttack",
+    "InferredEdge",
+    "AttackOutcome",
+    "simulate_attack",
+]

@@ -1,0 +1,78 @@
+"""Run an edge-inference attack against a protected account and score it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.attacks.inference import EdgeInferenceAttack, InferredEdge
+from repro.core.opacity import AttackerModel, hidden_edges
+from repro.core.protected_account import ProtectedAccount
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+
+@dataclass
+class AttackOutcome:
+    """Result of simulating an attack: what was guessed and how well it did."""
+
+    guesses: List[InferredEdge] = field(default_factory=list)
+    hidden: Set[EdgeKey] = field(default_factory=set)
+    hits: Set[EdgeKey] = field(default_factory=set)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of guesses that correspond to real hidden edges."""
+        if not self.guesses:
+            return 0.0
+        return len(self.hits) / len(self.guesses)
+
+    @property
+    def recall(self) -> float:
+        """Fraction of hidden edges the attacker recovered."""
+        if not self.hidden:
+            return 1.0 if not self.guesses else 0.0
+        return len(self.hits) / len(self.hidden)
+
+    def summary(self) -> dict:
+        return {
+            "guesses": len(self.guesses),
+            "hidden_edges": len(self.hidden),
+            "hits": len(self.hits),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+        }
+
+
+def simulate_attack(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    *,
+    adversary: Optional[AttackerModel] = None,
+    guess_budget: Optional[int] = None,
+) -> AttackOutcome:
+    """Run the edge-inference attack and score it against the original graph.
+
+    ``guess_budget`` caps how many edges the attacker names (default: the
+    number of actually hidden edges — the "informed budget" that makes
+    precision and recall comparable across accounts).  A guess counts as a
+    hit when the guessed account nodes correspond to original nodes joined
+    by a hidden original edge in the guessed direction.
+    """
+    attack = EdgeInferenceAttack(adversary)
+    hidden = {tuple(edge) for edge in hidden_edges(original, account)}
+    representable_hidden = {
+        (source, target)
+        for source, target in hidden
+        if account.account_node_of(source) is not None and account.account_node_of(target) is not None
+    }
+    budget = guess_budget if guess_budget is not None else max(1, len(representable_hidden))
+    guesses = attack.top_guesses(account.graph, budget)
+    hits: Set[EdgeKey] = set()
+    for guess in guesses:
+        original_source = account.correspondence.get(guess.source)
+        original_target = account.correspondence.get(guess.target)
+        if original_source is None or original_target is None:
+            continue
+        if (original_source, original_target) in hidden:
+            hits.add((original_source, original_target))
+    return AttackOutcome(guesses=guesses, hidden=set(hidden), hits=hits)

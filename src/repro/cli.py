@@ -1,0 +1,152 @@
+"""Command-line interface: ``repro-surrogate`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``table1``              Reproduce Table 1 / Figures 2-3 (the running example).
+``figure7``             Reproduce Figure 7 (motifs).
+``figure8``             Reproduce Figure 8 (utility-vs-opacity frontier).
+``figure9``             Reproduce Figure 9 (synthetic sweep differences).
+``figure10``            Reproduce Figure 10 (performance phases).
+``all``                 Run every experiment and print the combined report.
+``protect``             Protect a graph JSON file for a consumer class and
+                        write the protected account to another JSON file.
+``motifs``              List the motif catalog with basic statistics.
+
+Every experiment accepts ``--full`` to use the paper-scale synthetic family
+instead of the reduced quick family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.generation import ProtectionEngine
+from repro.core.policy import ReleasePolicy, STRATEGIES, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice
+from repro.core.utility import path_utility
+from repro.core.opacity import average_opacity
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.runner import run_all
+from repro.experiments.table1 import run_table1
+from repro.graph.serialization import graph_to_dict, load_graph, save_graph
+from repro.graph.statistics import summarize
+from repro.workloads.motifs import all_motifs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro-surrogate`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-surrogate",
+        description="Reproduction of 'Surrogate Parenthood: Protected and Informative Graphs' (VLDB 2011).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1", "Reproduce Table 1 / Figures 2-3"),
+        ("figure7", "Reproduce Figure 7 (motifs)"),
+        ("figure8", "Reproduce Figure 8 (utility vs opacity frontier)"),
+        ("figure9", "Reproduce Figure 9 (synthetic sweep)"),
+        ("figure10", "Reproduce Figure 10 (performance)"),
+        ("all", "Run every experiment"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--full", action="store_true", help="use the paper-scale synthetic family")
+        sub.add_argument("--seed", type=int, default=2011, help="random seed for workload generation")
+        if name == "figure10":
+            sub.add_argument("--nodes", type=int, default=200, help="graph size for the timing run")
+
+    protect = subparsers.add_parser("protect", help="Protect a graph JSON file")
+    protect.add_argument("input", help="path to a graph JSON file (see repro.graph.serialization)")
+    protect.add_argument("output", help="path the protected account graph is written to")
+    protect.add_argument(
+        "--strategy", choices=list(STRATEGIES), default=STRATEGY_SURROGATE, help="protection strategy"
+    )
+    protect.add_argument(
+        "--protect-edge",
+        action="append",
+        default=[],
+        metavar="SRC,DST",
+        help="edge to protect, as 'source,target' (repeatable)",
+    )
+    protect.add_argument("--report", action="store_true", help="print utility/opacity of the result")
+
+    subparsers.add_parser("motifs", help="List the motif catalog")
+    return parser
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+def _cmd_protect(args: argparse.Namespace) -> int:
+    graph = load_graph(args.input)
+    policy = ReleasePolicy(PrivilegeLattice())
+    engine = ProtectionEngine(policy)
+    edges = []
+    for raw in args.protect_edge:
+        parts = [part.strip() for part in raw.split(",")]
+        if len(parts) != 2:
+            _print(f"error: --protect-edge expects 'source,target', got {raw!r}")
+            return 2
+        edges.append((parts[0], parts[1]))
+    account = engine.with_edge_protection(graph, edges, policy.lattice.public, strategy=args.strategy)
+    save_graph(account.graph, args.output)
+    _print(f"protected account written to {args.output} "
+           f"({account.graph.node_count()} nodes, {account.graph.edge_count()} edges, "
+           f"{len(account.surrogate_edges)} surrogate edges)")
+    if args.report:
+        report = {
+            "strategy": args.strategy,
+            "path_utility": round(path_utility(graph, account), 4),
+            "average_opacity": round(average_opacity(graph, account, edges or None), 4),
+        }
+        _print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_motifs() -> int:
+    for motif in all_motifs():
+        summary = summarize(motif.graph).as_dict()
+        _print(
+            f"{motif.name:14s} nodes={summary['nodes']} edges={summary['edges']} "
+            f"protected_edge={motif.protected_edge[0]}->{motif.protected_edge[1]}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    quick = not getattr(args, "full", False)
+    seed = getattr(args, "seed", 2011)
+
+    if args.command == "table1":
+        _print(run_table1().render())
+    elif args.command == "figure7":
+        _print(run_figure7().render())
+    elif args.command == "figure8":
+        _print(run_figure8(quick=quick, seed=seed).render())
+    elif args.command == "figure9":
+        _print(run_figure9(quick=quick, seed=seed).render())
+    elif args.command == "figure10":
+        _print(run_figure10(node_count=args.nodes, seed=seed).render())
+    elif args.command == "all":
+        _print(run_all(quick=quick, seed=seed).render())
+    elif args.command == "protect":
+        return _cmd_protect(args)
+    elif args.command == "motifs":
+        return _cmd_motifs()
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

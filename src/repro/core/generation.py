@@ -1,0 +1,294 @@
+"""The Surrogate Generation Algorithm (paper Appendix B, Algorithms 1–3).
+
+Given an original graph, a release policy and a target consumer class
+(privilege-predicate ``p``), the algorithm produces the maximally
+informative protected account for that class:
+
+1. **Nodes** (maximal node visibility + dominant surrogacy): every node
+   visible via ``p`` is carried over unchanged; every other node is
+   represented by its best visible surrogate (or the ``<null>`` surrogate
+   when the policy enables automatic nulls), or omitted when no surrogate is
+   available.
+2. **Visible edges**: every edge whose two incidences are marked ``VISIBLE``
+   and whose endpoints are represented appears between the corresponding
+   account nodes.
+3. **Surrogate edges** (maximal connectivity): for every edge routed
+   ``SURROGATE``, the visible-set walks of Algorithm 2 find the nearest
+   representable anchors behind its source and beyond its target, and a
+   surrogate edge is added between each anchor pair — unless the pair is
+   already linked by a visible edge, or the pair has a sensitive direct
+   relationship in the original graph (Definition 8, clause 2).
+
+The protected account this produces satisfies the three properties of
+Definition 9, which is what Theorem 1 requires for utility maximality; the
+property-based tests in ``tests/property`` check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.markings import EdgeState
+from repro.core.permitted import surrogate_edge_candidates
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import Privilege
+from repro.core.protected_account import ProtectedAccount
+from repro.core.surrogates import null_surrogate
+from repro.exceptions import ProtectionError
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+#: Label attached to computed surrogate edges in the account graph.
+SURROGATE_EDGE_LABEL = "surrogate"
+
+
+def generate_protected_account(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: object,
+    *,
+    include_surrogate_edges: bool = True,
+    ensure_maximal_connectivity: bool = False,
+    strategy: str = STRATEGY_SURROGATE,
+    name: Optional[str] = None,
+) -> ProtectedAccount:
+    """Run the Surrogate Generation Algorithm for one consumer class.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    policy:
+        The provider's release policy (lattice, ``lowest()``, markings,
+        surrogates).
+    privilege:
+        The consumer class ``p``; the account's high-water set is ``{p}``.
+    include_surrogate_edges:
+        Disable to skip step 3 (used by ablation benchmarks that isolate the
+        contribution of surrogate edges).
+    ensure_maximal_connectivity:
+        The edge-local walks of Appendix B can, under unusual marking
+        combinations (summaries that would have to *compose* across two
+        differently-anchored segments), miss a pair required by
+        Definition 9.3.  Enabling this flag runs an extra closure-repair
+        pass that guarantees maximal connectivity at the cost of one
+        permitted-reachability BFS per represented node.  The paper's own
+        policies never need it; the property-based test suite uses it to
+        check Theorem 1 end to end.
+    strategy:
+        Free-form label recorded on the account (``"surrogate"`` by
+        default); it does not change the algorithm — the *markings* decide
+        between hiding and surrogating.
+    """
+    privilege = policy.lattice.get(privilege)
+    markings = policy.markings
+    account = PropertyGraph(
+        name=name if name is not None else _account_name(graph, privilege)
+    )
+    correspondence: Dict[NodeId, NodeId] = {}
+    surrogate_nodes: Set[NodeId] = set()
+    to_account: Dict[NodeId, NodeId] = {}
+
+    # ------------------------------------------------------------------ #
+    # Step 1 — nodes (Algorithm 1, lines 4-10)
+    # ------------------------------------------------------------------ #
+    for node in graph.nodes():
+        if policy.visible(node.node_id, privilege):
+            account.add_node(node.node_id, kind=node.kind, features=dict(node.features))
+            correspondence[node.node_id] = node.node_id
+            to_account[node.node_id] = node.node_id
+            continue
+        surrogate = policy.best_surrogate(graph, node.node_id, privilege)
+        if surrogate is None and policy.use_null_surrogates:
+            surrogate = null_surrogate(node.node_id, policy.lattice.public, kind=node.kind)
+        if surrogate is None:
+            continue
+        surrogate_id = surrogate.surrogate_id
+        if account.has_node(surrogate_id):
+            raise ProtectionError(
+                f"surrogate id {surrogate_id!r} collides with another node in the protected account"
+            )
+        account.add_node(surrogate_id, kind=surrogate.kind, features=dict(surrogate.features))
+        correspondence[surrogate_id] = node.node_id
+        surrogate_nodes.add(surrogate_id)
+        to_account[node.node_id] = surrogate_id
+
+    anchors = set(to_account)
+
+    # ------------------------------------------------------------------ #
+    # Step 2 — visible edges (Algorithm 1, lines 12-14; Algorithm 3)
+    # ------------------------------------------------------------------ #
+    for edge in graph.edges():
+        if markings.edge_state(edge.key, privilege) is not EdgeState.VISIBLE:
+            continue
+        account_source = to_account.get(edge.source)
+        account_target = to_account.get(edge.target)
+        if account_source is None or account_target is None:
+            continue
+        account.add_edge(
+            account_source,
+            account_target,
+            label=edge.label,
+            features=dict(edge.features),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Step 3 — surrogate edges (Algorithm 1, lines 15-29; Algorithm 2)
+    # ------------------------------------------------------------------ #
+    surrogate_edges: Set[EdgeKey] = set()
+    if include_surrogate_edges:
+        for original_source, original_target in sorted(
+            surrogate_edge_candidates(graph, markings, privilege, anchors=anchors),
+            key=lambda pair: (repr(pair[0]), repr(pair[1])),
+        ):
+            account_source = to_account.get(original_source)
+            account_target = to_account.get(original_target)
+            if account_source is None or account_target is None:
+                continue
+            if account.has_edge(account_source, account_target):
+                continue
+            account.add_edge(account_source, account_target, label=SURROGATE_EDGE_LABEL)
+            surrogate_edges.add((account_source, account_target))
+
+    # ------------------------------------------------------------------ #
+    # Optional closure repair (Definition 9.3 under adversarial markings)
+    # ------------------------------------------------------------------ #
+    if include_surrogate_edges and ensure_maximal_connectivity:
+        _repair_maximal_connectivity(
+            graph, policy, privilege, account, to_account, surrogate_edges
+        )
+
+    return ProtectedAccount(
+        graph=account,
+        correspondence=correspondence,
+        privilege=privilege,
+        surrogate_nodes=surrogate_nodes,
+        surrogate_edges=surrogate_edges,
+        strategy=strategy,
+    )
+
+
+def _repair_maximal_connectivity(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: Privilege,
+    account: PropertyGraph,
+    to_account: Dict[NodeId, NodeId],
+    surrogate_edges: Set[EdgeKey],
+) -> None:
+    """Add the surrogate edges needed to satisfy Definition 9.3 exactly.
+
+    For every represented original ``a``, every represented original ``b``
+    joined to it by an HW-permitted path must be reachable from it in the
+    account; any missing pair gets a direct surrogate edge (which is sound:
+    the permitted path is in particular a path in ``G``).
+    """
+    from repro.core.permitted import hw_permitted_targets
+    from repro.graph.paths import single_source_shortest_lengths
+
+    markings = policy.markings
+    for original_source, account_source in to_account.items():
+        permitted = hw_permitted_targets(graph, markings, privilege, original_source)
+        if not permitted:
+            continue
+        reachable = set(single_source_shortest_lengths(account, account_source))
+        for original_target in sorted(permitted, key=repr):
+            account_target = to_account.get(original_target)
+            if account_target is None or account_target == account_source:
+                continue
+            if account_target in reachable:
+                continue
+            if not account.has_edge(account_source, account_target):
+                account.add_edge(account_source, account_target, label=SURROGATE_EDGE_LABEL)
+                surrogate_edges.add((account_source, account_target))
+            # The new edge makes everything reachable from the target reachable too.
+            reachable.add(account_target)
+            reachable |= set(single_source_shortest_lengths(account, account_target))
+
+
+class ProtectionEngine:
+    """Facade bundling a release policy with the generation algorithm.
+
+    The engine is what applications hold on to: it can produce the
+    maximally informative account for any consumer class, the naive
+    baseline, or hide/surrogate edge-protection variants used throughout the
+    evaluation.
+    """
+
+    def __init__(self, policy: ReleasePolicy) -> None:
+        self.policy = policy
+
+    # ------------------------------------------------------------------ #
+    # primary entry points
+    # ------------------------------------------------------------------ #
+    def protect(
+        self,
+        graph: PropertyGraph,
+        privilege: object,
+        *,
+        include_surrogate_edges: bool = True,
+        ensure_maximal_connectivity: bool = False,
+        strategy: str = STRATEGY_SURROGATE,
+    ) -> ProtectedAccount:
+        """The maximally informative protected account for ``privilege``."""
+        return generate_protected_account(
+            graph,
+            self.policy,
+            privilege,
+            include_surrogate_edges=include_surrogate_edges,
+            ensure_maximal_connectivity=ensure_maximal_connectivity,
+            strategy=strategy,
+        )
+
+    def protect_all_classes(
+        self, graph: PropertyGraph, privileges: Optional[Iterable[object]] = None
+    ) -> Dict[str, ProtectedAccount]:
+        """One account per consumer class (default: every declared privilege)."""
+        if privileges is None:
+            privileges = self.policy.lattice.privileges()
+        accounts: Dict[str, ProtectedAccount] = {}
+        for privilege in privileges:
+            resolved = self.policy.lattice.get(privilege)
+            accounts[resolved.name] = self.protect(graph, resolved)
+        return accounts
+
+    # ------------------------------------------------------------------ #
+    # edge-protection variants used by the evaluation
+    # ------------------------------------------------------------------ #
+    def with_edge_protection(
+        self,
+        graph: PropertyGraph,
+        edges: Iterable[EdgeKey],
+        privilege: object,
+        *,
+        strategy: str = STRATEGY_SURROGATE,
+    ) -> ProtectedAccount:
+        """Protect ``edges`` with one strategy, then generate the account.
+
+        This is the exact transformation compared in Section 6: the same
+        edges are protected either by hiding or by surrogating, and the
+        resulting accounts are scored for utility and opacity.  The engine's
+        own policy is left untouched (the protection is applied to a copy).
+        """
+        scoped = self.policy.copy()
+        scoped.protect_edges(list(edges), privilege, strategy=strategy)
+        return generate_protected_account(graph, scoped, privilege, strategy=strategy)
+
+    def compare_strategies(
+        self,
+        graph: PropertyGraph,
+        edges: Iterable[EdgeKey],
+        privilege: object,
+    ) -> Dict[str, ProtectedAccount]:
+        """Both the hide and the surrogate account for the same protected edges."""
+        edges = list(edges)
+        return {
+            STRATEGY_HIDE: self.with_edge_protection(graph, edges, privilege, strategy=STRATEGY_HIDE),
+            STRATEGY_SURROGATE: self.with_edge_protection(
+                graph, edges, privilege, strategy=STRATEGY_SURROGATE
+            ),
+        }
+
+
+def _account_name(graph: PropertyGraph, privilege: Privilege) -> str:
+    base = graph.name or "graph"
+    return f"{base}@{privilege.name}"

@@ -1,0 +1,97 @@
+"""The "show/hide" baselines the paper compares against.
+
+Two baselines appear in the evaluation:
+
+* the **naive protected account** (Figure 1c): every node not visible to the
+  consumer class is dropped along with all of its incident edges — the
+  behaviour of standard access control with no surrogates at all;
+* **hide-based edge protection**: the same edges that the surrogate strategy
+  protects are instead marked ``HIDE``, so they simply disappear and no
+  surrogate edge may summarise paths through them.
+
+Both produce ordinary :class:`~repro.core.protected_account.ProtectedAccount`
+objects so the utility/opacity measures apply uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.generation import generate_protected_account
+from repro.core.markings import EdgeState
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE
+from repro.core.protected_account import ProtectedAccount
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+#: Strategy label for the all-or-nothing baseline.
+STRATEGY_NAIVE = "naive"
+
+
+def naive_protected_account(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: object,
+    *,
+    respect_edge_markings: bool = True,
+    name: Optional[str] = None,
+) -> ProtectedAccount:
+    """The all-or-nothing account of Figure 1(c).
+
+    Nodes visible via ``privilege`` are kept as-is; everything else —
+    including every edge incident to a dropped node — is removed.  No
+    surrogate nodes or edges are used.
+
+    With ``respect_edge_markings`` (the default) an edge between two visible
+    nodes still disappears when its markings do not combine to ``VISIBLE``;
+    passing ``False`` ignores markings entirely (pure node-level access
+    control).
+    """
+    privilege = policy.lattice.get(privilege)
+    visible: Set[NodeId] = policy.visible_nodes(graph, privilege)
+    account = PropertyGraph(name=name if name is not None else f"{graph.name or 'graph'}@{privilege.name}:naive")
+    correspondence: Dict[NodeId, NodeId] = {}
+    for node in graph.nodes():
+        if node.node_id in visible:
+            account.add_node(node.node_id, kind=node.kind, features=dict(node.features))
+            correspondence[node.node_id] = node.node_id
+    for edge in graph.edges():
+        if edge.source not in visible or edge.target not in visible:
+            continue
+        if respect_edge_markings and policy.markings.edge_state(edge.key, privilege) is not EdgeState.VISIBLE:
+            continue
+        account.add_edge(edge.source, edge.target, label=edge.label, features=dict(edge.features))
+    return ProtectedAccount(
+        graph=account,
+        correspondence=correspondence,
+        privilege=privilege,
+        surrogate_nodes=set(),
+        surrogate_edges=set(),
+        strategy=STRATEGY_NAIVE,
+    )
+
+
+def hide_protected_account(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: object,
+    *,
+    edges_to_protect: Optional[Iterable[EdgeKey]] = None,
+) -> ProtectedAccount:
+    """Protect ``edges_to_protect`` by hiding them, then generate the account.
+
+    When ``edges_to_protect`` is ``None`` the policy's existing markings are
+    used as-is, but surrogate-edge computation is disabled — i.e. whatever
+    is not directly visible is simply absent.  Either way the result carries
+    the ``"hide"`` strategy label used by the experiment drivers.
+    """
+    scoped = policy.copy()
+    if edges_to_protect is not None:
+        scoped.protect_edges(list(edges_to_protect), privilege, strategy=STRATEGY_HIDE)
+        return generate_protected_account(graph, scoped, privilege, strategy=STRATEGY_HIDE)
+    return generate_protected_account(
+        graph,
+        scoped,
+        privilege,
+        include_surrogate_edges=False,
+        strategy=STRATEGY_HIDE,
+    )

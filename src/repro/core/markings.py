@@ -1,0 +1,236 @@
+"""Node-edge incidence markings (paper Definition 7) and edge states.
+
+Every edge has two *incidences* — one at its source node and one at its
+target node — and the provider of each endpoint may mark its incidence, per
+privilege-predicate, as:
+
+``VISIBLE``
+    The incidence may be shown to consumers in that class.
+``HIDE``
+    The incidence may not be shown **and** may not be used to compute any
+    surrogate edge.
+``SURROGATE``
+    The incidence may not be shown directly, but may be traversed when
+    computing surrogate edges that summarise paths through it.
+
+Markings at the two ends need not agree (local autonomy).  The *state* of an
+edge for a privilege combines the two incidence markings exactly as the
+paper's Algorithm 3 does:
+
+* both ``VISIBLE``  → the edge is shown (``EdgeState.VISIBLE``),
+* any ``HIDE``      → the edge is unusable (``EdgeState.HIDDEN``),
+* otherwise         → the edge may anchor/route surrogate edges
+  (``EdgeState.SURROGATE``).
+
+When no explicit marking is recorded, the default marking of an incidence at
+node ``n`` for privilege ``p`` is ``VISIBLE`` when ``p`` dominates
+``lowest(n)`` and otherwise the policy-configured default for protected
+nodes (``HIDE`` by default — the conservative, naive behaviour; providers
+opt into ``SURROGATE``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.privileges import Privilege, PrivilegeLattice
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+
+class Marking(enum.Enum):
+    """Per node-edge incidence release marking (Definition 7)."""
+
+    VISIBLE = "visible"
+    HIDE = "hide"
+    SURROGATE = "surrogate"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class EdgeState(enum.Enum):
+    """The combined disposition of an edge for one privilege (Algorithm 3)."""
+
+    VISIBLE = "visible"
+    HIDDEN = "hidden"
+    SURROGATE = "surrogate"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def combine_markings(source_marking: Marking, target_marking: Marking) -> EdgeState:
+    """Combine the two incidence markings of an edge into its state."""
+    if source_marking is Marking.HIDE or target_marking is Marking.HIDE:
+        return EdgeState.HIDDEN
+    if source_marking is Marking.VISIBLE and target_marking is Marking.VISIBLE:
+        return EdgeState.VISIBLE
+    return EdgeState.SURROGATE
+
+
+#: Key identifying one incidence for one privilege: (node, (source, target), privilege name).
+IncidenceKey = Tuple[NodeId, EdgeKey, str]
+
+
+class MarkingPolicy:
+    """Explicit incidence markings plus a default rule.
+
+    The policy is independent of any particular graph: markings refer to
+    node ids and edge keys, so the same policy can be applied to the
+    original graph and to subgraphs of it.  Explicit markings are indexed by
+    incidence so lookups stay O(#privileges marked on that incidence) even
+    when thousands of edges are protected.
+    """
+
+    def __init__(
+        self,
+        lattice: PrivilegeLattice,
+        *,
+        lowest_of: Optional[Callable[[NodeId], Privilege]] = None,
+        default_protected_marking: Marking = Marking.HIDE,
+    ) -> None:
+        self.lattice = lattice
+        self._lowest_of = lowest_of
+        self.default_protected_marking = default_protected_marking
+        #: (node, edge) -> {privilege name -> marking}
+        self._explicit: Dict[Tuple[NodeId, EdgeKey], Dict[str, Marking]] = {}
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def bind_lowest(self, lowest_of: Callable[[NodeId], Privilege]) -> None:
+        """Provide (or replace) the ``lowest(n)`` lookup used for default markings."""
+        self._lowest_of = lowest_of
+
+    def set_marking(
+        self,
+        node_id: NodeId,
+        edge: EdgeKey,
+        privilege: object,
+        marking: Marking,
+    ) -> None:
+        """Record an explicit marking for one incidence at one privilege."""
+        privilege = self.lattice.get(privilege)
+        self._explicit.setdefault((node_id, tuple(edge)), {})[privilege.name] = marking
+
+    def mark_edge(
+        self,
+        edge: EdgeKey,
+        privilege: object,
+        *,
+        source: Optional[Marking] = None,
+        target: Optional[Marking] = None,
+    ) -> None:
+        """Mark one or both incidences of an edge for a privilege."""
+        source_id, target_id = edge
+        if source is not None:
+            self.set_marking(source_id, edge, privilege, source)
+        if target is not None:
+            self.set_marking(target_id, edge, privilege, target)
+
+    def mark_incident_edges(
+        self,
+        graph: PropertyGraph,
+        node_id: NodeId,
+        privilege: object,
+        marking: Marking,
+        *,
+        direction: str = "both",
+    ) -> int:
+        """Mark the ``node_id`` incidence of every incident edge in ``graph``.
+
+        The paper notes that in practice providers mark *sets* of incidences
+        ("all edges from data nodes of certain types, or all outgoing
+        edges"); this helper covers the per-node bulk case and returns the
+        number of incidences marked.  ``direction`` is ``"out"``, ``"in"`` or
+        ``"both"``.
+        """
+        if direction not in {"out", "in", "both"}:
+            raise ValueError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
+        count = 0
+        if direction in {"out", "both"}:
+            for successor in graph.successors(node_id):
+                self.set_marking(node_id, (node_id, successor), privilege, marking)
+                count += 1
+        if direction in {"in", "both"}:
+            for predecessor in graph.predecessors(node_id):
+                self.set_marking(node_id, (predecessor, node_id), privilege, marking)
+                count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop every explicit marking (defaults still apply)."""
+        self._explicit.clear()
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def explicit_marking(
+        self, node_id: NodeId, edge: EdgeKey, privilege: object
+    ) -> Optional[Marking]:
+        """The explicitly recorded marking, or ``None`` when only the default applies.
+
+        Explicit markings recorded for a privilege ``q`` also apply to any
+        consumer privilege ``p`` that dominates ``q`` (release to a class
+        implies release to more trusted classes), unless a more specific
+        marking for ``p`` itself exists.
+        """
+        per_privilege = self._explicit.get((node_id, tuple(edge)))
+        if not per_privilege:
+            return None
+        privilege = self.lattice.get(privilege)
+        exact = per_privilege.get(privilege.name)
+        if exact is not None:
+            return exact
+        # Fall back to the most dominant marked privilege dominated by `privilege`.
+        best: Optional[Tuple[Privilege, Marking]] = None
+        for marked_privilege_name, marking in per_privilege.items():
+            marked_privilege = self.lattice.get(marked_privilege_name)
+            if not self.lattice.dominates(privilege, marked_privilege):
+                continue
+            if best is None or self.lattice.strictly_dominates(marked_privilege, best[0]):
+                best = (marked_privilege, marking)
+        return best[1] if best is not None else None
+
+    def marking(self, node_id: NodeId, edge: EdgeKey, privilege: object) -> Marking:
+        """The effective marking of one incidence for one privilege."""
+        explicit = self.explicit_marking(node_id, edge, privilege)
+        if explicit is not None:
+            return explicit
+        if self._lowest_of is None:
+            return Marking.VISIBLE
+        lowest = self._lowest_of(node_id)
+        if self.lattice.dominates(privilege, lowest):
+            return Marking.VISIBLE
+        return self.default_protected_marking
+
+    def edge_state(self, edge: EdgeKey, privilege: object) -> EdgeState:
+        """The combined state of an edge for one privilege."""
+        source_id, target_id = edge
+        return combine_markings(
+            self.marking(source_id, edge, privilege),
+            self.marking(target_id, edge, privilege),
+        )
+
+    def edge_states(self, graph: PropertyGraph, privilege: object) -> Dict[EdgeKey, EdgeState]:
+        """The state of every edge of ``graph`` for one privilege (Algorithm 3's table)."""
+        return {edge.key: self.edge_state(edge.key, privilege) for edge in graph.edges()}
+
+    def explicit_incidences(self) -> Iterable[Tuple[IncidenceKey, Marking]]:
+        """Every explicitly recorded incidence marking (for reporting/serialisation)."""
+        flattened: List[Tuple[IncidenceKey, Marking]] = []
+        for (node_id, edge), per_privilege in self._explicit.items():
+            for privilege_name, marking in per_privilege.items():
+                flattened.append(((node_id, edge, privilege_name), marking))
+        return flattened
+
+    def copy(self) -> "MarkingPolicy":
+        """An independent copy sharing the lattice and lowest lookup."""
+        clone = MarkingPolicy(
+            self.lattice,
+            lowest_of=self._lowest_of,
+            default_protected_marking=self.default_protected_marking,
+        )
+        clone._explicit = {key: dict(value) for key, value in self._explicit.items()}
+        return clone

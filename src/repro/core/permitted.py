@@ -1,0 +1,330 @@
+"""HW-permitted paths (Definition 8) and the visible-set walks of Algorithm 2.
+
+A path ``n1 -> ... -> n2`` in the original graph is *HW-permitted* for a
+consumer class ``p`` when:
+
+1. no node-edge incidence anywhere on the path is marked ``HIDE`` for ``p``,
+   and the incidence of ``n1`` on the path's first edge and the incidence of
+   ``n2`` on the path's last edge are both marked ``VISIBLE``; and
+2. if the direct edge ``(n1, n2)`` exists in the original graph, each of its
+   incidences is marked ``VISIBLE`` — i.e. a sensitive direct relationship
+   may never be re-asserted through a longer route.
+
+Surrogate edges summarise HW-permitted paths.  The *visible-set* walk
+(Algorithm 2) is the efficient way the generation algorithm discovers the
+anchors of those summaries: starting from a surrogate-routed incidence it
+travels through further surrogate-routed incidences and stops at the first
+nodes whose incidence is ``VISIBLE``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.markings import EdgeState, Marking, MarkingPolicy
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+
+def edge_usable(markings: MarkingPolicy, edge: EdgeKey, privilege: object) -> bool:
+    """True when the edge has no ``HIDE`` incidence for ``privilege``."""
+    return markings.edge_state(edge, privilege) is not EdgeState.HIDDEN
+
+
+def direct_edge_allows_path(
+    graph: PropertyGraph, markings: MarkingPolicy, privilege: object, source: NodeId, target: NodeId
+) -> bool:
+    """Definition 8, clause 2: a sensitive direct edge forbids any permitted path.
+
+    Returns True when either no direct edge ``source -> target`` exists, or
+    it exists and both of its incidences are ``VISIBLE``.
+    """
+    if not graph.has_edge(source, target):
+        return True
+    return markings.edge_state((source, target), privilege) is EdgeState.VISIBLE
+
+
+def hw_permitted_path_exists(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    source: NodeId,
+    target: NodeId,
+) -> bool:
+    """True when an HW-permitted path from ``source`` to ``target`` exists."""
+    return shortest_hw_permitted_path_length(graph, markings, privilege, source, target) is not None
+
+
+def shortest_hw_permitted_path_length(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    source: NodeId,
+    target: NodeId,
+) -> Optional[int]:
+    """Length of the shortest HW-permitted path, or ``None`` when none exists."""
+    if source == target:
+        return None
+    if not direct_edge_allows_path(graph, markings, privilege, source, target):
+        return None
+    # BFS over non-hidden edges.  The first step must leave `source` through
+    # an edge whose source-incidence is VISIBLE; arrival at `target` counts
+    # only through an edge whose target-incidence is VISIBLE.
+    distances: Dict[NodeId, int] = {}
+    frontier: deque = deque()
+    for successor in graph.successors(source):
+        edge = (source, successor)
+        if not edge_usable(markings, edge, privilege):
+            continue
+        if markings.marking(source, edge, privilege) is not Marking.VISIBLE:
+            continue
+        if successor == target:
+            if markings.marking(target, edge, privilege) is Marking.VISIBLE:
+                return 1
+            continue
+        if successor not in distances:
+            distances[successor] = 1
+            frontier.append(successor)
+    best: Optional[int] = None
+    while frontier:
+        current = frontier.popleft()
+        current_distance = distances[current]
+        if best is not None and current_distance + 1 >= best:
+            continue
+        for successor in graph.successors(current):
+            edge = (current, successor)
+            if not edge_usable(markings, edge, privilege):
+                continue
+            if successor == target:
+                if markings.marking(target, edge, privilege) is Marking.VISIBLE:
+                    candidate = current_distance + 1
+                    if best is None or candidate < best:
+                        best = candidate
+                continue
+            if successor == source:
+                continue
+            if successor not in distances:
+                distances[successor] = current_distance + 1
+                frontier.append(successor)
+    return best
+
+
+def hw_permitted_targets(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    source: NodeId,
+) -> Set[NodeId]:
+    """Every node reachable from ``source`` along an HW-permitted path.
+
+    Single-source form of Definition 8: one BFS over non-hidden edges whose
+    first step leaves ``source`` through a VISIBLE source-incidence; a node
+    counts as a permitted target when it is ever entered through an edge
+    whose target-incidence is VISIBLE, and the direct-edge clause is applied
+    per target.  Used by validation and by the optional maximal-connectivity
+    repair pass of the generation algorithm.
+    """
+    reached_any: Set[NodeId] = set()
+    targets: Set[NodeId] = set()
+    frontier: deque = deque()
+    for successor in graph.successors(source):
+        edge = (source, successor)
+        if not edge_usable(markings, edge, privilege):
+            continue
+        if markings.marking(source, edge, privilege) is not Marking.VISIBLE:
+            continue
+        if markings.marking(successor, edge, privilege) is Marking.VISIBLE:
+            targets.add(successor)
+        if successor not in reached_any:
+            reached_any.add(successor)
+            frontier.append(successor)
+    while frontier:
+        current = frontier.popleft()
+        for successor in graph.successors(current):
+            edge = (current, successor)
+            if not edge_usable(markings, edge, privilege):
+                continue
+            if markings.marking(successor, edge, privilege) is Marking.VISIBLE:
+                targets.add(successor)
+            if successor not in reached_any and successor != source:
+                reached_any.add(successor)
+                frontier.append(successor)
+    targets.discard(source)
+    return {
+        target
+        for target in targets
+        if direct_edge_allows_path(graph, markings, privilege, source, target)
+    }
+
+
+def hw_permitted_pairs(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    nodes: Optional[Set[NodeId]] = None,
+) -> Set[Tuple[NodeId, NodeId]]:
+    """Every ordered pair of (given) nodes joined by an HW-permitted path.
+
+    Used by validation (maximal connectivity, Definition 9.3) rather than by
+    generation, which uses the cheaper visible-set walks below.
+    """
+    candidates = set(nodes) if nodes is not None else set(graph.node_ids())
+    pairs: Set[Tuple[NodeId, NodeId]] = set()
+    for source in candidates:
+        for target in hw_permitted_targets(graph, markings, privilege, source):
+            if target in candidates and target != source:
+                pairs.add((source, target))
+    return pairs
+
+
+# --------------------------------------------------------------------------- #
+# Algorithm 2: visible-set walks
+# --------------------------------------------------------------------------- #
+def forward_visible_set(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    start: NodeId,
+    *,
+    anchors: Optional[Set[NodeId]] = None,
+) -> Set[NodeId]:
+    """Nodes reachable forwards from ``start`` stopping at VISIBLE incidences.
+
+    Walk out-edges whose state is not ``HIDDEN``.  When the far endpoint's
+    incidence on the traversed edge is ``VISIBLE`` the endpoint is collected
+    and the walk stops there; otherwise the walk continues through it.
+
+    When ``anchors`` is given, only nodes in that set may be collected; a
+    node with a VISIBLE incidence that is not an anchor (e.g. a node that
+    will not appear in the protected account) is walked *through* instead,
+    so that connectivity between representable nodes is never lost.
+    """
+    return _visible_walk(graph, markings, privilege, start, forward=True, anchors=anchors)
+
+
+def backward_visible_set(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    start: NodeId,
+    *,
+    anchors: Optional[Set[NodeId]] = None,
+) -> Set[NodeId]:
+    """Mirror image of :func:`forward_visible_set` over in-edges."""
+    return _visible_walk(graph, markings, privilege, start, forward=False, anchors=anchors)
+
+
+def _visible_walk(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    start: NodeId,
+    *,
+    forward: bool,
+    anchors: Optional[Set[NodeId]] = None,
+) -> Set[NodeId]:
+    collected: Set[NodeId] = set()
+    visited: Set[NodeId] = {start}
+    frontier: deque = deque([start])
+    while frontier:
+        current = frontier.popleft()
+        neighbors = graph.successors(current) if forward else graph.predecessors(current)
+        for neighbor in neighbors:
+            edge: EdgeKey = (current, neighbor) if forward else (neighbor, current)
+            if not edge_usable(markings, edge, privilege):
+                continue
+            incidence_visible = markings.marking(neighbor, edge, privilege) is Marking.VISIBLE
+            collectable = incidence_visible and (anchors is None or neighbor in anchors)
+            if collectable:
+                collected.add(neighbor)
+                continue
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    collected.discard(start)
+    return collected
+
+
+def surrogate_edge_candidates(
+    graph: PropertyGraph,
+    markings: MarkingPolicy,
+    privilege: object,
+    *,
+    anchors: Optional[Set[NodeId]] = None,
+) -> Set[Tuple[NodeId, NodeId]]:
+    """All (source, target) original-node pairs that should receive a surrogate edge.
+
+    Implements the surrogate-edge portion of Algorithm 1 using the
+    visible-set walks: for every edge that cannot be shown directly but is
+    not hidden — its state is ``SURROGATE``, or it is ``VISIBLE`` but one of
+    its endpoints has no representation (``anchors``) in the account — anchor
+    sources are found backwards from the edge's source (or the source itself
+    when its own incidence is ``VISIBLE`` and representable) and anchor
+    targets forwards from the edge's target, then every (anchor source,
+    anchor target) pair is a candidate — subject to Definition 8's
+    direct-edge clause and to not duplicating an already-visible direct
+    edge.
+    """
+    candidates: Set[Tuple[NodeId, NodeId]] = set()
+    pending: Set[Tuple[NodeId, NodeId]] = set()
+    for edge in graph.edges():
+        key = edge.key
+        state = markings.edge_state(key, privilege)
+        if state is EdgeState.HIDDEN:
+            continue
+        if state is EdgeState.VISIBLE and (
+            anchors is None or (key[0] in anchors and key[1] in anchors)
+        ):
+            # Shown directly between represented endpoints: nothing to summarise.
+            continue
+        source_id, target_id = key
+        source_is_anchor = anchors is None or source_id in anchors
+        target_is_anchor = anchors is None or target_id in anchors
+        if markings.marking(source_id, key, privilege) is Marking.VISIBLE and source_is_anchor:
+            sources = {source_id}
+        else:
+            sources = backward_visible_set(graph, markings, privilege, source_id, anchors=anchors)
+        if markings.marking(target_id, key, privilege) is Marking.VISIBLE and target_is_anchor:
+            targets = {target_id}
+        else:
+            targets = forward_visible_set(graph, markings, privilege, target_id, anchors=anchors)
+        for anchor_source in sources:
+            for anchor_target in targets:
+                pending.add((anchor_source, anchor_target))
+
+    # Resolve the anchor pairs.  A pair whose direct original edge is itself
+    # protected may not be asserted (Definition 8, clause 2) — but the
+    # connectivity it would have carried must then be re-anchored further out
+    # (otherwise maximal connectivity, Definition 9.3, is violated), so the
+    # blocked pair is expanded to the next anchors behind its source and
+    # beyond its target and those pairs are reconsidered.
+    visited: Set[Tuple[NodeId, NodeId]] = set()
+    worklist = deque(pending)
+    while worklist:
+        pair = worklist.popleft()
+        if pair in visited:
+            continue
+        visited.add(pair)
+        anchor_source, anchor_target = pair
+        if anchor_source == anchor_target:
+            continue
+        if not direct_edge_allows_path(graph, markings, privilege, anchor_source, anchor_target):
+            for farther_source in backward_visible_set(
+                graph, markings, privilege, anchor_source, anchors=anchors
+            ):
+                worklist.append((farther_source, anchor_target))
+            for farther_target in forward_visible_set(
+                graph, markings, privilege, anchor_target, anchors=anchors
+            ):
+                worklist.append((anchor_source, farther_target))
+            continue
+        if (
+            graph.has_edge(anchor_source, anchor_target)
+            and markings.edge_state((anchor_source, anchor_target), privilege)
+            is EdgeState.VISIBLE
+        ):
+            # Already shown directly; a surrogate edge would be redundant
+            # (the "shorter permitted path" clause of Appendix B).
+            continue
+        candidates.add(pair)
+    return candidates

@@ -1,0 +1,242 @@
+"""Release policies: everything a provider publishes about one data set.
+
+A :class:`ReleasePolicy` bundles the four ingredients the protection
+algorithms need:
+
+* the privilege lattice,
+* the ``lowest()`` privilege of each node (Definition 3),
+* the per-incidence edge markings (Definition 7),
+* the surrogate registry (Section 3.1).
+
+It also offers the convenience operations the evaluation uses constantly:
+"protect this edge by hiding" / "protect this edge by surrogating"
+(Section 6's two strategies) and "compute this graph's high-water set".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.core.markings import Marking, MarkingPolicy
+from repro.core.privileges import HighWaterSet, Privilege, PrivilegeLattice
+from repro.core.surrogates import Surrogate, SurrogateRegistry
+from repro.exceptions import PolicyError
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+#: The two edge-protection strategies compared throughout the evaluation.
+STRATEGY_HIDE = "hide"
+STRATEGY_SURROGATE = "surrogate"
+STRATEGIES = (STRATEGY_HIDE, STRATEGY_SURROGATE)
+
+
+class ReleasePolicy:
+    """The provider-specified release policy for one data set.
+
+    Example
+    -------
+    >>> from repro.core.privileges import figure1_lattice
+    >>> lattice, privileges = figure1_lattice()
+    >>> policy = ReleasePolicy(lattice)
+    >>> policy.set_lowest("f", privileges["High-1"])
+    >>> policy.visible("f", privileges["High-2"])
+    False
+    """
+
+    def __init__(
+        self,
+        lattice: Optional[PrivilegeLattice] = None,
+        *,
+        default_lowest: Optional[Privilege] = None,
+        default_protected_marking: Marking = Marking.HIDE,
+        use_null_surrogates: bool = False,
+    ) -> None:
+        self.lattice = lattice if lattice is not None else PrivilegeLattice()
+        self.default_lowest = (
+            self.lattice.get(default_lowest) if default_lowest is not None else self.lattice.public
+        )
+        self._lowest: Dict[NodeId, Privilege] = {}
+        self.markings = MarkingPolicy(
+            self.lattice,
+            lowest_of=self.lowest,
+            default_protected_marking=default_protected_marking,
+        )
+        self.surrogates = SurrogateRegistry(self.lattice)
+        #: When True, nodes with no registered surrogate and no visibility are
+        #: represented by an auto-generated ``<null>`` surrogate instead of
+        #: being omitted from the protected account.
+        self.use_null_surrogates = use_null_surrogates
+
+    # ------------------------------------------------------------------ #
+    # lowest() assignments
+    # ------------------------------------------------------------------ #
+    def set_lowest(self, node_id: NodeId, privilege: object) -> None:
+        """Declare the lowest privilege required to see ``node_id``."""
+        self._lowest[node_id] = self.lattice.get(privilege)
+
+    def set_lowest_bulk(self, assignments: Mapping[NodeId, object]) -> None:
+        """Declare many ``lowest()`` assignments at once."""
+        for node_id, privilege in assignments.items():
+            self.set_lowest(node_id, privilege)
+
+    def lowest(self, node_id: NodeId) -> Privilege:
+        """The lowest privilege required to see ``node_id`` (default: Public)."""
+        return self._lowest.get(node_id, self.default_lowest)
+
+    def lowest_assignments(self) -> Dict[NodeId, Privilege]:
+        """A copy of every explicit ``lowest()`` assignment."""
+        return dict(self._lowest)
+
+    def visible(self, node_id: NodeId, privilege: object) -> bool:
+        """Definition 1 applied through the lattice: may this class see the node?"""
+        return self.lattice.dominates(privilege, self.lowest(node_id))
+
+    def visible_nodes(self, graph: PropertyGraph, privilege: object) -> Set[NodeId]:
+        """Every node of ``graph`` visible via ``privilege``."""
+        return {node_id for node_id in graph.node_ids() if self.visible(node_id, privilege)}
+
+    def protected_nodes(self, graph: PropertyGraph, privilege: object) -> Set[NodeId]:
+        """Every node of ``graph`` *not* visible via ``privilege``."""
+        return {node_id for node_id in graph.node_ids() if not self.visible(node_id, privilege)}
+
+    def high_water(self, graph: PropertyGraph) -> HighWaterSet:
+        """The high-water set of ``graph`` under this policy (Definition 6)."""
+        return HighWaterSet.of_nodes(
+            self.lattice, {node_id: self.lowest(node_id) for node_id in graph.node_ids()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # surrogate management
+    # ------------------------------------------------------------------ #
+    def add_surrogate(
+        self,
+        original_id: NodeId,
+        lowest: object,
+        *,
+        surrogate_id: Optional[NodeId] = None,
+        features: Optional[Mapping[str, object]] = None,
+        kind: Optional[str] = None,
+        info_score: Optional[float] = None,
+    ) -> Surrogate:
+        """Register a surrogate, validating it against the original's ``lowest``."""
+        return self.surrogates.add(
+            original_id,
+            lowest,
+            surrogate_id=surrogate_id,
+            features=features,
+            kind=kind,
+            info_score=info_score,
+            original_lowest=self.lowest(original_id),
+        )
+
+    def best_surrogate(
+        self,
+        graph: PropertyGraph,
+        original_id: NodeId,
+        privilege: object,
+    ) -> Optional[Surrogate]:
+        """The best registered surrogate of a node visible via ``privilege``."""
+        original_features = (
+            graph.node(original_id).features if graph.has_node(original_id) else None
+        )
+        return self.surrogates.best_surrogate(
+            original_id, privilege, original_features=original_features
+        )
+
+    # ------------------------------------------------------------------ #
+    # edge protection strategies (Section 6)
+    # ------------------------------------------------------------------ #
+    def protect_edge(
+        self,
+        edge: EdgeKey,
+        privilege: object,
+        *,
+        strategy: str = STRATEGY_SURROGATE,
+    ) -> None:
+        """Protect one directed edge for one consumer class.
+
+        ``strategy="hide"`` marks the target-side incidence ``HIDE``: the
+        edge disappears and may not be summarised.  ``strategy="surrogate"``
+        marks the target-side incidence ``SURROGATE``: the edge disappears
+        but paths continuing beyond the target may be summarised by a
+        surrogate edge from the source to the first visible nodes further
+        along (the behaviour evaluated in Section 6).
+        """
+        if strategy not in STRATEGIES:
+            raise PolicyError(f"unknown protection strategy {strategy!r}; expected one of {STRATEGIES}")
+        marking = Marking.HIDE if strategy == STRATEGY_HIDE else Marking.SURROGATE
+        source_id, target_id = edge
+        self.markings.set_marking(target_id, edge, privilege, marking)
+        # The source side stays visible so the source node can anchor a
+        # surrogate edge; an explicit VISIBLE marking records that decision.
+        self.markings.set_marking(source_id, edge, privilege, Marking.VISIBLE)
+
+    def protect_edges(
+        self,
+        edges: Iterable[EdgeKey],
+        privilege: object,
+        *,
+        strategy: str = STRATEGY_SURROGATE,
+    ) -> int:
+        """Protect many edges with one strategy; returns how many were marked."""
+        count = 0
+        for edge in edges:
+            self.protect_edge(edge, privilege, strategy=strategy)
+            count += 1
+        return count
+
+    def protect_node(
+        self,
+        graph: PropertyGraph,
+        node_id: NodeId,
+        privilege: object,
+        *,
+        incident_marking: Marking = Marking.SURROGATE,
+        lowest: Optional[object] = None,
+    ) -> None:
+        """Protect a node's role while optionally keeping connectivity through it.
+
+        Sets the node's ``lowest`` (when given), and marks the node-side
+        incidence of every incident edge with ``incident_marking`` —
+        ``SURROGATE`` preserves connectivity via surrogate edges,
+        ``HIDE`` severs it (the naive behaviour).
+        """
+        if lowest is not None:
+            self.set_lowest(node_id, lowest)
+        self.markings.mark_incident_edges(graph, node_id, privilege, incident_marking)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "ReleasePolicy":
+        """A deep-enough copy: markings and lowest assignments are independent.
+
+        The surrogate registry is shared (surrogate definitions are data, not
+        per-experiment state); callers that need an isolated registry can
+        replace ``copy().surrogates``.
+        """
+        clone = ReleasePolicy(
+            self.lattice,
+            default_lowest=self.default_lowest,
+            default_protected_marking=self.markings.default_protected_marking,
+            use_null_surrogates=self.use_null_surrogates,
+        )
+        clone._lowest = dict(self._lowest)
+        clone.markings = self.markings.copy()
+        clone.markings.bind_lowest(clone.lowest)
+        clone.surrogates = self.surrogates
+        return clone
+
+    def describe(self, graph: PropertyGraph, privilege: object) -> Dict[str, object]:
+        """A compact report of what this policy does to ``graph`` for one class."""
+        privilege = self.lattice.get(privilege)
+        states = self.markings.edge_states(graph, privilege)
+        return {
+            "privilege": privilege.name,
+            "visible_nodes": len(self.visible_nodes(graph, privilege)),
+            "protected_nodes": len(self.protected_nodes(graph, privilege)),
+            "visible_edges": sum(1 for state in states.values() if state.value == "visible"),
+            "hidden_edges": sum(1 for state in states.values() if state.value == "hidden"),
+            "surrogate_route_edges": sum(1 for state in states.values() if state.value == "surrogate"),
+            "registered_surrogates": len(self.surrogates),
+            "high_water": sorted(self.high_water(graph).names()),
+        }

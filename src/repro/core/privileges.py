@@ -1,0 +1,329 @@
+"""Privilege-predicates, dominance and high-water sets (Definitions 1–3, 6).
+
+A *privilege-predicate* is a Boolean function over consumer credentials that
+names a class of consumers ("Public", "High-2", "Cleared Emergency
+Responder", ...).  The paper never evaluates the predicates themselves —
+only their *dominance* partial order matters for protection — so the library
+models a predicate as a named element of a :class:`PrivilegeLattice` whose
+dominance relation is declared explicitly.  Evaluating concrete credentials
+against predicates lives in :mod:`repro.security.credentials`.
+
+Dominance follows Definition 2: ``p`` dominates ``q`` when every consumer
+satisfying ``p`` also satisfies ``q`` — i.e. ``p`` is the *more* privileged
+class.  A predicate trivially dominates itself.  "Public" is dominated by
+every other predicate (the paper assumes such a bottom element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import CyclicDominanceError, UnknownPrivilegeError
+
+PUBLIC_NAME = "Public"
+
+
+@dataclass(frozen=True, order=True)
+class Privilege:
+    """A named privilege-predicate.
+
+    Only the name matters for identity; the dominance relation lives in the
+    :class:`PrivilegeLattice` the privilege was declared in.  The optional
+    ``description`` is purely documentary.
+    """
+
+    name: str
+    description: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class PrivilegeLattice:
+    """A partially ordered set of privilege-predicates.
+
+    The "lattice" name follows common access-control usage; the structure is
+    really an arbitrary partial order with a designated bottom element
+    (``Public``) that every other predicate dominates.
+
+    Example (the paper's Figure 1(b))::
+
+        lattice = PrivilegeLattice()
+        low2 = lattice.add("Low-2", dominates=["Public"])
+        lattice.add("High-1", dominates=["Low-2"])
+        lattice.add("High-2", dominates=["Low-2"])
+    """
+
+    def __init__(self, *, public_name: str = PUBLIC_NAME) -> None:
+        self._privileges: Dict[str, Privilege] = {}
+        self._direct_dominates: Dict[str, Set[str]] = {}
+        self._closure: Optional[Dict[str, FrozenSet[str]]] = None
+        self.public = Privilege(public_name, "dominated by every other privilege-predicate")
+        self._privileges[public_name] = self.public
+        self._direct_dominates[public_name] = set()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(
+        self,
+        name: str,
+        *,
+        dominates: Iterable[object] = (),
+        description: str = "",
+    ) -> Privilege:
+        """Declare a privilege-predicate.
+
+        ``dominates`` lists the privileges (names or :class:`Privilege`
+        objects) this new predicate directly dominates.  Every non-Public
+        predicate implicitly dominates Public, so an empty ``dominates`` is
+        allowed.  Re-declaring an existing name returns the existing object
+        as long as it does not change the declared edges.
+        """
+        if name in self._privileges:
+            privilege = self._privileges[name]
+        else:
+            privilege = Privilege(name, description)
+            self._privileges[name] = privilege
+            self._direct_dominates[name] = set()
+        for dominated in dominates:
+            dominated_name = dominated.name if isinstance(dominated, Privilege) else str(dominated)
+            if dominated_name not in self._privileges:
+                raise UnknownPrivilegeError(dominated_name)
+            if dominated_name == name:
+                continue
+            self._direct_dominates[name].add(dominated_name)
+        if name != self.public.name:
+            self._direct_dominates[name].add(self.public.name)
+        self._closure = None
+        self._check_acyclic()
+        return privilege
+
+    def add_chain(self, names: Sequence[str]) -> List[Privilege]:
+        """Declare a totally ordered chain, most privileged first.
+
+        ``add_chain(["Top", "Middle", "Public"])`` makes Top dominate Middle
+        dominate Public.
+        """
+        created: List[Privilege] = []
+        previous: Optional[str] = None
+        for name in reversed(names):
+            if previous is None:
+                created.append(self.add(name) if name != self.public.name else self.public)
+            else:
+                created.append(self.add(name, dominates=[previous]))
+            previous = name
+        created.reverse()
+        return created
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get(self, privilege: object) -> Privilege:
+        """Resolve a name or :class:`Privilege` to the declared object."""
+        name = privilege.name if isinstance(privilege, Privilege) else str(privilege)
+        try:
+            return self._privileges[name]
+        except KeyError:
+            raise UnknownPrivilegeError(name) from None
+
+    def __contains__(self, privilege: object) -> bool:
+        name = privilege.name if isinstance(privilege, Privilege) else str(privilege)
+        return name in self._privileges
+
+    def privileges(self) -> List[Privilege]:
+        """All declared privileges, Public first, then insertion order."""
+        return list(self._privileges.values())
+
+    def names(self) -> List[str]:
+        """All declared privilege names."""
+        return list(self._privileges.keys())
+
+    # ------------------------------------------------------------------ #
+    # the partial order
+    # ------------------------------------------------------------------ #
+    def dominates(self, higher: object, lower: object) -> bool:
+        """Definition 2: ``higher`` dominates ``lower`` (reflexive, transitive)."""
+        higher_name = self.get(higher).name
+        lower_name = self.get(lower).name
+        if higher_name == lower_name:
+            return True
+        if lower_name == self.public.name:
+            return True
+        return lower_name in self._transitive_closure()[higher_name]
+
+    def strictly_dominates(self, higher: object, lower: object) -> bool:
+        """Dominates and is not the same predicate."""
+        return self.get(higher).name != self.get(lower).name and self.dominates(higher, lower)
+
+    def comparable(self, left: object, right: object) -> bool:
+        """True when one of the two predicates dominates the other."""
+        return self.dominates(left, right) or self.dominates(right, left)
+
+    def dominated_by(self, privilege: object) -> Set[Privilege]:
+        """Every predicate dominated by ``privilege`` (including itself and Public)."""
+        name = self.get(privilege).name
+        names = set(self._transitive_closure()[name]) | {name, self.public.name}
+        return {self._privileges[other] for other in names}
+
+    def dominators_of(self, privilege: object) -> Set[Privilege]:
+        """Every predicate that dominates ``privilege`` (including itself)."""
+        name = self.get(privilege).name
+        return {
+            self._privileges[candidate]
+            for candidate in self._privileges
+            if self.dominates(candidate, name)
+        }
+
+    def maximal(self, privileges: Iterable[object]) -> Set[Privilege]:
+        """The maximal elements (no other member strictly dominates them) of a set."""
+        resolved = [self.get(privilege) for privilege in privileges]
+        result: Set[Privilege] = set()
+        for candidate in resolved:
+            if not any(
+                self.strictly_dominates(other, candidate) for other in resolved if other != candidate
+            ):
+                result.add(candidate)
+        return result
+
+    def is_antichain(self, privileges: Iterable[object]) -> bool:
+        """True when no member of the set dominates another member."""
+        resolved = [self.get(privilege) for privilege in privileges]
+        for index, left in enumerate(resolved):
+            for right in resolved[index + 1 :]:
+                if left != right and (self.dominates(left, right) or self.dominates(right, left)):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _transitive_closure(self) -> Dict[str, FrozenSet[str]]:
+        if self._closure is None:
+            closure: Dict[str, Set[str]] = {name: set() for name in self._privileges}
+            for name in self._privileges:
+                frontier = list(self._direct_dominates[name])
+                seen: Set[str] = set()
+                while frontier:
+                    current = frontier.pop()
+                    if current in seen:
+                        continue
+                    seen.add(current)
+                    frontier.extend(self._direct_dominates[current])
+                closure[name] = seen
+            self._closure = {name: frozenset(values) for name, values in closure.items()}
+        return self._closure
+
+    def _check_acyclic(self) -> None:
+        closure = self._transitive_closure()
+        for name, dominated in closure.items():
+            if name in dominated:
+                raise CyclicDominanceError(
+                    f"privilege {name!r} transitively dominates itself; dominance must be a partial order"
+                )
+
+
+class HighWaterSet:
+    """The high-water set of a graph (Definition 6).
+
+    Given the ``lowest()`` privilege of each node, the high-water set is the
+    antichain of maximal lowest-privileges: no member dominates another,
+    every node's ``lowest`` is dominated by some member, and every member is
+    some node's ``lowest``.
+    """
+
+    def __init__(self, lattice: PrivilegeLattice, members: Iterable[Privilege]) -> None:
+        self.lattice = lattice
+        self.members: FrozenSet[Privilege] = frozenset(lattice.get(member) for member in members)
+        if not lattice.is_antichain(self.members):
+            # Normalise: keep only the maximal elements.
+            self.members = frozenset(lattice.maximal(self.members))
+
+    @classmethod
+    def of_nodes(
+        cls,
+        lattice: PrivilegeLattice,
+        node_lowest: Mapping[object, object],
+    ) -> "HighWaterSet":
+        """Compute the high-water set from a node → lowest-privilege mapping."""
+        lowests = {lattice.get(privilege) for privilege in node_lowest.values()}
+        if not lowests:
+            return cls(lattice, [lattice.public])
+        return cls(lattice, lattice.maximal(lowests))
+
+    def covers(self, privilege: object) -> bool:
+        """True when some member dominates ``privilege`` (Definition 6, clause 2)."""
+        return any(self.lattice.dominates(member, privilege) for member in self.members)
+
+    def dominated_by_consumer(self, consumer_privilege: object) -> bool:
+        """True when the consumer's privilege dominates every member.
+
+        A consumer can see the *whole* graph exactly when their credentials
+        dominate the conjunction of the high-water members.
+        """
+        return all(self.lattice.dominates(consumer_privilege, member) for member in self.members)
+
+    def names(self) -> Set[str]:
+        """Member names, for reporting."""
+        return {member.name for member in self.members}
+
+    def __iter__(self):
+        return iter(sorted(self.members, key=lambda privilege: privilege.name))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, privilege: object) -> bool:
+        return self.lattice.get(privilege) in self.members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HighWaterSet({sorted(self.names())})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HighWaterSet):
+            return NotImplemented
+        return self.members == other.members
+
+
+# --------------------------------------------------------------------------- #
+# Standard lattices used by the paper's examples
+# --------------------------------------------------------------------------- #
+def figure1_lattice() -> Tuple[PrivilegeLattice, Dict[str, Privilege]]:
+    """The privilege lattice of the paper's Figure 1(b).
+
+    ``Public`` < ``Low-2`` < {``High-1``, ``High-2``}, with High-1 and High-2
+    incomparable.  Returns the lattice and a name → privilege mapping.
+    """
+    lattice = PrivilegeLattice()
+    low2 = lattice.add("Low-2", dominates=["Public"], description="broader partner community")
+    high1 = lattice.add("High-1", dominates=[low2], description="first highly-trusted community")
+    high2 = lattice.add("High-2", dominates=[low2], description="second highly-trusted community")
+    return lattice, {
+        "Public": lattice.public,
+        "Low-2": low2,
+        "High-1": high1,
+        "High-2": high2,
+    }
+
+
+def appendix_lattice() -> Tuple[PrivilegeLattice, Dict[str, Privilege]]:
+    """The provenance-example lattice of the paper's Figure 11(b).
+
+    ``Public`` < ``Emergency Responder`` < ``Cleared Emergency Responder``;
+    ``Public`` < ``Medical Provider``; ``Public`` < ``National Security``,
+    with ``National Security`` and ``Cleared Emergency Responder`` sitting at
+    the top of their respective branches.
+    """
+    lattice = PrivilegeLattice()
+    responder = lattice.add("Emergency Responder", dominates=["Public"])
+    cleared = lattice.add("Cleared Emergency Responder", dominates=[responder])
+    medical = lattice.add("Medical Provider", dominates=["Public"])
+    national = lattice.add("National Security", dominates=[responder])
+    return lattice, {
+        "Public": lattice.public,
+        "Emergency Responder": responder,
+        "Cleared Emergency Responder": cleared,
+        "Medical Provider": medical,
+        "National Security": national,
+    }

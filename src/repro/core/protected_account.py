@@ -1,0 +1,147 @@
+"""The :class:`ProtectedAccount` result type (paper Definition 5).
+
+A protected account ``G' = (N', E')`` of ``G``:
+
+* every node of ``G'`` *corresponds* to a unique node of ``G`` — it is
+  either the original node (same features) or one of its surrogates,
+* every path between two nodes of ``G'`` has a matching path between the
+  corresponding nodes of ``G`` (no fabricated connectivity).
+
+Besides the graph itself, the account carries the correspondence map, the
+high-water privilege it was generated for, which nodes/edges are surrogates
+and which strategy produced it — everything the utility, opacity and
+validation modules need to compare the account against the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.privileges import Privilege
+from repro.exceptions import ProtectionError
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+
+@dataclass
+class ProtectedAccount:
+    """A protected account of an original graph.
+
+    Attributes
+    ----------
+    graph:
+        The released graph ``G'``.
+    correspondence:
+        Map from node id in ``G'`` to the corresponding node id in ``G``.
+        It must be injective (Definition 5's "unique node" clause).
+    privilege:
+        The privilege-predicate this account targets (the singleton
+        high-water set of Appendix B); ``None`` for accounts built without a
+        target class (e.g. ad-hoc transformations in tests).
+    surrogate_nodes:
+        Ids (in ``G'``) of nodes that are surrogates rather than originals.
+    surrogate_edges:
+        Edge keys (in ``G'``) of computed surrogate edges.
+    strategy:
+        Free-form label of the transformation that produced the account
+        ("surrogate", "hide", "naive", ...), used in experiment reports.
+    """
+
+    graph: PropertyGraph
+    correspondence: Dict[NodeId, NodeId]
+    privilege: Optional[Privilege] = None
+    surrogate_nodes: Set[NodeId] = field(default_factory=set)
+    surrogate_edges: Set[EdgeKey] = field(default_factory=set)
+    strategy: str = "custom"
+
+    def __post_init__(self) -> None:
+        missing = [node_id for node_id in self.graph.node_ids() if node_id not in self.correspondence]
+        if missing:
+            raise ProtectionError(
+                f"protected account graph contains nodes without a correspondence entry: {missing!r}"
+            )
+        originals = list(self.correspondence.values())
+        if len(set(originals)) != len(originals):
+            raise ProtectionError(
+                "protected account correspondence is not injective: two nodes of G' correspond "
+                "to the same node of G (violates Definition 5)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # correspondence queries
+    # ------------------------------------------------------------------ #
+    def original_of(self, account_node: NodeId) -> NodeId:
+        """The original node of ``G`` that ``account_node`` corresponds to."""
+        try:
+            return self.correspondence[account_node]
+        except KeyError:
+            raise ProtectionError(f"node {account_node!r} is not part of this protected account") from None
+
+    def account_node_of(self, original_node: NodeId) -> Optional[NodeId]:
+        """The ``G'`` node corresponding to ``original_node`` (or ``None``)."""
+        return self._reverse().get(original_node)
+
+    def represents(self, original_node: NodeId) -> bool:
+        """True when some ``G'`` node corresponds to ``original_node``."""
+        return original_node in self._reverse()
+
+    def represented_originals(self) -> Set[NodeId]:
+        """Every original node that has a corresponding node in this account."""
+        return set(self.correspondence.values())
+
+    def _reverse(self) -> Dict[NodeId, NodeId]:
+        return {original: account for account, original in self.correspondence.items()}
+
+    # ------------------------------------------------------------------ #
+    # surrogate queries
+    # ------------------------------------------------------------------ #
+    def is_surrogate_node(self, account_node: NodeId) -> bool:
+        """True when ``account_node`` is a surrogate (not the original node)."""
+        return account_node in self.surrogate_nodes
+
+    def is_surrogate_edge(self, source: NodeId, target: NodeId) -> bool:
+        """True when the ``G'`` edge is a computed surrogate edge."""
+        return (source, target) in self.surrogate_edges
+
+    def original_node_ids(self) -> List[NodeId]:
+        """Ids of ``G'`` nodes that are originals (not surrogates)."""
+        return [node_id for node_id in self.graph.node_ids() if node_id not in self.surrogate_nodes]
+
+    def visible_edge_keys(self) -> List[EdgeKey]:
+        """Edge keys of ``G'`` edges that were carried over directly from ``G``."""
+        return [key for key in self.graph.edge_keys() if key not in self.surrogate_edges]
+
+    # ------------------------------------------------------------------ #
+    # edge correspondence helpers (used by opacity)
+    # ------------------------------------------------------------------ #
+    def contains_original_edge(self, source: NodeId, target: NodeId) -> bool:
+        """True when the account shows an edge between the nodes corresponding to
+        the *original* nodes ``source`` and ``target`` (in that direction).
+
+        Both visible and surrogate edges count: either way, the account tells
+        the consumer the two nodes are directly linked.
+        """
+        account_source = self.account_node_of(source)
+        account_target = self.account_node_of(target)
+        if account_source is None or account_target is None:
+            return False
+        return self.graph.has_edge(account_source, account_target)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """A compact description used in experiment output and logs."""
+        return {
+            "strategy": self.strategy,
+            "privilege": self.privilege.name if self.privilege else None,
+            "nodes": self.graph.node_count(),
+            "original_nodes": len(self.original_node_ids()),
+            "surrogate_nodes": len(self.surrogate_nodes),
+            "edges": self.graph.edge_count(),
+            "surrogate_edges": len(self.surrogate_edges),
+        }
+
+    def pairs(self) -> FrozenSet[Tuple[NodeId, NodeId]]:
+        """All ordered (account node, original node) correspondence pairs."""
+        return frozenset(self.correspondence.items())

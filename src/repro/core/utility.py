@@ -1,0 +1,143 @@
+"""Utility measures (paper Section 4.1, Figure 3).
+
+Two measures compare a protected account ``G'`` with its original ``G``:
+
+* **Path Utility** — for each node ``n`` of ``G``, the *path percentage*
+  ``%P(n)`` is the number of nodes connected (by a path of any length,
+  ignoring direction) to ``n``'s corresponding node in ``G'`` divided by the
+  number of nodes connected to ``n`` in ``G``; a node with no corresponding
+  node contributes 0.  Path Utility is the average of ``%P`` over all nodes
+  of ``G``.
+* **Node Utility** — the average, over all nodes of ``G``, of the
+  ``infoScore`` of the corresponding account node (0 when there is none).
+  ``infoScore`` is 1 for an original node carried over unchanged; for
+  surrogates it is the provider-assigned score when present, otherwise the
+  completeness heuristic of
+  :func:`repro.graph.features.feature_overlap`.
+
+The worked example of the paper (Figure 1/3: the naive High-2 account has
+Path Utility 0.13 and Node Utility 6/11) is reproduced in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.protected_account import ProtectedAccount
+from repro.graph.features import feature_overlap, features_equal
+from repro.graph.model import NodeId, PropertyGraph
+from repro.graph.traversal import weakly_reachable
+
+
+def path_percentage(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    node_id: NodeId,
+) -> float:
+    """``%P(n)`` for one original node (0.0 when the node is not represented).
+
+    An original node that is connected to nothing (an isolated node of
+    ``G``) has nothing to lose: its percentage is defined as 1.0 when it is
+    represented in the account and 0.0 otherwise.
+    """
+    account_node = account.account_node_of(node_id)
+    if account_node is None:
+        return 0.0
+    original_connected = len(weakly_reachable(original, node_id))
+    if original_connected == 0:
+        return 1.0
+    account_connected = len(weakly_reachable(account.graph, account_node))
+    return account_connected / original_connected
+
+
+def path_percentages(original: PropertyGraph, account: ProtectedAccount) -> Dict[NodeId, float]:
+    """``%P`` for every node of the original graph."""
+    return {node_id: path_percentage(original, account, node_id) for node_id in original.node_ids()}
+
+
+def path_utility(original: PropertyGraph, account: ProtectedAccount) -> float:
+    """The Path Utility Measure (Figure 3a): average ``%P`` over all nodes of ``G``."""
+    if original.node_count() == 0:
+        return 1.0
+    percentages = path_percentages(original, account)
+    return sum(percentages.values()) / original.node_count()
+
+
+def info_score(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    account_node: NodeId,
+    *,
+    explicit_scores: Optional[Dict[NodeId, float]] = None,
+) -> float:
+    """``infoScore`` of one account node relative to its original.
+
+    Original nodes (``n' = n``) always score 1.  Surrogates use, in order of
+    preference: an explicit score supplied via ``explicit_scores`` (keyed by
+    account node id), or the completeness heuristic comparing the
+    surrogate's features with the original's.
+    """
+    original_id = account.original_of(account_node)
+    if explicit_scores and account_node in explicit_scores:
+        return max(0.0, min(1.0, explicit_scores[account_node]))
+    account_features = account.graph.node(account_node).features
+    original_features = original.node(original_id).features
+    if not account.is_surrogate_node(account_node) and features_equal(account_features, original_features):
+        return 1.0
+    return feature_overlap(original_features, account_features)
+
+
+def node_utility(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    *,
+    explicit_scores: Optional[Dict[NodeId, float]] = None,
+) -> float:
+    """The Node Utility Measure (Figure 3c).
+
+    Sum of ``infoScore`` over the account's nodes divided by the number of
+    nodes of the original graph, so unrepresented originals drag the average
+    down — the all-or-nothing account of Figure 1(c) scores exactly
+    ``|N'| / |N|``.
+    """
+    if original.node_count() == 0:
+        return 1.0
+    total = sum(
+        info_score(original, account, account_node, explicit_scores=explicit_scores)
+        for account_node in account.graph.node_ids()
+    )
+    return total / original.node_count()
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Both utility measures for one account, plus the per-node breakdown."""
+
+    path_utility: float
+    node_utility: float
+    path_percentages: Dict[NodeId, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path_utility": round(self.path_utility, 6),
+            "node_utility": round(self.node_utility, 6),
+        }
+
+
+def utility_report(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    *,
+    explicit_scores: Optional[Dict[NodeId, float]] = None,
+) -> UtilityReport:
+    """Compute both measures at once (shared by the experiment drivers)."""
+    percentages = path_percentages(original, account)
+    path_value = (
+        sum(percentages.values()) / original.node_count() if original.node_count() else 1.0
+    )
+    return UtilityReport(
+        path_utility=path_value,
+        node_utility=node_utility(original, account, explicit_scores=explicit_scores),
+        path_percentages=percentages,
+    )

@@ -1,0 +1,202 @@
+"""Validation of protected accounts against the paper's formal properties.
+
+Two levels of checking are provided:
+
+* :func:`validate_protected_account` — Definition 5 soundness: every account
+  node corresponds to a unique original node (original nodes keep their
+  features), and the account never asserts connectivity that the original
+  graph does not have.
+* :func:`validate_maximally_informative` — Definition 9's three properties
+  (maximal node visibility, dominant surrogacy, maximal connectivity), which
+  by Lemmas 1–2 / Theorem 1 are exactly what makes the generated account's
+  utility maximal for its node set and high-water mark.
+
+Both return a :class:`ValidationReport`; ``strict=True`` raises
+:class:`~repro.exceptions.ValidationError` on the first failure instead.
+The property-based test suite drives these checks over randomly generated
+graphs, markings and surrogate registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.permitted import hw_permitted_pairs
+from repro.core.policy import ReleasePolicy
+from repro.core.protected_account import ProtectedAccount
+from repro.exceptions import ValidationError
+from repro.graph.features import features_equal
+from repro.graph.model import NodeId, PropertyGraph
+from repro.graph.paths import single_source_shortest_lengths
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass: a list of human-readable violations."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was recorded."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValidationError` listing every violation."""
+        if not self.ok:
+            raise ValidationError("; ".join(self.violations))
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_protected_account(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    *,
+    strict: bool = False,
+) -> ValidationReport:
+    """Check Definition 5: correspondence and path soundness."""
+    report = ValidationReport()
+
+    # Every account node corresponds to an existing original node; original
+    # (non-surrogate) nodes must be feature-identical to their originals.
+    for account_node in account.graph.nodes():
+        original_id = account.correspondence.get(account_node.node_id)
+        if original_id is None:
+            report.add(f"account node {account_node.node_id!r} has no correspondence entry")
+            continue
+        if not original.has_node(original_id):
+            report.add(
+                f"account node {account_node.node_id!r} corresponds to {original_id!r}, "
+                "which is not in the original graph"
+            )
+            continue
+        if not account.is_surrogate_node(account_node.node_id):
+            original_node = original.node(original_id)
+            if not features_equal(account_node.features, original_node.features):
+                report.add(
+                    f"node {account_node.node_id!r} claims to be the original {original_id!r} "
+                    "but its features differ (Definition 4 requires n' = n)"
+                )
+
+    # Injectivity is enforced by ProtectedAccount itself, but re-check in case
+    # the correspondence dict was mutated after construction.
+    originals = list(account.correspondence.values())
+    if len(set(originals)) != len(originals):
+        report.add("correspondence is not injective (two account nodes share one original)")
+
+    # Path soundness: reachability in the account implies reachability in the
+    # original between the corresponding nodes.
+    for account_source in account.graph.node_ids():
+        reachable = single_source_shortest_lengths(account.graph, account_source)
+        if len(reachable) <= 1:
+            continue
+        original_source = account.correspondence.get(account_source)
+        if original_source is None or not original.has_node(original_source):
+            continue
+        original_reachable = set(single_source_shortest_lengths(original, original_source))
+        for account_target in reachable:
+            if account_target == account_source:
+                continue
+            original_target = account.correspondence.get(account_target)
+            if original_target is None:
+                continue
+            if original_target not in original_reachable:
+                report.add(
+                    f"account asserts a path {account_source!r} -> {account_target!r} but the "
+                    f"original graph has no path {original_source!r} -> {original_target!r} "
+                    "(violates Definition 5)"
+                )
+
+    if strict:
+        report.raise_if_failed()
+    return report
+
+
+def validate_maximally_informative(
+    original: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: object,
+    account: ProtectedAccount,
+    *,
+    strict: bool = False,
+) -> ValidationReport:
+    """Check the three properties of Definition 9 for one account."""
+    report = ValidationReport()
+    privilege = policy.lattice.get(privilege)
+
+    # Property 1 — maximal node visibility.
+    for node_id in original.node_ids():
+        if policy.visible(node_id, privilege):
+            account_node = account.account_node_of(node_id)
+            if account_node is None:
+                report.add(
+                    f"node {node_id!r} is visible via {privilege.name!r} but is missing from the "
+                    "account (violates maximal node visibility)"
+                )
+            elif account.is_surrogate_node(account_node):
+                report.add(
+                    f"node {node_id!r} is visible via {privilege.name!r} but is represented by a "
+                    "surrogate (violates maximal node visibility)"
+                )
+
+    # Property 2 — dominant surrogacy.
+    for node_id in original.node_ids():
+        if policy.visible(node_id, privilege):
+            continue
+        account_node = account.account_node_of(node_id)
+        if account_node is None or not account.is_surrogate_node(account_node):
+            continue
+        chosen = _surrogate_of_account_node(policy, node_id, account_node)
+        if chosen is None:
+            continue  # auto-generated null surrogate: nothing registered to compare with
+        for candidate in policy.surrogates.visible_surrogates(node_id, privilege):
+            if policy.lattice.strictly_dominates(candidate.lowest, chosen.lowest):
+                report.add(
+                    f"node {node_id!r} is represented by surrogate {chosen.surrogate_id!r} "
+                    f"(lowest={chosen.lowest.name}) although surrogate {candidate.surrogate_id!r} "
+                    f"(lowest={candidate.lowest.name}) is visible and more dominant "
+                    "(violates dominant surrogacy)"
+                )
+
+    # Property 3 — maximal connectivity.
+    represented: Set[NodeId] = account.represented_originals()
+    permitted: Set[Tuple[NodeId, NodeId]] = hw_permitted_pairs(
+        original, policy.markings, privilege, nodes=represented
+    )
+    reachability_cache = {}
+    for source, target in sorted(permitted, key=lambda pair: (repr(pair[0]), repr(pair[1]))):
+        account_source = account.account_node_of(source)
+        account_target = account.account_node_of(target)
+        if account_source is None or account_target is None:
+            continue
+        if account_source not in reachability_cache:
+            reachability_cache[account_source] = set(
+                single_source_shortest_lengths(account.graph, account_source)
+            )
+        if account_target not in reachability_cache[account_source]:
+            report.add(
+                f"original nodes {source!r} and {target!r} are joined by an HW-permitted path "
+                f"but the account has no path {account_source!r} -> {account_target!r} "
+                "(violates maximal connectivity)"
+            )
+
+    if strict:
+        report.raise_if_failed()
+    return report
+
+
+def _surrogate_of_account_node(
+    policy: ReleasePolicy, original_id: NodeId, account_node: NodeId
+):
+    """Find the registered surrogate object matching an account node id, if any."""
+    for candidate in policy.surrogates.surrogates_for(original_id):
+        if candidate.surrogate_id == account_node:
+            return candidate
+    return None

@@ -1,0 +1,104 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+Keeping all exceptions in one module lets callers catch
+:class:`ReproError` to handle any library failure, or a specific subclass
+for targeted recovery, without importing implementation modules.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Base class for property-graph errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced but is not present in the graph."""
+
+    def __init__(self, node_id):
+        super().__init__(f"node {node_id!r} is not in the graph")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced but is not present in the graph."""
+
+    def __init__(self, source, target):
+        super().__init__(f"edge ({source!r} -> {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node id was added twice with conflicting definitions."""
+
+    def __init__(self, node_id):
+        super().__init__(f"node {node_id!r} already exists")
+        self.node_id = node_id
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was added twice with conflicting definitions."""
+
+    def __init__(self, source, target):
+        super().__init__(f"edge ({source!r} -> {target!r}) already exists")
+        self.source = source
+        self.target = target
+
+
+class PrivilegeError(ReproError):
+    """Base class for privilege-lattice errors."""
+
+
+class UnknownPrivilegeError(PrivilegeError, KeyError):
+    """A privilege name was referenced but never declared in the lattice."""
+
+    def __init__(self, name):
+        super().__init__(f"privilege {name!r} is not declared in the lattice")
+        self.name = name
+
+
+class CyclicDominanceError(PrivilegeError, ValueError):
+    """The declared dominance relation contains a cycle, so it is not a partial order."""
+
+
+class PolicyError(ReproError):
+    """A release policy (surrogate registry or marking policy) is inconsistent."""
+
+
+class SurrogateError(PolicyError):
+    """A surrogate definition violates the paper's constraints (Section 3.1)."""
+
+
+class ProtectionError(ReproError):
+    """Protected-account generation failed or produced an invalid account."""
+
+
+class ValidationError(ProtectionError):
+    """A protected account violates Definition 5 or Definition 9."""
+
+
+class StoreError(ReproError):
+    """Base class for embedded graph-store errors."""
+
+
+class TransactionError(StoreError):
+    """A transaction was used after commit/rollback or violated store invariants."""
+
+
+class CatalogError(StoreError, KeyError):
+    """A named graph was not found in (or conflicts with) the store catalog."""
+
+
+class ProvenanceError(ReproError):
+    """Errors raised by the PLUS-style provenance substrate."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given inconsistent parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured incorrectly."""

@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Each driver exposes a ``run(...)`` function returning plain dataclasses that
+the benchmark harness, the CLI and EXPERIMENTS.md all share.  Nothing here
+plots; the drivers print the same rows/series the paper reports.
+
+========  =======================================  =============================
+Driver    Paper artifact                           What it reports
+========  =======================================  =============================
+table1    Table 1 + Figures 2/3                    path utility and opacity of the
+                                                   naive account and accounts (a)–(d)
+figure7   Figure 7 (motifs)                        Surrogate−Hide differences per motif
+figure8   Figure 8 (synthetic)                     best utility achievable per opacity bin
+figure9   Figure 9 (synthetic)                     Surrogate−Hide differences vs
+                                                   connectivity and protection level
+figure10  Figure 10 (performance)                  per-phase wall-clock times
+========  =======================================  =============================
+"""
+
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.figure7 import Figure7Result, MotifComparison, run_figure7
+from repro.experiments.sweep import SweepRecord, run_synthetic_sweep
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.figure10 import Figure10Result, run_figure10
+from repro.experiments.runner import ExperimentSuiteResult, run_all
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "run_figure7",
+    "Figure7Result",
+    "MotifComparison",
+    "run_synthetic_sweep",
+    "SweepRecord",
+    "run_figure8",
+    "Figure8Result",
+    "run_figure9",
+    "Figure9Result",
+    "run_figure10",
+    "Figure10Result",
+    "run_all",
+    "ExperimentSuiteResult",
+]

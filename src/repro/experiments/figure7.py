@@ -1,0 +1,102 @@
+"""E3 — Figure 7: surrogating vs hiding on the classic motifs.
+
+For every motif of Figure 6 the designated edge is protected once by hiding
+and once by surrogating (all nodes stay public — the paper's motif study
+isolates *edge* protection).  The driver reports each strategy's Path
+Utility and the opacity of the protected edge, plus the differences
+``Surrogate − Hide`` that Figure 7 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.generation import ProtectionEngine
+from repro.core.opacity import AdvancedAdversary, AttackerModel, opacity
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice
+from repro.core.utility import path_utility
+from repro.experiments.reporting import format_table
+from repro.workloads.motifs import Motif, all_motifs
+
+
+@dataclass
+class MotifComparison:
+    """Hide vs surrogate measurements for one motif."""
+
+    motif: str
+    utility_hide: float
+    utility_surrogate: float
+    opacity_hide: float
+    opacity_surrogate: float
+
+    @property
+    def utility_difference(self) -> float:
+        return self.utility_surrogate - self.utility_hide
+
+    @property
+    def opacity_difference(self) -> float:
+        return self.opacity_surrogate - self.opacity_hide
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "motif": self.motif,
+            "utility_hide": round(self.utility_hide, 3),
+            "utility_surrogate": round(self.utility_surrogate, 3),
+            "utility_diff": round(self.utility_difference, 3),
+            "opacity_hide": round(self.opacity_hide, 3),
+            "opacity_surrogate": round(self.opacity_surrogate, 3),
+            "opacity_diff": round(self.opacity_difference, 3),
+        }
+
+
+@dataclass
+class Figure7Result:
+    """All motif comparisons (the bars of Figure 7)."""
+
+    comparisons: List[MotifComparison] = field(default_factory=list)
+
+    def by_motif(self) -> Dict[str, MotifComparison]:
+        return {comparison.motif: comparison for comparison in self.comparisons}
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [comparison.as_dict() for comparison in self.comparisons]
+
+    def render(self) -> str:
+        return format_table(
+            self.as_rows(),
+            title="Figure 7 — Surrogate vs Hide on the classic motifs (differences = Surrogate - Hide)",
+        )
+
+
+def compare_motif(
+    motif: Motif,
+    *,
+    adversary: Optional[AttackerModel] = None,
+) -> MotifComparison:
+    """Protect one motif's designated edge both ways and measure the outcome."""
+    adversary = adversary if adversary is not None else AdvancedAdversary()
+    policy = ReleasePolicy(PrivilegeLattice())
+    engine = ProtectionEngine(policy)
+    public = policy.lattice.public
+    accounts = engine.compare_strategies(motif.graph, [motif.protected_edge], public)
+    hide_account = accounts[STRATEGY_HIDE]
+    surrogate_account = accounts[STRATEGY_SURROGATE]
+    return MotifComparison(
+        motif=motif.name,
+        utility_hide=path_utility(motif.graph, hide_account),
+        utility_surrogate=path_utility(motif.graph, surrogate_account),
+        opacity_hide=opacity(motif.graph, hide_account, motif.protected_edge, adversary=adversary),
+        opacity_surrogate=opacity(
+            motif.graph, surrogate_account, motif.protected_edge, adversary=adversary
+        ),
+    )
+
+
+def run_figure7(*, adversary: Optional[AttackerModel] = None) -> Figure7Result:
+    """Reproduce Figure 7 over every motif of Figure 6."""
+    result = Figure7Result()
+    for motif in all_motifs():
+        result.comparisons.append(compare_motif(motif, adversary=adversary))
+    return result

@@ -1,0 +1,93 @@
+"""E4 — Figure 8: the best utility achievable at a given opacity.
+
+The paper's Figure 8 scatters utility against opacity for both strategies
+over the synthetic family and reads off the frontier: at any required
+opacity level, the best surrogate account is at least as useful as the best
+hide account.  This driver bins opacity and reports the maximum utility per
+bin and per strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.opacity import AttackerModel
+from repro.experiments.reporting import format_table
+from repro.experiments.sweep import SweepRecord, run_synthetic_sweep
+from repro.workloads.synthetic import SyntheticInstance
+
+#: Default opacity bin edges (inclusive lower bound of each bin).
+DEFAULT_BINS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0)
+
+
+@dataclass
+class Figure8Result:
+    """Frontier points: per opacity bin, the best utility per strategy."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+    bins: Tuple[float, ...] = DEFAULT_BINS
+    frontier: Dict[float, Dict[str, Optional[float]]] = field(default_factory=dict)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for lower, values in sorted(self.frontier.items()):
+            rows.append(
+                {
+                    "opacity_at_least": lower,
+                    "max_utility_hide": _round(values.get("hide")),
+                    "max_utility_surrogate": _round(values.get("surrogate")),
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            self.as_rows(),
+            title="Figure 8 — maximum utility achievable at a given opacity (hide vs surrogate)",
+        )
+
+    def surrogate_dominates(self, *, tolerance: float = 1e-9) -> bool:
+        """True when, in every bin where both strategies reach the opacity level,
+        the best surrogate utility is at least the best hide utility."""
+        for values in self.frontier.values():
+            hide = values.get("hide")
+            surrogate = values.get("surrogate")
+            if hide is None or surrogate is None:
+                continue
+            if surrogate + tolerance < hide:
+                return False
+        return True
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 4)
+
+
+def run_figure8(
+    *,
+    quick: bool = True,
+    seed: int = 2011,
+    instances: Optional[Sequence[SyntheticInstance]] = None,
+    records: Optional[Sequence[SweepRecord]] = None,
+    bins: Tuple[float, ...] = DEFAULT_BINS,
+    adversary: Optional[AttackerModel] = None,
+) -> Figure8Result:
+    """Reproduce Figure 8; ``records`` may be shared with a Figure-9 run."""
+    if records is None:
+        records = run_synthetic_sweep(instances, quick=quick, seed=seed, adversary=adversary)
+    result = Figure8Result(records=list(records), bins=tuple(bins))
+    for lower in bins:
+        best_hide: Optional[float] = None
+        best_surrogate: Optional[float] = None
+        for record in records:
+            if record.opacity_hide >= lower:
+                best_hide = record.utility_hide if best_hide is None else max(best_hide, record.utility_hide)
+            if record.opacity_surrogate >= lower:
+                best_surrogate = (
+                    record.utility_surrogate
+                    if best_surrogate is None
+                    else max(best_surrogate, record.utility_surrogate)
+                )
+        result.frontier[lower] = {"hide": best_hide, "surrogate": best_surrogate}
+    return result

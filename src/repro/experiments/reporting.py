@@ -1,0 +1,71 @@
+"""Plain-text table formatting shared by the experiment drivers and the CLI."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: Any, *, decimals: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    decimals: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of row dicts as an aligned text table."""
+    rows = list(rows)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    rendered_rows: List[List[str]] = [
+        [format_value(row.get(column, ""), decimals=decimals) for column in columns] for row in rows
+    ]
+    headers = [str(column) for column in columns]
+    widths = [
+        max(len(headers[index]), *(len(rendered[index]) for rendered in rendered_rows))
+        if rendered_rows
+        else len(headers[index])
+        for index in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    decimals: int = 3,
+) -> str:
+    """Format rows as a GitHub-flavoured markdown table (used for EXPERIMENTS.md)."""
+    rows = list(rows)
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    headers = [str(column) for column in columns]
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        cells = [format_value(row.get(column, ""), decimals=decimals) for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

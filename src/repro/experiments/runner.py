@@ -1,0 +1,92 @@
+"""Run every experiment and render a combined report.
+
+``run_all`` is what the CLI's ``repro-surrogate all`` command and the
+EXPERIMENTS.md generator use; each experiment can also be run on its own via
+its driver module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.opacity import AttackerModel
+from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.figure10 import Figure10Result, run_figure10
+from repro.experiments.reporting import format_markdown_table
+from repro.experiments.table1 import Table1Result, run_table1
+
+
+@dataclass
+class ExperimentSuiteResult:
+    """Results of every experiment driver, ready for rendering."""
+
+    table1: Table1Result
+    figure7: Figure7Result
+    figure8: Figure8Result
+    figure9: Figure9Result
+    figure10: Figure10Result
+    quick: bool = True
+
+    def render(self) -> str:
+        """Human-readable text report covering every table and figure."""
+        parts = [
+            self.table1.render(),
+            "",
+            self.figure7.render(),
+            "",
+            self.figure8.render(),
+            "",
+            self.figure9.render(),
+            "",
+            self.figure10.render(),
+        ]
+        return "\n".join(parts)
+
+    def render_markdown(self) -> str:
+        """Markdown report (the body of EXPERIMENTS.md's measured sections)."""
+        scale_note = (
+            "reduced (quick) synthetic family" if self.quick else "full 50-graph, 200-node synthetic family"
+        )
+        sections = [
+            "## Table 1 / Figures 2-3 — running example",
+            format_markdown_table(self.table1.as_rows()),
+            "",
+            "## Figure 7 — motifs (Surrogate - Hide)",
+            format_markdown_table(self.figure7.as_rows()),
+            "",
+            f"## Figure 8 — utility vs opacity frontier ({scale_note})",
+            format_markdown_table(self.figure8.as_rows()),
+            "",
+            f"## Figure 9 — differences by protection level ({scale_note})",
+            format_markdown_table(self.figure9.by_protection.as_rows()),
+            "",
+            "## Figure 9 — differences by connectivity",
+            format_markdown_table(self.figure9.by_connectivity.as_rows()),
+            "",
+            "## Figure 10 — performance (milliseconds)",
+            format_markdown_table(self.figure10.as_rows()),
+        ]
+        return "\n".join(sections)
+
+
+def run_all(
+    *,
+    quick: bool = True,
+    seed: int = 2011,
+    figure10_nodes: int = 200,
+    adversary: Optional[AttackerModel] = None,
+) -> ExperimentSuiteResult:
+    """Run every experiment (quick synthetic family by default)."""
+    figure9 = run_figure9(quick=quick, seed=seed, adversary=adversary)
+    figure8 = run_figure8(records=figure9.records, adversary=adversary)
+    return ExperimentSuiteResult(
+        table1=run_table1(),
+        figure7=run_figure7(adversary=adversary),
+        figure8=figure8,
+        figure9=figure9,
+        figure10=run_figure10(node_count=figure10_nodes, seed=seed),
+        quick=quick,
+    )

@@ -1,0 +1,148 @@
+"""The synthetic-graph sweep shared by Figures 8 and 9.
+
+For every synthetic instance (a graph plus its sample of protected edges)
+both protection strategies are applied and the resulting accounts are scored
+for Path Utility and for average opacity over the protected edges.  The
+sweep records are then aggregated differently by the Figure-8 and Figure-9
+drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.generation import ProtectionEngine
+from repro.core.opacity import AdvancedAdversary, AttackerModel, average_opacity
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice
+from repro.core.utility import path_utility
+from repro.workloads.synthetic import (
+    DEFAULT_CONNECTIVITY_TARGETS,
+    DEFAULT_PROTECT_FRACTIONS,
+    SyntheticInstance,
+    synthetic_family,
+)
+
+#: Reduced sweep parameters used when ``quick=True`` (benchmarks, CI).
+QUICK_NODE_COUNT = 80
+QUICK_CONNECTIVITY_TARGETS = (10, 20, 30)
+QUICK_PROTECT_FRACTIONS = (0.1, 0.5, 0.9)
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """Hide vs surrogate measurements for one synthetic instance."""
+
+    label: str
+    nodes: int
+    edges: int
+    connected_pairs: float
+    protect_fraction: float
+    protected_edges: int
+    utility_hide: float
+    utility_surrogate: float
+    opacity_hide: float
+    opacity_surrogate: float
+
+    @property
+    def utility_difference(self) -> float:
+        return self.utility_surrogate - self.utility_hide
+
+    @property
+    def opacity_difference(self) -> float:
+        return self.opacity_surrogate - self.opacity_hide
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "connected_pairs": round(self.connected_pairs, 1),
+            "protect_fraction": self.protect_fraction,
+            "protected_edges": self.protected_edges,
+            "utility_hide": round(self.utility_hide, 3),
+            "utility_surrogate": round(self.utility_surrogate, 3),
+            "utility_diff": round(self.utility_difference, 3),
+            "opacity_hide": round(self.opacity_hide, 3),
+            "opacity_surrogate": round(self.opacity_surrogate, 3),
+            "opacity_diff": round(self.opacity_difference, 3),
+        }
+
+
+def measure_instance(
+    instance: SyntheticInstance,
+    *,
+    adversary: Optional[AttackerModel] = None,
+) -> SweepRecord:
+    """Apply both strategies to one instance and score the accounts."""
+    adversary = adversary if adversary is not None else AdvancedAdversary()
+    policy = ReleasePolicy(PrivilegeLattice())
+    engine = ProtectionEngine(policy)
+    public = policy.lattice.public
+    accounts = engine.compare_strategies(instance.graph, instance.protected_edges, public)
+    hide_account = accounts[STRATEGY_HIDE]
+    surrogate_account = accounts[STRATEGY_SURROGATE]
+    return SweepRecord(
+        label=instance.spec.label(),
+        nodes=instance.graph.node_count(),
+        edges=instance.graph.edge_count(),
+        connected_pairs=instance.achieved_connected_pairs,
+        protect_fraction=instance.protect_fraction,
+        protected_edges=len(instance.protected_edges),
+        utility_hide=path_utility(instance.graph, hide_account),
+        utility_surrogate=path_utility(instance.graph, surrogate_account),
+        opacity_hide=average_opacity(
+            instance.graph, hide_account, instance.protected_edges, adversary=adversary
+        ),
+        opacity_surrogate=average_opacity(
+            instance.graph, surrogate_account, instance.protected_edges, adversary=adversary
+        ),
+    )
+
+
+def run_synthetic_sweep(
+    instances: Optional[Iterable[SyntheticInstance]] = None,
+    *,
+    quick: bool = True,
+    seed: int = 2011,
+    adversary: Optional[AttackerModel] = None,
+) -> List[SweepRecord]:
+    """Measure every instance of the synthetic family.
+
+    Without an explicit ``instances`` sequence the family is generated here:
+    the reduced ``quick`` family by default, or the paper's full 50-graph /
+    200-node family with ``quick=False``.
+    """
+    if instances is None:
+        if quick:
+            instances = synthetic_family(
+                node_count=QUICK_NODE_COUNT,
+                connectivity_targets=QUICK_CONNECTIVITY_TARGETS,
+                protect_fractions=QUICK_PROTECT_FRACTIONS,
+                seed=seed,
+            )
+        else:
+            instances = synthetic_family(
+                connectivity_targets=DEFAULT_CONNECTIVITY_TARGETS,
+                protect_fractions=DEFAULT_PROTECT_FRACTIONS,
+                seed=seed,
+            )
+    return [measure_instance(instance, adversary=adversary) for instance in instances]
+
+
+def group_by_protection(records: Sequence[SweepRecord]) -> Dict[float, List[SweepRecord]]:
+    """Group sweep records by their protection fraction."""
+    groups: Dict[float, List[SweepRecord]] = {}
+    for record in records:
+        groups.setdefault(record.protect_fraction, []).append(record)
+    return dict(sorted(groups.items()))
+
+
+def group_by_connectivity(
+    records: Sequence[SweepRecord], *, bucket_size: float = 20.0
+) -> Dict[float, List[SweepRecord]]:
+    """Group sweep records by buckets of achieved connected pairs."""
+    groups: Dict[float, List[SweepRecord]] = {}
+    for record in records:
+        bucket = bucket_size * round(record.connected_pairs / bucket_size)
+        groups.setdefault(bucket, []).append(record)
+    return dict(sorted(groups.items()))

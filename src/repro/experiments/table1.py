@@ -1,0 +1,111 @@
+"""E1/E2 — Table 1, Figure 2 and Figure 3 of the paper.
+
+The driver rebuilds the running example (Figure 1), generates the naive
+High-2 account and the four protected accounts of Figure 2, and reports each
+one's Path Utility, Node Utility and the opacity of the sensitive edge
+``f -> g`` next to the values printed in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.generation import generate_protected_account
+from repro.core.hiding import naive_protected_account
+from repro.core.opacity import AdvancedAdversary, opacity
+from repro.core.utility import node_utility, path_utility
+from repro.experiments.reporting import format_table
+from repro.workloads.social import SENSITIVE_EDGE, figure1_example, figure2_variant
+
+#: The paper's reported values (Table 1 and the Figure 3 worked example).
+PAPER_PATH_UTILITY = {"naive": 0.13, "a": 0.38, "b": 0.27, "c": 0.13, "d": 0.27}
+PAPER_OPACITY = {"a": 0.0, "b": 1.0, "c": 0.882, "d": 0.948}
+PAPER_NODE_UTILITY_NAIVE = 6 / 11
+
+
+@dataclass
+class Table1Row:
+    """One account's measurements next to the paper's values."""
+
+    account: str
+    description: str
+    path_utility: float
+    node_utility: float
+    opacity_fg: float
+    paper_path_utility: float
+    paper_opacity_fg: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "account": self.account,
+            "description": self.description,
+            "path_utility": round(self.path_utility, 3),
+            "paper_path_utility": self.paper_path_utility,
+            "node_utility": round(self.node_utility, 3),
+            "opacity(f->g)": round(self.opacity_fg, 3),
+            "paper_opacity(f->g)": self.paper_opacity_fg,
+        }
+
+
+@dataclass
+class Table1Result:
+    """All rows of the reproduced Table 1 (plus the naive baseline)."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def row(self, account: str) -> Table1Row:
+        for candidate in self.rows:
+            if candidate.account == account:
+                return candidate
+        raise KeyError(account)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.as_rows(), title="Table 1 — utility and opacity of Figure 2's accounts")
+
+
+_DESCRIPTIONS = {
+    "naive": "Figure 1(c): drop every non-visible node and its edges",
+    "a": "surrogate node f' with visible edges",
+    "b": "hidden node f with surrogate edge c->g",
+    "c": "surrogate node f' with hidden edges",
+    "d": "surrogate node f' with surrogate edge c->g",
+}
+
+
+def run_table1(*, adversary: AdvancedAdversary = AdvancedAdversary()) -> Table1Result:
+    """Reproduce Table 1 (and the Figure 3 utilities) of the paper."""
+    result = Table1Result()
+
+    naive_example = figure1_example()
+    naive = naive_protected_account(naive_example.graph, naive_example.policy, naive_example.high2)
+    result.rows.append(
+        Table1Row(
+            account="naive",
+            description=_DESCRIPTIONS["naive"],
+            path_utility=path_utility(naive_example.graph, naive),
+            node_utility=node_utility(naive_example.graph, naive),
+            opacity_fg=opacity(naive_example.graph, naive, SENSITIVE_EDGE, adversary=adversary),
+            paper_path_utility=PAPER_PATH_UTILITY["naive"],
+            paper_opacity_fg=1.0,
+        )
+    )
+
+    for variant in ("a", "b", "c", "d"):
+        example = figure2_variant(variant)
+        account = generate_protected_account(example.graph, example.policy, example.high2)
+        result.rows.append(
+            Table1Row(
+                account=variant,
+                description=_DESCRIPTIONS[variant],
+                path_utility=path_utility(example.graph, account),
+                node_utility=node_utility(example.graph, account),
+                opacity_fg=opacity(example.graph, account, SENSITIVE_EDGE, adversary=adversary),
+                paper_path_utility=PAPER_PATH_UTILITY[variant],
+                paper_opacity_fg=PAPER_OPACITY[variant],
+            )
+        )
+    return result

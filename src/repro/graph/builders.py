@@ -1,0 +1,147 @@
+"""Fluent construction helpers for :class:`~repro.graph.model.PropertyGraph`.
+
+Workload generators, tests and examples all build many small graphs; the
+helpers here keep that construction declarative and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.graph.model import Edge, Node, NodeId, PropertyGraph
+
+EdgeSpec = Union[Tuple[NodeId, NodeId], Tuple[NodeId, NodeId, str]]
+
+
+class GraphBuilder:
+    """Chainable builder for property graphs.
+
+    Example
+    -------
+    >>> graph = (
+    ...     GraphBuilder("triangle")
+    ...     .node("a", kind="person")
+    ...     .node("b")
+    ...     .node("c")
+    ...     .edge("a", "b")
+    ...     .edge("b", "c")
+    ...     .edge("a", "c")
+    ...     .build()
+    ... )
+    >>> graph.edge_count()
+    3
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._graph = PropertyGraph(name=name)
+
+    def node(
+        self,
+        node_id: NodeId,
+        *,
+        kind: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> "GraphBuilder":
+        """Add one node (idempotent only if the node does not already exist)."""
+        self._graph.add_node(node_id, kind=kind, features=features)
+        return self
+
+    def nodes(self, node_ids: Iterable[NodeId], *, kind: Optional[str] = None) -> "GraphBuilder":
+        """Add many featureless nodes of one kind."""
+        for node_id in node_ids:
+            self._graph.add_node(node_id, kind=kind)
+        return self
+
+    def edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        *,
+        label: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> "GraphBuilder":
+        """Add one directed edge, creating missing endpoints on the fly."""
+        self._graph.add_edge(source, target, label=label, features=features, create_nodes=True)
+        return self
+
+    def edges(self, specs: Iterable[EdgeSpec]) -> "GraphBuilder":
+        """Add many edges from ``(source, target)`` or ``(source, target, label)`` tuples."""
+        for spec in specs:
+            if len(spec) == 2:
+                source, target = spec  # type: ignore[misc]
+                label = None
+            else:
+                source, target, label = spec  # type: ignore[misc]
+            self.edge(source, target, label=label)
+        return self
+
+    def chain(self, node_ids: Sequence[NodeId], *, label: Optional[str] = None) -> "GraphBuilder":
+        """Add the path ``node_ids[0] -> node_ids[1] -> ...``."""
+        for source, target in zip(node_ids, node_ids[1:]):
+            self.edge(source, target, label=label)
+        return self
+
+    def star(self, center: NodeId, leaves: Sequence[NodeId], *, outward: bool = True) -> "GraphBuilder":
+        """Add a star: edges from ``center`` to each leaf (or inward when ``outward=False``)."""
+        for leaf in leaves:
+            if outward:
+                self.edge(center, leaf)
+            else:
+                self.edge(leaf, center)
+        return self
+
+    def build(self) -> PropertyGraph:
+        """Return the constructed graph (the builder should not be reused afterwards)."""
+        return self._graph
+
+
+def graph_from_edges(
+    edges: Iterable[EdgeSpec],
+    *,
+    nodes: Optional[Iterable[NodeId]] = None,
+    name: Optional[str] = None,
+) -> PropertyGraph:
+    """Build a graph from an edge list (plus optional isolated ``nodes``)."""
+    builder = GraphBuilder(name)
+    if nodes is not None:
+        for node_id in nodes:
+            builder.node(node_id)
+    builder.edges(edges)
+    return builder.build()
+
+
+def complete_dag(node_ids: Sequence[NodeId], *, name: Optional[str] = None) -> PropertyGraph:
+    """A DAG with an edge from every earlier node to every later node (by position)."""
+    graph = PropertyGraph(name=name)
+    for node_id in node_ids:
+        graph.add_node(node_id)
+    for i, source in enumerate(node_ids):
+        for target in node_ids[i + 1 :]:
+            graph.add_edge(source, target)
+    return graph
+
+
+def layered_graph(
+    layers: Sequence[Sequence[NodeId]],
+    *,
+    dense: bool = True,
+    name: Optional[str] = None,
+) -> PropertyGraph:
+    """A layered DAG with edges from each layer to the next.
+
+    With ``dense=True`` every node connects to every node of the next layer;
+    otherwise node ``i`` connects to node ``i % len(next_layer)``.
+    """
+    graph = PropertyGraph(name=name)
+    for layer in layers:
+        for node_id in layer:
+            graph.add_node(node_id)
+    for upper, lower in zip(layers, layers[1:]):
+        if dense:
+            for source in upper:
+                for target in lower:
+                    graph.add_edge(source, target)
+        else:
+            for index, source in enumerate(upper):
+                graph.add_edge(source, lower[index % len(lower)])
+    return graph

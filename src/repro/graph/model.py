@@ -1,0 +1,382 @@
+"""The property-graph container used throughout the library.
+
+A :class:`PropertyGraph` is a simple directed graph (at most one edge per
+ordered node pair, matching the paper's model in Section 2) whose nodes and
+edges carry *features* — attribute-value pairs.  Bi-directional
+relationships are modelled as two directed edges, exactly as the paper
+prescribes.
+
+Design notes
+------------
+* Node ids are arbitrary hashable values (strings in all of the paper's
+  examples).
+* Adjacency is indexed in both directions so that predecessor and successor
+  queries — the backbone of provenance path traversal — are O(out-degree) /
+  O(in-degree).
+* Mutating operations keep the indexes consistent; the container never hands
+  out internal dicts (nodes and edges are returned as lightweight value
+  objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graph.features import normalize_features
+
+NodeId = Hashable
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node value object: an id, a ``kind`` tag and its features.
+
+    ``kind`` is free-form ("person", "data", "process", ...); the provenance
+    substrate uses it to distinguish data from process nodes, the social
+    examples use it for entity types.  It never affects protection logic.
+    """
+
+    node_id: NodeId
+    kind: Optional[str] = None
+    features: Mapping[str, Any] = field(default_factory=dict)
+
+    def feature(self, name: str, default: Any = None) -> Any:
+        """Return one feature value (or ``default``)."""
+        return self.features.get(name, default)
+
+    def with_features(self, features: Mapping[str, Any]) -> "Node":
+        """Return a copy of this node with ``features`` replacing the old ones."""
+        return Node(node_id=self.node_id, kind=self.kind, features=dict(features))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge value object with an optional ``label`` and features."""
+
+    source: NodeId
+    target: NodeId
+    label: Optional[str] = None
+    features: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> EdgeKey:
+        """The ``(source, target)`` pair identifying this edge."""
+        return (self.source, self.target)
+
+    def reversed(self) -> "Edge":
+        """Return the same edge pointing the other way (used for bi-directional links)."""
+        return Edge(source=self.target, target=self.source, label=self.label, features=dict(self.features))
+
+
+class PropertyGraph:
+    """A mutable directed property graph.
+
+    Example
+    -------
+    >>> g = PropertyGraph(name="demo")
+    >>> g.add_node("a", kind="person", features={"name": "Alice"})
+    Node(node_id='a', kind='person', features={'name': 'Alice'})
+    >>> g.add_node("b")
+    Node(node_id='b', kind=None, features={})
+    >>> g.add_edge("a", "b", label="knows")
+    Edge(source='a', target='b', label='knows', features={})
+    >>> sorted(g.successors("a"))
+    ['b']
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name
+        self._nodes: Dict[NodeId, Node] = {}
+        self._edges: Dict[EdgeKey, Edge] = {}
+        self._succ: Dict[NodeId, Set[NodeId]] = {}
+        self._pred: Dict[NodeId, Set[NodeId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<PropertyGraph{label} nodes={self.node_count()} edges={self.edge_count()}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # ------------------------------------------------------------------ #
+    # node operations
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        node_id: NodeId,
+        *,
+        kind: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+        replace: bool = False,
+    ) -> Node:
+        """Add a node and return it.
+
+        Adding an existing id raises :class:`DuplicateNodeError` unless
+        ``replace=True``, in which case the node's kind/features are replaced
+        while its incident edges are preserved.
+        """
+        if node_id in self._nodes and not replace:
+            raise DuplicateNodeError(node_id)
+        node = Node(node_id=node_id, kind=kind, features=normalize_features(features))
+        self._nodes[node_id] = node
+        self._succ.setdefault(node_id, set())
+        self._pred.setdefault(node_id, set())
+        return node
+
+    def ensure_node(self, node_id: NodeId, **kwargs: Any) -> Node:
+        """Return the existing node or add it if missing (never raises on duplicates)."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        return self.add_node(node_id, **kwargs)
+
+    def node(self, node_id: NodeId) -> Node:
+        """Return the :class:`Node` for ``node_id`` (raises :class:`NodeNotFoundError`)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """True when ``node_id`` is in the graph."""
+        return node_id in self._nodes
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[NodeId]:
+        """All node ids, in insertion order."""
+        return list(self._nodes.keys())
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def remove_node(self, node_id: NodeId) -> Node:
+        """Remove a node and every incident edge; return the removed node."""
+        node = self.node(node_id)
+        for successor in list(self._succ.get(node_id, ())):
+            self._drop_edge(node_id, successor)
+        for predecessor in list(self._pred.get(node_id, ())):
+            self._drop_edge(predecessor, node_id)
+        self._succ.pop(node_id, None)
+        self._pred.pop(node_id, None)
+        del self._nodes[node_id]
+        return node
+
+    def set_node_features(self, node_id: NodeId, features: Mapping[str, Any]) -> Node:
+        """Replace a node's features, keeping its edges; return the new node object."""
+        node = self.node(node_id)
+        updated = node.with_features(features)
+        self._nodes[node_id] = updated
+        return updated
+
+    # ------------------------------------------------------------------ #
+    # edge operations
+    # ------------------------------------------------------------------ #
+    def add_edge(
+        self,
+        source: NodeId,
+        target: NodeId,
+        *,
+        label: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+        create_nodes: bool = False,
+        replace: bool = False,
+    ) -> Edge:
+        """Add a directed edge ``source -> target`` and return it.
+
+        With ``create_nodes=True`` missing endpoints are created on the fly
+        (handy in builders and workload generators); otherwise missing
+        endpoints raise :class:`NodeNotFoundError`.
+        """
+        if source == target:
+            raise ValueError(f"self-loops are not supported (node {source!r})")
+        if create_nodes:
+            self.ensure_node(source)
+            self.ensure_node(target)
+        else:
+            if source not in self._nodes:
+                raise NodeNotFoundError(source)
+            if target not in self._nodes:
+                raise NodeNotFoundError(target)
+        key = (source, target)
+        if key in self._edges and not replace:
+            raise DuplicateEdgeError(source, target)
+        edge = Edge(source=source, target=target, label=label, features=normalize_features(features))
+        self._edges[key] = edge
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        return edge
+
+    def add_bidirectional_edge(
+        self,
+        left: NodeId,
+        right: NodeId,
+        *,
+        label: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+        create_nodes: bool = False,
+    ) -> Tuple[Edge, Edge]:
+        """Add both directions of an undirected relationship (paper, Section 2)."""
+        forward = self.add_edge(left, right, label=label, features=features, create_nodes=create_nodes)
+        backward = self.add_edge(right, left, label=label, features=features, create_nodes=create_nodes)
+        return forward, backward
+
+    def edge(self, source: NodeId, target: NodeId) -> Edge:
+        """Return the edge ``source -> target`` (raises :class:`EdgeNotFoundError`)."""
+        try:
+            return self._edges[(source, target)]
+        except KeyError:
+            raise EdgeNotFoundError(source, target) from None
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        """True when the directed edge ``source -> target`` exists."""
+        return (source, target) in self._edges
+
+    def has_link(self, left: NodeId, right: NodeId) -> bool:
+        """True when an edge exists in either direction between the two nodes."""
+        return self.has_edge(left, right) or self.has_edge(right, left)
+
+    def edges(self) -> List[Edge]:
+        """All edges, in insertion order."""
+        return list(self._edges.values())
+
+    def edge_keys(self) -> List[EdgeKey]:
+        """All ``(source, target)`` pairs, in insertion order."""
+        return list(self._edges.keys())
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return len(self._edges)
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> Edge:
+        """Remove the edge ``source -> target`` and return it."""
+        if (source, target) not in self._edges:
+            raise EdgeNotFoundError(source, target)
+        return self._drop_edge(source, target)
+
+    def _drop_edge(self, source: NodeId, target: NodeId) -> Edge:
+        edge = self._edges.pop((source, target))
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # adjacency queries
+    # ------------------------------------------------------------------ #
+    def successors(self, node_id: NodeId) -> Set[NodeId]:
+        """Targets of out-edges of ``node_id``."""
+        self.node(node_id)
+        return set(self._succ.get(node_id, ()))
+
+    def predecessors(self, node_id: NodeId) -> Set[NodeId]:
+        """Sources of in-edges of ``node_id``."""
+        self.node(node_id)
+        return set(self._pred.get(node_id, ()))
+
+    def neighbors(self, node_id: NodeId) -> Set[NodeId]:
+        """Union of predecessors and successors (ignoring direction)."""
+        self.node(node_id)
+        return set(self._succ.get(node_id, ())) | set(self._pred.get(node_id, ()))
+
+    def out_edges(self, node_id: NodeId) -> List[Edge]:
+        """Edges leaving ``node_id``."""
+        return [self._edges[(node_id, target)] for target in sorted(self._succ.get(node_id, ()), key=repr)]
+
+    def in_edges(self, node_id: NodeId) -> List[Edge]:
+        """Edges entering ``node_id``."""
+        self.node(node_id)
+        return [self._edges[(source, node_id)] for source in sorted(self._pred.get(node_id, ()), key=repr)]
+
+    def incident_edges(self, node_id: NodeId) -> List[Edge]:
+        """All edges touching ``node_id`` (in either direction)."""
+        return self.out_edges(node_id) + self.in_edges(node_id)
+
+    def out_degree(self, node_id: NodeId) -> int:
+        """Number of out-edges."""
+        self.node(node_id)
+        return len(self._succ.get(node_id, ()))
+
+    def in_degree(self, node_id: NodeId) -> int:
+        """Number of in-edges."""
+        self.node(node_id)
+        return len(self._pred.get(node_id, ()))
+
+    def degree(self, node_id: NodeId) -> int:
+        """Total degree (in + out).  A node linked both ways to the same peer counts twice."""
+        return self.in_degree(node_id) + self.out_degree(node_id)
+
+    def neighbor_count(self, node_id: NodeId) -> int:
+        """Number of *distinct* neighbouring nodes, ignoring direction.
+
+        This is the "connected nodes" count the paper's advanced-adversary
+        focus probability is defined over (Figure 5: "0-1 connected nodes").
+        """
+        return len(self.neighbors(node_id))
+
+    def isolated_nodes(self) -> List[NodeId]:
+        """Ids of nodes with no incident edges."""
+        return [node_id for node_id in self._nodes if not self._succ[node_id] and not self._pred[node_id]]
+
+    # ------------------------------------------------------------------ #
+    # whole-graph operations
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "PropertyGraph":
+        """Deep-enough copy: new container, new feature dicts."""
+        clone = PropertyGraph(name=name if name is not None else self.name)
+        for node in self._nodes.values():
+            clone.add_node(node.node_id, kind=node.kind, features=dict(node.features))
+        for edge in self._edges.values():
+            clone.add_edge(edge.source, edge.target, label=edge.label, features=dict(edge.features))
+        return clone
+
+    def subgraph(self, node_ids: Iterable[NodeId], name: Optional[str] = None) -> "PropertyGraph":
+        """The induced subgraph over ``node_ids`` (unknown ids are ignored)."""
+        keep = {node_id for node_id in node_ids if node_id in self._nodes}
+        result = PropertyGraph(name=name)
+        for node_id in self._nodes:
+            if node_id in keep:
+                node = self._nodes[node_id]
+                result.add_node(node.node_id, kind=node.kind, features=dict(node.features))
+        for (source, target), edge in self._edges.items():
+            if source in keep and target in keep:
+                result.add_edge(source, target, label=edge.label, features=dict(edge.features))
+        return result
+
+    def reverse(self, name: Optional[str] = None) -> "PropertyGraph":
+        """A copy of the graph with every edge reversed."""
+        result = PropertyGraph(name=name if name is not None else self.name)
+        for node in self._nodes.values():
+            result.add_node(node.node_id, kind=node.kind, features=dict(node.features))
+        for edge in self._edges.values():
+            result.add_edge(edge.target, edge.source, label=edge.label, features=dict(edge.features))
+        return result

@@ -1,0 +1,234 @@
+"""Shortest paths and constrained path search.
+
+The Surrogate Generation Algorithm needs more than vanilla shortest paths:
+an *HW-permitted* path (paper Definition 8) constrains the markings of the
+first and last node-edge incidences and forbids Hide markings anywhere on
+the path.  The generic machinery here exposes hooks for those constraints so
+:mod:`repro.core.generation` can stay focused on policy, not BFS plumbing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.model import NodeId, PropertyGraph
+
+#: A filter deciding whether traversal may use edge (source, target).
+EdgeFilter = Callable[[NodeId, NodeId], bool]
+
+
+def _check_nodes(graph: PropertyGraph, *node_ids: NodeId) -> None:
+    for node_id in node_ids:
+        if not graph.has_node(node_id):
+            raise NodeNotFoundError(node_id)
+
+
+def has_path(
+    graph: PropertyGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+) -> bool:
+    """True when a (possibly constrained) path exists from ``source`` to ``target``."""
+    return shortest_path(graph, source, target, directed=directed, edge_filter=edge_filter) is not None
+
+
+def shortest_path_length(
+    graph: PropertyGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+) -> Optional[int]:
+    """Length (edge count) of the shortest path, or ``None`` when unreachable."""
+    path = shortest_path(graph, source, target, directed=directed, edge_filter=edge_filter)
+    if path is None:
+        return None
+    return len(path) - 1
+
+
+def shortest_path(
+    graph: PropertyGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+) -> Optional[List[NodeId]]:
+    """One shortest path from ``source`` to ``target`` as a node list, or ``None``.
+
+    ``edge_filter(u, v)`` may veto individual directed edges; for undirected
+    search the filter is consulted with the edge's stored orientation.
+    """
+    _check_nodes(graph, source, target)
+    if source == target:
+        return [source]
+    parents: Dict[NodeId, NodeId] = {}
+    seen: Set[NodeId] = {source}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in _steps(graph, current, directed, edge_filter):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            parents[neighbor] = current
+            if neighbor == target:
+                return _reconstruct(parents, source, target)
+            frontier.append(neighbor)
+    return None
+
+
+def single_source_shortest_lengths(
+    graph: PropertyGraph,
+    source: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+) -> Dict[NodeId, int]:
+    """Shortest-path length from ``source`` to every reachable node (including itself: 0)."""
+    _check_nodes(graph, source)
+    lengths: Dict[NodeId, int] = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in _steps(graph, current, directed, edge_filter):
+            if neighbor not in lengths:
+                lengths[neighbor] = lengths[current] + 1
+                frontier.append(neighbor)
+    return lengths
+
+
+def all_shortest_paths(
+    graph: PropertyGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+    limit: int = 1000,
+) -> List[List[NodeId]]:
+    """Every shortest path between two nodes (up to ``limit`` paths)."""
+    _check_nodes(graph, source, target)
+    if source == target:
+        return [[source]]
+    # BFS recording all shortest-parents, then reconstruct by backtracking.
+    level: Dict[NodeId, int] = {source: 0}
+    parents: Dict[NodeId, List[NodeId]] = {source: []}
+    frontier = deque([source])
+    while frontier:
+        current = frontier.popleft()
+        if target in level and level[current] >= level[target]:
+            continue
+        for neighbor in _steps(graph, current, directed, edge_filter):
+            if neighbor not in level:
+                level[neighbor] = level[current] + 1
+                parents[neighbor] = [current]
+                frontier.append(neighbor)
+            elif level[neighbor] == level[current] + 1:
+                parents[neighbor].append(current)
+    if target not in level:
+        return []
+    paths: List[List[NodeId]] = []
+    stack: List[Tuple[NodeId, List[NodeId]]] = [(target, [target])]
+    while stack and len(paths) < limit:
+        node, suffix = stack.pop()
+        if node == source:
+            paths.append(list(reversed(suffix)))
+            continue
+        for parent in parents[node]:
+            stack.append((parent, suffix + [parent]))
+    return paths
+
+
+def simple_paths(
+    graph: PropertyGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    directed: bool = True,
+    edge_filter: Optional[EdgeFilter] = None,
+    max_length: Optional[int] = None,
+    limit: int = 10000,
+) -> List[List[NodeId]]:
+    """All simple paths from ``source`` to ``target`` (bounded by ``max_length`` edges).
+
+    Exponential in the worst case; intended for the paper-scale graphs used
+    in tests and the motif experiments, with ``limit`` as a safety valve.
+    """
+    _check_nodes(graph, source, target)
+    results: List[List[NodeId]] = []
+    path: List[NodeId] = [source]
+    on_path: Set[NodeId] = {source}
+
+    def _extend(current: NodeId) -> None:
+        if len(results) >= limit:
+            return
+        if current == target:
+            results.append(list(path))
+            return
+        if max_length is not None and len(path) - 1 >= max_length:
+            return
+        for neighbor in _steps(graph, current, directed, edge_filter):
+            if neighbor in on_path:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            _extend(neighbor)
+            on_path.discard(neighbor)
+            path.pop()
+
+    if source == target:
+        return [[source]]
+    _extend(source)
+    return results
+
+
+def path_exists_for_pairs(
+    graph: PropertyGraph,
+    pairs: Sequence[Tuple[NodeId, NodeId]],
+    *,
+    directed: bool = True,
+) -> Dict[Tuple[NodeId, NodeId], bool]:
+    """Vectorised :func:`has_path` over many (source, target) pairs."""
+    cache: Dict[NodeId, Set[NodeId]] = {}
+    results: Dict[Tuple[NodeId, NodeId], bool] = {}
+    for source, target in pairs:
+        if source not in cache:
+            cache[source] = set(single_source_shortest_lengths(graph, source, directed=directed))
+        results[(source, target)] = target in cache[source]
+    return results
+
+
+def _steps(
+    graph: PropertyGraph,
+    current: NodeId,
+    directed: bool,
+    edge_filter: Optional[EdgeFilter],
+) -> List[NodeId]:
+    """Neighbours reachable in one step, respecting direction and the edge filter."""
+    candidates: List[Tuple[NodeId, NodeId, NodeId]] = []
+    for successor in graph.successors(current):
+        candidates.append((current, successor, successor))
+    if not directed:
+        for predecessor in graph.predecessors(current):
+            candidates.append((predecessor, current, predecessor))
+    steps: List[NodeId] = []
+    for edge_source, edge_target, next_node in candidates:
+        if edge_filter is not None and not edge_filter(edge_source, edge_target):
+            continue
+        steps.append(next_node)
+    return steps
+
+
+def _reconstruct(parents: Dict[NodeId, NodeId], source: NodeId, target: NodeId) -> List[NodeId]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path

@@ -1,0 +1,81 @@
+"""Summary statistics over property graphs.
+
+These are the numbers the synthetic-graph experiments report on (connected
+pairs, degree distribution, component structure) and the numbers EXPERIMENTS.md
+records about each generated workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.model import NodeId, PropertyGraph
+from repro.graph.traversal import average_connected_pairs, weakly_connected_components
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """A compact, comparable summary of one graph."""
+
+    name: str
+    node_count: int
+    edge_count: int
+    component_count: int
+    largest_component: int
+    average_degree: float
+    max_degree: int
+    isolated_nodes: int
+    average_connected_pairs: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (useful for tabular reports and JSON)."""
+        return {
+            "name": self.name,
+            "nodes": self.node_count,
+            "edges": self.edge_count,
+            "components": self.component_count,
+            "largest_component": self.largest_component,
+            "avg_degree": round(self.average_degree, 3),
+            "max_degree": self.max_degree,
+            "isolated": self.isolated_nodes,
+            "avg_connected_pairs": round(self.average_connected_pairs, 3),
+        }
+
+
+def degree_histogram(graph: PropertyGraph) -> Dict[int, int]:
+    """Map from total degree to the number of nodes with that degree."""
+    histogram: Dict[int, int] = {}
+    for node_id in graph.node_ids():
+        degree = graph.degree(node_id)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def degrees(graph: PropertyGraph) -> Dict[NodeId, int]:
+    """Total degree per node."""
+    return {node_id: graph.degree(node_id) for node_id in graph.node_ids()}
+
+
+def average_degree(graph: PropertyGraph) -> float:
+    """Mean total degree (0.0 for an empty graph)."""
+    if graph.node_count() == 0:
+        return 0.0
+    return sum(degrees(graph).values()) / graph.node_count()
+
+
+def summarize(graph: PropertyGraph) -> GraphSummary:
+    """Build a :class:`GraphSummary` for ``graph``."""
+    components: List[set] = weakly_connected_components(graph)
+    all_degrees = degrees(graph)
+    return GraphSummary(
+        name=graph.name or "<unnamed>",
+        node_count=graph.node_count(),
+        edge_count=graph.edge_count(),
+        component_count=len(components),
+        largest_component=max((len(component) for component in components), default=0),
+        average_degree=average_degree(graph),
+        max_degree=max(all_degrees.values(), default=0),
+        isolated_nodes=len(graph.isolated_nodes()),
+        average_connected_pairs=average_connected_pairs(graph),
+    )

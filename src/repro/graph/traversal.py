@@ -1,0 +1,158 @@
+"""Reachability and connectivity primitives.
+
+The Path Utility Measure (paper Section 4.1) counts, for each node, how many
+other nodes it is *connected to by a path of any length*.  The paper's worked
+example (Figure 1c: ``%P(b') = 1/10``, ``%P(h') = 3/10``, overall utility
+0.13) is only consistent with connectivity that ignores edge direction, so
+:func:`weakly_reachable` / :func:`connected_pairs` are the measure's
+backbone.  Directed reachability (:func:`descendants` / :func:`ancestors`)
+backs the provenance lineage queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.graph.model import NodeId, PropertyGraph
+
+
+def descendants(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
+    """All nodes reachable from ``node_id`` following edge direction (excluding itself)."""
+    return _directed_reach(graph, node_id, graph.successors)
+
+
+def ancestors(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
+    """All nodes that can reach ``node_id`` following edge direction (excluding itself)."""
+    return _directed_reach(graph, node_id, graph.predecessors)
+
+
+def _directed_reach(
+    graph: PropertyGraph, node_id: NodeId, step: Callable[[NodeId], Set[NodeId]]
+) -> Set[NodeId]:
+    graph.node(node_id)
+    seen: Set[NodeId] = set()
+    frontier = deque([node_id])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in step(current):
+            if neighbor not in seen and neighbor != node_id:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def weakly_reachable(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
+    """All nodes connected to ``node_id`` by a path of any length, ignoring direction.
+
+    Excludes ``node_id`` itself: this is exactly the numerator/denominator
+    population of the paper's ``%P`` path percentage.
+    """
+    graph.node(node_id)
+    seen: Set[NodeId] = {node_id}
+    frontier = deque([node_id])
+    while frontier:
+        current = frontier.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    seen.discard(node_id)
+    return seen
+
+
+def weakly_connected_components(graph: PropertyGraph) -> List[Set[NodeId]]:
+    """The weakly connected components, each as a set of node ids."""
+    remaining: Set[NodeId] = set(graph.node_ids())
+    components: List[Set[NodeId]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = weakly_reachable(graph, start) | {start}
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_weakly_connected(graph: PropertyGraph) -> bool:
+    """True when the graph has at most one weakly connected component."""
+    if graph.node_count() <= 1:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def connected_pairs(graph: PropertyGraph) -> Dict[NodeId, int]:
+    """For each node, the number of other nodes in its weak component.
+
+    The synthetic-graph experiment (Section 6.1.2) characterises graphs by
+    the average number of *connected pairs* per node; this function provides
+    that statistic and is also the vectorised form of ``%P``'s counts.
+    """
+    counts: Dict[NodeId, int] = {}
+    for component in weakly_connected_components(graph):
+        size = len(component) - 1
+        for node_id in component:
+            counts[node_id] = size
+    return counts
+
+
+def average_connected_pairs(graph: PropertyGraph) -> float:
+    """Mean number of connected pairs per node (0.0 for the empty graph)."""
+    counts = connected_pairs(graph)
+    if not counts:
+        return 0.0
+    return sum(counts.values()) / len(counts)
+
+
+def component_of(graph: PropertyGraph, node_id: NodeId) -> FrozenSet[NodeId]:
+    """The weak component containing ``node_id`` (including the node itself)."""
+    return frozenset(weakly_reachable(graph, node_id) | {node_id})
+
+
+def bfs_layers(graph: PropertyGraph, start: NodeId, *, directed: bool = True) -> List[Set[NodeId]]:
+    """Breadth-first layers from ``start`` (layer 0 is ``{start}``).
+
+    With ``directed=False`` the traversal ignores edge direction.  Used by
+    workload generators and by tests that cross-check shortest-path code.
+    """
+    graph.node(start)
+    step = graph.successors if directed else graph.neighbors
+    layers: List[Set[NodeId]] = [{start}]
+    seen: Set[NodeId] = {start}
+    while True:
+        next_layer: Set[NodeId] = set()
+        for node_id in layers[-1]:
+            for neighbor in step(node_id):
+                if neighbor not in seen:
+                    next_layer.add(neighbor)
+                    seen.add(neighbor)
+        if not next_layer:
+            break
+        layers.append(next_layer)
+    return layers
+
+
+def reachable_subgraph(
+    graph: PropertyGraph,
+    roots: Iterable[NodeId],
+    *,
+    direction: str = "forward",
+    name: Optional[str] = None,
+) -> PropertyGraph:
+    """The induced subgraph over everything reachable from ``roots``.
+
+    ``direction`` is ``"forward"`` (descendants), ``"backward"`` (ancestors)
+    or ``"both"`` (weak reachability).  The roots themselves are always
+    included.  This is the shape of a provenance lineage query result.
+    """
+    if direction not in {"forward", "backward", "both"}:
+        raise ValueError(f"direction must be 'forward', 'backward' or 'both', got {direction!r}")
+    keep: Set[NodeId] = set()
+    for root in roots:
+        keep.add(root)
+        if direction == "forward":
+            keep |= descendants(graph, root)
+        elif direction == "backward":
+            keep |= ancestors(graph, root)
+        else:
+            keep |= weakly_reachable(graph, root)
+    return graph.subgraph(keep, name=name)

@@ -1,0 +1,46 @@
+"""PLUS-style provenance substrate.
+
+The paper's evaluation runs on the PLUS prototype, a provenance system whose
+lineage queries ("what data and processes contributed to this data?") are
+the motivating path-traversal workload.  This package provides that
+substrate:
+
+* :mod:`repro.provenance.model` — an OPM-flavoured provenance graph (data,
+  process and agent nodes; ``input_to`` / ``generated`` edges; acyclicity
+  checks);
+* :mod:`repro.provenance.queries` — lineage queries over provenance graphs
+  and protected accounts;
+* :mod:`repro.provenance.plus` — the :class:`~repro.provenance.plus.PLUSClient`
+  facade combining the embedded store, release policies and the protection
+  engine (this is what the Figure-10 benchmark drives);
+* :mod:`repro.provenance.examples` — the Appendix-A emergency-treatment-plan
+  example (Figure 11).
+"""
+
+from repro.provenance.model import (
+    AGENT,
+    DATA,
+    GENERATED,
+    INPUT_TO,
+    PROCESS,
+    ProvenanceGraph,
+)
+from repro.provenance.queries import LineageResult, lineage, lineage_over_account
+from repro.provenance.plus import PLUSClient, ProtectionTimings
+from repro.provenance.examples import emergency_plan_example, EmergencyPlanExample
+
+__all__ = [
+    "DATA",
+    "PROCESS",
+    "AGENT",
+    "INPUT_TO",
+    "GENERATED",
+    "ProvenanceGraph",
+    "LineageResult",
+    "lineage",
+    "lineage_over_account",
+    "PLUSClient",
+    "ProtectionTimings",
+    "emergency_plan_example",
+    "EmergencyPlanExample",
+]

@@ -1,0 +1,179 @@
+"""The Appendix-A provenance example (paper Figure 11).
+
+An emergency treatment plan is produced by a workflow that aggregates
+patient records, runs epidemiological projections against bio-threat
+intelligence, and plans local action against supply stockpiles.  Different
+pieces carry different sensitivities (HIPAA data, national-security threat
+models, responder-only logistics), which is exactly the situation the
+paper's surrogates are designed for: an Emergency Responder should learn as
+much as possible about where the plan came from without seeing the
+restricted pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.markings import Marking
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import Privilege, PrivilegeLattice, appendix_lattice
+from repro.provenance.model import ProvenanceGraph
+
+#: The final artifact whose provenance the example queries.
+PLAN = "emergency_treatment_plan"
+
+
+@dataclass
+class EmergencyPlanExample:
+    """The Figure-11 workload: provenance graph, lattice, privileges, policy."""
+
+    provenance: ProvenanceGraph
+    lattice: PrivilegeLattice
+    privileges: Dict[str, Privilege]
+    policy: ReleasePolicy
+
+    @property
+    def graph(self):
+        """The underlying property graph (what the protection engine consumes)."""
+        return self.provenance.graph
+
+    @property
+    def responder(self) -> Privilege:
+        """The Emergency Responder class used in the worked example."""
+        return self.privileges["Emergency Responder"]
+
+
+def emergency_plan_provenance() -> ProvenanceGraph:
+    """Build the Figure-11 workflow as a provenance graph."""
+    prov = ProvenanceGraph("emergency-plan")
+    # Data artifacts.
+    for record_index in (1, 2, 3):
+        prov.add_data(f"patient_record_{record_index}", features={"type": "patient record"})
+    prov.add_data("affected_patient_count", features={"type": "aggregate count"})
+    prov.add_data("bio_threat_intelligence", features={"type": "intelligence report"})
+    prov.add_data("threat_level", features={"type": "assessment"})
+    prov.add_data("historical_disease_data", features={"type": "historical data", "region": "1"})
+    prov.add_data("cdc_regional_epidemic_model", features={"type": "model"})
+    prov.add_data("specific_epidemic_model", features={"type": "model"})
+    prov.add_data("emergency_supplies_stockpile", features={"type": "inventory"})
+    prov.add_data(PLAN, features={"type": "plan"})
+    # Processes (flow over time: inputs -> process -> outputs).
+    prov.record_invocation(
+        "hipaa_compliant_aggregator",
+        inputs=["patient_record_1", "patient_record_2", "patient_record_3"],
+        outputs=["affected_patient_count"],
+        features={"tool": "HIPAA-Compliant Aggregator"},
+    )
+    prov.record_invocation(
+        "epidemiological_projector",
+        inputs=["bio_threat_intelligence", "cdc_regional_epidemic_model", "historical_disease_data"],
+        outputs=["specific_epidemic_model", "threat_level"],
+        features={"tool": "Epidemiological Projector, EPFF v3"},
+    )
+    prov.record_invocation(
+        "trend_model_simulator",
+        inputs=["specific_epidemic_model", "affected_patient_count"],
+        outputs=[],
+        features={"tool": "Trend Model Simulator"},
+    )
+    prov.add_data("trend_projection", features={"type": "projection"})
+    prov.add_output("trend_model_simulator", "trend_projection")
+    prov.record_invocation(
+        "supply_analysis",
+        inputs=["emergency_supplies_stockpile", "trend_projection"],
+        outputs=[],
+        features={"tool": "Supply Analysis"},
+    )
+    prov.add_data("supply_plan", features={"type": "logistics"})
+    prov.add_output("supply_analysis", "supply_plan")
+    prov.record_invocation(
+        "local_action_planning",
+        inputs=["supply_plan", "threat_level", "trend_projection"],
+        outputs=[PLAN],
+        features={"tool": "Local Action Planning"},
+    )
+    prov.validate()
+    return prov
+
+
+#: lowest() assignment mirroring the shading of Figure 11(a).
+EMERGENCY_PLAN_LOWEST = {
+    "patient_record_1": "Medical Provider",
+    "patient_record_2": "Medical Provider",
+    "patient_record_3": "Medical Provider",
+    "hipaa_compliant_aggregator": "Medical Provider",
+    "affected_patient_count": "Emergency Responder",
+    "bio_threat_intelligence": "National Security",
+    "cdc_regional_epidemic_model": "Public",
+    "historical_disease_data": "Public",
+    "epidemiological_projector": "National Security",
+    "specific_epidemic_model": "National Security",
+    "threat_level": "Emergency Responder",
+    "trend_model_simulator": "Emergency Responder",
+    "trend_projection": "Emergency Responder",
+    "emergency_supplies_stockpile": "Cleared Emergency Responder",
+    "supply_analysis": "Cleared Emergency Responder",
+    "supply_plan": "Emergency Responder",
+    "local_action_planning": "Cleared Emergency Responder",
+    PLAN: "Emergency Responder",
+}
+
+
+def emergency_plan_example(*, with_surrogates: bool = True) -> EmergencyPlanExample:
+    """Build the full Appendix-A example with its release policy.
+
+    With ``with_surrogates`` (the default) the restricted processes and
+    models register coarse surrogates ("a restricted epidemiological model",
+    "a planning process") releasable to Emergency Responders, and the edges
+    around them are marked ``Surrogate`` so that lineage stays connected for
+    that class.
+    """
+    lattice, privileges = appendix_lattice()
+    prov = emergency_plan_provenance()
+    policy = ReleasePolicy(lattice)
+    policy.set_lowest_bulk(
+        {node: privileges[level] for node, level in EMERGENCY_PLAN_LOWEST.items()}
+    )
+    if with_surrogates:
+        responder = privileges["Emergency Responder"]
+        policy.add_surrogate(
+            "specific_epidemic_model",
+            responder,
+            surrogate_id="restricted_epidemic_model",
+            features={"type": "model", "detail": "restricted"},
+            kind="data",
+            info_score=0.4,
+        )
+        policy.add_surrogate(
+            "local_action_planning",
+            responder,
+            surrogate_id="planning_process",
+            features={"tool": "a planning process"},
+            kind="process",
+            info_score=0.4,
+        )
+        policy.add_surrogate(
+            "epidemiological_projector",
+            responder,
+            surrogate_id="projection_process",
+            features={"tool": "a projection process"},
+            kind="process",
+            info_score=0.3,
+        )
+        graph = prov.graph
+        # Keep responder-level lineage connected through the restricted nodes.
+        for restricted in (
+            "epidemiological_projector",
+            "specific_epidemic_model",
+            "local_action_planning",
+            "supply_analysis",
+            "emergency_supplies_stockpile",
+            "hipaa_compliant_aggregator",
+        ):
+            policy.markings.mark_incident_edges(
+                graph, restricted, responder, Marking.SURROGATE
+            )
+    return EmergencyPlanExample(
+        provenance=prov, lattice=lattice, privileges=privileges, policy=policy
+    )

@@ -1,0 +1,161 @@
+"""An OPM-flavoured provenance graph model.
+
+Provenance is "an annotated causality graph, which is a directed acyclic
+graph" (paper footnote 1, citing the Open Provenance Model).  The model here
+keeps the three OPM node kinds — data artifacts, processes and agents — and
+records causality with two edge labels:
+
+* ``input_to`` — a data artifact (or an agent) fed a process,
+* ``generated`` — a process produced a data artifact.
+
+Edges point in the direction of flow over time (inputs → process →
+outputs), matching the paper's Figure 11, so "what contributed to X?" is an
+*ancestors* query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import ProvenanceError
+from repro.graph.algorithms import is_acyclic, topological_sort
+from repro.graph.model import Edge, Node, NodeId, PropertyGraph
+from repro.graph.traversal import ancestors, descendants
+
+#: Node kinds.
+DATA = "data"
+PROCESS = "process"
+AGENT = "agent"
+NODE_KINDS = (DATA, PROCESS, AGENT)
+
+#: Edge labels.
+INPUT_TO = "input_to"
+GENERATED = "generated"
+EDGE_LABELS = (INPUT_TO, GENERATED)
+
+
+class ProvenanceGraph:
+    """A provenance graph with OPM-style structure enforcement.
+
+    The underlying :class:`~repro.graph.model.PropertyGraph` is exposed as
+    ``.graph`` so the protection machinery (which is agnostic to node kinds)
+    can be applied directly.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.graph = PropertyGraph(name=name or "provenance")
+
+    # ------------------------------------------------------------------ #
+    # node creation
+    # ------------------------------------------------------------------ #
+    def add_data(self, node_id: NodeId, *, features: Optional[Mapping[str, Any]] = None) -> Node:
+        """Add a data artifact node."""
+        return self.graph.add_node(node_id, kind=DATA, features=features)
+
+    def add_process(self, node_id: NodeId, *, features: Optional[Mapping[str, Any]] = None) -> Node:
+        """Add a process (workflow step / invocation) node."""
+        return self.graph.add_node(node_id, kind=PROCESS, features=features)
+
+    def add_agent(self, node_id: NodeId, *, features: Optional[Mapping[str, Any]] = None) -> Node:
+        """Add an agent (person / organisation / service) node."""
+        return self.graph.add_node(node_id, kind=AGENT, features=features)
+
+    # ------------------------------------------------------------------ #
+    # causality edges
+    # ------------------------------------------------------------------ #
+    def add_input(self, source: NodeId, process: NodeId) -> Edge:
+        """Record that ``source`` (data or agent) was input to ``process``."""
+        self._require_kind(process, PROCESS, "input_to target")
+        self._forbid_kind(source, PROCESS, "input_to source")
+        return self.graph.add_edge(source, process, label=INPUT_TO)
+
+    def add_output(self, process: NodeId, artifact: NodeId) -> Edge:
+        """Record that ``process`` generated ``artifact``."""
+        self._require_kind(process, PROCESS, "generated source")
+        self._require_kind(artifact, DATA, "generated target")
+        return self.graph.add_edge(process, artifact, label=GENERATED)
+
+    def record_invocation(
+        self,
+        process: NodeId,
+        *,
+        inputs: Sequence[NodeId] = (),
+        outputs: Sequence[NodeId] = (),
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> Node:
+        """Add a process with all of its inputs and outputs in one call."""
+        node = self.add_process(process, features=features)
+        for source in inputs:
+            self.add_input(source, process)
+        for artifact in outputs:
+            self.add_output(process, artifact)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+    def data_nodes(self) -> List[Node]:
+        """Every data artifact node."""
+        return [node for node in self.graph.nodes() if node.kind == DATA]
+
+    def process_nodes(self) -> List[Node]:
+        """Every process node."""
+        return [node for node in self.graph.nodes() if node.kind == PROCESS]
+
+    def agent_nodes(self) -> List[Node]:
+        """Every agent node."""
+        return [node for node in self.graph.nodes() if node.kind == AGENT]
+
+    def contributors_of(self, node_id: NodeId) -> List[NodeId]:
+        """Everything upstream of ``node_id`` (the paper's motivating query)."""
+        return sorted(ancestors(self.graph, node_id), key=repr)
+
+    def derived_from(self, node_id: NodeId) -> List[NodeId]:
+        """Everything downstream of ``node_id``."""
+        return sorted(descendants(self.graph, node_id), key=repr)
+
+    def execution_order(self) -> List[NodeId]:
+        """A topological order of the whole graph (raises on cycles)."""
+        order = topological_sort(self.graph)
+        assert order is not None  # strict mode raises instead of returning None
+        return order
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the OPM-ish structural invariants; raise :class:`ProvenanceError` otherwise."""
+        if not is_acyclic(self.graph):
+            raise ProvenanceError("provenance graphs must be acyclic (they are causality graphs)")
+        for edge in self.graph.edges():
+            if edge.label not in EDGE_LABELS:
+                raise ProvenanceError(
+                    f"edge {edge.source!r} -> {edge.target!r} has label {edge.label!r}; "
+                    f"expected one of {EDGE_LABELS}"
+                )
+            source_kind = self.graph.node(edge.source).kind
+            target_kind = self.graph.node(edge.target).kind
+            if edge.label == INPUT_TO and target_kind != PROCESS:
+                raise ProvenanceError(
+                    f"input_to edge {edge.source!r} -> {edge.target!r} must end at a process node"
+                )
+            if edge.label == GENERATED and (source_kind != PROCESS or target_kind != DATA):
+                raise ProvenanceError(
+                    f"generated edge {edge.source!r} -> {edge.target!r} must go from a process to data"
+                )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _require_kind(self, node_id: NodeId, kind: str, role: str) -> None:
+        actual = self.graph.node(node_id).kind
+        if actual != kind:
+            raise ProvenanceError(f"{role} {node_id!r} must be a {kind} node, got {actual!r}")
+
+    def _forbid_kind(self, node_id: NodeId, kind: str, role: str) -> None:
+        actual = self.graph.node(node_id).kind
+        if actual == kind:
+            raise ProvenanceError(f"{role} {node_id!r} must not be a {kind} node")
+
+    def __len__(self) -> int:
+        return self.graph.node_count()

@@ -1,0 +1,33 @@
+"""Access-control substrate: credentials, authorization and enforcement.
+
+The paper assumes a Boolean ``authorized(c, o)`` function evaluated by each
+object's cognizant authority and characterises consumer classes with
+privilege-predicates.  This package provides a concrete (but intentionally
+simple) realisation used by the examples, the PLUS substrate and the
+evaluation:
+
+* :mod:`repro.security.credentials` — consumer credentials as attribute
+  sets, and predicates over them;
+* :mod:`repro.security.authorization` — ``authorized(consumer, object)``
+  built from ``lowest()`` assignments plus the dominance lattice;
+* :mod:`repro.security.enforcement` — query-time enforcement: the naive
+  filter (baseline) and protected-account-based enforcement (the paper's
+  proposal) behind one interface.
+"""
+
+from repro.security.credentials import Consumer, CredentialPredicate, credential_predicate
+from repro.security.authorization import AccessController, AuthorizationDecision
+from repro.security.enforcement import (
+    EnforcementMode,
+    QueryEnforcer,
+)
+
+__all__ = [
+    "Consumer",
+    "CredentialPredicate",
+    "credential_predicate",
+    "AccessController",
+    "AuthorizationDecision",
+    "EnforcementMode",
+    "QueryEnforcer",
+]

@@ -1,0 +1,135 @@
+"""``authorized(consumer, object)`` — Definition 1 made concrete.
+
+The :class:`AccessController` combines a release policy's ``lowest()``
+assignments with the credential predicates of
+:mod:`repro.security.credentials`: a consumer is authorized for a graph
+object when one of the privileges they satisfy dominates the object's lowest
+privilege.  Decisions are returned as small structured objects so that
+applications (and the audit log in the PLUS substrate) can explain *why*
+access was granted or refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import Privilege
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+from repro.security.credentials import (
+    Consumer,
+    CredentialPredicate,
+    best_privilege,
+    default_predicates_for,
+)
+
+
+@dataclass(frozen=True)
+class AuthorizationDecision:
+    """The outcome of one authorization check."""
+
+    consumer_id: str
+    object_ref: str
+    allowed: bool
+    reason: str
+    privilege_used: Optional[Privilege] = None
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class AccessController:
+    """Evaluates ``authorized(c, o)`` for nodes and edges of one data set."""
+
+    def __init__(
+        self,
+        policy: ReleasePolicy,
+        *,
+        predicates: Optional[Mapping[str, CredentialPredicate]] = None,
+    ) -> None:
+        self.policy = policy
+        self.predicates = (
+            dict(predicates) if predicates is not None else default_predicates_for(policy.lattice)
+        )
+
+    # ------------------------------------------------------------------ #
+    # consumer classification
+    # ------------------------------------------------------------------ #
+    def effective_privileges(self, consumer: Consumer) -> List[Privilege]:
+        """The maximal privilege classes the consumer's credentials satisfy."""
+        return best_privilege(self.policy.lattice, consumer, self.predicates)
+
+    def primary_privilege(self, consumer: Consumer) -> Privilege:
+        """One representative privilege for the consumer (first maximal class).
+
+        Appendix B generates protected accounts for singleton high-water
+        sets; when a consumer satisfies several incomparable classes the
+        caller can iterate :meth:`effective_privileges` instead.
+        """
+        return self.effective_privileges(consumer)[0]
+
+    # ------------------------------------------------------------------ #
+    # object-level decisions
+    # ------------------------------------------------------------------ #
+    def authorize_node(self, consumer: Consumer, node_id: NodeId) -> AuthorizationDecision:
+        """``authorized(c, n)`` for a node."""
+        lowest = self.policy.lowest(node_id)
+        for privilege in self.effective_privileges(consumer):
+            if self.policy.lattice.dominates(privilege, lowest):
+                return AuthorizationDecision(
+                    consumer_id=consumer.consumer_id,
+                    object_ref=f"node:{node_id}",
+                    allowed=True,
+                    reason=f"{privilege.name} dominates lowest({node_id})={lowest.name}",
+                    privilege_used=privilege,
+                )
+        return AuthorizationDecision(
+            consumer_id=consumer.consumer_id,
+            object_ref=f"node:{node_id}",
+            allowed=False,
+            reason=f"no satisfied privilege dominates lowest({node_id})={lowest.name}",
+        )
+
+    def authorize_edge(self, consumer: Consumer, edge: EdgeKey) -> AuthorizationDecision:
+        """``authorized(c, e)`` for an edge: both incidences must be visible."""
+        source, target = edge
+        for privilege in self.effective_privileges(consumer):
+            state = self.policy.markings.edge_state(edge, privilege)
+            if state.value == "visible":
+                return AuthorizationDecision(
+                    consumer_id=consumer.consumer_id,
+                    object_ref=f"edge:{source}->{target}",
+                    allowed=True,
+                    reason=f"both incidences visible for {privilege.name}",
+                    privilege_used=privilege,
+                )
+        return AuthorizationDecision(
+            consumer_id=consumer.consumer_id,
+            object_ref=f"edge:{source}->{target}",
+            allowed=False,
+            reason="no satisfied privilege sees both incidences",
+        )
+
+    # ------------------------------------------------------------------ #
+    # bulk decisions
+    # ------------------------------------------------------------------ #
+    def visible_nodes(self, consumer: Consumer, graph: PropertyGraph) -> List[NodeId]:
+        """Every node of ``graph`` the consumer may see directly."""
+        return [
+            node_id for node_id in graph.node_ids() if self.authorize_node(consumer, node_id).allowed
+        ]
+
+    def visible_edges(self, consumer: Consumer, graph: PropertyGraph) -> List[EdgeKey]:
+        """Every edge of ``graph`` the consumer may see directly."""
+        return [key for key in graph.edge_keys() if self.authorize_edge(consumer, key).allowed]
+
+    def decision_matrix(
+        self, consumers: Iterable[Consumer], graph: PropertyGraph
+    ) -> Dict[Tuple[str, NodeId], bool]:
+        """(consumer, node) → allowed, for audit-style reporting."""
+        matrix: Dict[Tuple[str, NodeId], bool] = {}
+        for consumer in consumers:
+            for node_id in graph.node_ids():
+                matrix[(consumer.consumer_id, node_id)] = self.authorize_node(consumer, node_id).allowed
+        return matrix

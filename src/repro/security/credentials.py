@@ -1,0 +1,157 @@
+"""Consumers, credentials and concrete privilege-predicates.
+
+The paper leaves credential generation/authentication out of scope and only
+needs the *implication* structure between predicates.  For the examples and
+the PLUS substrate we still want something runnable, so a consumer carries a
+set of credential attributes (clearances, roles, organisation tags) and a
+:class:`CredentialPredicate` is a requirement over those attributes.  The
+bridge to the paper's model is :func:`bind_lattice`, which checks that a set
+of concrete predicates is consistent with the declared dominance lattice
+(``p`` dominates ``q`` implies every consumer satisfying ``p`` satisfies
+``q``) over a universe of consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.core.privileges import Privilege, PrivilegeLattice
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class Consumer:
+    """A consumer of graph data: an identifier plus credential attributes."""
+
+    consumer_id: str
+    credentials: FrozenSet[str] = frozenset()
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def with_credentials(cls, consumer_id: str, *credentials: str, **attributes: str) -> "Consumer":
+        """Convenience constructor: ``Consumer.with_credentials("amy", "High-2")``."""
+        return cls(
+            consumer_id=consumer_id,
+            credentials=frozenset(credentials),
+            attributes=dict(attributes),
+        )
+
+    def has(self, credential: str) -> bool:
+        """True when the consumer holds the given credential string."""
+        return credential in self.credentials
+
+
+class CredentialPredicate:
+    """A concrete privilege-predicate: a Boolean function over consumers.
+
+    ``required`` credentials must all be present; ``check`` (if given) adds
+    an arbitrary extra condition (time, location, role...), mirroring the
+    paper's remark that the cognizant authority may use any context
+    information.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        required: Iterable[str] = (),
+        check: Optional[Callable[[Consumer], bool]] = None,
+    ) -> None:
+        self.name = name
+        self.required: FrozenSet[str] = frozenset(required)
+        self._check = check
+
+    def __call__(self, consumer: Consumer) -> bool:
+        if not self.required.issubset(consumer.credentials):
+            return False
+        if self._check is not None and not self._check(consumer):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CredentialPredicate({self.name!r}, required={sorted(self.required)})"
+
+
+def credential_predicate(name: str, *required: str) -> CredentialPredicate:
+    """Build a predicate that simply requires the listed credential strings."""
+    return CredentialPredicate(name, required=required)
+
+
+def default_predicates_for(lattice: PrivilegeLattice) -> Dict[str, CredentialPredicate]:
+    """One concrete predicate per declared privilege.
+
+    A consumer satisfies the predicate for privilege ``p`` when they hold a
+    credential naming ``p`` or any privilege that dominates ``p``; the Public
+    predicate is satisfied by everyone.  This construction is consistent
+    with the lattice by definition.
+    """
+    predicates: Dict[str, CredentialPredicate] = {}
+    for privilege in lattice.privileges():
+        if privilege == lattice.public:
+            predicates[privilege.name] = CredentialPredicate(privilege.name, check=lambda consumer: True)
+            continue
+        satisfying_names = {
+            dominator.name for dominator in lattice.dominators_of(privilege)
+        }
+
+        def check(consumer: Consumer, names: FrozenSet[str] = frozenset(satisfying_names)) -> bool:
+            return bool(names & consumer.credentials)
+
+        predicates[privilege.name] = CredentialPredicate(privilege.name, check=check)
+    return predicates
+
+
+def satisfied_privileges(
+    lattice: PrivilegeLattice,
+    consumer: Consumer,
+    predicates: Optional[Mapping[str, CredentialPredicate]] = None,
+) -> Set[Privilege]:
+    """Every declared privilege whose predicate the consumer satisfies."""
+    predicates = predicates if predicates is not None else default_predicates_for(lattice)
+    satisfied: Set[Privilege] = set()
+    for privilege in lattice.privileges():
+        predicate = predicates.get(privilege.name)
+        if predicate is not None and predicate(consumer):
+            satisfied.add(privilege)
+    return satisfied
+
+
+def best_privilege(
+    lattice: PrivilegeLattice,
+    consumer: Consumer,
+    predicates: Optional[Mapping[str, CredentialPredicate]] = None,
+) -> List[Privilege]:
+    """The maximal privileges a consumer satisfies (its effective classes)."""
+    satisfied = satisfied_privileges(lattice, consumer, predicates)
+    if not satisfied:
+        return [lattice.public]
+    return sorted(lattice.maximal(satisfied), key=lambda privilege: privilege.name)
+
+
+def bind_lattice(
+    lattice: PrivilegeLattice,
+    predicates: Mapping[str, CredentialPredicate],
+    consumers: Iterable[Consumer],
+) -> None:
+    """Check the concrete predicates against the declared dominance relation.
+
+    For every pair ``p`` dominates ``q`` and every supplied consumer,
+    ``p(consumer)`` must imply ``q(consumer)``; otherwise the predicates
+    contradict the lattice and a :class:`PolicyError` is raised.
+    """
+    consumers = list(consumers)
+    for higher in lattice.privileges():
+        for lower in lattice.privileges():
+            if higher == lower or not lattice.dominates(higher, lower):
+                continue
+            higher_predicate = predicates.get(higher.name)
+            lower_predicate = predicates.get(lower.name)
+            if higher_predicate is None or lower_predicate is None:
+                continue
+            for consumer in consumers:
+                if higher_predicate(consumer) and not lower_predicate(consumer):
+                    raise PolicyError(
+                        f"declared dominance {higher.name} -> {lower.name} is violated by "
+                        f"consumer {consumer.consumer_id!r}: satisfies {higher.name} but not {lower.name}"
+                    )

@@ -1,0 +1,37 @@
+"""Embedded graph store: the database substrate behind the PLUS prototype.
+
+The paper's evaluation (Figure 10) times four phases of serving a protected
+graph: DB access, building the graph, protecting it by hiding and protecting
+it by surrogates.  The original PLUS prototype sits on a relational store;
+this package provides the equivalent substrate in pure Python:
+
+* :mod:`repro.store.wal` — an append-only write log with replay;
+* :mod:`repro.store.storage` — durable named-graph storage (JSON snapshots
+  + log), or fully in-memory operation;
+* :mod:`repro.store.index` — adjacency and feature indexes;
+* :mod:`repro.store.transactions` — atomic multi-operation batches;
+* :mod:`repro.store.catalog` — the named-graph catalog;
+* :mod:`repro.store.engine` — the :class:`~repro.store.engine.GraphStore`
+  facade with phase timing instrumentation used by the Figure-10 benchmark.
+"""
+
+from repro.store.engine import GraphStore, PhaseTimer, StoreStats
+from repro.store.storage import GraphStorage
+from repro.store.transactions import Transaction
+from repro.store.catalog import Catalog, GraphDescriptor
+from repro.store.index import AdjacencyIndex, FeatureIndex
+from repro.store.wal import WriteAheadLog, LogRecord
+
+__all__ = [
+    "GraphStore",
+    "PhaseTimer",
+    "StoreStats",
+    "GraphStorage",
+    "Transaction",
+    "Catalog",
+    "GraphDescriptor",
+    "AdjacencyIndex",
+    "FeatureIndex",
+    "WriteAheadLog",
+    "LogRecord",
+]

@@ -1,0 +1,88 @@
+"""The named-graph catalog of the embedded store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import CatalogError
+
+
+@dataclass
+class GraphDescriptor:
+    """Metadata about one named graph held by the store."""
+
+    name: str
+    node_count: int = 0
+    edge_count: int = 0
+    kind: str = "graph"
+    description: str = ""
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "nodes": self.node_count,
+            "edges": self.edge_count,
+            "kind": self.kind,
+            "description": self.description,
+            "metadata": dict(self.metadata),
+        }
+
+
+class Catalog:
+    """Tracks which graphs exist and their summary statistics."""
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[str, GraphDescriptor] = {}
+
+    def register(
+        self,
+        name: str,
+        *,
+        kind: str = "graph",
+        description: str = "",
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> GraphDescriptor:
+        """Register a new graph name; re-registering an existing name fails."""
+        if name in self._descriptors:
+            raise CatalogError(f"graph {name!r} already exists in the catalog")
+        descriptor = GraphDescriptor(
+            name=name, kind=kind, description=description, metadata=dict(metadata or {})
+        )
+        self._descriptors[name] = descriptor
+        return descriptor
+
+    def drop(self, name: str) -> GraphDescriptor:
+        """Remove a graph from the catalog and return its descriptor."""
+        try:
+            return self._descriptors.pop(name)
+        except KeyError:
+            raise CatalogError(f"graph {name!r} is not in the catalog") from None
+
+    def get(self, name: str) -> GraphDescriptor:
+        """Fetch a descriptor (raises :class:`CatalogError` when unknown)."""
+        try:
+            return self._descriptors[name]
+        except KeyError:
+            raise CatalogError(f"graph {name!r} is not in the catalog") from None
+
+    def update_counts(self, name: str, *, node_count: int, edge_count: int) -> None:
+        """Refresh a graph's summary statistics after mutations."""
+        descriptor = self.get(name)
+        descriptor.node_count = node_count
+        descriptor.edge_count = edge_count
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def names(self) -> List[str]:
+        """Every registered graph name, in registration order."""
+        return list(self._descriptors.keys())
+
+    def descriptors(self) -> List[GraphDescriptor]:
+        """Every descriptor, in registration order."""
+        return list(self._descriptors.values())

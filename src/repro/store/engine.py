@@ -1,0 +1,302 @@
+"""The :class:`GraphStore` facade and its phase-timing instrumentation.
+
+The store engine is what the PLUS substrate and the Figure-10 benchmark talk
+to: named graphs with logged mutations, adjacency/feature indexes, simple
+transactions and a :class:`PhaseTimer` that records how long each phase of
+an operation takes (the paper's "DB Access" / "Build Graph" / "Protect via
+Hide" / "Protect via Surrogate" bars).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Union
+
+from repro.exceptions import StoreError
+from repro.graph.model import NodeId, PropertyGraph
+from repro.graph.traversal import ancestors, descendants
+from repro.store.index import AdjacencyIndex, FeatureIndex
+from repro.store.storage import GraphStorage
+from repro.store.transactions import Transaction, apply_operations
+
+
+class PhaseTimer:
+    """Accumulates wall-clock durations per named phase (milliseconds)."""
+
+    def __init__(self) -> None:
+        self._totals_ms: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase: ``with timer.phase("db_access"): ...``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self._totals_ms[name] = self._totals_ms.get(name, 0.0) + elapsed_ms
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def record(self, name: str, elapsed_ms: float) -> None:
+        """Record an externally measured duration."""
+        self._totals_ms[name] = self._totals_ms.get(name, 0.0) + elapsed_ms
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total_ms(self, name: Optional[str] = None) -> float:
+        """Total milliseconds for one phase (or across all phases)."""
+        if name is None:
+            return sum(self._totals_ms.values())
+        return self._totals_ms.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase → total milliseconds (plus ``"total"``)."""
+        result = {name: round(value, 3) for name, value in self._totals_ms.items()}
+        result["total"] = round(self.total_ms(), 3)
+        return result
+
+    def reset(self) -> None:
+        self._totals_ms.clear()
+        self._counts.clear()
+
+
+@dataclass
+class StoreStats:
+    """Operation counters exposed by the engine (used in reports and tests)."""
+
+    nodes_written: int = 0
+    edges_written: int = 0
+    nodes_read: int = 0
+    transactions_committed: int = 0
+    queries_answered: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes_written": self.nodes_written,
+            "edges_written": self.edges_written,
+            "nodes_read": self.nodes_read,
+            "transactions_committed": self.transactions_committed,
+            "queries_answered": self.queries_answered,
+        }
+
+
+class GraphStore:
+    """Embedded multi-graph store with logging, indexes and timing.
+
+    Example
+    -------
+    >>> store = GraphStore()                    # in-memory
+    >>> _ = store.create_graph("demo")
+    >>> store.add_node("demo", "a", features={"role": "person"})
+    >>> store.add_node("demo", "b")
+    >>> store.add_edge("demo", "a", "b")
+    >>> store.successors("demo", "a")
+    {'b'}
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.storage = GraphStorage(directory)
+        self.timer = PhaseTimer()
+        self.stats = StoreStats()
+        self._adjacency: Dict[str, AdjacencyIndex] = {}
+        self._features: Dict[str, FeatureIndex] = {}
+        for name in self.storage.names():
+            self._rebuild_indexes(name)
+
+    # ------------------------------------------------------------------ #
+    # graph lifecycle
+    # ------------------------------------------------------------------ #
+    def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> str:
+        """Create an empty named graph and its indexes."""
+        with self.timer.phase("db_access"):
+            self.storage.create_graph(name, kind=kind, description=description)
+        self._adjacency[name] = AdjacencyIndex()
+        self._features[name] = FeatureIndex()
+        return name
+
+    def put_graph(self, graph: PropertyGraph, *, name: Optional[str] = None) -> str:
+        """Store a prebuilt graph wholesale (snapshot write when durable)."""
+        with self.timer.phase("db_access"):
+            stored_name = self.storage.put_graph(graph, name=name)
+        self._rebuild_indexes(stored_name)
+        self.stats.nodes_written += graph.node_count()
+        self.stats.edges_written += graph.edge_count()
+        return stored_name
+
+    def drop_graph(self, name: str) -> None:
+        """Remove a named graph, its indexes and its snapshot."""
+        with self.timer.phase("db_access"):
+            self.storage.drop_graph(name)
+        self._adjacency.pop(name, None)
+        self._features.pop(name, None)
+
+    def graph(self, name: str) -> PropertyGraph:
+        """A *copy* of the stored graph (callers cannot corrupt store state)."""
+        with self.timer.phase("db_access"):
+            stored = self.storage.graph(name)
+            copy = stored.copy()
+        self.stats.nodes_read += copy.node_count()
+        return copy
+
+    def graph_names(self) -> List[str]:
+        return self.storage.names()
+
+    def has_graph(self, name: str) -> bool:
+        return self.storage.has_graph(name)
+
+    def checkpoint(self) -> None:
+        """Snapshot every graph and truncate the write log (durable stores only)."""
+        with self.timer.phase("db_access"):
+            self.storage.checkpoint()
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        graph_name: str,
+        node_id: NodeId,
+        *,
+        kind: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Insert one node (logged)."""
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("db_access"):
+            graph.add_node(node_id, kind=kind, features=features)
+            self.storage.log(
+                "add_node", graph_name, {"id": node_id, "kind": kind, "features": dict(features or {})}
+            )
+        self._index_for(graph_name).add_node(node_id)
+        self._feature_index_for(graph_name).index_node(node_id, dict(features or {}))
+        self.stats.nodes_written += 1
+        self._refresh(graph_name)
+
+    def add_edge(
+        self,
+        graph_name: str,
+        source: NodeId,
+        target: NodeId,
+        *,
+        label: Optional[str] = None,
+        features: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Insert one edge (logged)."""
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("db_access"):
+            graph.add_edge(source, target, label=label, features=features)
+            self.storage.log(
+                "add_edge",
+                graph_name,
+                {"source": source, "target": target, "label": label, "features": dict(features or {})},
+            )
+        self._index_for(graph_name).add_edge(source, target)
+        self.stats.edges_written += 1
+        self._refresh(graph_name)
+
+    def remove_node(self, graph_name: str, node_id: NodeId) -> None:
+        """Remove one node and its incident edges (logged)."""
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("db_access"):
+            graph.remove_node(node_id)
+            self.storage.log("remove_node", graph_name, {"id": node_id})
+        self._index_for(graph_name).remove_node(node_id)
+        self._feature_index_for(graph_name).remove_node(node_id)
+        self._refresh(graph_name)
+
+    def remove_edge(self, graph_name: str, source: NodeId, target: NodeId) -> None:
+        """Remove one edge (logged)."""
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("db_access"):
+            graph.remove_edge(source, target)
+            self.storage.log("remove_edge", graph_name, {"source": source, "target": target})
+        self._index_for(graph_name).remove_edge(source, target)
+        self._refresh(graph_name)
+
+    def set_node_features(self, graph_name: str, node_id: NodeId, features: Mapping[str, Any]) -> None:
+        """Replace one node's features (logged)."""
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("db_access"):
+            graph.set_node_features(node_id, features)
+            self.storage.log("set_node_features", graph_name, {"id": node_id, "features": dict(features)})
+        self._feature_index_for(graph_name).index_node(node_id, dict(features))
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+    def transaction(self, graph_name: str) -> Transaction:
+        """Open a buffered transaction against one graph."""
+        if not self.storage.has_graph(graph_name):
+            raise StoreError(f"graph {graph_name!r} is not in the store")
+
+        def _apply(transaction: Transaction) -> None:
+            graph = self.storage.graph(graph_name)
+            with self.timer.phase("db_access"):
+                applied = apply_operations(graph, transaction.operations)
+                for op, payload in applied:
+                    self.storage.log(op, graph_name, payload)
+            self._rebuild_indexes(graph_name)
+            self.stats.transactions_committed += 1
+            self.stats.nodes_written += sum(1 for op, _ in applied if op == "add_node")
+            self.stats.edges_written += sum(1 for op, _ in applied if op == "add_edge")
+            self._refresh(graph_name)
+
+        return Transaction(graph_name=graph_name, _apply=_apply)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def successors(self, graph_name: str, node_id: NodeId) -> Set[NodeId]:
+        """Indexed successor lookup."""
+        self.stats.queries_answered += 1
+        return self._index_for(graph_name).successors(node_id)
+
+    def predecessors(self, graph_name: str, node_id: NodeId) -> Set[NodeId]:
+        """Indexed predecessor lookup."""
+        self.stats.queries_answered += 1
+        return self._index_for(graph_name).predecessors(node_id)
+
+    def find_nodes(self, graph_name: str, attribute: str, value: Any) -> Set[NodeId]:
+        """Feature-index lookup: nodes whose ``attribute`` equals ``value``."""
+        self.stats.queries_answered += 1
+        return self._feature_index_for(graph_name).lookup(attribute, value)
+
+    def lineage(
+        self, graph_name: str, node_id: NodeId, *, direction: str = "ancestors"
+    ) -> Set[NodeId]:
+        """Full ancestor or descendant closure of one node in a stored graph."""
+        if direction not in {"ancestors", "descendants"}:
+            raise ValueError(f"direction must be 'ancestors' or 'descendants', got {direction!r}")
+        self.stats.queries_answered += 1
+        graph = self.storage.graph(graph_name)
+        with self.timer.phase("query"):
+            if direction == "ancestors":
+                return ancestors(graph, node_id)
+            return descendants(graph, node_id)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _index_for(self, graph_name: str) -> AdjacencyIndex:
+        if graph_name not in self._adjacency:
+            self._rebuild_indexes(graph_name)
+        return self._adjacency[graph_name]
+
+    def _feature_index_for(self, graph_name: str) -> FeatureIndex:
+        if graph_name not in self._features:
+            self._rebuild_indexes(graph_name)
+        return self._features[graph_name]
+
+    def _rebuild_indexes(self, graph_name: str) -> None:
+        graph = self.storage.graph(graph_name)
+        self._adjacency[graph_name] = AdjacencyIndex.build(graph)
+        self._features[graph_name] = FeatureIndex.build(graph)
+
+    def _refresh(self, graph_name: str) -> None:
+        graph = self.storage.graph(graph_name)
+        self.storage.catalog.update_counts(
+            graph_name, node_count=graph.node_count(), edge_count=graph.edge_count()
+        )

@@ -1,0 +1,196 @@
+"""Durable storage of named graphs: snapshots plus the write log.
+
+A :class:`GraphStorage` manages a directory with one JSON snapshot per graph
+(``<name>.graph.json``) and one shared write log (``wal.jsonl``).  Opening a
+directory loads every snapshot and replays any log records appended after
+the latest snapshot, so the store recovers to its last durable state.  When
+constructed without a directory the storage is purely in-memory (the mode
+used by most tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import CatalogError, StoreError
+from repro.graph.model import PropertyGraph
+from repro.graph.serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.store.catalog import Catalog
+from repro.store.wal import LogRecord, WriteAheadLog
+
+_SNAPSHOT_SUFFIX = ".graph.json"
+_WAL_NAME = "wal.jsonl"
+
+
+class GraphStorage:
+    """Named-graph persistence with write-log recovery."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.catalog = Catalog()
+        self._graphs: Dict[str, PropertyGraph] = {}
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.wal = WriteAheadLog(self.directory / _WAL_NAME)
+            self._recover()
+        else:
+            self.wal = WriteAheadLog()
+
+    @property
+    def durable(self) -> bool:
+        """True when backed by a directory on disk."""
+        return self.directory is not None
+
+    # ------------------------------------------------------------------ #
+    # graph lifecycle
+    # ------------------------------------------------------------------ #
+    def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> PropertyGraph:
+        """Create (and log) an empty named graph."""
+        self.catalog.register(name, kind=kind, description=description)
+        graph = PropertyGraph(name=name)
+        self._graphs[name] = graph
+        self.wal.append("create_graph", name, {"kind": kind, "description": description})
+        return graph
+
+    def put_graph(self, graph: PropertyGraph, *, name: Optional[str] = None) -> str:
+        """Store an already-built graph under ``name`` (default: its own name)."""
+        name = name if name is not None else graph.name
+        if not name:
+            raise StoreError("a stored graph needs a name")
+        if name in self.catalog:
+            self.catalog.drop(name)
+        self.catalog.register(name)
+        self._graphs[name] = graph.copy(name=name)
+        self._refresh_counts(name)
+        if self.durable:
+            self._write_snapshot(name)
+        return name
+
+    def drop_graph(self, name: str) -> None:
+        """Remove a graph from the store (and its snapshot, when durable)."""
+        self.catalog.drop(name)
+        self._graphs.pop(name, None)
+        self.wal.append("drop_graph", name)
+        if self.durable:
+            snapshot = self._snapshot_path(name)
+            if snapshot.exists():
+                snapshot.unlink()
+
+    def graph(self, name: str) -> PropertyGraph:
+        """The live graph object for ``name`` (mutations must go through the engine)."""
+        if name not in self._graphs:
+            raise CatalogError(f"graph {name!r} is not in the store")
+        return self._graphs[name]
+
+    def has_graph(self, name: str) -> bool:
+        return name in self._graphs
+
+    def names(self) -> List[str]:
+        return self.catalog.names()
+
+    # ------------------------------------------------------------------ #
+    # logged mutations (called by the engine)
+    # ------------------------------------------------------------------ #
+    def log(self, op: str, graph_name: str, payload: Optional[dict] = None) -> LogRecord:
+        """Append one mutation record to the write log."""
+        record = self.wal.append(op, graph_name, payload)
+        return record
+
+    def _refresh_counts(self, name: str) -> None:
+        graph = self._graphs[name]
+        self.catalog.update_counts(name, node_count=graph.node_count(), edge_count=graph.edge_count())
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> None:
+        """Write a snapshot of every graph and truncate the write log."""
+        if not self.durable:
+            return
+        for name in self._graphs:
+            self._write_snapshot(name)
+        self.wal.truncate()
+
+    def _write_snapshot(self, name: str) -> None:
+        assert self.directory is not None
+        save_graph(self._graphs[name], self._snapshot_path(name))
+
+    def _snapshot_path(self, name: str) -> Path:
+        assert self.directory is not None
+        safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
+        return self.directory / f"{safe}{_SNAPSHOT_SUFFIX}"
+
+    def _recover(self) -> None:
+        """Load snapshots, then replay write-log records on top of them."""
+        assert self.directory is not None
+        for snapshot in sorted(self.directory.glob(f"*{_SNAPSHOT_SUFFIX}")):
+            graph = load_graph(snapshot)
+            name = graph.name or snapshot.name[: -len(_SNAPSHOT_SUFFIX)]
+            if name not in self.catalog:
+                self.catalog.register(name)
+            self._graphs[name] = graph
+            self._refresh_counts(name)
+        for record in self.wal.records():
+            self._replay(record)
+
+    def _replay(self, record: LogRecord) -> None:
+        name = record.graph
+        payload = record.payload
+        if record.op == "create_graph":
+            if name not in self.catalog:
+                self.catalog.register(
+                    name,
+                    kind=payload.get("kind", "graph"),
+                    description=payload.get("description", ""),
+                )
+            self._graphs.setdefault(name, PropertyGraph(name=name))
+            return
+        if record.op == "drop_graph":
+            if name in self.catalog:
+                self.catalog.drop(name)
+            self._graphs.pop(name, None)
+            return
+        if name not in self._graphs:
+            # Mutation for a graph that has no snapshot and no create record:
+            # tolerate it (the snapshot may have been deleted manually).
+            self._graphs[name] = PropertyGraph(name=name)
+            if name not in self.catalog:
+                self.catalog.register(name)
+        graph = self._graphs[name]
+        if record.op == "add_node":
+            if not graph.has_node(payload["id"]):
+                graph.add_node(payload["id"], kind=payload.get("kind"), features=payload.get("features") or {})
+        elif record.op == "remove_node":
+            if graph.has_node(payload["id"]):
+                graph.remove_node(payload["id"])
+        elif record.op == "add_edge":
+            if not graph.has_edge(payload["source"], payload["target"]):
+                graph.add_edge(
+                    payload["source"],
+                    payload["target"],
+                    label=payload.get("label"),
+                    features=payload.get("features") or {},
+                    create_nodes=True,
+                )
+        elif record.op == "remove_edge":
+            if graph.has_edge(payload["source"], payload["target"]):
+                graph.remove_edge(payload["source"], payload["target"])
+        elif record.op == "set_node_features":
+            if graph.has_node(payload["id"]):
+                graph.set_node_features(payload["id"], payload.get("features") or {})
+        else:  # pragma: no cover - KNOWN_OPS guards this
+            raise StoreError(f"cannot replay unknown operation {record.op!r}")
+        self._refresh_counts(name)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def export_graph(self, name: str) -> dict:
+        """The serialised form of one stored graph."""
+        return graph_to_dict(self.graph(name))
+
+    def import_graph(self, payload: dict, *, name: Optional[str] = None) -> str:
+        """Store a graph from its serialised form."""
+        graph = graph_from_dict(payload)
+        return self.put_graph(graph, name=name)

@@ -1,0 +1,113 @@
+"""A minimal append-only write log.
+
+Every mutation of the store is recorded as one JSON line; replaying the log
+reconstructs the store's state, which is how the storage layer recovers a
+directory that has a log but no (or an outdated) snapshot.  The log is
+intentionally simple: records are ``{"seq": int, "op": str, "graph": str,
+"payload": {...}}`` and the file is only ever appended to or truncated as a
+whole (after a snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import StoreError
+
+#: Operations understood by the replay logic.
+KNOWN_OPS = (
+    "create_graph",
+    "drop_graph",
+    "add_node",
+    "remove_node",
+    "add_edge",
+    "remove_edge",
+    "set_node_features",
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One entry of the write log."""
+
+    seq: int
+    op: str
+    graph: str
+    payload: Dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seq": self.seq, "op": self.op, "graph": self.graph, "payload": self.payload},
+            sort_keys=True,
+            default=str,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt write-log line: {line[:80]!r}") from exc
+        for key in ("seq", "op", "graph", "payload"):
+            if key not in data:
+                raise StoreError(f"write-log record missing {key!r}: {line[:80]!r}")
+        return cls(seq=int(data["seq"]), op=data["op"], graph=data["graph"], payload=data["payload"])
+
+
+class WriteAheadLog:
+    """Append-only log, either in memory or backed by a file."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: List[LogRecord] = []
+        self._next_seq = 1
+        if self.path is not None and self.path.exists():
+            self._records = list(self._read_file())
+            if self._records:
+                self._next_seq = self._records[-1].seq + 1
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append(self, op: str, graph: str, payload: Optional[Dict[str, Any]] = None) -> LogRecord:
+        """Append one record (durably, when file-backed) and return it."""
+        if op not in KNOWN_OPS:
+            raise StoreError(f"unknown write-log operation {op!r}")
+        record = LogRecord(seq=self._next_seq, op=op, graph=graph, payload=dict(payload or {}))
+        self._next_seq += 1
+        self._records.append(record)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    def truncate(self) -> None:
+        """Discard every record (after a snapshot has captured the state)."""
+        self._records.clear()
+        if self.path is not None and self.path.exists():
+            self.path.write_text("", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[LogRecord]:
+        """All records currently in the log, in order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def _read_file(self) -> Iterator[LogRecord]:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield LogRecord.from_json(line)

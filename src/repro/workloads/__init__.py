@@ -1,0 +1,32 @@
+"""Workload generators: every data set used in the paper's evaluation.
+
+* :mod:`repro.workloads.social` — the Figure-1 running example (social
+  network reading) together with its privilege lattice, release policy and
+  the four marking variants of Figure 2.
+* :mod:`repro.workloads.motifs` — the seven classic motifs of Figure 6 with
+  their designated protected edge.
+* :mod:`repro.workloads.synthetic` — the 200-node synthetic graph family of
+  Section 6.1.2 (connectivity sweep × protection sweep).
+* :mod:`repro.workloads.random_graphs` — seeded random DAG / random digraph
+  generators shared by the synthetic family and the test suite.
+"""
+
+from repro.workloads.social import Figure1Example, figure1_example
+from repro.workloads.motifs import MOTIF_NAMES, Motif, all_motifs, motif
+from repro.workloads.synthetic import SyntheticGraphSpec, SyntheticInstance, synthetic_family, synthetic_graph
+from repro.workloads.random_graphs import random_connected_dag, random_digraph
+
+__all__ = [
+    "Figure1Example",
+    "figure1_example",
+    "Motif",
+    "MOTIF_NAMES",
+    "motif",
+    "all_motifs",
+    "SyntheticGraphSpec",
+    "SyntheticInstance",
+    "synthetic_graph",
+    "synthetic_family",
+    "random_connected_dag",
+    "random_digraph",
+]

@@ -1,0 +1,155 @@
+"""The classic graph motifs of the paper's Figure 6.
+
+Each motif is a directed graph of four to five nodes together with the one
+edge designated for protection (drawn dashed in the paper).  The exact node
+placement in Figure 6 is not published; the definitions below are chosen so
+that every qualitative statement the paper makes about the motif experiment
+holds:
+
+* **star, chain, tree, inverted tree** — hiding the protected edge severs
+  weak connectivity while surrogating preserves it, so both utility and
+  opacity improve under surrogating;
+* **diamond** — connectivity survives hiding (the other branch keeps the
+  graph weakly connected) but the surrogate edge still reduces the
+  attacker's focus on the endpoints, so opacity improves;
+* **lattice** — a surrogate edge can be drawn but duplicates an existing
+  direct edge, so surrogating and hiding produce identical accounts;
+* **bipartite** — the protected edge ends at the deepest level, so no
+  surrogate destination exists and surrogating equals hiding (the case the
+  paper singles out in Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.builders import graph_from_edges
+from repro.graph.model import EdgeKey, PropertyGraph
+
+#: Motif names in the order the paper's Figure 7 reports them.
+MOTIF_NAMES: Tuple[str, ...] = (
+    "star",
+    "chain",
+    "lattice",
+    "diamond",
+    "tree",
+    "inverted_tree",
+    "bipartite",
+)
+
+
+@dataclass(frozen=True)
+class Motif:
+    """One motif instance: its graph and the edge designated for protection."""
+
+    name: str
+    graph: PropertyGraph
+    protected_edge: EdgeKey
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.node_count()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.edge_count()
+
+
+def _build(name: str, edges: Sequence[Tuple[str, str]], protected_edge: Tuple[str, str]) -> Motif:
+    graph = graph_from_edges(edges, name=name)
+    if not graph.has_edge(*protected_edge):
+        raise WorkloadError(f"motif {name!r}: protected edge {protected_edge!r} is not in the graph")
+    return Motif(name=name, graph=graph, protected_edge=protected_edge)
+
+
+def star() -> Motif:
+    """A hub with one inbound feeder and three outbound spokes.
+
+    The protected edge is the feeder ``n1 -> hub``; surrogate edges connect
+    ``n1`` directly to each spoke, preserving ``n1``'s connectivity.
+    """
+    edges = [("n1", "hub"), ("hub", "n2"), ("hub", "n3"), ("hub", "n4")]
+    return _build("star", edges, ("n1", "hub"))
+
+
+def chain() -> Motif:
+    """A five-node path; the protected edge is the first link."""
+    edges = [("n1", "n2"), ("n2", "n3"), ("n3", "n4"), ("n4", "n5")]
+    return _build("chain", edges, ("n1", "n2"))
+
+
+def lattice() -> Motif:
+    """A five-node lattice with redundant routes and a direct chord.
+
+    Protecting ``n1 -> n2`` makes a surrogate edge ``n1 -> n4`` *possible*
+    but redundant (the chord ``n1 -> n4`` already exists), so hiding and
+    surrogating coincide — exactly the paper's explanation for why the
+    lattice shows no difference.
+    """
+    edges = [
+        ("n1", "n2"),
+        ("n1", "n3"),
+        ("n1", "n4"),
+        ("n2", "n4"),
+        ("n3", "n4"),
+        ("n3", "n2"),
+        ("n4", "n5"),
+    ]
+    return _build("lattice", edges, ("n1", "n2"))
+
+
+def diamond() -> Motif:
+    """The four-node diamond ``a -> {b, c} -> d``; the protected edge is ``a -> b``."""
+    edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    return _build("diamond", edges, ("a", "b"))
+
+
+def tree() -> Motif:
+    """A rooted out-tree of five nodes; the protected edge is the root's first child link."""
+    edges = [("root", "a"), ("root", "b"), ("a", "c"), ("a", "d")]
+    return _build("tree", edges, ("root", "a"))
+
+
+def inverted_tree() -> Motif:
+    """The tree with all edges reversed (many sources merging into a sink)."""
+    edges = [("c", "a"), ("d", "a"), ("a", "root"), ("b", "root")]
+    return _build("inverted_tree", edges, ("c", "a"))
+
+
+def bipartite() -> Motif:
+    """Two levels with all edges pointing downwards; the protected edge ends at the bottom."""
+    edges = [("u1", "v1"), ("u1", "v2"), ("u2", "v2"), ("u2", "v3"), ("u1", "v3")]
+    return _build("bipartite", edges, ("u1", "v1"))
+
+
+_FACTORIES = {
+    "star": star,
+    "chain": chain,
+    "lattice": lattice,
+    "diamond": diamond,
+    "tree": tree,
+    "inverted_tree": inverted_tree,
+    "bipartite": bipartite,
+}
+
+
+def motif(name: str) -> Motif:
+    """Build one motif by name (see :data:`MOTIF_NAMES`)."""
+    normalized = name.strip().lower().replace(" ", "_").replace("-", "_")
+    try:
+        factory = _FACTORIES[normalized]
+    except KeyError:
+        raise WorkloadError(f"unknown motif {name!r}; expected one of {sorted(_FACTORIES)}") from None
+    return factory()
+
+
+def all_motifs() -> List[Motif]:
+    """Every motif, in the order of :data:`MOTIF_NAMES`."""
+    return [motif(name) for name in MOTIF_NAMES]
+
+
+def motif_catalog() -> Dict[str, Motif]:
+    """Name → motif mapping (used by the CLI and docs)."""
+    return {name: motif(name) for name in MOTIF_NAMES}

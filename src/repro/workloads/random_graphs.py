@@ -1,0 +1,139 @@
+"""Seeded random graph generators.
+
+The synthetic evaluation graphs (Section 6.1.2) are weakly connected
+directed graphs; the generators here produce them deterministically from a
+seed so every experiment and test run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.model import NodeId, PropertyGraph
+
+
+def _node_name(index: int) -> str:
+    return f"n{index:03d}"
+
+
+def random_connected_dag(
+    node_count: int,
+    edge_count: int,
+    *,
+    seed: int = 0,
+    name: Optional[str] = None,
+    node_kind: Optional[str] = None,
+) -> PropertyGraph:
+    """A weakly connected random DAG with exactly ``edge_count`` edges.
+
+    Nodes are created in a fixed topological order and every edge points
+    from an earlier node to a later one, so the result is acyclic by
+    construction.  The first ``node_count - 1`` edges form a random
+    spanning arborescence-like skeleton guaranteeing weak connectivity (the
+    paper's synthetic graphs "contain no disconnected subgraphs").
+    """
+    if node_count < 2:
+        raise WorkloadError("random_connected_dag needs at least two nodes")
+    minimum_edges = node_count - 1
+    maximum_edges = node_count * (node_count - 1) // 2
+    if edge_count < minimum_edges or edge_count > maximum_edges:
+        raise WorkloadError(
+            f"edge_count must be between {minimum_edges} and {maximum_edges} for "
+            f"{node_count} nodes, got {edge_count}"
+        )
+    rng = random.Random(seed)
+    graph = PropertyGraph(name=name or f"dag-{node_count}-{edge_count}-{seed}")
+    names = [_node_name(index) for index in range(node_count)]
+    for node_name in names:
+        graph.add_node(node_name, kind=node_kind)
+    # Spanning skeleton: each node (except the first) gets one parent among
+    # the earlier nodes.
+    for index in range(1, node_count):
+        parent = rng.randrange(index)
+        graph.add_edge(names[parent], names[index])
+    # Extra forward edges, sampled without replacement.
+    remaining = edge_count - (node_count - 1)
+    attempts = 0
+    max_attempts = remaining * 50 + 100
+    while remaining > 0 and attempts < max_attempts:
+        attempts += 1
+        source_index = rng.randrange(node_count - 1)
+        target_index = rng.randrange(source_index + 1, node_count)
+        source, target = names[source_index], names[target_index]
+        if graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        remaining -= 1
+    if remaining > 0:
+        # Dense corner case: fall back to a deterministic sweep.
+        for source_index in range(node_count - 1):
+            for target_index in range(source_index + 1, node_count):
+                if remaining == 0:
+                    break
+                source, target = names[source_index], names[target_index]
+                if not graph.has_edge(source, target):
+                    graph.add_edge(source, target)
+                    remaining -= 1
+            if remaining == 0:
+                break
+    return graph
+
+
+def random_digraph(
+    node_count: int,
+    edge_count: int,
+    *,
+    seed: int = 0,
+    allow_cycles: bool = True,
+    name: Optional[str] = None,
+) -> PropertyGraph:
+    """A weakly connected random digraph (cycles allowed by default)."""
+    if not allow_cycles:
+        return random_connected_dag(node_count, edge_count, seed=seed, name=name)
+    if node_count < 2:
+        raise WorkloadError("random_digraph needs at least two nodes")
+    minimum_edges = node_count - 1
+    maximum_edges = node_count * (node_count - 1)
+    if edge_count < minimum_edges or edge_count > maximum_edges:
+        raise WorkloadError(
+            f"edge_count must be between {minimum_edges} and {maximum_edges} for "
+            f"{node_count} nodes, got {edge_count}"
+        )
+    rng = random.Random(seed)
+    graph = PropertyGraph(name=name or f"digraph-{node_count}-{edge_count}-{seed}")
+    names = [_node_name(index) for index in range(node_count)]
+    for node_name in names:
+        graph.add_node(node_name)
+    for index in range(1, node_count):
+        parent = rng.randrange(index)
+        if rng.random() < 0.5:
+            graph.add_edge(names[parent], names[index])
+        else:
+            graph.add_edge(names[index], names[parent])
+    remaining = edge_count - (node_count - 1)
+    attempts = 0
+    max_attempts = remaining * 50 + 100
+    while remaining > 0 and attempts < max_attempts:
+        attempts += 1
+        source, target = rng.sample(names, 2)
+        if graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+        remaining -= 1
+    return graph
+
+
+def sample_edges(
+    graph: PropertyGraph,
+    count: int,
+    *,
+    seed: int = 0,
+) -> List[Tuple[NodeId, NodeId]]:
+    """A deterministic random sample of ``count`` distinct edges of ``graph``."""
+    keys: Sequence[Tuple[NodeId, NodeId]] = graph.edge_keys()
+    if count > len(keys):
+        raise WorkloadError(f"cannot sample {count} edges from a graph with {len(keys)} edges")
+    rng = random.Random(seed)
+    return rng.sample(list(keys), count)

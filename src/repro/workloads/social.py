@@ -1,0 +1,165 @@
+"""The paper's Figure-1 running example, read as a social network.
+
+The exact topology of Figure 1(a) is not published as an edge list, so this
+module reconstructs a graph that is consistent with *every* number the paper
+reports about it:
+
+* 11 nodes (``a1``, ``a2``, ``b`` … ``j``), weakly connected;
+* the High-2 consumer may see exactly ``{b, c, g, h, i, j}``;
+* the naive High-2 account (Figure 1c) splits into the components
+  ``{b, c}`` and ``{g, h, i, j}``, giving Path Utility 0.13 and Node
+  Utility 6/11;
+* the four protected accounts of Figure 2 have Path Utility .38, .27, .13
+  and .27 respectively.
+
+The node ``f`` ("involvement with a particular gang" / "court-sanctioned
+surveillance") is the sensitive hub between ``c`` and ``g``; ``a1``, ``a2``,
+``d`` and ``e`` are the remaining sensitive nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.markings import Marking
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import Privilege, PrivilegeLattice, figure1_lattice
+from repro.graph.builders import GraphBuilder
+from repro.graph.model import PropertyGraph
+
+#: The sensitive relationship the paper tracks through Figure 2 and Table 1.
+SENSITIVE_EDGE: Tuple[str, str] = ("f", "g")
+
+#: Reconstructed edge list of Figure 1(a).
+FIGURE1_EDGES = (
+    ("a1", "b"),
+    ("a2", "b"),
+    ("b", "c"),
+    ("c", "d"),
+    ("c", "e"),
+    ("c", "f"),
+    ("f", "g"),
+    ("d", "h"),
+    ("e", "i"),
+    ("g", "j"),
+    ("h", "i"),
+    ("i", "j"),
+)
+
+#: lowest() assignment: which privilege is required to see each node.
+FIGURE1_LOWEST = {
+    "a1": "High-1",
+    "a2": "High-1",
+    "b": "Public",
+    "c": "Public",
+    "d": "High-1",
+    "e": "High-1",
+    "f": "High-1",
+    "g": "Public",
+    "h": "Public",
+    "i": "Public",
+    "j": "Public",
+}
+
+#: Human-readable features for the running social-network interpretation.
+FIGURE1_FEATURES = {
+    "a1": {"name": "Confidential informant 1", "role": "source"},
+    "a2": {"name": "Confidential informant 2", "role": "source"},
+    "b": {"name": "Precinct report", "role": "document"},
+    "c": {"name": "Suspect C", "role": "person"},
+    "d": {"name": "Undercover operation D", "role": "operation"},
+    "e": {"name": "Wiretap E", "role": "operation"},
+    "f": {"name": "Gang X membership", "role": "affiliation", "sanction": "court-ordered surveillance"},
+    "g": {"name": "Suspect G", "role": "person"},
+    "h": {"name": "Known associate H", "role": "person"},
+    "i": {"name": "Known associate I", "role": "person"},
+    "j": {"name": "Meeting location J", "role": "place"},
+}
+
+
+@dataclass
+class Figure1Example:
+    """The running example: graph, lattice, privileges and release policy."""
+
+    graph: PropertyGraph
+    lattice: PrivilegeLattice
+    privileges: Dict[str, Privilege]
+    policy: ReleasePolicy
+
+    @property
+    def high2(self) -> Privilege:
+        """The consumer class used throughout the worked example."""
+        return self.privileges["High-2"]
+
+
+def figure1_graph() -> PropertyGraph:
+    """Just the graph of Figure 1(a)."""
+    builder = GraphBuilder("figure1")
+    for node_id, features in FIGURE1_FEATURES.items():
+        builder.node(node_id, kind="entity", features=features)
+    builder.edges(FIGURE1_EDGES)
+    return builder.build()
+
+
+def figure1_example(*, with_feature_surrogate: bool = False) -> Figure1Example:
+    """Build the running example with its release policy.
+
+    ``with_feature_surrogate`` registers the informative surrogate ``f'``
+    ("a trusted law enforcement source") for node ``f`` at the Low-2 level,
+    which the Figure-2 variants (a), (c) and (d) rely on.
+    """
+    lattice, privileges = figure1_lattice()
+    graph = figure1_graph()
+    policy = ReleasePolicy(lattice)
+    policy.set_lowest_bulk({node: privileges[level] for node, level in FIGURE1_LOWEST.items()})
+    if with_feature_surrogate:
+        add_f_surrogate(policy)
+    return Figure1Example(graph=graph, lattice=lattice, privileges=privileges, policy=policy)
+
+
+def add_f_surrogate(policy: ReleasePolicy) -> None:
+    """Register the paper's surrogate ``f'`` for the sensitive node ``f``."""
+    if any(s.surrogate_id == "f'" for s in policy.surrogates.surrogates_for("f")):
+        return
+    policy.add_surrogate(
+        "f",
+        "Low-2",
+        surrogate_id="f'",
+        features={"name": "A trusted law enforcement source", "role": "affiliation"},
+        kind="entity",
+        info_score=0.5,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The four marking variants of Figure 2 (all target the High-2 class)
+# --------------------------------------------------------------------------- #
+def figure2_variant(variant: str) -> Figure1Example:
+    """Build the example configured as one of Figure 2's accounts (a)–(d).
+
+    ========  =====================  =========================================
+    variant   surrogate node ``f'``  markings on (c,f) and (f,g) for High-2
+    ========  =====================  =========================================
+    ``"a"``   yes                    all four incidences Visible
+    ``"b"``   no                     c:Visible, f:Surrogate / f:Surrogate, g:Visible
+    ``"c"``   yes                    c:Visible, f:Hide / f:Surrogate, g:Hide
+    ``"d"``   yes                    same as (b), plus the surrogate node
+    ========  =====================  =========================================
+    """
+    variant = variant.lower()
+    if variant not in {"a", "b", "c", "d"}:
+        raise ValueError(f"Figure 2 defines variants 'a'..'d', got {variant!r}")
+    example = figure1_example(with_feature_surrogate=variant in {"a", "c", "d"})
+    high2 = example.high2
+    markings = example.policy.markings
+    if variant == "a":
+        markings.mark_edge(("c", "f"), high2, source=Marking.VISIBLE, target=Marking.VISIBLE)
+        markings.mark_edge(("f", "g"), high2, source=Marking.VISIBLE, target=Marking.VISIBLE)
+    elif variant in {"b", "d"}:
+        markings.mark_edge(("c", "f"), high2, source=Marking.VISIBLE, target=Marking.SURROGATE)
+        markings.mark_edge(("f", "g"), high2, source=Marking.SURROGATE, target=Marking.VISIBLE)
+    else:  # variant "c"
+        markings.mark_edge(("c", "f"), high2, source=Marking.VISIBLE, target=Marking.HIDE)
+        markings.mark_edge(("f", "g"), high2, source=Marking.SURROGATE, target=Marking.HIDE)
+    return example

@@ -1,0 +1,169 @@
+"""The synthetic graph family of the paper's Section 6.1.2.
+
+The paper generates 50 synthetic graphs of 200 nodes each.  Across the
+family, *connectedness* increases so that the average node is connected to
+between 30 and 100 other nodes along directed paths, and *protection*
+varies from 10% to 90% of all edges.  Every graph is weakly connected
+("no disconnected subgraphs") and directed.
+
+Because the authors' generator and seeds are unpublished, this module
+recreates the family from its published parameters: a seeded random
+connected DAG whose edge count is grown until the average directed
+connectivity reaches the target, plus a seeded uniform sample of edges to
+protect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph.model import EdgeKey, PropertyGraph
+from repro.graph.traversal import descendants
+from repro.workloads.random_graphs import random_connected_dag, sample_edges
+
+#: Paper defaults (Section 6.1.2).
+DEFAULT_NODE_COUNT = 200
+DEFAULT_CONNECTIVITY_TARGETS: Tuple[int, ...] = (30, 37, 45, 53, 61, 69, 76, 84, 92, 100)
+DEFAULT_PROTECT_FRACTIONS: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class SyntheticGraphSpec:
+    """Parameters of one synthetic graph instance."""
+
+    node_count: int
+    target_connected_pairs: float
+    protect_fraction: float
+    seed: int
+
+    def label(self) -> str:
+        return (
+            f"n{self.node_count}-cp{int(self.target_connected_pairs)}-"
+            f"p{int(self.protect_fraction * 100)}-s{self.seed}"
+        )
+
+
+@dataclass
+class SyntheticInstance:
+    """A generated synthetic graph together with its protected-edge sample."""
+
+    spec: SyntheticGraphSpec
+    graph: PropertyGraph
+    protected_edges: List[EdgeKey]
+    achieved_connected_pairs: float
+
+    @property
+    def protect_fraction(self) -> float:
+        return self.spec.protect_fraction
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "label": self.spec.label(),
+            "nodes": self.graph.node_count(),
+            "edges": self.graph.edge_count(),
+            "target_connected_pairs": self.spec.target_connected_pairs,
+            "achieved_connected_pairs": round(self.achieved_connected_pairs, 2),
+            "protected_edges": len(self.protected_edges),
+            "protect_fraction": self.spec.protect_fraction,
+        }
+
+
+def average_directed_connected_pairs(graph: PropertyGraph) -> float:
+    """Average, over nodes, of how many other nodes each node can reach.
+
+    This is the "connected pairs" statistic the synthetic experiment sweeps
+    (30–100 for 200-node graphs); directed reachability is used because the
+    weakly connected graphs of the family would otherwise trivially connect
+    every node to all 199 others.
+    """
+    if graph.node_count() == 0:
+        return 0.0
+    total = sum(len(descendants(graph, node_id)) for node_id in graph.node_ids())
+    return total / graph.node_count()
+
+
+def synthetic_graph(
+    spec: SyntheticGraphSpec,
+    *,
+    growth_step: Optional[int] = None,
+    max_edges: Optional[int] = None,
+) -> SyntheticInstance:
+    """Generate one synthetic instance matching ``spec``.
+
+    The generator starts from a spanning skeleton and adds random forward
+    edges in batches until the average directed connectivity reaches the
+    spec's target (or ``max_edges`` is hit), then samples the requested
+    fraction of edges for protection.
+    """
+    if not 0.0 < spec.protect_fraction < 1.0:
+        raise WorkloadError(
+            f"protect_fraction must be in (0, 1), got {spec.protect_fraction}"
+        )
+    if spec.node_count < 10:
+        raise WorkloadError("synthetic graphs need at least 10 nodes")
+    node_count = spec.node_count
+    growth_step = growth_step if growth_step is not None else max(10, node_count // 10)
+    max_edges = max_edges if max_edges is not None else node_count * 12
+    edge_count = node_count - 1
+    graph = random_connected_dag(node_count, edge_count, seed=spec.seed, name=spec.label())
+    achieved = average_directed_connected_pairs(graph)
+    while achieved < spec.target_connected_pairs and edge_count < max_edges:
+        # Grow multiplicatively so reaching dense targets takes O(log) rebuilds.
+        edge_count = min(max_edges, int(edge_count * 1.4) + growth_step)
+        graph = random_connected_dag(
+            node_count, edge_count, seed=spec.seed, name=spec.label()
+        )
+        achieved = average_directed_connected_pairs(graph)
+    protect_count = max(1, int(round(spec.protect_fraction * graph.edge_count())))
+    protected = sample_edges(graph, protect_count, seed=spec.seed + 1)
+    return SyntheticInstance(
+        spec=spec,
+        graph=graph,
+        protected_edges=protected,
+        achieved_connected_pairs=achieved,
+    )
+
+
+def synthetic_family(
+    *,
+    node_count: int = DEFAULT_NODE_COUNT,
+    connectivity_targets: Sequence[float] = DEFAULT_CONNECTIVITY_TARGETS,
+    protect_fractions: Sequence[float] = DEFAULT_PROTECT_FRACTIONS,
+    seed: int = 2011,
+) -> List[SyntheticInstance]:
+    """The full family: one instance per (connectivity, protection) combination.
+
+    With the defaults this is the paper's 50-graph family (10 connectivity
+    levels × 5 protection levels, 200 nodes each).  Smaller families for
+    quick benchmarks are obtained by passing shorter parameter sequences or
+    a smaller ``node_count``.
+    """
+    instances: List[SyntheticInstance] = []
+    for connectivity_index, target in enumerate(connectivity_targets):
+        for protection_index, fraction in enumerate(protect_fractions):
+            spec = SyntheticGraphSpec(
+                node_count=node_count,
+                target_connected_pairs=float(target),
+                protect_fraction=float(fraction),
+                seed=seed + connectivity_index * 101 + protection_index * 7,
+            )
+            instances.append(synthetic_graph(spec))
+    return instances
+
+
+def small_family_for_tests(
+    *,
+    node_count: int = 40,
+    connectivity_targets: Iterable[float] = (8, 14),
+    protect_fractions: Iterable[float] = (0.2, 0.6),
+    seed: int = 7,
+) -> List[SyntheticInstance]:
+    """A reduced family used by unit tests and quick benchmark smoke runs."""
+    return synthetic_family(
+        node_count=node_count,
+        connectivity_targets=tuple(connectivity_targets),
+        protect_fractions=tuple(protect_fractions),
+        seed=seed,
+    )

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.markings import Marking
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice, figure1_lattice
+from repro.graph.builders import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.workloads.social import figure1_example, figure2_variant
+
+
+@pytest.fixture
+def small_graph() -> PropertyGraph:
+    """A 5-node graph with a branch and a diamond-ish join, used across tests.
+
+    Structure::
+
+        a -> b -> c -> e
+             b -> d -> e
+    """
+    return (
+        GraphBuilder("small")
+        .node("a", kind="data", features={"name": "A", "owner": "alice"})
+        .node("b", kind="process", features={"name": "B"})
+        .node("c", kind="data")
+        .node("d", kind="data")
+        .node("e", kind="data")
+        .edge("a", "b")
+        .edge("b", "c")
+        .edge("b", "d")
+        .edge("c", "e")
+        .edge("d", "e")
+        .build()
+    )
+
+
+@pytest.fixture
+def chain_graph() -> PropertyGraph:
+    """A simple 4-node chain a -> b -> c -> d."""
+    return GraphBuilder("chain").chain(["a", "b", "c", "d"]).build()
+
+
+@pytest.fixture
+def two_level_lattice() -> PrivilegeLattice:
+    """Public < Confidential < Secret."""
+    lattice = PrivilegeLattice()
+    confidential = lattice.add("Confidential", dominates=["Public"])
+    lattice.add("Secret", dominates=[confidential])
+    return lattice
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure-1 running example (no surrogate for f registered)."""
+    return figure1_example()
+
+
+@pytest.fixture
+def figure1_with_surrogate():
+    """The running example with the f' surrogate registered."""
+    return figure1_example(with_feature_surrogate=True)
+
+
+@pytest.fixture
+def figure2b():
+    """Figure 2(b): hidden node f with a surrogate edge c -> g."""
+    return figure2_variant("b")
+
+
+@pytest.fixture
+def basic_policy(two_level_lattice) -> ReleasePolicy:
+    """A release policy over the two-level lattice with no assignments yet."""
+    return ReleasePolicy(two_level_lattice)
+
+
+@pytest.fixture
+def protected_chain_policy(chain_graph, two_level_lattice) -> ReleasePolicy:
+    """Chain graph policy: node c requires Secret; connectivity preserved via surrogate markings."""
+    policy = ReleasePolicy(two_level_lattice)
+    policy.set_lowest("c", "Secret")
+    public = two_level_lattice.public
+    policy.markings.mark_edge(("b", "c"), public, source=Marking.VISIBLE, target=Marking.SURROGATE)
+    policy.markings.mark_edge(("c", "d"), public, source=Marking.SURROGATE, target=Marking.VISIBLE)
+    return policy

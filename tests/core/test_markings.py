@@ -1,0 +1,141 @@
+"""Unit tests for node-edge incidence markings and edge states."""
+
+import pytest
+
+from repro.core.markings import EdgeState, Marking, MarkingPolicy, combine_markings
+from repro.core.privileges import PrivilegeLattice, figure1_lattice
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture
+def lattice():
+    return figure1_lattice()[0]
+
+
+@pytest.fixture
+def policy(lattice):
+    return MarkingPolicy(lattice)
+
+
+class TestCombineMarkings:
+    @pytest.mark.parametrize(
+        "source, target, expected",
+        [
+            (Marking.VISIBLE, Marking.VISIBLE, EdgeState.VISIBLE),
+            (Marking.VISIBLE, Marking.SURROGATE, EdgeState.SURROGATE),
+            (Marking.SURROGATE, Marking.VISIBLE, EdgeState.SURROGATE),
+            (Marking.SURROGATE, Marking.SURROGATE, EdgeState.SURROGATE),
+            (Marking.HIDE, Marking.VISIBLE, EdgeState.HIDDEN),
+            (Marking.VISIBLE, Marking.HIDE, EdgeState.HIDDEN),
+            (Marking.HIDE, Marking.SURROGATE, EdgeState.HIDDEN),
+            (Marking.HIDE, Marking.HIDE, EdgeState.HIDDEN),
+        ],
+    )
+    def test_algorithm3_combination_table(self, source, target, expected):
+        assert combine_markings(source, target) is expected
+
+
+class TestDefaults:
+    def test_default_visible_without_lowest_binding(self, policy):
+        assert policy.marking("a", ("a", "b"), "Public") is Marking.VISIBLE
+
+    def test_default_follows_node_visibility(self, lattice):
+        figure_lattice, privileges = figure1_lattice()
+        policy = MarkingPolicy(
+            figure_lattice,
+            lowest_of=lambda node: privileges["High-1"] if node == "f" else figure_lattice.public,
+        )
+        assert policy.marking("f", ("c", "f"), privileges["High-2"]) is Marking.HIDE
+        assert policy.marking("c", ("c", "f"), privileges["High-2"]) is Marking.VISIBLE
+        assert policy.marking("f", ("c", "f"), privileges["High-1"]) is Marking.VISIBLE
+
+    def test_default_protected_marking_configurable(self):
+        figure_lattice, privileges = figure1_lattice()
+        policy = MarkingPolicy(
+            figure_lattice,
+            lowest_of=lambda node: privileges["High-1"],
+            default_protected_marking=Marking.SURROGATE,
+        )
+        assert policy.marking("x", ("x", "y"), "Public") is Marking.SURROGATE
+
+
+class TestExplicitMarkings:
+    def test_explicit_overrides_default(self, lattice):
+        figure_lattice, privileges = figure1_lattice()
+        policy = MarkingPolicy(figure_lattice, lowest_of=lambda node: privileges["High-1"])
+        policy.set_marking("f", ("c", "f"), privileges["High-2"], Marking.SURROGATE)
+        assert policy.marking("f", ("c", "f"), privileges["High-2"]) is Marking.SURROGATE
+        # Other incidences keep the default.
+        assert policy.marking("f", ("f", "g"), privileges["High-2"]) is Marking.HIDE
+
+    def test_marking_propagates_to_dominating_privileges(self, policy):
+        figure_lattice = policy.lattice
+        policy.set_marking("n", ("n", "m"), "Low-2", Marking.SURROGATE)
+        assert policy.marking("n", ("n", "m"), "High-1") is Marking.SURROGATE
+        assert policy.marking("n", ("n", "m"), "High-2") is Marking.SURROGATE
+        # Public does not dominate Low-2, so the default applies there.
+        assert policy.marking("n", ("n", "m"), "Public") is Marking.VISIBLE
+
+    def test_more_specific_privilege_wins(self, policy):
+        policy.set_marking("n", ("n", "m"), "Low-2", Marking.SURROGATE)
+        policy.set_marking("n", ("n", "m"), "High-1", Marking.VISIBLE)
+        assert policy.marking("n", ("n", "m"), "High-1") is Marking.VISIBLE
+        assert policy.marking("n", ("n", "m"), "High-2") is Marking.SURROGATE
+
+    def test_mark_edge_sets_both_sides(self, policy):
+        policy.mark_edge(("a", "b"), "Low-2", source=Marking.VISIBLE, target=Marking.HIDE)
+        assert policy.explicit_marking("a", ("a", "b"), "Low-2") is Marking.VISIBLE
+        assert policy.explicit_marking("b", ("a", "b"), "Low-2") is Marking.HIDE
+
+    def test_mark_incident_edges_bulk(self, policy):
+        graph = graph_from_edges([("a", "b"), ("b", "c"), ("d", "b")])
+        count = policy.mark_incident_edges(graph, "b", "Low-2", Marking.SURROGATE)
+        assert count == 3
+        assert policy.explicit_marking("b", ("a", "b"), "Low-2") is Marking.SURROGATE
+        assert policy.explicit_marking("b", ("b", "c"), "Low-2") is Marking.SURROGATE
+        assert policy.explicit_marking("b", ("d", "b"), "Low-2") is Marking.SURROGATE
+        # Only b's side was marked.
+        assert policy.explicit_marking("a", ("a", "b"), "Low-2") is None
+
+    def test_mark_incident_edges_direction_filter(self, policy):
+        graph = graph_from_edges([("a", "b"), ("b", "c")])
+        count = policy.mark_incident_edges(graph, "b", "Low-2", Marking.HIDE, direction="out")
+        assert count == 1
+        assert policy.explicit_marking("b", ("b", "c"), "Low-2") is Marking.HIDE
+        assert policy.explicit_marking("b", ("a", "b"), "Low-2") is None
+        with pytest.raises(ValueError):
+            policy.mark_incident_edges(graph, "b", "Low-2", Marking.HIDE, direction="diagonal")
+
+    def test_clear_removes_explicit_markings(self, policy):
+        policy.set_marking("a", ("a", "b"), "Low-2", Marking.HIDE)
+        policy.clear()
+        assert policy.explicit_marking("a", ("a", "b"), "Low-2") is None
+
+    def test_explicit_incidences_flattened(self, policy):
+        policy.set_marking("a", ("a", "b"), "Low-2", Marking.HIDE)
+        policy.set_marking("b", ("a", "b"), "High-1", Marking.SURROGATE)
+        incidences = dict(policy.explicit_incidences())
+        assert incidences[("a", ("a", "b"), "Low-2")] is Marking.HIDE
+        assert incidences[("b", ("a", "b"), "High-1")] is Marking.SURROGATE
+
+
+class TestEdgeStates:
+    def test_edge_state_combination(self, policy):
+        policy.mark_edge(("a", "b"), "Low-2", source=Marking.VISIBLE, target=Marking.SURROGATE)
+        assert policy.edge_state(("a", "b"), "Low-2") is EdgeState.SURROGATE
+        policy.mark_edge(("a", "b"), "Low-2", target=Marking.HIDE)
+        assert policy.edge_state(("a", "b"), "Low-2") is EdgeState.HIDDEN
+
+    def test_edge_states_for_whole_graph(self, policy):
+        graph = graph_from_edges([("a", "b"), ("b", "c")])
+        policy.mark_edge(("a", "b"), "Low-2", target=Marking.SURROGATE)
+        states = policy.edge_states(graph, "Low-2")
+        assert states[("a", "b")] is EdgeState.SURROGATE
+        assert states[("b", "c")] is EdgeState.VISIBLE
+
+    def test_copy_is_independent(self, policy):
+        policy.set_marking("a", ("a", "b"), "Low-2", Marking.HIDE)
+        clone = policy.copy()
+        clone.set_marking("a", ("a", "b"), "Low-2", Marking.VISIBLE)
+        assert policy.explicit_marking("a", ("a", "b"), "Low-2") is Marking.HIDE
+        assert clone.explicit_marking("a", ("a", "b"), "Low-2") is Marking.VISIBLE

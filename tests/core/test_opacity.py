@@ -1,0 +1,131 @@
+"""Unit tests for the opacity measure and attacker models (Figures 4-5)."""
+
+import pytest
+
+from repro.core.generation import generate_protected_account
+from repro.core.hiding import naive_protected_account
+from repro.core.opacity import (
+    AdvancedAdversary,
+    NaiveAdversary,
+    average_opacity,
+    hidden_edges,
+    opacity,
+    opacity_profile,
+    opacity_report,
+)
+from repro.core.policy import ReleasePolicy
+from repro.graph.builders import graph_from_edges
+from repro.workloads.social import SENSITIVE_EDGE, figure2_variant
+
+
+def _account_for(variant):
+    example = figure2_variant(variant)
+    return example, generate_protected_account(example.graph, example.policy, example.high2)
+
+
+class TestOpacityBaseCases:
+    def test_edge_present_in_account_has_zero_opacity(self):
+        example, account = _account_for("a")
+        assert opacity(example.graph, account, SENSITIVE_EDGE) == 0.0
+
+    def test_missing_endpoint_gives_full_opacity(self):
+        example, account = _account_for("b")
+        assert opacity(example.graph, account, SENSITIVE_EDGE) == 1.0
+
+    def test_partial_opacity_when_both_endpoints_present(self):
+        example, account = _account_for("c")
+        value = opacity(example.graph, account, SENSITIVE_EDGE)
+        assert 0.0 < value < 1.0
+
+    def test_values_always_in_unit_interval(self, chain_graph, basic_policy):
+        account = generate_protected_account(chain_graph, basic_policy, "Public")
+        for edge in chain_graph.edge_keys():
+            assert 0.0 <= opacity(chain_graph, account, edge) <= 1.0
+
+
+class TestTable1Ordering:
+    def test_paper_ordering_of_figure2_accounts(self):
+        values = {}
+        for variant in ("a", "b", "c", "d"):
+            example, account = _account_for(variant)
+            values[variant] = opacity(example.graph, account, SENSITIVE_EDGE)
+        assert values["a"] == 0.0
+        assert values["b"] == 1.0
+        assert values["a"] < values["c"] < values["d"] < values["b"]
+
+    def test_ordering_holds_with_paper_figure5_constants(self):
+        adversary = AdvancedAdversary.figure5()
+        values = {}
+        for variant in ("a", "b", "c", "d"):
+            example, account = _account_for(variant)
+            values[variant] = opacity(example.graph, account, SENSITIVE_EDGE, adversary=adversary)
+        assert values["a"] < values["c"] < values["d"] < values["b"]
+
+    def test_ordering_holds_with_normalised_focus(self):
+        values = {}
+        for variant in ("a", "b", "c", "d"):
+            example, account = _account_for(variant)
+            values[variant] = opacity(
+                example.graph, account, SENSITIVE_EDGE, normalize_focus=True
+            )
+        assert values["a"] < values["c"] < values["d"] < values["b"]
+
+
+class TestAdversaries:
+    def test_naive_adversary_never_infers(self):
+        example, account = _account_for("c")
+        assert opacity(example.graph, account, SENSITIVE_EDGE, adversary=NaiveAdversary()) == 1.0
+
+    def test_advanced_adversary_focuses_on_loners(self):
+        graph = graph_from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("c", "e")])
+        adversary = AdvancedAdversary()
+        assert adversary.focus_probability(graph, "a") == adversary.loner_focus
+        assert adversary.focus_probability(graph, "c") == adversary.other_focus
+        graph.add_node("isolated")
+        assert adversary.focus_probability(graph, "isolated") == adversary.isolated_focus
+
+    def test_figure5_constants_are_two_tier(self):
+        adversary = AdvancedAdversary.figure5()
+        graph = graph_from_edges([("a", "b")], nodes=["isolated"])
+        assert adversary.focus_probability(graph, "isolated") == adversary.loner_focus
+
+    def test_adding_a_surrogate_edge_raises_opacity_of_isolated_endpoint(self, chain_graph, basic_policy):
+        from repro.core.generation import ProtectionEngine
+
+        engine = ProtectionEngine(basic_policy)
+        accounts = engine.compare_strategies(chain_graph, [("a", "b")], "Public")
+        hide_value = opacity(chain_graph, accounts["hide"], ("a", "b"))
+        surrogate_value = opacity(chain_graph, accounts["surrogate"], ("a", "b"))
+        assert surrogate_value >= hide_value
+
+
+class TestAggregates:
+    def test_hidden_edges_enumeration(self, figure1):
+        account = naive_protected_account(figure1.graph, figure1.policy, figure1.high2)
+        hidden = set(hidden_edges(figure1.graph, account))
+        assert ("c", "f") in hidden and ("f", "g") in hidden
+        assert ("b", "c") not in hidden
+
+    def test_opacity_profile_defaults_to_hidden_edges(self, figure1):
+        account = naive_protected_account(figure1.graph, figure1.policy, figure1.high2)
+        profile = opacity_profile(figure1.graph, account)
+        assert set(profile) == set(hidden_edges(figure1.graph, account))
+        assert all(0.0 <= value <= 1.0 for value in profile.values())
+
+    def test_average_opacity_over_specific_edges(self, figure1):
+        account = naive_protected_account(figure1.graph, figure1.policy, figure1.high2)
+        value = average_opacity(figure1.graph, account, [("c", "f"), ("f", "g")])
+        assert value == 1.0  # f is unrepresented in the naive account
+
+    def test_average_opacity_when_nothing_hidden(self, chain_graph, basic_policy):
+        account = generate_protected_account(chain_graph, basic_policy, "Public")
+        assert average_opacity(chain_graph, account) == 1.0
+
+    def test_opacity_report(self, figure1):
+        account = naive_protected_account(figure1.graph, figure1.policy, figure1.high2)
+        report = opacity_report(figure1.graph, account)
+        assert report.average == pytest.approx(
+            sum(report.per_edge.values()) / len(report.per_edge)
+        )
+        assert 0.0 <= report.minimum() <= 1.0
+        assert "average_opacity" in report.as_dict()

@@ -1,0 +1,166 @@
+"""Unit tests for HW-permitted paths and the visible-set walks (Algorithm 2)."""
+
+import pytest
+
+from repro.core.markings import Marking
+from repro.core.permitted import (
+    backward_visible_set,
+    direct_edge_allows_path,
+    edge_usable,
+    forward_visible_set,
+    hw_permitted_pairs,
+    hw_permitted_path_exists,
+    shortest_hw_permitted_path_length,
+    surrogate_edge_candidates,
+)
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture
+def chain_policy(chain_graph, two_level_lattice):
+    """Chain a->b->c->d where c's role is hidden via Surrogate markings."""
+    policy = ReleasePolicy(two_level_lattice)
+    policy.set_lowest("c", "Secret")
+    public = two_level_lattice.public
+    policy.markings.mark_edge(("b", "c"), public, source=Marking.VISIBLE, target=Marking.SURROGATE)
+    policy.markings.mark_edge(("c", "d"), public, source=Marking.SURROGATE, target=Marking.VISIBLE)
+    return policy
+
+
+class TestEdgeUsable:
+    def test_hide_blocks_usage(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert edge_usable(basic_policy.markings, ("a", "b"), public)
+        basic_policy.markings.mark_edge(("a", "b"), public, target=Marking.HIDE)
+        assert not edge_usable(basic_policy.markings, ("a", "b"), public)
+
+
+class TestDirectEdgeClause:
+    def test_no_direct_edge_allows_path(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert direct_edge_allows_path(chain_graph, basic_policy.markings, public, "a", "c")
+
+    def test_sensitive_direct_edge_blocks_path(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        basic_policy.markings.mark_edge(("a", "b"), public, target=Marking.SURROGATE)
+        assert not direct_edge_allows_path(chain_graph, basic_policy.markings, public, "a", "b")
+
+    def test_visible_direct_edge_allows_path(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert direct_edge_allows_path(chain_graph, basic_policy.markings, public, "a", "b")
+
+
+class TestHwPermittedPaths:
+    def test_fully_visible_chain_is_permitted(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert hw_permitted_path_exists(chain_graph, basic_policy.markings, public, "a", "d")
+        assert shortest_hw_permitted_path_length(chain_graph, basic_policy.markings, public, "a", "d") == 3
+
+    def test_surrogate_incidences_allow_pass_through(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        # b -> c -> d is permitted: endpoints' incidences are Visible, middle is Surrogate.
+        assert hw_permitted_path_exists(chain_graph, chain_policy.markings, public, "b", "d")
+        assert shortest_hw_permitted_path_length(chain_graph, chain_policy.markings, public, "b", "d") == 2
+
+    def test_path_ending_at_surrogate_incidence_not_permitted(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        # The last incidence (at c) is Surrogate, so b..c is not a permitted pair.
+        assert not hw_permitted_path_exists(chain_graph, chain_policy.markings, public, "b", "c")
+
+    def test_hide_breaks_permitted_paths(self, chain_graph, two_level_lattice):
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.markings.mark_edge(("b", "c"), public, target=Marking.HIDE)
+        assert not hw_permitted_path_exists(chain_graph, policy.markings, public, "a", "d")
+
+    def test_first_incidence_must_be_visible(self, chain_graph, two_level_lattice):
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.markings.mark_edge(("a", "b"), public, source=Marking.SURROGATE)
+        assert not hw_permitted_path_exists(chain_graph, policy.markings, public, "a", "d")
+
+    def test_same_node_has_no_permitted_path(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert shortest_hw_permitted_path_length(chain_graph, basic_policy.markings, public, "a", "a") is None
+
+    def test_permitted_pairs_enumeration(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        pairs = hw_permitted_pairs(chain_graph, chain_policy.markings, public, nodes={"a", "b", "d"})
+        assert ("a", "d") in pairs
+        assert ("b", "d") in pairs
+        assert ("d", "a") not in pairs
+
+
+class TestVisibleSetWalks:
+    def test_forward_walk_stops_at_visible_incidence(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        # Forward from c: the incidence at d on (c, d) is Visible -> stop at d.
+        assert forward_visible_set(chain_graph, chain_policy.markings, public, "c") == {"d"}
+
+    def test_backward_walk_stops_at_visible_incidence(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        assert backward_visible_set(chain_graph, chain_policy.markings, public, "c") == {"b"}
+
+    def test_walk_passes_through_surrogate_incidences(self, two_level_lattice):
+        graph = graph_from_edges([("a", "x"), ("x", "y"), ("y", "b")])
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.markings.mark_edge(("a", "x"), public, source=Marking.VISIBLE, target=Marking.SURROGATE)
+        policy.markings.mark_edge(("x", "y"), public, source=Marking.SURROGATE, target=Marking.SURROGATE)
+        policy.markings.mark_edge(("y", "b"), public, source=Marking.SURROGATE, target=Marking.VISIBLE)
+        assert forward_visible_set(graph, policy.markings, public, "x") == {"b"}
+        assert backward_visible_set(graph, policy.markings, public, "y") == {"a"}
+
+    def test_walk_does_not_cross_hidden_edges(self, two_level_lattice):
+        graph = graph_from_edges([("a", "x"), ("x", "b")])
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.markings.mark_edge(("x", "b"), public, source=Marking.HIDE)
+        assert forward_visible_set(graph, policy.markings, public, "x") == set()
+
+    def test_anchor_restriction_walks_through_unrepresentable_nodes(self, two_level_lattice):
+        graph = graph_from_edges([("a", "x"), ("x", "b")])
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.markings.mark_edge(("a", "x"), public, target=Marking.SURROGATE)
+        # Without anchors, the walk stops at b anyway; with anchors excluding x,
+        # x can never be collected even if its incidence were visible.
+        assert forward_visible_set(graph, policy.markings, public, "x", anchors={"a", "b"}) == {"b"}
+        assert forward_visible_set(graph, policy.markings, public, "a", anchors={"a"}) == set()
+
+
+class TestSurrogateEdgeCandidates:
+    def test_candidates_skip_hidden_and_visible_edges(self, chain_graph, chain_policy):
+        public = chain_policy.lattice.public
+        candidates = surrogate_edge_candidates(chain_graph, chain_policy.markings, public)
+        assert candidates == {("b", "d")}
+
+    def test_candidates_respect_direct_edge_protection(self, two_level_lattice):
+        # a -> b is itself protected; no computed edge may re-assert it.
+        graph = graph_from_edges([("a", "b"), ("b", "c")])
+        policy = ReleasePolicy(two_level_lattice)
+        public = two_level_lattice.public
+        policy.protect_edge(("a", "b"), public, strategy="surrogate")
+        candidates = surrogate_edge_candidates(graph, policy.markings, public)
+        assert ("a", "b") not in candidates
+        assert ("a", "c") in candidates
+
+    def test_visible_edge_with_unrepresented_endpoint_is_summarised(self, two_level_lattice):
+        graph = graph_from_edges([("a", "x"), ("x", "b")])
+        policy = ReleasePolicy(two_level_lattice)
+        policy.set_lowest("x", "Secret")
+        public = two_level_lattice.public
+        # Even though both edges default to Visible at a/b and Hide at x, mark x's
+        # incidences Visible to simulate a provider that releases the edges but not the node.
+        policy.markings.mark_edge(("a", "x"), public, target=Marking.VISIBLE)
+        policy.markings.mark_edge(("x", "b"), public, source=Marking.VISIBLE)
+        candidates = surrogate_edge_candidates(
+            graph, policy.markings, public, anchors={"a", "b"}
+        )
+        assert candidates == {("a", "b")}
+
+    def test_no_candidates_when_everything_visible(self, chain_graph, basic_policy):
+        public = basic_policy.lattice.public
+        assert surrogate_edge_candidates(chain_graph, basic_policy.markings, public) == set()

@@ -1,0 +1,127 @@
+"""Unit tests for the release-policy bundle."""
+
+import pytest
+
+from repro.core.markings import EdgeState, Marking
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice, figure1_lattice
+from repro.exceptions import PolicyError, SurrogateError
+from repro.graph.builders import graph_from_edges
+
+
+class TestLowestAssignments:
+    def test_default_lowest_is_public(self, basic_policy):
+        assert basic_policy.lowest("anything") == basic_policy.lattice.public
+
+    def test_set_and_get_lowest(self, basic_policy):
+        basic_policy.set_lowest("x", "Secret")
+        assert basic_policy.lowest("x").name == "Secret"
+        assert basic_policy.lowest_assignments() == {"x": basic_policy.lattice.get("Secret")}
+
+    def test_bulk_assignment(self, basic_policy):
+        basic_policy.set_lowest_bulk({"x": "Secret", "y": "Confidential"})
+        assert basic_policy.lowest("x").name == "Secret"
+        assert basic_policy.lowest("y").name == "Confidential"
+
+    def test_custom_default_lowest(self, two_level_lattice):
+        policy = ReleasePolicy(two_level_lattice, default_lowest="Confidential")
+        assert policy.lowest("anything").name == "Confidential"
+        assert not policy.visible("anything", "Public")
+
+
+class TestVisibility:
+    def test_visible_respects_dominance(self, basic_policy):
+        basic_policy.set_lowest("x", "Confidential")
+        assert basic_policy.visible("x", "Secret")
+        assert basic_policy.visible("x", "Confidential")
+        assert not basic_policy.visible("x", "Public")
+
+    def test_visible_and_protected_node_sets(self, basic_policy, chain_graph):
+        basic_policy.set_lowest("c", "Secret")
+        assert basic_policy.visible_nodes(chain_graph, "Public") == {"a", "b", "d"}
+        assert basic_policy.protected_nodes(chain_graph, "Public") == {"c"}
+        assert basic_policy.protected_nodes(chain_graph, "Secret") == set()
+
+    def test_high_water_of_graph(self, basic_policy, chain_graph):
+        basic_policy.set_lowest("c", "Secret")
+        basic_policy.set_lowest("b", "Confidential")
+        assert basic_policy.high_water(chain_graph).names() == {"Secret"}
+
+
+class TestSurrogateManagement:
+    def test_add_surrogate_validates_against_lowest(self, basic_policy):
+        basic_policy.set_lowest("x", "Confidential")
+        basic_policy.add_surrogate("x", "Public", surrogate_id="x_pub")
+        with pytest.raises(SurrogateError):
+            basic_policy.add_surrogate("x", "Secret", surrogate_id="x_secret")
+
+    def test_best_surrogate_uses_original_features(self, basic_policy, chain_graph):
+        basic_policy.set_lowest("c", "Secret")
+        chain_graph.set_node_features("c", {"name": "C", "detail": "sensitive"})
+        basic_policy.add_surrogate("c", "Public", surrogate_id="rich", features={"name": "C"})
+        basic_policy.add_surrogate("c", "Public", surrogate_id="bare", features={})
+        best = basic_policy.best_surrogate(chain_graph, "c", "Public")
+        assert best.surrogate_id == "rich"
+
+
+class TestEdgeProtectionStrategies:
+    def test_protect_edge_surrogate_marks_target_side(self, basic_policy):
+        basic_policy.protect_edge(("a", "b"), "Public", strategy=STRATEGY_SURROGATE)
+        assert basic_policy.markings.explicit_marking("b", ("a", "b"), "Public") is Marking.SURROGATE
+        assert basic_policy.markings.explicit_marking("a", ("a", "b"), "Public") is Marking.VISIBLE
+        assert basic_policy.markings.edge_state(("a", "b"), "Public") is EdgeState.SURROGATE
+
+    def test_protect_edge_hide(self, basic_policy):
+        basic_policy.protect_edge(("a", "b"), "Public", strategy=STRATEGY_HIDE)
+        assert basic_policy.markings.edge_state(("a", "b"), "Public") is EdgeState.HIDDEN
+
+    def test_protect_edges_bulk_count(self, basic_policy):
+        count = basic_policy.protect_edges([("a", "b"), ("b", "c")], "Public")
+        assert count == 2
+
+    def test_unknown_strategy_rejected(self, basic_policy):
+        with pytest.raises(PolicyError):
+            basic_policy.protect_edge(("a", "b"), "Public", strategy="obfuscate")
+
+    def test_protect_node_marks_incident_edges(self, basic_policy, chain_graph):
+        basic_policy.protect_node(
+            chain_graph, "c", "Public", incident_marking=Marking.SURROGATE, lowest="Secret"
+        )
+        assert basic_policy.lowest("c").name == "Secret"
+        assert basic_policy.markings.explicit_marking("c", ("b", "c"), "Public") is Marking.SURROGATE
+        assert basic_policy.markings.explicit_marking("c", ("c", "d"), "Public") is Marking.SURROGATE
+
+
+class TestCopyAndDescribe:
+    def test_copy_isolates_markings_and_lowest(self, basic_policy):
+        basic_policy.set_lowest("x", "Secret")
+        basic_policy.protect_edge(("a", "b"), "Public", strategy=STRATEGY_HIDE)
+        clone = basic_policy.copy()
+        clone.set_lowest("x", "Confidential")
+        clone.protect_edge(("a", "b"), "Public", strategy=STRATEGY_SURROGATE)
+        assert basic_policy.lowest("x").name == "Secret"
+        assert basic_policy.markings.edge_state(("a", "b"), "Public") is EdgeState.HIDDEN
+        assert clone.markings.edge_state(("a", "b"), "Public") is EdgeState.SURROGATE
+
+    def test_copy_shares_surrogate_registry(self, basic_policy):
+        basic_policy.set_lowest("x", "Secret")
+        clone = basic_policy.copy()
+        basic_policy.add_surrogate("x", "Public", surrogate_id="x_pub")
+        assert clone.surrogates.has_surrogate("x")
+
+    def test_copy_default_lowest_uses_clone_lookup(self, two_level_lattice, chain_graph):
+        policy = ReleasePolicy(two_level_lattice)
+        policy.set_lowest("c", "Secret")
+        clone = policy.copy()
+        clone.set_lowest("c", "Public")
+        # The clone's markings must consult the clone's lowest(), not the original's.
+        assert clone.markings.marking("c", ("b", "c"), "Public") is Marking.VISIBLE
+        assert policy.markings.marking("c", ("b", "c"), "Public") is Marking.HIDE
+
+    def test_describe_summarises_policy(self, figure1):
+        description = figure1.policy.describe(figure1.graph, figure1.high2)
+        assert description["privilege"] == "High-2"
+        assert description["visible_nodes"] == 6
+        assert description["protected_nodes"] == 5
+        assert description["high_water"] == ["High-1"]
+        assert description["hidden_edges"] > 0

@@ -1,0 +1,149 @@
+"""Unit tests for privilege-predicates, dominance and high-water sets."""
+
+import pytest
+
+from repro.core.privileges import (
+    HighWaterSet,
+    Privilege,
+    PrivilegeLattice,
+    appendix_lattice,
+    figure1_lattice,
+)
+from repro.exceptions import CyclicDominanceError, UnknownPrivilegeError
+
+
+class TestLatticeConstruction:
+    def test_public_exists_by_default(self):
+        lattice = PrivilegeLattice()
+        assert lattice.public.name == "Public"
+        assert lattice.public in lattice
+
+    def test_add_and_lookup(self, two_level_lattice):
+        secret = two_level_lattice.get("Secret")
+        assert isinstance(secret, Privilege)
+        assert two_level_lattice.get(secret) == secret
+
+    def test_unknown_privilege_raises(self, two_level_lattice):
+        with pytest.raises(UnknownPrivilegeError):
+            two_level_lattice.get("TopSecret")
+        with pytest.raises(UnknownPrivilegeError):
+            two_level_lattice.add("X", dominates=["Nope"])
+
+    def test_re_adding_same_name_returns_existing(self, two_level_lattice):
+        first = two_level_lattice.get("Confidential")
+        second = two_level_lattice.add("Confidential")
+        assert first == second
+
+    def test_cycle_detection(self):
+        lattice = PrivilegeLattice()
+        a = lattice.add("A")
+        b = lattice.add("B", dominates=[a])
+        with pytest.raises(CyclicDominanceError):
+            lattice.add("A", dominates=[b])
+
+    def test_add_chain(self):
+        lattice = PrivilegeLattice()
+        top, middle, public = lattice.add_chain(["Top", "Middle", "Public"])
+        assert lattice.dominates(top, middle)
+        assert lattice.dominates(middle, public)
+        assert lattice.dominates(top, public)
+        assert not lattice.dominates(middle, top)
+
+
+class TestDominance:
+    def test_reflexive(self, two_level_lattice):
+        assert two_level_lattice.dominates("Secret", "Secret")
+
+    def test_transitive(self, two_level_lattice):
+        assert two_level_lattice.dominates("Secret", "Public")
+
+    def test_everything_dominates_public(self, two_level_lattice):
+        for name in two_level_lattice.names():
+            assert two_level_lattice.dominates(name, "Public")
+
+    def test_strict_dominance_excludes_self(self, two_level_lattice):
+        assert not two_level_lattice.strictly_dominates("Secret", "Secret")
+        assert two_level_lattice.strictly_dominates("Secret", "Confidential")
+
+    def test_incomparable_privileges(self):
+        lattice, privileges = figure1_lattice()
+        assert not lattice.dominates("High-1", "High-2")
+        assert not lattice.dominates("High-2", "High-1")
+        assert not lattice.comparable("High-1", "High-2")
+        assert lattice.comparable("High-1", "Low-2")
+
+    def test_dominated_by_and_dominators(self):
+        lattice, privileges = figure1_lattice()
+        dominated = {privilege.name for privilege in lattice.dominated_by("High-1")}
+        assert dominated == {"High-1", "Low-2", "Public"}
+        dominators = {privilege.name for privilege in lattice.dominators_of("Low-2")}
+        assert dominators == {"Low-2", "High-1", "High-2"}
+
+    def test_maximal_and_antichain(self):
+        lattice, privileges = figure1_lattice()
+        maximal = {privilege.name for privilege in lattice.maximal(["Public", "Low-2", "High-1"])}
+        assert maximal == {"High-1"}
+        assert lattice.is_antichain(["High-1", "High-2"])
+        assert not lattice.is_antichain(["High-1", "Low-2"])
+
+
+class TestHighWaterSet:
+    def test_of_nodes_picks_maximal_antichain(self):
+        lattice, privileges = figure1_lattice()
+        node_lowest = {
+            "a": privileges["High-1"],
+            "b": privileges["High-2"],
+            "c": privileges["Low-2"],
+            "d": privileges["Public"],
+        }
+        hw = HighWaterSet.of_nodes(lattice, node_lowest)
+        assert hw.names() == {"High-1", "High-2"}
+        assert len(hw) == 2
+
+    def test_covers_every_node_lowest(self):
+        lattice, privileges = figure1_lattice()
+        hw = HighWaterSet(lattice, [privileges["High-1"], privileges["High-2"]])
+        for name in ("Public", "Low-2", "High-1", "High-2"):
+            assert hw.covers(name)
+
+    def test_normalises_non_antichain_input(self):
+        lattice, privileges = figure1_lattice()
+        hw = HighWaterSet(lattice, [privileges["High-1"], privileges["Low-2"]])
+        assert hw.names() == {"High-1"}
+
+    def test_dominated_by_consumer(self):
+        lattice, privileges = figure1_lattice()
+        hw = HighWaterSet(lattice, [privileges["Low-2"]])
+        assert hw.dominated_by_consumer(privileges["High-1"])
+        assert hw.dominated_by_consumer(privileges["Low-2"])
+        assert not hw.dominated_by_consumer(lattice.public)
+        mixed = HighWaterSet(lattice, [privileges["High-1"], privileges["High-2"]])
+        assert not mixed.dominated_by_consumer(privileges["High-1"])
+
+    def test_empty_node_set_defaults_to_public(self):
+        lattice = PrivilegeLattice()
+        hw = HighWaterSet.of_nodes(lattice, {})
+        assert hw.names() == {"Public"}
+
+    def test_membership_and_equality(self):
+        lattice, privileges = figure1_lattice()
+        hw1 = HighWaterSet(lattice, [privileges["High-1"]])
+        hw2 = HighWaterSet(lattice, [privileges["High-1"]])
+        assert hw1 == hw2
+        assert privileges["High-1"] in hw1
+        assert privileges["High-2"] not in hw1
+
+
+class TestStandardLattices:
+    def test_figure1_lattice_shape(self):
+        lattice, privileges = figure1_lattice()
+        assert set(privileges) == {"Public", "Low-2", "High-1", "High-2"}
+        assert lattice.dominates("High-2", "Low-2")
+        assert lattice.dominates("Low-2", "Public")
+
+    def test_appendix_lattice_shape(self):
+        lattice, privileges = appendix_lattice()
+        assert lattice.dominates("Cleared Emergency Responder", "Emergency Responder")
+        assert lattice.dominates("National Security", "Emergency Responder")
+        assert not lattice.dominates("Medical Provider", "Emergency Responder")
+        assert lattice.dominates("Medical Provider", "Public")

@@ -1,0 +1,89 @@
+"""Unit tests for the ProtectedAccount result type (Definition 5 bookkeeping)."""
+
+import pytest
+
+from repro.core.protected_account import ProtectedAccount
+from repro.exceptions import ProtectionError
+from repro.graph.builders import graph_from_edges
+
+
+@pytest.fixture
+def account():
+    """A hand-built account: b and c kept, x' standing in for x, surrogate edge b->c."""
+    graph = graph_from_edges([("b", "c")], nodes=["x'"], name="account")
+    return ProtectedAccount(
+        graph=graph,
+        correspondence={"b": "b", "c": "c", "x'": "x"},
+        surrogate_nodes={"x'"},
+        surrogate_edges={("b", "c")},
+        strategy="surrogate",
+    )
+
+
+class TestConstructionInvariants:
+    def test_every_graph_node_needs_a_correspondence(self):
+        graph = graph_from_edges([("a", "b")])
+        with pytest.raises(ProtectionError):
+            ProtectedAccount(graph=graph, correspondence={"a": "a"})
+
+    def test_correspondence_must_be_injective(self):
+        graph = graph_from_edges([("a", "b")])
+        with pytest.raises(ProtectionError):
+            ProtectedAccount(graph=graph, correspondence={"a": "x", "b": "x"})
+
+    def test_valid_construction(self, account):
+        assert account.graph.node_count() == 3
+        assert account.strategy == "surrogate"
+
+
+class TestCorrespondenceQueries:
+    def test_original_of(self, account):
+        assert account.original_of("x'") == "x"
+        assert account.original_of("b") == "b"
+        with pytest.raises(ProtectionError):
+            account.original_of("ghost")
+
+    def test_account_node_of(self, account):
+        assert account.account_node_of("x") == "x'"
+        assert account.account_node_of("b") == "b"
+        assert account.account_node_of("unrepresented") is None
+
+    def test_represents_and_represented_originals(self, account):
+        assert account.represents("x")
+        assert not account.represents("zzz")
+        assert account.represented_originals() == {"b", "c", "x"}
+
+    def test_pairs(self, account):
+        assert ("x'", "x") in account.pairs()
+
+
+class TestSurrogateQueries:
+    def test_is_surrogate_node(self, account):
+        assert account.is_surrogate_node("x'")
+        assert not account.is_surrogate_node("b")
+
+    def test_is_surrogate_edge(self, account):
+        assert account.is_surrogate_edge("b", "c")
+        assert not account.is_surrogate_edge("c", "b")
+
+    def test_original_node_ids_and_visible_edges(self, account):
+        assert set(account.original_node_ids()) == {"b", "c"}
+        assert account.visible_edge_keys() == []
+
+
+class TestEdgeCorrespondence:
+    def test_contains_original_edge(self, account):
+        assert account.contains_original_edge("b", "c")
+        assert not account.contains_original_edge("c", "b")
+        assert not account.contains_original_edge("x", "b")
+        assert not account.contains_original_edge("nope", "c")
+
+
+class TestSummary:
+    def test_summary_counts(self, account):
+        summary = account.summary()
+        assert summary["nodes"] == 3
+        assert summary["surrogate_nodes"] == 1
+        assert summary["surrogate_edges"] == 1
+        assert summary["original_nodes"] == 2
+        assert summary["strategy"] == "surrogate"

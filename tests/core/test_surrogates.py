@@ -1,0 +1,130 @@
+"""Unit tests for surrogate nodes and the surrogate registry."""
+
+import pytest
+
+from repro.core.privileges import figure1_lattice
+from repro.core.surrogates import NULL_SURROGATE, Surrogate, SurrogateRegistry, null_surrogate
+from repro.exceptions import SurrogateError
+
+
+@pytest.fixture
+def lattice_and_privileges():
+    return figure1_lattice()
+
+
+@pytest.fixture
+def registry(lattice_and_privileges):
+    lattice, _ = lattice_and_privileges
+    return SurrogateRegistry(lattice)
+
+
+class TestSurrogateObject:
+    def test_info_score_range_enforced(self, lattice_and_privileges):
+        lattice, privileges = lattice_and_privileges
+        with pytest.raises(SurrogateError):
+            Surrogate("f", "f'", privileges["Low-2"], info_score=1.5)
+
+    def test_null_surrogate_has_no_features(self, lattice_and_privileges):
+        lattice, privileges = lattice_and_privileges
+        surrogate = null_surrogate("f", privileges["Low-2"])
+        assert surrogate.is_null()
+        assert surrogate.info_score == 0.0
+        assert NULL_SURROGATE in str(surrogate.surrogate_id)
+
+    def test_as_node_materialisation(self, lattice_and_privileges):
+        lattice, privileges = lattice_and_privileges
+        surrogate = Surrogate("f", "f'", privileges["Low-2"], features={"name": "source"}, kind="entity")
+        node = surrogate.as_node()
+        assert node.node_id == "f'"
+        assert node.kind == "entity"
+        assert node.features == {"name": "source"}
+
+
+class TestRegistration:
+    def test_add_and_lookup(self, registry):
+        registry.add("f", "Low-2", surrogate_id="f'", features={"name": "a source"})
+        assert registry.has_surrogate("f")
+        assert not registry.has_surrogate("g")
+        assert len(registry.surrogates_for("f")) == 1
+        assert registry.originals() == ["f"]
+        assert len(registry) == 1
+
+    def test_default_surrogate_id(self, registry):
+        surrogate = registry.add("x", "Low-2")
+        assert surrogate.surrogate_id == "x'"
+
+    def test_duplicate_surrogate_id_rejected(self, registry):
+        registry.add("f", "Low-2", surrogate_id="f'")
+        with pytest.raises(SurrogateError):
+            registry.add("f", "Public", surrogate_id="f'")
+
+    def test_lowest_constraint_blocks_dominating_surrogates(self, registry, lattice_and_privileges):
+        lattice, privileges = lattice_and_privileges
+        # Original requires Low-2; a surrogate requiring High-1 would dominate it.
+        with pytest.raises(SurrogateError):
+            registry.add("n", "High-1", original_lowest=privileges["Low-2"])
+        # Equal privilege is also forbidden (a surrogate must broaden release).
+        with pytest.raises(SurrogateError):
+            registry.add("n", "Low-2", original_lowest=privileges["Low-2"])
+        # Incomparable privilege is allowed.
+        registry.add("n", "High-2", original_lowest=privileges["High-1"])
+
+    def test_info_score_monotonicity_enforced(self, registry):
+        registry.add("f", "Public", surrogate_id="f_pub", info_score=0.6)
+        with pytest.raises(SurrogateError):
+            registry.add("f", "Low-2", surrogate_id="f_low", info_score=0.3)
+
+    def test_validate_against_mapping(self, registry, lattice_and_privileges):
+        lattice, privileges = lattice_and_privileges
+        registry.add("f", "Low-2", surrogate_id="f'")
+        registry.validate_against({"f": privileges["High-1"]})
+        with pytest.raises(SurrogateError):
+            registry.validate_against({"f": privileges["Public"]})
+
+
+class TestVisibilityAndSelection:
+    def test_visible_surrogates_respect_dominance(self, registry):
+        registry.add("f", "Low-2", surrogate_id="f_low")
+        registry.add("f", "Public", surrogate_id="f_pub")
+        low2_visible = {s.surrogate_id for s in registry.visible_surrogates("f", "Low-2")}
+        public_visible = {s.surrogate_id for s in registry.visible_surrogates("f", "Public")}
+        assert low2_visible == {"f_low", "f_pub"}
+        assert public_visible == {"f_pub"}
+
+    def test_best_surrogate_prefers_most_dominant_lowest(self, registry):
+        registry.add("f", "Public", surrogate_id="f_pub", info_score=0.1)
+        registry.add("f", "Low-2", surrogate_id="f_low", info_score=0.5)
+        best = registry.best_surrogate("f", "High-2")
+        assert best.surrogate_id == "f_low"
+        # A Public consumer can only get the public surrogate.
+        assert registry.best_surrogate("f", "Public").surrogate_id == "f_pub"
+
+    def test_best_surrogate_none_when_nothing_visible(self, registry):
+        registry.add("f", "Low-2", surrogate_id="f_low")
+        assert registry.best_surrogate("f", "Public") is None
+        assert registry.best_surrogate("unknown", "High-1") is None
+
+    def test_best_surrogate_ties_broken_by_info_score(self, registry):
+        registry.add("f", "Low-2", surrogate_id="weak", info_score=0.2)
+        registry.add("f", "Low-2", surrogate_id="strong", info_score=0.9)
+        assert registry.best_surrogate("f", "High-2").surrogate_id == "strong"
+
+    def test_best_surrogate_uses_feature_overlap_without_scores(self, registry):
+        registry.add("f", "Low-2", surrogate_id="empty", features={})
+        registry.add("f", "Low-2", surrogate_id="partial", features={"name": "Joe"})
+        best = registry.best_surrogate("f", "High-2", original_features={"name": "Joe", "phone": "1"})
+        assert best.surrogate_id == "partial"
+
+    def test_incomparable_surrogates_both_offered(self, registry):
+        registry.add("n", "High-1", surrogate_id="n_h1")
+        registry.add("n", "High-2", surrogate_id="n_h2")
+        # A consumer dominating both sees both; selection is deterministic.
+        visible = {s.surrogate_id for s in registry.visible_surrogates("n", "High-1")}
+        assert visible == {"n_h1"}
+        best = registry.best_surrogate("n", "High-1")
+        assert best.surrogate_id == "n_h1"
+
+    def test_iteration(self, registry):
+        registry.add("a", "Low-2")
+        registry.add("b", "Low-2")
+        assert {s.original_id for s in registry} == {"a", "b"}

@@ -1,0 +1,163 @@
+"""Unit tests for graph builders, serialization, algorithms and statistics."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.algorithms import (
+    density,
+    find_cycle,
+    from_networkx,
+    is_acyclic,
+    leaves,
+    roots,
+    to_networkx,
+    topological_sort,
+)
+from repro.graph.builders import GraphBuilder, complete_dag, graph_from_edges, layered_graph
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.graph.statistics import average_degree, degree_histogram, degrees, summarize
+
+
+class TestGraphBuilder:
+    def test_fluent_construction(self):
+        graph = (
+            GraphBuilder("demo")
+            .node("a", kind="person")
+            .nodes(["b", "c"], kind="place")
+            .edge("a", "b", label="visited")
+            .chain(["b", "c", "d"])
+            .build()
+        )
+        assert graph.node("a").kind == "person"
+        assert graph.node("c").kind == "place"
+        assert graph.edge("a", "b").label == "visited"
+        assert graph.has_edge("c", "d")
+
+    def test_star_builder(self):
+        outward = GraphBuilder().star("hub", ["x", "y"]).build()
+        inward = GraphBuilder().star("hub", ["x", "y"], outward=False).build()
+        assert outward.has_edge("hub", "x")
+        assert inward.has_edge("x", "hub")
+
+    def test_edges_accepts_labelled_tuples(self):
+        graph = GraphBuilder().edges([("a", "b"), ("b", "c", "next")]).build()
+        assert graph.edge("b", "c").label == "next"
+        assert graph.edge("a", "b").label is None
+
+    def test_graph_from_edges_with_isolated_nodes(self):
+        graph = graph_from_edges([("a", "b")], nodes=["c"], name="named")
+        assert graph.name == "named"
+        assert graph.has_node("c")
+        assert graph.isolated_nodes() == ["c"]
+
+    def test_complete_dag(self):
+        graph = complete_dag(["a", "b", "c"])
+        assert graph.edge_count() == 3
+        assert is_acyclic(graph)
+
+    def test_layered_graph_dense_and_sparse(self):
+        dense = layered_graph([["a", "b"], ["c", "d"]])
+        assert dense.edge_count() == 4
+        sparse = layered_graph([["a", "b"], ["c", "d"]], dense=False)
+        assert sparse.edge_count() == 2
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, small_graph):
+        payload = graph_to_dict(small_graph)
+        rebuilt = graph_from_dict(payload)
+        assert rebuilt == small_graph
+        assert rebuilt.name == small_graph.name
+
+    def test_json_round_trip(self, small_graph):
+        rebuilt = graph_from_json(graph_to_json(small_graph))
+        assert rebuilt == small_graph
+
+    def test_file_round_trip(self, small_graph, tmp_path):
+        path = save_graph(small_graph, tmp_path / "nested" / "graph.json")
+        assert path.exists()
+        assert load_graph(path) == small_graph
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"not": "a graph"})
+        with pytest.raises(GraphError):
+            graph_from_json("{broken json")
+
+
+class TestAlgorithms:
+    def test_topological_sort_orders_dependencies(self, small_graph):
+        order = topological_sort(small_graph)
+        position = {node: index for index, node in enumerate(order)}
+        for edge in small_graph.edges():
+            assert position[edge.source] < position[edge.target]
+
+    def test_topological_sort_detects_cycles(self):
+        cyclic = graph_from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(GraphError):
+            topological_sort(cyclic)
+        assert topological_sort(cyclic, strict=False) is None
+        assert not is_acyclic(cyclic)
+
+    def test_find_cycle_returns_closed_walk(self):
+        cyclic = graph_from_edges([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        cycle = find_cycle(cyclic)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {"a", "b", "c"}
+
+    def test_find_cycle_none_for_dag(self, small_graph):
+        assert find_cycle(small_graph) is None
+
+    def test_roots_and_leaves(self, small_graph):
+        assert roots(small_graph) == {"a"}
+        assert leaves(small_graph) == {"e"}
+
+    def test_density(self, small_graph):
+        assert density(small_graph) == pytest.approx(5 / 20)
+        assert density(graph_from_edges([], nodes=["only"])) == 0.0
+
+    def test_networkx_round_trip(self, small_graph):
+        pytest.importorskip("networkx")
+        digraph = to_networkx(small_graph)
+        assert digraph.number_of_nodes() == 5
+        assert digraph.number_of_edges() == 5
+        back = from_networkx(digraph, name="back")
+        assert set(back.node_ids()) == set(small_graph.node_ids())
+        assert set(back.edge_keys()) == set(small_graph.edge_keys())
+        assert back.node("a").features["owner"] == "alice"
+
+
+class TestStatistics:
+    def test_degrees_and_histogram(self, small_graph):
+        all_degrees = degrees(small_graph)
+        assert all_degrees["b"] == 3
+        histogram = degree_histogram(small_graph)
+        assert sum(histogram.values()) == small_graph.node_count()
+
+    def test_average_degree(self, small_graph):
+        assert average_degree(small_graph) == pytest.approx(2 * 5 / 5)
+
+    def test_summary(self, small_graph):
+        summary = summarize(small_graph)
+        assert summary.node_count == 5
+        assert summary.edge_count == 5
+        assert summary.component_count == 1
+        assert summary.largest_component == 5
+        assert summary.isolated_nodes == 0
+        assert summary.as_dict()["nodes"] == 5
+
+    def test_summary_of_empty_graph(self):
+        from repro.graph.model import PropertyGraph
+
+        summary = summarize(PropertyGraph())
+        assert summary.node_count == 0
+        assert summary.max_degree == 0
+        assert summary.average_connected_pairs == 0.0

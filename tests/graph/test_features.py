@@ -1,0 +1,90 @@
+"""Unit tests for feature helpers."""
+
+import pytest
+
+from repro.graph.features import (
+    feature_overlap,
+    features_equal,
+    merge_features,
+    normalize_features,
+    redact_features,
+)
+
+
+class TestNormalizeFeatures:
+    def test_none_becomes_empty_dict(self):
+        assert normalize_features(None) == {}
+
+    def test_copy_is_made(self):
+        original = {"a": 1}
+        normalized = normalize_features(original)
+        normalized["a"] = 2
+        assert original["a"] == 1
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(TypeError):
+            normalize_features([("a", 1)])
+
+
+class TestFeaturesEqual:
+    def test_equal_and_unequal(self):
+        assert features_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
+        assert not features_equal({"a": 1}, {"a": 2})
+        assert not features_equal({"a": 1}, {})
+
+
+class TestFeatureOverlap:
+    def test_identity_scores_one(self):
+        features = {"name": "Joe", "phone": "123"}
+        assert feature_overlap(features, features) == 1.0
+
+    def test_partial_overlap(self):
+        original = {"name": "Joe", "phone": "123", "city": "X", "age": 30}
+        candidate = {"name": "Joe", "city": "X"}
+        assert feature_overlap(original, candidate) == pytest.approx(0.5)
+
+    def test_changed_value_does_not_count(self):
+        assert feature_overlap({"name": "Joe"}, {"name": "J."}) == 0.0
+
+    def test_empty_original_scores_one(self):
+        assert feature_overlap({}, {"anything": 1}) == 1.0
+
+    def test_null_surrogate_scores_zero(self):
+        assert feature_overlap({"name": "Joe"}, {}) == 0.0
+
+
+class TestRedactFeatures:
+    def test_keep_filter(self):
+        result = redact_features({"a": 1, "b": 2, "c": 3}, keep=["a", "c"])
+        assert result == {"a": 1, "c": 3}
+
+    def test_drop_filter(self):
+        result = redact_features({"a": 1, "b": 2}, drop=["b"])
+        assert result == {"a": 1}
+
+    def test_replacements_coarsen_values(self):
+        result = redact_features({"substance": "heroin"}, replacements={"substance": "illegal substance"})
+        assert result == {"substance": "illegal substance"}
+
+    def test_keep_and_replace_combined(self):
+        result = redact_features(
+            {"name": "Joe", "phone": "123"},
+            keep=["name"],
+            replacements={"name": "a source"},
+        )
+        assert result == {"name": "a source"}
+
+    def test_original_untouched(self):
+        original = {"a": 1, "b": 2}
+        redact_features(original, drop=["a"])
+        assert original == {"a": 1, "b": 2}
+
+
+class TestMergeFeatures:
+    def test_extra_overrides_base(self):
+        assert merge_features({"a": 1, "b": 2}, {"b": 3, "c": 4}) == {"a": 1, "b": 3, "c": 4}
+
+    def test_inputs_untouched(self):
+        base, extra = {"a": 1}, {"b": 2}
+        merge_features(base, extra)
+        assert base == {"a": 1} and extra == {"b": 2}

@@ -1,0 +1,210 @@
+"""Unit tests for the property-graph container."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+)
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+class TestNodeAndEdgeValueObjects:
+    def test_node_feature_lookup_with_default(self):
+        node = Node("a", features={"name": "Alice"})
+        assert node.feature("name") == "Alice"
+        assert node.feature("missing", "fallback") == "fallback"
+
+    def test_node_with_features_returns_new_object(self):
+        node = Node("a", kind="person", features={"name": "Alice"})
+        updated = node.with_features({"name": "Bob"})
+        assert updated.features == {"name": "Bob"}
+        assert updated.kind == "person"
+        assert node.features == {"name": "Alice"}
+
+    def test_edge_key_and_reverse(self):
+        edge = Edge("a", "b", label="knows", features={"since": 2010})
+        assert edge.key == ("a", "b")
+        reversed_edge = edge.reversed()
+        assert reversed_edge.key == ("b", "a")
+        assert reversed_edge.label == "knows"
+        assert reversed_edge.features == {"since": 2010}
+
+
+class TestNodeOperations:
+    def test_add_and_get_node(self):
+        graph = PropertyGraph()
+        graph.add_node("a", kind="person", features={"name": "Alice"})
+        node = graph.node("a")
+        assert node.kind == "person"
+        assert node.features["name"] == "Alice"
+        assert "a" in graph
+        assert graph.node_count() == 1
+
+    def test_add_duplicate_node_raises(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        with pytest.raises(DuplicateNodeError):
+            graph.add_node("a")
+
+    def test_add_duplicate_node_with_replace(self):
+        graph = PropertyGraph()
+        graph.add_node("a", features={"v": 1})
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        graph.add_node("a", features={"v": 2}, replace=True)
+        assert graph.node("a").features == {"v": 2}
+        assert graph.has_edge("a", "b"), "replacing a node must preserve its edges"
+
+    def test_ensure_node_is_idempotent(self):
+        graph = PropertyGraph()
+        first = graph.ensure_node("a", features={"v": 1})
+        second = graph.ensure_node("a", features={"v": 2})
+        assert first == second
+        assert graph.node("a").features == {"v": 1}
+
+    def test_missing_node_raises(self):
+        graph = PropertyGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.node("ghost")
+
+    def test_remove_node_drops_incident_edges(self, small_graph):
+        small_graph.remove_node("b")
+        assert not small_graph.has_node("b")
+        assert not small_graph.has_edge("a", "b")
+        assert not small_graph.has_edge("b", "c")
+        assert small_graph.has_edge("c", "e")
+
+    def test_set_node_features(self):
+        graph = PropertyGraph()
+        graph.add_node("a", features={"v": 1})
+        graph.set_node_features("a", {"v": 2, "w": 3})
+        assert graph.node("a").features == {"v": 2, "w": 3}
+
+    def test_features_are_copied_not_aliased(self):
+        shared = {"v": 1}
+        graph = PropertyGraph()
+        graph.add_node("a", features=shared)
+        shared["v"] = 99
+        assert graph.node("a").features["v"] == 1
+
+    def test_non_mapping_features_rejected(self):
+        graph = PropertyGraph()
+        with pytest.raises(TypeError):
+            graph.add_node("a", features=["not", "a", "mapping"])
+
+
+class TestEdgeOperations:
+    def test_add_edge_and_lookup(self, small_graph):
+        edge = small_graph.edge("a", "b")
+        assert edge.source == "a" and edge.target == "b"
+        assert small_graph.has_edge("a", "b")
+        assert not small_graph.has_edge("b", "a")
+        assert small_graph.has_link("b", "a")
+
+    def test_add_edge_missing_endpoint_raises(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge("a", "missing")
+
+    def test_add_edge_create_nodes(self):
+        graph = PropertyGraph()
+        graph.add_edge("x", "y", create_nodes=True)
+        assert graph.has_node("x") and graph.has_node("y")
+
+    def test_duplicate_edge_raises_unless_replace(self):
+        graph = PropertyGraph()
+        graph.add_edge("a", "b", create_nodes=True)
+        with pytest.raises(DuplicateEdgeError):
+            graph.add_edge("a", "b")
+        graph.add_edge("a", "b", label="updated", replace=True)
+        assert graph.edge("a", "b").label == "updated"
+
+    def test_self_loops_rejected(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a")
+
+    def test_remove_missing_edge_raises(self, small_graph):
+        with pytest.raises(EdgeNotFoundError):
+            small_graph.remove_edge("a", "e")
+
+    def test_bidirectional_edge_creates_both_directions(self):
+        graph = PropertyGraph()
+        graph.add_bidirectional_edge("a", "b", label="peer", create_nodes=True)
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "a")
+        assert graph.edge_count() == 2
+
+
+class TestAdjacency:
+    def test_successors_and_predecessors(self, small_graph):
+        assert small_graph.successors("b") == {"c", "d"}
+        assert small_graph.predecessors("e") == {"c", "d"}
+        assert small_graph.neighbors("b") == {"a", "c", "d"}
+
+    def test_degrees(self, small_graph):
+        assert small_graph.out_degree("b") == 2
+        assert small_graph.in_degree("b") == 1
+        assert small_graph.degree("b") == 3
+        assert small_graph.neighbor_count("b") == 3
+
+    def test_neighbor_count_deduplicates_bidirectional_links(self):
+        graph = PropertyGraph()
+        graph.add_bidirectional_edge("a", "b", create_nodes=True)
+        assert graph.degree("a") == 2
+        assert graph.neighbor_count("a") == 1
+
+    def test_out_edges_in_edges_incident_edges(self, small_graph):
+        out_keys = {edge.key for edge in small_graph.out_edges("b")}
+        in_keys = {edge.key for edge in small_graph.in_edges("b")}
+        assert out_keys == {("b", "c"), ("b", "d")}
+        assert in_keys == {("a", "b")}
+        assert {edge.key for edge in small_graph.incident_edges("b")} == out_keys | in_keys
+
+    def test_isolated_nodes(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        graph.add_node("lonely")
+        assert graph.isolated_nodes() == ["lonely"]
+
+    def test_adjacency_queries_validate_node(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            small_graph.successors("ghost")
+
+
+class TestWholeGraphOperations:
+    def test_copy_is_independent(self, small_graph):
+        clone = small_graph.copy()
+        clone.remove_node("a")
+        clone.set_node_features("b", {"changed": True})
+        assert small_graph.has_node("a")
+        assert "changed" not in small_graph.node("b").features
+        assert clone.node_count() == small_graph.node_count() - 1
+
+    def test_equality_by_content(self, small_graph):
+        assert small_graph == small_graph.copy()
+        other = small_graph.copy()
+        other.remove_edge("c", "e")
+        assert small_graph != other
+
+    def test_subgraph_induced(self, small_graph):
+        sub = small_graph.subgraph(["b", "c", "e", "ghost"])
+        assert set(sub.node_ids()) == {"b", "c", "e"}
+        assert sub.has_edge("b", "c") and sub.has_edge("c", "e")
+        assert not sub.has_edge("b", "d")
+
+    def test_reverse(self, small_graph):
+        reversed_graph = small_graph.reverse()
+        assert reversed_graph.has_edge("b", "a")
+        assert reversed_graph.edge_count() == small_graph.edge_count()
+        assert set(reversed_graph.node_ids()) == set(small_graph.node_ids())
+
+    def test_len_and_iter(self, small_graph):
+        assert len(small_graph) == 5
+        assert set(iter(small_graph)) == {"a", "b", "c", "d", "e"}

@@ -1,0 +1,94 @@
+"""Unit tests for shortest-path and constrained path search."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.builders import graph_from_edges
+from repro.graph.paths import (
+    all_shortest_paths,
+    has_path,
+    path_exists_for_pairs,
+    shortest_path,
+    shortest_path_length,
+    simple_paths,
+    single_source_shortest_lengths,
+)
+
+
+class TestShortestPath:
+    def test_direct_and_indirect(self, small_graph):
+        assert shortest_path(small_graph, "a", "b") == ["a", "b"]
+        assert shortest_path_length(small_graph, "a", "e") == 3
+
+    def test_unreachable_returns_none(self, small_graph):
+        assert shortest_path(small_graph, "e", "a") is None
+        assert shortest_path_length(small_graph, "e", "a") is None
+        assert not has_path(small_graph, "e", "a")
+
+    def test_same_node(self, small_graph):
+        assert shortest_path(small_graph, "c", "c") == ["c"]
+        assert shortest_path_length(small_graph, "c", "c") == 0
+
+    def test_undirected_search(self, small_graph):
+        assert has_path(small_graph, "e", "a", directed=False)
+        assert shortest_path_length(small_graph, "e", "a", directed=False) == 3
+
+    def test_missing_node_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(small_graph, "a", "ghost")
+
+    def test_edge_filter_blocks_routes(self, small_graph):
+        # Block the b->c edge: the only route to e goes through d.
+        blocked = lambda source, target: (source, target) != ("b", "c")
+        path = shortest_path(small_graph, "a", "e", edge_filter=blocked)
+        assert path == ["a", "b", "d", "e"]
+
+    def test_edge_filter_can_disconnect(self, chain_graph):
+        blocked = lambda source, target: (source, target) != ("b", "c")
+        assert shortest_path(chain_graph, "a", "d", edge_filter=blocked) is None
+
+
+class TestSingleSourceLengths:
+    def test_lengths_from_root(self, small_graph):
+        lengths = single_source_shortest_lengths(small_graph, "a")
+        assert lengths == {"a": 0, "b": 1, "c": 2, "d": 2, "e": 3}
+
+    def test_lengths_respect_filter(self, small_graph):
+        lengths = single_source_shortest_lengths(
+            small_graph, "a", edge_filter=lambda s, t: (s, t) != ("b", "d")
+        )
+        assert "d" not in lengths
+        assert lengths["e"] == 3
+
+
+class TestAllShortestPaths:
+    def test_two_equal_length_routes(self, small_graph):
+        paths = all_shortest_paths(small_graph, "b", "e")
+        assert sorted(paths) == [["b", "c", "e"], ["b", "d", "e"]]
+
+    def test_unreachable_gives_empty(self, small_graph):
+        assert all_shortest_paths(small_graph, "e", "a") == []
+
+    def test_same_node(self, small_graph):
+        assert all_shortest_paths(small_graph, "a", "a") == [["a"]]
+
+
+class TestSimplePaths:
+    def test_enumerates_all_routes(self, small_graph):
+        paths = simple_paths(small_graph, "a", "e")
+        assert sorted(paths) == [["a", "b", "c", "e"], ["a", "b", "d", "e"]]
+
+    def test_max_length_bound(self, small_graph):
+        assert simple_paths(small_graph, "a", "e", max_length=2) == []
+        assert len(simple_paths(small_graph, "a", "e", max_length=3)) == 2
+
+    def test_limit_bounds_result_count(self, small_graph):
+        assert len(simple_paths(small_graph, "a", "e", limit=1)) == 1
+
+
+class TestPathExistsForPairs:
+    def test_batch_lookup(self, small_graph):
+        results = path_exists_for_pairs(small_graph, [("a", "e"), ("e", "a"), ("c", "d")])
+        assert results[("a", "e")] is True
+        assert results[("e", "a")] is False
+        assert results[("c", "d")] is False

@@ -1,0 +1,99 @@
+"""Unit tests for reachability and connectivity primitives."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.builders import GraphBuilder, graph_from_edges
+from repro.graph.traversal import (
+    ancestors,
+    average_connected_pairs,
+    bfs_layers,
+    component_of,
+    connected_pairs,
+    descendants,
+    is_weakly_connected,
+    reachable_subgraph,
+    weakly_connected_components,
+    weakly_reachable,
+)
+
+
+class TestDirectedReachability:
+    def test_descendants(self, small_graph):
+        assert descendants(small_graph, "a") == {"b", "c", "d", "e"}
+        assert descendants(small_graph, "c") == {"e"}
+        assert descendants(small_graph, "e") == set()
+
+    def test_ancestors(self, small_graph):
+        assert ancestors(small_graph, "e") == {"a", "b", "c", "d"}
+        assert ancestors(small_graph, "a") == set()
+
+    def test_missing_node_raises(self, small_graph):
+        with pytest.raises(NodeNotFoundError):
+            descendants(small_graph, "ghost")
+
+    def test_cycle_does_not_loop_forever(self):
+        graph = graph_from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        assert descendants(graph, "a") == {"b", "c"}
+        assert ancestors(graph, "a") == {"b", "c"}
+
+
+class TestWeakConnectivity:
+    def test_weakly_reachable_ignores_direction(self, small_graph):
+        assert weakly_reachable(small_graph, "e") == {"a", "b", "c", "d"}
+
+    def test_components_of_disconnected_graph(self):
+        graph = graph_from_edges([("a", "b"), ("c", "d")], nodes=["lonely"])
+        components = weakly_connected_components(graph)
+        as_sets = sorted(sorted(map(str, component)) for component in components)
+        assert as_sets == [["a", "b"], ["c", "d"], ["lonely"]]
+        assert not is_weakly_connected(graph)
+
+    def test_single_node_graph_is_connected(self):
+        graph = GraphBuilder().node("only").build()
+        assert is_weakly_connected(graph)
+
+    def test_connected_pairs_counts_component_peers(self):
+        graph = graph_from_edges([("a", "b"), ("c", "d"), ("d", "e")])
+        counts = connected_pairs(graph)
+        assert counts["a"] == 1 and counts["b"] == 1
+        assert counts["c"] == 2 and counts["e"] == 2
+
+    def test_average_connected_pairs(self):
+        graph = graph_from_edges([("a", "b"), ("c", "d"), ("d", "e")])
+        assert average_connected_pairs(graph) == pytest.approx((1 + 1 + 2 + 2 + 2) / 5)
+
+    def test_component_of_contains_node_itself(self, small_graph):
+        assert component_of(small_graph, "c") == frozenset({"a", "b", "c", "d", "e"})
+
+
+class TestBfsLayers:
+    def test_directed_layers(self, small_graph):
+        layers = bfs_layers(small_graph, "a")
+        assert layers[0] == {"a"}
+        assert layers[1] == {"b"}
+        assert layers[2] == {"c", "d"}
+        assert layers[3] == {"e"}
+
+    def test_undirected_layers(self, small_graph):
+        layers = bfs_layers(small_graph, "e", directed=False)
+        assert layers[1] == {"c", "d"}
+
+
+class TestReachableSubgraph:
+    def test_forward(self, small_graph):
+        sub = reachable_subgraph(small_graph, ["c"], direction="forward")
+        assert set(sub.node_ids()) == {"c", "e"}
+        assert sub.has_edge("c", "e")
+
+    def test_backward(self, small_graph):
+        sub = reachable_subgraph(small_graph, ["c"], direction="backward")
+        assert set(sub.node_ids()) == {"a", "b", "c"}
+
+    def test_both(self, small_graph):
+        sub = reachable_subgraph(small_graph, ["c"], direction="both")
+        assert set(sub.node_ids()) == {"a", "b", "c", "d", "e"}
+
+    def test_invalid_direction(self, small_graph):
+        with pytest.raises(ValueError):
+            reachable_subgraph(small_graph, ["c"], direction="sideways")

@@ -1,0 +1,141 @@
+"""Shared hypothesis strategies: random graphs, lattices, policies and markings."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.markings import Marking
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice
+from repro.graph.model import PropertyGraph
+
+#: Small node universe keeps shrunk examples readable.
+NODE_NAMES = [f"n{i}" for i in range(8)]
+
+
+@st.composite
+def graphs(draw, min_nodes: int = 2, max_nodes: int = 8) -> PropertyGraph:
+    """A small directed graph (no self-loops, no parallel edges)."""
+    node_count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    names = NODE_NAMES[:node_count]
+    graph = PropertyGraph(name="hypothesis")
+    for name in names:
+        graph.add_node(name, features={"label": name.upper()})
+    possible_edges = [(a, b) for a in names for b in names if a != b]
+    chosen = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=min(len(possible_edges), 16), unique=True)
+    )
+    for source, target in chosen:
+        graph.add_edge(source, target)
+    return graph
+
+
+@st.composite
+def dags(draw, min_nodes: int = 2, max_nodes: int = 8) -> PropertyGraph:
+    """A small DAG: edges only point from earlier to later node names."""
+    node_count = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    names = NODE_NAMES[:node_count]
+    graph = PropertyGraph(name="hypothesis-dag")
+    for name in names:
+        graph.add_node(name)
+    possible_edges = [
+        (names[i], names[j]) for i in range(node_count) for j in range(i + 1, node_count)
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=min(len(possible_edges), 14), unique=True)
+    ) if possible_edges else []
+    for source, target in chosen:
+        graph.add_edge(source, target)
+    return graph
+
+
+@st.composite
+def lattices(draw) -> PrivilegeLattice:
+    """A lattice with Public plus up to three higher levels in varying shapes."""
+    lattice = PrivilegeLattice()
+    shape = draw(st.sampled_from(["chain", "diamond", "fork"]))
+    if shape == "chain":
+        low = lattice.add("Low", dominates=["Public"])
+        lattice.add("High", dominates=[low])
+    elif shape == "diamond":
+        low = lattice.add("Low", dominates=["Public"])
+        left = lattice.add("Left", dominates=[low])
+        right = lattice.add("Right", dominates=[low])
+        lattice.add("Top", dominates=[left, right])
+    else:
+        lattice.add("Left", dominates=["Public"])
+        lattice.add("Right", dominates=["Public"])
+    return lattice
+
+
+@st.composite
+def policies_for(draw, graph: PropertyGraph) -> Tuple[ReleasePolicy, object]:
+    """A release policy over ``graph``: random lowest() assignments, markings and surrogates.
+
+    Returns ``(policy, consumer_privilege)`` where the consumer privilege is
+    one of the declared privileges (so sometimes everything is visible and
+    sometimes very little is).
+    """
+    lattice = draw(lattices())
+    policy = ReleasePolicy(lattice)
+    privileges = lattice.privileges()
+    non_public = [privilege for privilege in privileges if privilege != lattice.public]
+
+    for node_id in graph.node_ids():
+        if non_public and draw(st.booleans()):
+            policy.set_lowest(node_id, draw(st.sampled_from(non_public)))
+
+    consumer = draw(st.sampled_from(privileges))
+
+    # Random incidence markings for the consumer privilege on a few edges.
+    for edge in graph.edges():
+        if draw(st.integers(min_value=0, max_value=3)) == 0:
+            policy.markings.set_marking(
+                edge.source,
+                edge.key,
+                consumer,
+                draw(st.sampled_from([Marking.VISIBLE, Marking.SURROGATE, Marking.HIDE])),
+            )
+        if draw(st.integers(min_value=0, max_value=3)) == 0:
+            policy.markings.set_marking(
+                edge.target,
+                edge.key,
+                consumer,
+                draw(st.sampled_from([Marking.VISIBLE, Marking.SURROGATE, Marking.HIDE])),
+            )
+
+    # Register surrogates for some protected nodes.
+    for node_id in graph.node_ids():
+        lowest = policy.lowest(node_id)
+        if lowest == lattice.public:
+            continue
+        if draw(st.booleans()):
+            candidates = [
+                privilege
+                for privilege in privileges
+                if not lattice.dominates(privilege, lowest) or privilege == lattice.public
+            ]
+            candidates = [
+                privilege for privilege in candidates if not lattice.dominates(privilege, lowest)
+            ] or [lattice.public]
+            surrogate_lowest = draw(st.sampled_from(sorted(candidates, key=lambda p: p.name)))
+            try:
+                policy.add_surrogate(
+                    node_id,
+                    surrogate_lowest,
+                    surrogate_id=f"{node_id}~s",
+                    features={"label": "redacted"},
+                )
+            except Exception:
+                pass
+    return policy, consumer
+
+
+@st.composite
+def graph_with_policy(draw):
+    """A (graph, policy, consumer privilege) triple."""
+    graph = draw(graphs())
+    policy, consumer = draw(policies_for(graph))
+    return graph, policy, consumer

@@ -1,0 +1,95 @@
+"""Property-based tests for the graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.serialization import graph_from_dict, graph_from_json, graph_to_dict, graph_to_json
+from repro.graph.statistics import degrees
+from repro.graph.traversal import (
+    connected_pairs,
+    descendants,
+    weakly_connected_components,
+    weakly_reachable,
+)
+from repro.graph.paths import shortest_path, single_source_shortest_lengths
+from repro.graph.algorithms import is_acyclic, topological_sort
+
+from tests.property.strategies import dags, graphs
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_serialization_round_trip_preserves_graph(graph):
+    assert graph_from_dict(graph_to_dict(graph)) == graph
+    assert graph_from_json(graph_to_json(graph)) == graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_degree_sum_equals_twice_edge_count(graph):
+    assert sum(degrees(graph).values()) == 2 * graph.edge_count()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_weak_components_partition_the_nodes(graph):
+    components = weakly_connected_components(graph)
+    seen = [node for component in components for node in component]
+    assert sorted(map(str, seen)) == sorted(map(str, graph.node_ids()))
+    counts = connected_pairs(graph)
+    for component in components:
+        for node in component:
+            assert counts[node] == len(component) - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_weak_reachability_is_symmetric(graph):
+    for node in graph.node_ids():
+        for other in weakly_reachable(graph, node):
+            assert node in weakly_reachable(graph, other)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_descendants_never_contains_self_and_is_transitive(graph):
+    for node in graph.node_ids():
+        reachable = descendants(graph, node)
+        assert node not in reachable
+        for other in reachable:
+            assert descendants(graph, other) <= reachable | {node}
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_shortest_path_lengths_consistent_with_paths(graph):
+    nodes = graph.node_ids()
+    for source in nodes[:3]:
+        lengths = single_source_shortest_lengths(graph, source)
+        for target, length in lengths.items():
+            path = shortest_path(graph, source, target)
+            assert path is not None
+            assert len(path) - 1 == length
+            for first, second in zip(path, path[1:]):
+                assert graph.has_edge(first, second)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dags())
+def test_generated_dags_are_acyclic_and_sortable(graph):
+    assert is_acyclic(graph)
+    order = topological_sort(graph)
+    position = {node: index for index, node in enumerate(order)}
+    for edge in graph.edges():
+        assert position[edge.source] < position[edge.target]
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.data())
+def test_copy_then_mutation_does_not_affect_original(graph, data):
+    clone = graph.copy()
+    if clone.edge_count():
+        edge = data.draw(st.sampled_from(clone.edge_keys()))
+        clone.remove_edge(*edge)
+        assert graph.has_edge(*edge)
+    assert graph == graph.copy()

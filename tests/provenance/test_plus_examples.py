@@ -1,0 +1,113 @@
+"""Unit tests for the PLUS client facade and the Appendix-A example."""
+
+import pytest
+
+from repro.core.utility import path_utility
+from repro.core.validation import validate_protected_account
+from repro.provenance.examples import PLAN, EmergencyPlanExample, emergency_plan_example
+from repro.provenance.plus import PLUSClient
+from repro.provenance.queries import lineage_over_account
+from repro.store.engine import GraphStore
+
+
+class TestPLUSClient:
+    def test_record_and_query_lineage(self, two_level_lattice):
+        from repro.core.policy import ReleasePolicy
+
+        client = PLUSClient(policy=ReleasePolicy(two_level_lattice))
+        client.record_data("raw", lowest="Secret")
+        client.record_data("clean")
+        client.record_data("report")
+        client.record_process("cleaning", inputs=["raw"], outputs=["clean"])
+        client.record_process("reporting", inputs=["clean"], outputs=["report"])
+
+        public_view = client.lineage_for("Public", "report", direction="upstream")
+        secret_view = client.lineage_for("Secret", "report", direction="upstream")
+        assert "raw" not in public_view.nodes
+        assert "raw" in secret_view.nodes
+        assert len(secret_view) == 4
+
+    def test_naive_vs_protected_lineage(self, two_level_lattice):
+        from repro.core.markings import Marking
+        from repro.core.policy import ReleasePolicy
+
+        policy = ReleasePolicy(two_level_lattice)
+        client = PLUSClient(policy=policy)
+        client.record_data("a")
+        client.record_data("c")
+        client.record_process("secret_step", inputs=["a"], outputs=["c"], lowest="Secret")
+        policy.markings.mark_incident_edges(
+            client.current_graph(), "secret_step", two_level_lattice.public, Marking.SURROGATE
+        )
+        naive = client.lineage_for("Public", "c", naive=True)
+        protected = client.lineage_for("Public", "c")
+        assert naive.nodes == []
+        assert protected.nodes == ["a"]
+
+    def test_describe_reports_sizes(self, two_level_lattice):
+        from repro.core.policy import ReleasePolicy
+
+        client = PLUSClient(policy=ReleasePolicy(two_level_lattice))
+        client.record_data("x")
+        report = client.describe()
+        assert report["nodes"] == 1
+        assert report["graph"] == "provenance"
+        assert report["store"]["nodes_written"] == 1
+
+    def test_timed_protection_run_phases_positive(self, two_level_lattice):
+        from repro.core.policy import ReleasePolicy
+
+        client = PLUSClient(policy=ReleasePolicy(two_level_lattice))
+        client.record_data("a")
+        client.record_data("b")
+        client.record_process("p", inputs=["a"], outputs=["b"])
+        timings = client.timed_protection_run("Public", protected_edges=[("a", "p")])
+        payload = timings.as_dict()
+        assert payload["total"] > 0
+        assert set(payload) == {"total", "db_access", "build_graph", "protect_via_hide", "protect_via_surrogate"}
+        assert timings.total_ms == pytest.approx(
+            timings.db_access_ms
+            + timings.build_graph_ms
+            + timings.protect_hide_ms
+            + timings.protect_surrogate_ms
+        )
+
+
+class TestEmergencyPlanExample:
+    def test_example_shape(self):
+        example = emergency_plan_example()
+        assert isinstance(example, EmergencyPlanExample)
+        assert example.graph.node_count() >= 15
+        example.provenance.validate()
+        assert example.policy.high_water(example.graph).names() >= {"National Security"}
+
+    def test_responder_lineage_gain(self):
+        example = emergency_plan_example(with_surrogates=True)
+        client = PLUSClient(store=GraphStore(), policy=example.policy, graph_name="plan")
+        client.import_provenance(example.provenance)
+        naive = client.lineage_for(example.responder, PLAN, naive=True)
+        protected = client.lineage_for(example.responder, PLAN)
+        assert len(naive) == 0, "naive enforcement gives the responder nothing upstream"
+        assert len(protected) >= 5
+        assert "bio_threat_intelligence" not in protected.nodes
+
+    def test_protected_account_is_sound_and_more_useful(self):
+        example = emergency_plan_example(with_surrogates=True)
+        naive = None
+        client = PLUSClient(store=GraphStore(), policy=example.policy, graph_name="plan")
+        client.import_provenance(example.provenance)
+        naive = client.protected_account(example.responder, naive=True)
+        protected = client.protected_account(example.responder)
+        validate_protected_account(example.graph, protected, strict=True)
+        assert path_utility(example.graph, protected) > path_utility(example.graph, naive)
+
+    def test_without_surrogates_connectivity_is_lost(self):
+        bare = emergency_plan_example(with_surrogates=False)
+        client = PLUSClient(store=GraphStore(), policy=bare.policy, graph_name="plan")
+        client.import_provenance(bare.provenance)
+        protected = client.lineage_for(bare.responder, PLAN)
+        rich = emergency_plan_example(with_surrogates=True)
+        rich_client = PLUSClient(store=GraphStore(), policy=rich.policy, graph_name="plan")
+        rich_client.import_provenance(rich.provenance)
+        rich_protected = rich_client.lineage_for(rich.responder, PLAN)
+        assert len(rich_protected) > len(protected)

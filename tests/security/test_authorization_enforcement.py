@@ -1,0 +1,125 @@
+"""Unit tests for authorization decisions and query-time enforcement."""
+
+import pytest
+
+from repro.core.markings import Marking
+from repro.exceptions import NodeNotFoundError
+from repro.security.authorization import AccessController
+from repro.security.credentials import Consumer
+from repro.security.enforcement import EnforcementMode, QueryEnforcer
+
+
+@pytest.fixture
+def high2_analyst():
+    return Consumer.with_credentials("analyst", "High-2")
+
+
+@pytest.fixture
+def high1_agent():
+    return Consumer.with_credentials("agent", "High-1")
+
+
+@pytest.fixture
+def controller(figure1):
+    return AccessController(figure1.policy)
+
+
+class TestAccessController:
+    def test_effective_and_primary_privileges(self, controller, high2_analyst):
+        assert [p.name for p in controller.effective_privileges(high2_analyst)] == ["High-2"]
+        assert controller.primary_privilege(high2_analyst).name == "High-2"
+
+    def test_node_authorization_decisions(self, controller, high2_analyst, high1_agent):
+        allowed = controller.authorize_node(high2_analyst, "b")
+        denied = controller.authorize_node(high2_analyst, "f")
+        assert allowed and allowed.privilege_used.name == "High-2"
+        assert not denied and denied.privilege_used is None
+        assert "lowest" in denied.reason
+        assert controller.authorize_node(high1_agent, "f").allowed
+
+    def test_edge_authorization_requires_both_incidences(self, controller, figure1, high2_analyst):
+        assert controller.authorize_edge(high2_analyst, ("b", "c")).allowed
+        assert not controller.authorize_edge(high2_analyst, ("c", "f")).allowed
+
+    def test_bulk_visibility(self, controller, figure1, high2_analyst):
+        assert set(controller.visible_nodes(high2_analyst, figure1.graph)) == {"b", "c", "g", "h", "i", "j"}
+        visible_edges = set(controller.visible_edges(high2_analyst, figure1.graph))
+        assert ("b", "c") in visible_edges and ("c", "f") not in visible_edges
+
+    def test_decision_matrix(self, controller, figure1, high2_analyst, high1_agent):
+        matrix = controller.decision_matrix([high2_analyst, high1_agent], figure1.graph)
+        assert matrix[("analyst", "f")] is False
+        assert matrix[("agent", "f")] is True
+        assert len(matrix) == 2 * figure1.graph.node_count()
+
+
+class TestQueryEnforcer:
+    def test_naive_vs_protected_results(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        naive = enforcer.reachable(high2_analyst, "g", direction="connected", mode=EnforcementMode.NAIVE)
+        protected = enforcer.reachable(
+            high2_analyst, "g", direction="connected", mode=EnforcementMode.PROTECTED
+        )
+        assert set(naive.nodes) == {"h", "i", "j"}
+        assert set(protected.nodes) == {"b", "c", "h", "i", "j"}
+
+    def test_ancestor_query_through_surrogate_edge(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        result = enforcer.reachable(high2_analyst, "g", direction="ancestors")
+        assert set(result.nodes) == {"b", "c"}
+
+    def test_start_missing_when_node_not_released(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        result = enforcer.reachable(high2_analyst, "f", direction="descendants")
+        assert result.start_missing
+        assert result.nodes == []
+
+    def test_unknown_start_node_raises(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        with pytest.raises(NodeNotFoundError):
+            enforcer.reachable(high2_analyst, "zzz")
+
+    def test_invalid_direction_rejected(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        with pytest.raises(ValueError):
+            enforcer.reachable(high2_analyst, "g", direction="sideways")
+
+    def test_account_cache_and_invalidation(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        first = enforcer.account_for(high2_analyst, EnforcementMode.PROTECTED)
+        second = enforcer.account_for(high2_analyst, EnforcementMode.PROTECTED)
+        assert first is second
+        enforcer.invalidate()
+        third = enforcer.account_for(high2_analyst, EnforcementMode.PROTECTED)
+        assert third is not first
+
+    def test_compare_modes_shape(self, figure2b, high2_analyst):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        results = enforcer.compare_modes(high2_analyst, "g", direction="connected")
+        assert set(results) == {"naive", "protected"}
+        assert len(results["protected"].nodes) >= len(results["naive"].nodes)
+
+    def test_fully_privileged_consumer_sees_original_topology(self, figure1):
+        enforcer = QueryEnforcer(figure1.graph, figure1.policy)
+        agent = Consumer.with_credentials("agent", "High-1")
+        result = enforcer.reachable(agent, "a1", direction="descendants")
+        assert set(result.nodes) == {"b", "c", "d", "e", "f", "g", "h", "i", "j"}
+
+    def test_consumer_with_incomparable_classes_gets_merged_account(self, figure2b):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        both = Consumer.with_credentials("liaison", "High-1", "High-2")
+        only_high2 = Consumer.with_credentials("analyst", "High-2")
+        merged = enforcer.account_for(both, EnforcementMode.PROTECTED)
+        single = enforcer.account_for(only_high2, EnforcementMode.PROTECTED)
+        # High-1 dominates everything in Figure 1, so the merged account shows the
+        # full graph while the High-2-only account hides f.
+        assert merged.represents("f")
+        assert not single.represents("f")
+        assert merged.represented_originals() >= single.represented_originals()
+
+    def test_merged_naive_account_for_incomparable_classes(self, figure2b):
+        enforcer = QueryEnforcer(figure2b.graph, figure2b.policy)
+        both = Consumer.with_credentials("liaison", "High-1", "High-2")
+        naive = enforcer.account_for(both, EnforcementMode.NAIVE)
+        assert naive.represents("f")
+        assert naive.surrogate_edges == set()

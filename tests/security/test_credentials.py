@@ -1,0 +1,91 @@
+"""Unit tests for consumers, credential predicates and lattice binding."""
+
+import pytest
+
+from repro.core.privileges import figure1_lattice
+from repro.exceptions import PolicyError
+from repro.security.credentials import (
+    Consumer,
+    CredentialPredicate,
+    best_privilege,
+    bind_lattice,
+    credential_predicate,
+    default_predicates_for,
+    satisfied_privileges,
+)
+
+
+@pytest.fixture
+def lattice():
+    return figure1_lattice()[0]
+
+
+class TestConsumer:
+    def test_with_credentials_constructor(self):
+        consumer = Consumer.with_credentials("amy", "High-2", "Low-2", org="mitre")
+        assert consumer.has("High-2")
+        assert not consumer.has("High-1")
+        assert consumer.attributes["org"] == "mitre"
+
+    def test_consumers_compare_by_value(self):
+        first = Consumer.with_credentials("amy", "High-2")
+        second = Consumer.with_credentials("amy", "High-2")
+        third = Consumer.with_credentials("amy", "High-1")
+        assert first == second
+        assert first != third
+
+
+class TestCredentialPredicate:
+    def test_required_credentials(self):
+        predicate = credential_predicate("needs-both", "A", "B")
+        assert predicate(Consumer.with_credentials("x", "A", "B"))
+        assert not predicate(Consumer.with_credentials("x", "A"))
+
+    def test_custom_check(self):
+        predicate = CredentialPredicate(
+            "us-only", required=["clearance"], check=lambda consumer: consumer.attributes.get("country") == "US"
+        )
+        assert predicate(Consumer.with_credentials("x", "clearance", country="US"))
+        assert not predicate(Consumer.with_credentials("x", "clearance", country="FR"))
+
+
+class TestDefaultPredicates:
+    def test_public_accepts_everyone(self, lattice):
+        predicates = default_predicates_for(lattice)
+        assert predicates["Public"](Consumer("nobody"))
+
+    def test_dominating_credential_satisfies_lower_predicates(self, lattice):
+        predicates = default_predicates_for(lattice)
+        high1_holder = Consumer.with_credentials("h1", "High-1")
+        assert predicates["High-1"](high1_holder)
+        assert predicates["Low-2"](high1_holder)
+        assert not predicates["High-2"](high1_holder)
+
+    def test_satisfied_and_best_privileges(self, lattice):
+        consumer = Consumer.with_credentials("h2", "High-2")
+        satisfied = {privilege.name for privilege in satisfied_privileges(lattice, consumer)}
+        assert satisfied == {"Public", "Low-2", "High-2"}
+        assert [privilege.name for privilege in best_privilege(lattice, consumer)] == ["High-2"]
+
+    def test_best_privilege_defaults_to_public(self, lattice):
+        assert [p.name for p in best_privilege(lattice, Consumer("anonymous"))] == ["Public"]
+
+    def test_consumer_with_both_high_credentials(self, lattice):
+        consumer = Consumer.with_credentials("both", "High-1", "High-2")
+        names = {privilege.name for privilege in best_privilege(lattice, consumer)}
+        assert names == {"High-1", "High-2"}
+
+
+class TestBindLattice:
+    def test_consistent_predicates_pass(self, lattice):
+        predicates = default_predicates_for(lattice)
+        consumers = [Consumer.with_credentials("a", "High-1"), Consumer("b")]
+        bind_lattice(lattice, predicates, consumers)
+
+    def test_inconsistent_predicates_detected(self, lattice):
+        predicates = default_predicates_for(lattice)
+        # A broken Low-2 predicate that rejects a consumer High-1 accepts.
+        predicates["Low-2"] = credential_predicate("Low-2", "some-unrelated-token")
+        offender = Consumer.with_credentials("a", "High-1")
+        with pytest.raises(PolicyError):
+            bind_lattice(lattice, predicates, [offender])

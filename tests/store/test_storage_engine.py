@@ -1,0 +1,206 @@
+"""Unit tests for durable storage, transactions and the GraphStore engine."""
+
+import pytest
+
+from repro.exceptions import CatalogError, StoreError, TransactionError
+from repro.graph.builders import graph_from_edges
+from repro.store.engine import GraphStore, PhaseTimer
+from repro.store.storage import GraphStorage
+
+
+class TestGraphStorage:
+    def test_create_and_fetch(self):
+        storage = GraphStorage()
+        storage.create_graph("g")
+        assert storage.has_graph("g")
+        assert storage.names() == ["g"]
+        assert storage.graph("g").node_count() == 0
+        assert not storage.durable
+
+    def test_missing_graph_raises(self):
+        storage = GraphStorage()
+        with pytest.raises(CatalogError):
+            storage.graph("nope")
+
+    def test_put_graph_and_export_import(self, small_graph):
+        storage = GraphStorage()
+        storage.put_graph(small_graph, name="snapshot")
+        payload = storage.export_graph("snapshot")
+        other = GraphStorage()
+        other.import_graph(payload, name="copy")
+        assert other.graph("copy").edge_count() == small_graph.edge_count()
+
+    def test_unnamed_graph_rejected(self):
+        storage = GraphStorage()
+        from repro.graph.model import PropertyGraph
+
+        with pytest.raises(StoreError):
+            storage.put_graph(PropertyGraph())
+
+    def test_durable_snapshot_recovery(self, tmp_path, small_graph):
+        storage = GraphStorage(tmp_path)
+        storage.put_graph(small_graph, name="persisted")
+        reopened = GraphStorage(tmp_path)
+        assert reopened.has_graph("persisted")
+        assert reopened.graph("persisted") == small_graph
+
+    def test_wal_replay_recovers_logged_mutations(self, tmp_path):
+        store = GraphStore(tmp_path)
+        store.create_graph("g")
+        store.add_node("g", "a", features={"v": 1})
+        store.add_node("g", "b")
+        store.add_edge("g", "a", "b")
+        store.remove_node("g", "b")
+        reopened = GraphStore(tmp_path)
+        graph = reopened.graph("g")
+        assert graph.has_node("a") and not graph.has_node("b")
+        assert graph.node("a").features == {"v": 1}
+
+    def test_checkpoint_truncates_log(self, tmp_path):
+        store = GraphStore(tmp_path)
+        store.create_graph("g")
+        store.add_node("g", "a")
+        assert len(store.storage.wal) > 0
+        store.checkpoint()
+        assert len(store.storage.wal) == 0
+        reopened = GraphStore(tmp_path)
+        assert reopened.graph("g").has_node("a")
+
+
+class TestGraphStoreEngine:
+    def test_mutations_and_indexed_queries(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a", features={"role": "person"})
+        store.add_node("g", "b")
+        store.add_node("g", "c")
+        store.add_edge("g", "a", "b")
+        store.add_edge("g", "b", "c")
+        assert store.successors("g", "a") == {"b"}
+        assert store.predecessors("g", "c") == {"b"}
+        assert store.find_nodes("g", "role", "person") == {"a"}
+        assert store.lineage("g", "c", direction="ancestors") == {"a", "b"}
+        assert store.lineage("g", "a", direction="descendants") == {"b", "c"}
+        with pytest.raises(ValueError):
+            store.lineage("g", "a", direction="sideways")
+
+    def test_graph_returns_a_copy(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a")
+        copy = store.graph("g")
+        copy.add_node("intruder")
+        assert not store.graph("g").has_node("intruder")
+
+    def test_remove_operations_update_indexes(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a")
+        store.add_node("g", "b")
+        store.add_edge("g", "a", "b")
+        store.remove_edge("g", "a", "b")
+        assert store.successors("g", "a") == set()
+        store.remove_node("g", "b")
+        assert not store.graph("g").has_node("b")
+
+    def test_set_node_features_reindexes(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a", features={"role": "person"})
+        store.set_node_features("g", "a", {"role": "robot"})
+        assert store.find_nodes("g", "role", "person") == set()
+        assert store.find_nodes("g", "role", "robot") == {"a"}
+
+    def test_put_and_drop_graph(self, small_graph):
+        store = GraphStore()
+        store.put_graph(small_graph, name="demo")
+        assert store.has_graph("demo")
+        assert store.successors("demo", "b") == {"c", "d"}
+        store.drop_graph("demo")
+        assert not store.has_graph("demo")
+
+    def test_stats_accumulate(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a")
+        store.add_node("g", "b")
+        store.add_edge("g", "a", "b")
+        store.successors("g", "a")
+        assert store.stats.nodes_written == 2
+        assert store.stats.edges_written == 1
+        assert store.stats.queries_answered == 1
+        assert store.stats.as_dict()["nodes_written"] == 2
+
+
+class TestTransactions:
+    def test_commit_applies_all_operations(self):
+        store = GraphStore()
+        store.create_graph("g")
+        with store.transaction("g") as txn:
+            txn.add_node("a").add_node("b").add_edge("a", "b", label="next")
+        graph = store.graph("g")
+        assert graph.has_edge("a", "b")
+        assert store.stats.transactions_committed == 1
+
+    def test_rollback_discards_buffer(self):
+        store = GraphStore()
+        store.create_graph("g")
+        txn = store.transaction("g")
+        txn.add_node("a")
+        txn.rollback()
+        assert not store.graph("g").has_node("a")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_failed_batch_leaves_graph_untouched(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "existing")
+        txn = store.transaction("g")
+        txn.add_node("new_node")
+        txn.add_edge("new_node", "missing")  # invalid: endpoint never created
+        with pytest.raises(Exception):
+            txn.commit()
+        graph = store.graph("g")
+        assert not graph.has_node("new_node")
+        assert graph.has_node("existing")
+
+    def test_exception_inside_context_rolls_back(self):
+        store = GraphStore()
+        store.create_graph("g")
+        with pytest.raises(RuntimeError):
+            with store.transaction("g") as txn:
+                txn.add_node("a")
+                raise RuntimeError("boom")
+        assert not store.graph("g").has_node("a")
+
+    def test_transaction_on_missing_graph_rejected(self):
+        store = GraphStore()
+        with pytest.raises(StoreError):
+            store.transaction("nope")
+
+    def test_transactional_set_features_and_removals(self):
+        store = GraphStore()
+        store.create_graph("g")
+        store.add_node("g", "a", features={"v": 1})
+        store.add_node("g", "b")
+        store.add_edge("g", "a", "b")
+        with store.transaction("g") as txn:
+            txn.set_node_features("a", {"v": 2}).remove_edge("a", "b").remove_node("b")
+        graph = store.graph("g")
+        assert graph.node("a").features == {"v": 2}
+        assert not graph.has_node("b")
+
+
+class TestPhaseTimer:
+    def test_phase_accumulation(self):
+        timer = PhaseTimer()
+        with timer.phase("db_access"):
+            pass
+        timer.record("query", 5.0)
+        timer.record("query", 2.5)
+        assert timer.total_ms("query") == pytest.approx(7.5)
+        assert timer.total_ms() >= 7.5
+        assert timer.as_dict()["total"] >= 7.5
+        timer.reset()
+        assert timer.total_ms() == 0.0

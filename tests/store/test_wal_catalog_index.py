@@ -1,0 +1,137 @@
+"""Unit tests for the write log, catalog and indexes of the embedded store."""
+
+import pytest
+
+from repro.exceptions import CatalogError, StoreError
+from repro.graph.builders import graph_from_edges
+from repro.store.catalog import Catalog
+from repro.store.index import AdjacencyIndex, FeatureIndex
+from repro.store.wal import LogRecord, WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_in_memory_append_and_sequence(self):
+        wal = WriteAheadLog()
+        first = wal.append("create_graph", "g")
+        second = wal.append("add_node", "g", {"id": "a"})
+        assert first.seq == 1 and second.seq == 2
+        assert len(wal) == 2
+        assert [record.op for record in wal] == ["create_graph", "add_node"]
+
+    def test_unknown_operation_rejected(self):
+        wal = WriteAheadLog()
+        with pytest.raises(StoreError):
+            wal.append("truncate_table", "g")
+
+    def test_file_backed_round_trip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append("create_graph", "g")
+        wal.append("add_edge", "g", {"source": "a", "target": "b"})
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 2
+        assert reopened.records()[1].payload["target"] == "b"
+        # New appends continue the sequence.
+        assert reopened.append("add_node", "g", {"id": "c"}).seq == 3
+
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append("create_graph", "g")
+        wal.truncate()
+        assert len(wal) == 0
+        assert WriteAheadLog(path).records() == []
+
+    def test_corrupt_line_detected(self):
+        with pytest.raises(StoreError):
+            LogRecord.from_json("{not json")
+        with pytest.raises(StoreError):
+            LogRecord.from_json('{"seq": 1, "op": "add_node"}')
+
+    def test_record_json_round_trip(self):
+        record = LogRecord(seq=5, op="add_node", graph="g", payload={"id": "a"})
+        assert LogRecord.from_json(record.to_json()) == record
+
+
+class TestCatalog:
+    def test_register_get_drop(self):
+        catalog = Catalog()
+        catalog.register("g", kind="provenance", description="demo")
+        assert "g" in catalog and len(catalog) == 1
+        descriptor = catalog.get("g")
+        assert descriptor.kind == "provenance"
+        dropped = catalog.drop("g")
+        assert dropped.name == "g"
+        assert "g" not in catalog
+
+    def test_duplicate_registration_rejected(self):
+        catalog = Catalog()
+        catalog.register("g")
+        with pytest.raises(CatalogError):
+            catalog.register("g")
+
+    def test_missing_graph_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.get("nope")
+        with pytest.raises(CatalogError):
+            catalog.drop("nope")
+
+    def test_update_counts_and_as_dict(self):
+        catalog = Catalog()
+        catalog.register("g")
+        catalog.update_counts("g", node_count=10, edge_count=20)
+        payload = catalog.get("g").as_dict()
+        assert payload["nodes"] == 10 and payload["edges"] == 20
+        assert catalog.names() == ["g"]
+        assert [d.name for d in catalog.descriptors()] == ["g"]
+
+
+class TestAdjacencyIndex:
+    def test_build_matches_graph(self, small_graph):
+        index = AdjacencyIndex.build(small_graph)
+        assert index.successors("b") == {"c", "d"}
+        assert index.predecessors("e") == {"c", "d"}
+        assert index.degree("b") == 3
+        assert index.consistent_with(small_graph)
+
+    def test_incremental_updates(self, small_graph):
+        index = AdjacencyIndex.build(small_graph)
+        index.add_edge("a", "c")
+        assert index.successors("a") == {"b", "c"}
+        index.remove_edge("a", "c")
+        index.remove_node("b")
+        assert index.successors("a") == set()
+        assert "b" not in index.predecessors("c")
+
+    def test_consistency_detects_divergence(self, small_graph):
+        index = AdjacencyIndex.build(small_graph)
+        index.remove_edge("c", "e")
+        assert not index.consistent_with(small_graph)
+
+
+class TestFeatureIndex:
+    def test_lookup_by_attribute_value(self):
+        graph = graph_from_edges([("a", "b")])
+        graph.set_node_features("a", {"role": "person", "age": 30})
+        graph.set_node_features("b", {"role": "person"})
+        index = FeatureIndex.build(graph)
+        assert index.lookup("role", "person") == {"a", "b"}
+        assert index.lookup("age", 30) == {"a"}
+        assert index.lookup("role", "robot") == set()
+        assert "role" in index.attributes()
+
+    def test_reindex_and_remove(self):
+        index = FeatureIndex()
+        index.index_node("a", {"role": "person"})
+        index.index_node("a", {"role": "robot"})
+        assert index.lookup("role", "person") == set()
+        assert index.lookup("role", "robot") == {"a"}
+        index.remove_node("a")
+        assert index.lookup("role", "robot") == set()
+
+    def test_unhashable_values_skipped(self):
+        index = FeatureIndex()
+        index.index_node("a", {"tags": ["x", "y"], "name": "A"})
+        assert index.lookup("name", "A") == {"a"}
+        assert index.lookup_any("name", ["A", "B"]) == {"a"}

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.serialization import load_graph, save_graph
+from repro.workloads.social import figure1_graph
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure7", "figure8", "figure9", "figure10", "all", "motifs"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_protect_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["protect", "in.json", "out.json", "--strategy", "hide", "--protect-edge", "a,b"]
+        )
+        assert args.strategy == "hide"
+        assert args.protect_edge == ["a,b"]
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1_output(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "naive" in output
+
+    def test_figure7_output(self, capsys):
+        assert main(["figure7"]) == 0
+        output = capsys.readouterr().out
+        assert "bipartite" in output
+
+    def test_motifs_listing(self, capsys):
+        assert main(["motifs"]) == 0
+        output = capsys.readouterr().out
+        assert "star" in output and "protected_edge" in output
+
+    def test_figure10_small(self, capsys):
+        assert main(["figure10", "--nodes", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "protect_via_surrogate" in output
+
+
+class TestProtectCommand:
+    def test_protect_round_trip(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        target = tmp_path / "protected.json"
+        save_graph(figure1_graph(), source)
+        exit_code = main(
+            [
+                "protect",
+                str(source),
+                str(target),
+                "--strategy",
+                "surrogate",
+                "--protect-edge",
+                "f,g",
+                "--report",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "protected account written" in output
+        assert "path_utility" in output
+        protected = load_graph(target)
+        assert not protected.has_edge("f", "g")
+        assert protected.has_edge("f", "j"), "surrogate edge should bridge past the protected link"
+
+    def test_protect_rejects_malformed_edge(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        save_graph(figure1_graph(), source)
+        exit_code = main(["protect", str(source), str(tmp_path / "out.json"), "--protect-edge", "oops"])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().out

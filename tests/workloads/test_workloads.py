@@ -1,0 +1,173 @@
+"""Unit tests for the workload generators (social example, motifs, synthetic family)."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.graph.algorithms import is_acyclic
+from repro.graph.traversal import is_weakly_connected
+from repro.workloads.motifs import MOTIF_NAMES, all_motifs, motif, motif_catalog
+from repro.workloads.random_graphs import random_connected_dag, random_digraph, sample_edges
+from repro.workloads.social import (
+    FIGURE1_EDGES,
+    FIGURE1_LOWEST,
+    SENSITIVE_EDGE,
+    figure1_example,
+    figure1_graph,
+    figure2_variant,
+)
+from repro.workloads.synthetic import (
+    SyntheticGraphSpec,
+    average_directed_connected_pairs,
+    small_family_for_tests,
+    synthetic_family,
+    synthetic_graph,
+)
+
+
+class TestFigure1Example:
+    def test_graph_structure(self):
+        graph = figure1_graph()
+        assert graph.node_count() == 11
+        assert graph.edge_count() == len(FIGURE1_EDGES)
+        assert is_weakly_connected(graph)
+        assert graph.has_edge(*SENSITIVE_EDGE)
+
+    def test_every_node_has_a_lowest_assignment(self):
+        assert set(FIGURE1_LOWEST) == set(figure1_graph().node_ids())
+
+    def test_high2_visibility_matches_figure1c(self):
+        example = figure1_example()
+        visible = example.policy.visible_nodes(example.graph, example.high2)
+        assert visible == {"b", "c", "g", "h", "i", "j"}
+
+    def test_surrogate_registration_is_idempotent(self):
+        example = figure1_example(with_feature_surrogate=True)
+        from repro.workloads.social import add_f_surrogate
+
+        add_f_surrogate(example.policy)
+        assert len(example.policy.surrogates.surrogates_for("f")) == 1
+
+    def test_figure2_variant_validation(self):
+        with pytest.raises(ValueError):
+            figure2_variant("z")
+        for variant in "abcd":
+            example = figure2_variant(variant)
+            assert example.graph.node_count() == 11
+
+
+class TestMotifs:
+    def test_all_motifs_present(self):
+        motifs = all_motifs()
+        assert [m.name for m in motifs] == list(MOTIF_NAMES)
+        assert set(motif_catalog()) == set(MOTIF_NAMES)
+
+    @pytest.mark.parametrize("name", MOTIF_NAMES)
+    def test_motif_size_and_protected_edge(self, name):
+        built = motif(name)
+        assert 4 <= built.node_count <= 5, "paper: motifs contain four to five nodes"
+        assert built.graph.has_edge(*built.protected_edge)
+        assert is_weakly_connected(built.graph)
+        assert is_acyclic(built.graph)
+
+    def test_motif_name_normalisation(self):
+        assert motif("Inverted Tree").name == "inverted_tree"
+        assert motif("inverted-tree").name == "inverted_tree"
+
+    def test_unknown_motif_rejected(self):
+        with pytest.raises(WorkloadError):
+            motif("pentagram")
+
+    def test_bipartite_protected_edge_has_no_forward_continuation(self):
+        built = motif("bipartite")
+        _, target = built.protected_edge
+        assert built.graph.out_degree(target) == 0
+
+    def test_lattice_has_redundant_route_and_chord(self):
+        built = motif("lattice")
+        source, target = built.protected_edge
+        # The chord that makes the surrogate edge redundant.
+        assert built.graph.has_edge("n1", "n4")
+        # Removing the protected edge keeps the graph connected.
+        clone = built.graph.copy()
+        clone.remove_edge(source, target)
+        assert is_weakly_connected(clone)
+
+
+class TestRandomGraphs:
+    def test_connected_dag_properties(self):
+        graph = random_connected_dag(30, 60, seed=3)
+        assert graph.node_count() == 30
+        assert graph.edge_count() == 60
+        assert is_weakly_connected(graph)
+        assert is_acyclic(graph)
+
+    def test_determinism(self):
+        assert random_connected_dag(20, 40, seed=5) == random_connected_dag(20, 40, seed=5)
+        assert random_connected_dag(20, 40, seed=5) != random_connected_dag(20, 40, seed=6)
+
+    def test_edge_count_bounds_enforced(self):
+        with pytest.raises(WorkloadError):
+            random_connected_dag(10, 5)
+        with pytest.raises(WorkloadError):
+            random_connected_dag(10, 100)
+        with pytest.raises(WorkloadError):
+            random_connected_dag(1, 0)
+
+    def test_dense_request_falls_back_to_sweep(self):
+        maximum = 10 * 9 // 2
+        graph = random_connected_dag(10, maximum, seed=1)
+        assert graph.edge_count() == maximum
+
+    def test_random_digraph_allows_cycles(self):
+        graph = random_digraph(20, 50, seed=2)
+        assert graph.node_count() == 20
+        assert graph.edge_count() == 50
+        assert is_weakly_connected(graph)
+
+    def test_sample_edges(self):
+        graph = random_connected_dag(20, 40, seed=1)
+        sampled = sample_edges(graph, 10, seed=9)
+        assert len(sampled) == 10
+        assert len(set(sampled)) == 10
+        assert all(graph.has_edge(*edge) for edge in sampled)
+        assert sample_edges(graph, 10, seed=9) == sampled
+        with pytest.raises(WorkloadError):
+            sample_edges(graph, 1000)
+
+
+class TestSyntheticFamily:
+    def test_instance_meets_spec(self):
+        spec = SyntheticGraphSpec(node_count=60, target_connected_pairs=12, protect_fraction=0.3, seed=4)
+        instance = synthetic_graph(spec)
+        assert instance.graph.node_count() == 60
+        assert is_weakly_connected(instance.graph)
+        assert is_acyclic(instance.graph)
+        assert instance.achieved_connected_pairs >= 12
+        expected_protected = round(0.3 * instance.graph.edge_count())
+        assert abs(len(instance.protected_edges) - expected_protected) <= 1
+        assert instance.summary()["protect_fraction"] == 0.3
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_graph(SyntheticGraphSpec(60, 12, 0.0, seed=1))
+        with pytest.raises(WorkloadError):
+            synthetic_graph(SyntheticGraphSpec(5, 12, 0.5, seed=1))
+
+    def test_family_size_is_product_of_sweeps(self):
+        family = synthetic_family(
+            node_count=40, connectivity_targets=(6, 10), protect_fractions=(0.2, 0.5, 0.8), seed=11
+        )
+        assert len(family) == 6
+        labels = {instance.spec.label() for instance in family}
+        assert len(labels) == 6
+
+    def test_small_family_for_tests(self):
+        family = small_family_for_tests()
+        assert len(family) == 4
+        for instance in family:
+            assert instance.graph.node_count() == 40
+
+    def test_average_directed_connected_pairs_monotone_in_density(self):
+        sparse = random_connected_dag(50, 55, seed=2)
+        dense = random_connected_dag(50, 300, seed=2)
+        assert average_directed_connected_pairs(dense) > average_directed_connected_pairs(sparse)
