@@ -1,0 +1,128 @@
+"""Scaling benchmark: the full read path across graph sizes.
+
+Times ``generate_protected_account`` + ``utility_report`` — the inner loop
+of every experiment driver — on the seeded synthetic family at 500, 2 000
+and 8 000 nodes, and writes a ``BENCH_scaling.json`` trajectory point so
+this and future perf PRs have comparable before/after numbers.
+
+The workload mirrors the experiment drivers: 10% of nodes protected at a
+higher privilege with surrogate-routed incidences, plus 5% of edges
+protected with the surrogate strategy, scored for the Low-2 consumer class.
+
+Quick mode (the default) benchmarks the 500- and 2 000-node cases and runs
+the 8 000-node case once for the JSON trajectory; ``REPRO_BENCH_FULL=1``
+benchmarks all three sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import time
+
+import pytest
+
+from repro.core.generation import generate_protected_account
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import figure1_lattice
+from repro.core.utility import utility_report
+from repro.workloads.random_graphs import random_digraph, sample_edges
+
+from benchmarks.conftest import full_scale
+
+#: (node count, edge count) per scaling step.
+SIZES = [(500, 1_500), (2_000, 6_000), (8_000, 24_000)]
+
+#: Where the trajectory point lands (repo root, next to ROADMAP.md).
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+
+_SEED = 7
+_results = {}
+
+
+def build_workload(node_count, edge_count, seed=_SEED):
+    """The benchmark workload: graph + policy + consumer privilege."""
+    graph = random_digraph(node_count, edge_count, seed=seed)
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    rng = random.Random(seed)
+    protected = rng.sample(graph.node_ids(), max(1, node_count // 10))
+    for node_id in protected:
+        policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+    policy.protect_edges(
+        sample_edges(graph, max(1, edge_count // 20), seed=seed), privileges["Low-2"]
+    )
+    return graph, policy, privileges["Low-2"]
+
+
+def protect_and_score(graph, policy, consumer):
+    """One unit of benchmark work: account generation + both utility measures."""
+    policy.markings.touch()  # defeat the compiled-view cache: time a cold pipeline
+    account = generate_protected_account(graph, policy, consumer)
+    return account, utility_report(graph, account)
+
+
+def _record(node_count, edge_count, elapsed, report):
+    _results[node_count] = {
+        "nodes": node_count,
+        "edges": edge_count,
+        "protect_and_score_s": round(elapsed, 4),
+        "path_utility": round(report.path_utility, 6),
+        "node_utility": round(report.node_utility, 6),
+    }
+
+
+@pytest.mark.benchmark(group="scaling")
+@pytest.mark.parametrize("node_count,edge_count", SIZES)
+def test_bench_protect_and_score_scaling(benchmark, node_count, edge_count, bench_quick):
+    """Time the full pipeline at one size; record the trajectory sample."""
+    graph, policy, consumer = build_workload(node_count, edge_count)
+    if bench_quick and node_count > 2_000:
+        # One measured round keeps quick runs fast while still emitting the
+        # 8k trajectory point the acceptance criteria track.
+        account, report = benchmark.pedantic(
+            protect_and_score, args=(graph, policy, consumer), rounds=1, iterations=1
+        )
+    else:
+        account, report = benchmark(protect_and_score, graph, policy, consumer)
+    elapsed = benchmark.stats.stats.mean
+    assert account.graph.node_count() > 0
+    assert 0.0 <= report.path_utility <= 1.0
+    assert 0.0 <= report.node_utility <= 1.0
+    _record(node_count, edge_count, elapsed, report)
+
+
+def _write_trajectory():
+    """Fill in any un-benchmarked sizes, then write BENCH_scaling.json."""
+    for node_count, edge_count in SIZES:
+        if node_count not in _results:  # e.g. single-test invocation
+            graph, policy, consumer = build_workload(node_count, edge_count)
+            start = time.perf_counter()
+            _, report = protect_and_score(graph, policy, consumer)
+            _record(node_count, edge_count, time.perf_counter() - start, report)
+    payload = {
+        "benchmark": "protect_and_score_scaling",
+        "workload": "random_digraph seed=7, 10% protected nodes, 5% protected edges, Low-2 consumer",
+        "full_scale": full_scale(),
+        "sizes": [_results[nodes] for nodes, _ in SIZES],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_trajectory_on_teardown():
+    """Write the trajectory after the module's tests — including under
+    ``--benchmark-only``, where plain (non-benchmark) tests are skipped."""
+    yield
+    _write_trajectory()
+
+
+def test_bench_scaling_writes_trajectory(bench_quick):
+    """Shape-check the emitted BENCH_scaling.json (runs in plain test mode)."""
+    _write_trajectory()
+    written = json.loads(BENCH_JSON.read_text())
+    assert [entry["nodes"] for entry in written["sizes"]] == [nodes for nodes, _ in SIZES]
+    # The linear-time pipeline finishes the 8k graph in seconds, not minutes.
+    assert written["sizes"][-1]["protect_and_score_s"] < 60.0

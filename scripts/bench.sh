@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Benchmark + smoke harness for the repo.
+#
+# Usage:
+#   scripts/bench.sh           # full benchmark suite; writes BENCH_scaling.json
+#   scripts/bench.sh scaling   # just the scaling benchmark (fastest perf signal)
+#   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
+#
+# Set REPRO_BENCH_FULL=1 to run the synthetic experiments at paper scale and
+# to benchmark the 8k-node scaling case with full statistics.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+case "${1:-all}" in
+  smoke)
+    # Tier-1 equivalent: unit, property, integration tests plus benchmark
+    # shape checks in test mode (pytest runs benchmarks once, untimed).
+    exec python -m pytest -x -q
+    ;;
+  scaling)
+    python -m pytest benchmarks/test_bench_scaling.py --benchmark-only -q
+    ;;
+  all)
+    python -m pytest benchmarks/ --benchmark-only -q
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [all|scaling|smoke]" >&2
+    exit 2
+    ;;
+esac
+
+echo
+echo "BENCH_scaling.json trajectory point:"
+cat BENCH_scaling.json

@@ -35,7 +35,8 @@ Modules
 
 from repro.core.privileges import HighWaterSet, Privilege, PrivilegeLattice
 from repro.core.surrogates import NULL_SURROGATE, Surrogate, SurrogateRegistry
-from repro.core.markings import EdgeState, Marking, MarkingPolicy
+from repro.core.markings import CompiledMarkingView, EdgeState, Marking, MarkingPolicy
+from repro.core.permitted import VisibleWalkCache
 from repro.core.policy import ReleasePolicy
 from repro.core.protected_account import ProtectedAccount
 from repro.core.generation import ProtectionEngine, generate_protected_account
@@ -60,6 +61,8 @@ __all__ = [
     "Marking",
     "EdgeState",
     "MarkingPolicy",
+    "CompiledMarkingView",
+    "VisibleWalkCache",
     "ReleasePolicy",
     "ProtectedAccount",
     "ProtectionEngine",

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set
 
 from repro.core.markings import EdgeState
-from repro.core.permitted import surrogate_edge_candidates
+from repro.core.permitted import VisibleWalkCache, surrogate_edge_candidates
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
 from repro.core.privileges import Privilege
 from repro.core.protected_account import ProtectedAccount
@@ -50,6 +50,7 @@ def generate_protected_account(
     ensure_maximal_connectivity: bool = False,
     strategy: str = STRATEGY_SURROGATE,
     name: Optional[str] = None,
+    compiled: bool = True,
 ) -> ProtectedAccount:
     """Run the Surrogate Generation Algorithm for one consumer class.
 
@@ -78,9 +79,17 @@ def generate_protected_account(
         Free-form label recorded on the account (``"surrogate"`` by
         default); it does not change the algorithm — the *markings* decide
         between hiding and surrogating.
+    compiled:
+        When True (default) the policy's markings are compiled once into a
+        per-privilege :class:`~repro.core.markings.CompiledMarkingView` and
+        every per-edge question below is an O(1) table lookup.  ``False``
+        forces the uncompiled reference path; the equivalence test suite
+        uses it to check the two paths produce identical accounts.
     """
     privilege = policy.lattice.get(privilege)
     markings = policy.markings
+    if compiled:
+        markings = policy.markings.compile(graph, privilege)
     account = PropertyGraph(
         name=name if name is not None else _account_name(graph, privilege)
     )
@@ -136,8 +145,13 @@ def generate_protected_account(
     # ------------------------------------------------------------------ #
     surrogate_edges: Set[EdgeKey] = set()
     if include_surrogate_edges:
+        walks = VisibleWalkCache(
+            graph, markings, privilege, anchors=anchors, compiled=compiled
+        )
         for original_source, original_target in sorted(
-            surrogate_edge_candidates(graph, markings, privilege, anchors=anchors),
+            surrogate_edge_candidates(
+                graph, markings, privilege, anchors=anchors, walks=walks, compiled=compiled
+            ),
             key=lambda pair: (repr(pair[0]), repr(pair[1])),
         ):
             account_source = to_account.get(original_source)
@@ -154,7 +168,7 @@ def generate_protected_account(
     # ------------------------------------------------------------------ #
     if include_surrogate_edges and ensure_maximal_connectivity:
         _repair_maximal_connectivity(
-            graph, policy, privilege, account, to_account, surrogate_edges
+            graph, markings, privilege, account, to_account, surrogate_edges, compiled=compiled
         )
 
     return ProtectedAccount(
@@ -169,25 +183,30 @@ def generate_protected_account(
 
 def _repair_maximal_connectivity(
     graph: PropertyGraph,
-    policy: ReleasePolicy,
+    markings: object,
     privilege: Privilege,
     account: PropertyGraph,
     to_account: Dict[NodeId, NodeId],
     surrogate_edges: Set[EdgeKey],
+    *,
+    compiled: bool = True,
 ) -> None:
     """Add the surrogate edges needed to satisfy Definition 9.3 exactly.
 
     For every represented original ``a``, every represented original ``b``
     joined to it by an HW-permitted path must be reachable from it in the
     account; any missing pair gets a direct surrogate edge (which is sound:
-    the permitted path is in particular a path in ``G``).
+    the permitted path is in particular a path in ``G``).  The caller hands
+    over its compiled marking view, so the per-node reachability BFS runs
+    on O(1) edge-state lookups.
     """
     from repro.core.permitted import hw_permitted_targets
     from repro.graph.paths import single_source_shortest_lengths
 
-    markings = policy.markings
     for original_source, account_source in to_account.items():
-        permitted = hw_permitted_targets(graph, markings, privilege, original_source)
+        permitted = hw_permitted_targets(
+            graph, markings, privilege, original_source, compiled=compiled
+        )
         if not permitted:
             continue
         reachable = set(single_source_shortest_lengths(account, account_source))

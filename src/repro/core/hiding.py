@@ -50,6 +50,7 @@ def naive_protected_account(
     visible: Set[NodeId] = policy.visible_nodes(graph, privilege)
     account = PropertyGraph(name=name if name is not None else f"{graph.name or 'graph'}@{privilege.name}:naive")
     correspondence: Dict[NodeId, NodeId] = {}
+    markings = policy.markings.compile(graph, privilege) if respect_edge_markings else None
     for node in graph.nodes():
         if node.node_id in visible:
             account.add_node(node.node_id, kind=node.kind, features=dict(node.features))
@@ -57,7 +58,7 @@ def naive_protected_account(
     for edge in graph.edges():
         if edge.source not in visible or edge.target not in visible:
             continue
-        if respect_edge_markings and policy.markings.edge_state(edge.key, privilege) is not EdgeState.VISIBLE:
+        if markings is not None and markings.edge_state(edge.key) is not EdgeState.VISIBLE:
             continue
         account.add_edge(edge.source, edge.target, label=edge.label, features=dict(edge.features))
     return ProtectedAccount(

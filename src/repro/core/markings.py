@@ -27,12 +27,27 @@ node ``n`` for privilege ``p`` is ``VISIBLE`` when ``p`` dominates
 ``lowest(n)`` and otherwise the policy-configured default for protected
 nodes (``HIDE`` by default — the conservative, naive behaviour; providers
 opt into ``SURROGATE``).
+
+Compiled views
+--------------
+:meth:`MarkingPolicy.marking` resolves one incidence at a time: it walks the
+explicit-marking fallback chain and consults the lattice per call.  That is
+the *reference* semantics, but the generation algorithm and the permitted-path
+walks ask the same questions for every edge of the same graph under the same
+privilege, millions of times across an experiment sweep.
+:class:`CompiledMarkingView` materialises the answers once per
+``(graph, policy, privilege)`` — the effective marking of every incidence and
+the :class:`EdgeState` of every edge — and then answers in O(1) dict lookups.
+Views are cached on the policy and invalidated automatically via the graph's
+and the policy's mutation counters, so callers can simply call
+:meth:`MarkingPolicy.compile` in hot paths and never worry about staleness.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+import weakref
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.privileges import Privilege, PrivilegeLattice
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
@@ -95,6 +110,26 @@ class MarkingPolicy:
         self.default_protected_marking = default_protected_marking
         #: (node, edge) -> {privilege name -> marking}
         self._explicit: Dict[Tuple[NodeId, EdgeKey], Dict[str, Marking]] = {}
+        #: Mutation counter; compiled views check it to detect staleness.
+        self._version = 0
+        #: (id(graph), privilege name) -> CompiledMarkingView, bounded LRU-ish.
+        self._compiled: Dict[Tuple[int, str], "CompiledMarkingView"] = {}
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever the policy's answers may change."""
+        return self._version
+
+    def touch(self) -> None:
+        """Invalidate every compiled view (call after out-of-band changes).
+
+        The policy bumps its version itself on :meth:`set_marking` /
+        :meth:`clear` / :meth:`bind_lowest`; owners of the ``lowest_of``
+        callable (e.g. :class:`~repro.core.policy.ReleasePolicy`) must call
+        this when the *backing data* of that callable changes, since the
+        policy cannot observe those mutations.
+        """
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -102,6 +137,7 @@ class MarkingPolicy:
     def bind_lowest(self, lowest_of: Callable[[NodeId], Privilege]) -> None:
         """Provide (or replace) the ``lowest(n)`` lookup used for default markings."""
         self._lowest_of = lowest_of
+        self._version += 1
 
     def set_marking(
         self,
@@ -113,6 +149,7 @@ class MarkingPolicy:
         """Record an explicit marking for one incidence at one privilege."""
         privilege = self.lattice.get(privilege)
         self._explicit.setdefault((node_id, tuple(edge)), {})[privilege.name] = marking
+        self._version += 1
 
     def mark_edge(
         self,
@@ -150,11 +187,11 @@ class MarkingPolicy:
             raise ValueError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
         count = 0
         if direction in {"out", "both"}:
-            for successor in graph.successors(node_id):
+            for successor in graph.iter_successors(node_id):
                 self.set_marking(node_id, (node_id, successor), privilege, marking)
                 count += 1
         if direction in {"in", "both"}:
-            for predecessor in graph.predecessors(node_id):
+            for predecessor in graph.iter_predecessors(node_id):
                 self.set_marking(node_id, (predecessor, node_id), privilege, marking)
                 count += 1
         return count
@@ -162,6 +199,7 @@ class MarkingPolicy:
     def clear(self) -> None:
         """Drop every explicit marking (defaults still apply)."""
         self._explicit.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -215,7 +253,37 @@ class MarkingPolicy:
 
     def edge_states(self, graph: PropertyGraph, privilege: object) -> Dict[EdgeKey, EdgeState]:
         """The state of every edge of ``graph`` for one privilege (Algorithm 3's table)."""
-        return {edge.key: self.edge_state(edge.key, privilege) for edge in graph.edges()}
+        return dict(self.compile(graph, privilege).edge_state_table)
+
+    # ------------------------------------------------------------------ #
+    # compiled views
+    # ------------------------------------------------------------------ #
+    def compile(self, graph: PropertyGraph, privilege: object) -> "CompiledMarkingView":
+        """The compiled per-privilege protection view of ``graph``.
+
+        Views are cached and re-used until either the graph or the policy
+        mutates; repeated calls in a hot loop cost one dict lookup.  The
+        cache is bounded (experiment drivers sweep a handful of graphs ×
+        privileges at a time), evicting the oldest entry when full.
+        """
+        privilege = self.lattice.get(privilege)
+        key = (id(graph), privilege.name)
+        cached = self._compiled.get(key)
+        if (
+            cached is not None
+            and cached.graph is graph
+            and cached.graph_version == graph.version
+            and cached.policy_version == self._version
+        ):
+            return cached
+        view = CompiledMarkingView(graph, self, privilege)
+        # Re-inserting moves the key to the back so eviction is oldest-first
+        # even when an existing entry is being replaced.
+        self._compiled.pop(key, None)
+        if len(self._compiled) >= _COMPILED_CACHE_LIMIT:
+            self._compiled.pop(next(iter(self._compiled)))
+        self._compiled[key] = view
+        return view
 
     def explicit_incidences(self) -> Iterable[Tuple[IncidenceKey, Marking]]:
         """Every explicitly recorded incidence marking (for reporting/serialisation)."""
@@ -234,3 +302,129 @@ class MarkingPolicy:
         )
         clone._explicit = {key: dict(value) for key, value in self._explicit.items()}
         return clone
+
+
+#: Maximum number of compiled views kept per policy.
+_COMPILED_CACHE_LIMIT = 16
+
+
+class CompiledMarkingView:
+    """Materialised markings and edge states for one (graph, policy, privilege).
+
+    Construction is one O(V + E_explicit·k) pass (``k`` = markings per
+    incidence, almost always 1-2): the default marking of every node is
+    resolved once through the privilege lattice's frozen dominance closure,
+    and only incidences with explicit markings pay the fallback-chain
+    resolution — each exactly once.  Afterwards :meth:`marking` and
+    :meth:`edge_state` are plain dict lookups, so a BFS over the view costs
+    O(V + E) total instead of O((V + E) · lattice-scan).
+
+    The view is call-compatible with the subset of :class:`MarkingPolicy`
+    the permitted-path walks use — ``marking(node, edge, privilege)`` and
+    ``edge_state(edge, privilege)`` — so traversal code accepts either; the
+    trailing ``privilege`` argument is validated against the view's own
+    privilege to catch accidental cross-privilege reuse.
+    """
+
+    __slots__ = (
+        "_graph_ref",
+        "privilege",
+        "graph_version",
+        "policy_version",
+        "node_default",
+        "edge_state_table",
+        "_overrides",
+        "_policy",
+    )
+
+    def __init__(self, graph: PropertyGraph, policy: MarkingPolicy, privilege: Privilege) -> None:
+        # Weak reference: the policy's view cache must not keep swept-over
+        # graphs alive; a dead reference simply fails the cache check.
+        self._graph_ref = weakref.ref(graph)
+        self.privilege = privilege
+        self.graph_version = graph.version
+        self.policy_version = policy.version
+        self._policy = policy
+
+        lowest_of = policy._lowest_of
+        if lowest_of is None:
+            self.node_default: Dict[NodeId, Marking] = dict.fromkeys(
+                graph.node_ids(), Marking.VISIBLE
+            )
+        else:
+            closure = policy.lattice.dominated_closure(privilege)
+            protected = policy.default_protected_marking
+            self.node_default = {
+                node_id: (Marking.VISIBLE if lowest_of(node_id).name in closure else protected)
+                for node_id in graph.node_ids()
+            }
+
+        #: Incidences whose effective marking differs from the node default.
+        self._overrides: Dict[Tuple[NodeId, EdgeKey], Marking] = {}
+        explicit = policy._explicit
+        self.edge_state_table: Dict[EdgeKey, EdgeState] = {}
+        node_default = self.node_default
+        for key in graph.edge_keys():
+            source_id, target_id = key
+            source_marking = node_default[source_id]
+            target_marking = node_default[target_id]
+            if explicit:
+                if (source_id, key) in explicit:
+                    resolved = policy.explicit_marking(source_id, key, privilege)
+                    if resolved is not None:
+                        source_marking = resolved
+                        self._overrides[(source_id, key)] = resolved
+                if (target_id, key) in explicit:
+                    resolved = policy.explicit_marking(target_id, key, privilege)
+                    if resolved is not None:
+                        target_marking = resolved
+                        self._overrides[(target_id, key)] = resolved
+            self.edge_state_table[key] = combine_markings(source_marking, target_marking)
+
+    @property
+    def graph(self) -> Optional[PropertyGraph]:
+        """The compiled graph, or ``None`` once it has been garbage-collected."""
+        return self._graph_ref()
+
+    # ------------------------------------------------------------------ #
+    # lookups (MarkingPolicy-compatible signatures)
+    # ------------------------------------------------------------------ #
+    def _check_privilege(self, privilege: object) -> None:
+        name = privilege.name if isinstance(privilege, Privilege) else str(privilege)
+        if name != self.privilege.name:
+            raise ValueError(
+                f"compiled view is for privilege {self.privilege.name!r}, "
+                f"but was queried for {name!r}"
+            )
+
+    def marking(self, node_id: NodeId, edge: EdgeKey, privilege: object = None) -> Marking:
+        """The effective marking of one incidence (O(1) for compiled incidences)."""
+        if privilege is not None:
+            self._check_privilege(privilege)
+        # Only the two endpoint incidences of a compiled edge are in the
+        # tables; anything else (a hypothetical edge probed by validation
+        # helpers, or an off-endpoint incidence carrying an explicit
+        # marking) defers to the reference semantics.
+        if (node_id == edge[0] or node_id == edge[1]) and edge in self.edge_state_table:
+            override = self._overrides.get((node_id, edge))
+            if override is not None:
+                return override
+            default = self.node_default.get(node_id)
+            if default is not None:
+                return default
+        return self._policy.marking(node_id, edge, self.privilege)
+
+    def edge_state(self, edge: EdgeKey, privilege: object = None) -> EdgeState:
+        """The combined state of an edge (O(1) for compiled edges)."""
+        if privilege is not None:
+            self._check_privilege(privilege)
+        state = self.edge_state_table.get(edge)
+        if state is None:
+            return combine_markings(
+                self.marking(edge[0], edge), self.marking(edge[1], edge)
+            )
+        return state
+
+    def edge_states(self) -> Mapping[EdgeKey, EdgeState]:
+        """The full edge-state table (read-only by convention)."""
+        return self.edge_state_table

@@ -15,24 +15,56 @@ Surrogate edges summarise HW-permitted paths.  The *visible-set* walk
 anchors of those summaries: starting from a surrogate-routed incidence it
 travels through further surrogate-routed incidences and stops at the first
 nodes whose incidence is ``VISIBLE``.
+
+Performance
+-----------
+Every function here accepts ``markings`` as either a live
+:class:`~repro.core.markings.MarkingPolicy` (the reference semantics, each
+incidence resolved per call) or a
+:class:`~repro.core.markings.CompiledMarkingView` (O(1) table lookups).  By
+default a policy is compiled on entry — one O(V+E) pass amortised across
+every walk under the same (graph, privilege) — pass ``compiled=False`` to
+force the uncompiled reference path (the equivalence test suite does).
+
+:class:`VisibleWalkCache` additionally memoises whole visible-set walks
+keyed by (start, direction), so the per-edge anchor discovery and
+blocked-pair re-anchoring inside :func:`surrogate_edge_candidates` share
+BFS work across all edges instead of re-walking per edge.  The
+Definition-9.3 repair pass of the generation algorithm shares the compiled
+marking *view* (its BFS is permitted-reachability, not a visible-set walk).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
-from repro.core.markings import EdgeState, Marking, MarkingPolicy
+from repro.core.markings import CompiledMarkingView, EdgeState, Marking, MarkingPolicy
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
+#: Either marking source accepted by the traversal functions.
+MarkingSource = Union[MarkingPolicy, CompiledMarkingView]
 
-def edge_usable(markings: MarkingPolicy, edge: EdgeKey, privilege: object) -> bool:
+
+def _resolve_markings(
+    graph: PropertyGraph,
+    markings: MarkingSource,
+    privilege: object,
+    compiled: bool = True,
+) -> MarkingSource:
+    """Compile a policy into a per-privilege view (unless opted out)."""
+    if compiled and isinstance(markings, MarkingPolicy):
+        return markings.compile(graph, privilege)
+    return markings
+
+
+def edge_usable(markings: MarkingSource, edge: EdgeKey, privilege: object) -> bool:
     """True when the edge has no ``HIDE`` incidence for ``privilege``."""
     return markings.edge_state(edge, privilege) is not EdgeState.HIDDEN
 
 
 def direct_edge_allows_path(
-    graph: PropertyGraph, markings: MarkingPolicy, privilege: object, source: NodeId, target: NodeId
+    graph: PropertyGraph, markings: MarkingSource, privilege: object, source: NodeId, target: NodeId
 ) -> bool:
     """Definition 8, clause 2: a sensitive direct edge forbids any permitted path.
 
@@ -46,7 +78,7 @@ def direct_edge_allows_path(
 
 def hw_permitted_path_exists(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     source: NodeId,
     target: NodeId,
@@ -57,14 +89,17 @@ def hw_permitted_path_exists(
 
 def shortest_hw_permitted_path_length(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     source: NodeId,
     target: NodeId,
+    *,
+    compiled: bool = True,
 ) -> Optional[int]:
     """Length of the shortest HW-permitted path, or ``None`` when none exists."""
     if source == target:
         return None
+    markings = _resolve_markings(graph, markings, privilege, compiled)
     if not direct_edge_allows_path(graph, markings, privilege, source, target):
         return None
     # BFS over non-hidden edges.  The first step must leave `source` through
@@ -72,7 +107,7 @@ def shortest_hw_permitted_path_length(
     # only through an edge whose target-incidence is VISIBLE.
     distances: Dict[NodeId, int] = {}
     frontier: deque = deque()
-    for successor in graph.successors(source):
+    for successor in graph.iter_successors(source):
         edge = (source, successor)
         if not edge_usable(markings, edge, privilege):
             continue
@@ -91,7 +126,7 @@ def shortest_hw_permitted_path_length(
         current_distance = distances[current]
         if best is not None and current_distance + 1 >= best:
             continue
-        for successor in graph.successors(current):
+        for successor in graph.iter_successors(current):
             edge = (current, successor)
             if not edge_usable(markings, edge, privilege):
                 continue
@@ -111,9 +146,11 @@ def shortest_hw_permitted_path_length(
 
 def hw_permitted_targets(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     source: NodeId,
+    *,
+    compiled: bool = True,
 ) -> Set[NodeId]:
     """Every node reachable from ``source`` along an HW-permitted path.
 
@@ -122,12 +159,14 @@ def hw_permitted_targets(
     counts as a permitted target when it is ever entered through an edge
     whose target-incidence is VISIBLE, and the direct-edge clause is applied
     per target.  Used by validation and by the optional maximal-connectivity
-    repair pass of the generation algorithm.
+    repair pass of the generation algorithm.  Runs over the compiled
+    edge-state table, so each step is O(1).
     """
+    markings = _resolve_markings(graph, markings, privilege, compiled)
     reached_any: Set[NodeId] = set()
     targets: Set[NodeId] = set()
     frontier: deque = deque()
-    for successor in graph.successors(source):
+    for successor in graph.iter_successors(source):
         edge = (source, successor)
         if not edge_usable(markings, edge, privilege):
             continue
@@ -140,7 +179,7 @@ def hw_permitted_targets(
             frontier.append(successor)
     while frontier:
         current = frontier.popleft()
-        for successor in graph.successors(current):
+        for successor in graph.iter_successors(current):
             edge = (current, successor)
             if not edge_usable(markings, edge, privilege):
                 continue
@@ -159,19 +198,24 @@ def hw_permitted_targets(
 
 def hw_permitted_pairs(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     nodes: Optional[Set[NodeId]] = None,
+    *,
+    compiled: bool = True,
 ) -> Set[Tuple[NodeId, NodeId]]:
     """Every ordered pair of (given) nodes joined by an HW-permitted path.
 
     Used by validation (maximal connectivity, Definition 9.3) rather than by
     generation, which uses the cheaper visible-set walks below.
     """
+    markings = _resolve_markings(graph, markings, privilege, compiled)
     candidates = set(nodes) if nodes is not None else set(graph.node_ids())
     pairs: Set[Tuple[NodeId, NodeId]] = set()
     for source in candidates:
-        for target in hw_permitted_targets(graph, markings, privilege, source):
+        for target in hw_permitted_targets(
+            graph, markings, privilege, source, compiled=compiled
+        ):
             if target in candidates and target != source:
                 pairs.add((source, target))
     return pairs
@@ -182,11 +226,12 @@ def hw_permitted_pairs(
 # --------------------------------------------------------------------------- #
 def forward_visible_set(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     start: NodeId,
     *,
     anchors: Optional[Set[NodeId]] = None,
+    compiled: bool = True,
 ) -> Set[NodeId]:
     """Nodes reachable forwards from ``start`` stopping at VISIBLE incidences.
 
@@ -199,24 +244,27 @@ def forward_visible_set(
     will not appear in the protected account) is walked *through* instead,
     so that connectivity between representable nodes is never lost.
     """
+    markings = _resolve_markings(graph, markings, privilege, compiled)
     return _visible_walk(graph, markings, privilege, start, forward=True, anchors=anchors)
 
 
 def backward_visible_set(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     start: NodeId,
     *,
     anchors: Optional[Set[NodeId]] = None,
+    compiled: bool = True,
 ) -> Set[NodeId]:
     """Mirror image of :func:`forward_visible_set` over in-edges."""
+    markings = _resolve_markings(graph, markings, privilege, compiled)
     return _visible_walk(graph, markings, privilege, start, forward=False, anchors=anchors)
 
 
 def _visible_walk(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     start: NodeId,
     *,
@@ -228,7 +276,9 @@ def _visible_walk(
     frontier: deque = deque([start])
     while frontier:
         current = frontier.popleft()
-        neighbors = graph.successors(current) if forward else graph.predecessors(current)
+        neighbors = (
+            graph.iter_successors(current) if forward else graph.iter_predecessors(current)
+        )
         for neighbor in neighbors:
             edge: EdgeKey = (current, neighbor) if forward else (neighbor, current)
             if not edge_usable(markings, edge, privilege):
@@ -245,12 +295,81 @@ def _visible_walk(
     return collected
 
 
+class VisibleWalkCache:
+    """Memoised visible-set walks for one (graph, markings, privilege, anchors).
+
+    The surrogate-edge candidate scan asks for the backward walk of every
+    protected edge's source and the forward walk of every protected edge's
+    target; chains of surrogate-routed edges make those walks land on the
+    same start nodes over and over.  Caching by (start, direction) turns the
+    per-edge walks into at most one BFS per distinct node, shared between
+    the candidate scan and its blocked-pair re-anchoring worklist (and any
+    other caller passed the same cache via the ``walks`` parameter).
+
+    The cached sets are frozen so sharing across callers is safe.
+    """
+
+    __slots__ = ("graph", "markings", "privilege", "anchors", "_forward", "_backward")
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        markings: MarkingSource,
+        privilege: object,
+        *,
+        anchors: Optional[Set[NodeId]] = None,
+        compiled: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.markings = _resolve_markings(graph, markings, privilege, compiled)
+        self.privilege = privilege
+        self.anchors = anchors
+        self._forward: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._backward: Dict[NodeId, FrozenSet[NodeId]] = {}
+
+    def forward(self, start: NodeId) -> FrozenSet[NodeId]:
+        """Memoised :func:`forward_visible_set` from ``start``."""
+        cached = self._forward.get(start)
+        if cached is None:
+            cached = frozenset(
+                _visible_walk(
+                    self.graph,
+                    self.markings,
+                    self.privilege,
+                    start,
+                    forward=True,
+                    anchors=self.anchors,
+                )
+            )
+            self._forward[start] = cached
+        return cached
+
+    def backward(self, start: NodeId) -> FrozenSet[NodeId]:
+        """Memoised :func:`backward_visible_set` from ``start``."""
+        cached = self._backward.get(start)
+        if cached is None:
+            cached = frozenset(
+                _visible_walk(
+                    self.graph,
+                    self.markings,
+                    self.privilege,
+                    start,
+                    forward=False,
+                    anchors=self.anchors,
+                )
+            )
+            self._backward[start] = cached
+        return cached
+
+
 def surrogate_edge_candidates(
     graph: PropertyGraph,
-    markings: MarkingPolicy,
+    markings: MarkingSource,
     privilege: object,
     *,
     anchors: Optional[Set[NodeId]] = None,
+    walks: Optional[VisibleWalkCache] = None,
+    compiled: bool = True,
 ) -> Set[Tuple[NodeId, NodeId]]:
     """All (source, target) original-node pairs that should receive a surrogate edge.
 
@@ -264,7 +383,17 @@ def surrogate_edge_candidates(
     anchor target) pair is a candidate — subject to Definition 8's
     direct-edge clause and to not duplicating an already-visible direct
     edge.
+
+    ``walks`` lets the caller share one :class:`VisibleWalkCache` across
+    this scan and other passes (the generation algorithm does); when absent
+    a private cache is created so the per-edge walks are still deduplicated
+    within the scan.
     """
+    markings = _resolve_markings(graph, markings, privilege, compiled)
+    if walks is None:
+        walks = VisibleWalkCache(
+            graph, markings, privilege, anchors=anchors, compiled=compiled
+        )
     candidates: Set[Tuple[NodeId, NodeId]] = set()
     pending: Set[Tuple[NodeId, NodeId]] = set()
     for edge in graph.edges():
@@ -281,13 +410,13 @@ def surrogate_edge_candidates(
         source_is_anchor = anchors is None or source_id in anchors
         target_is_anchor = anchors is None or target_id in anchors
         if markings.marking(source_id, key, privilege) is Marking.VISIBLE and source_is_anchor:
-            sources = {source_id}
+            sources: FrozenSet[NodeId] = frozenset((source_id,))
         else:
-            sources = backward_visible_set(graph, markings, privilege, source_id, anchors=anchors)
+            sources = walks.backward(source_id)
         if markings.marking(target_id, key, privilege) is Marking.VISIBLE and target_is_anchor:
-            targets = {target_id}
+            targets: FrozenSet[NodeId] = frozenset((target_id,))
         else:
-            targets = forward_visible_set(graph, markings, privilege, target_id, anchors=anchors)
+            targets = walks.forward(target_id)
         for anchor_source in sources:
             for anchor_target in targets:
                 pending.add((anchor_source, anchor_target))
@@ -309,13 +438,9 @@ def surrogate_edge_candidates(
         if anchor_source == anchor_target:
             continue
         if not direct_edge_allows_path(graph, markings, privilege, anchor_source, anchor_target):
-            for farther_source in backward_visible_set(
-                graph, markings, privilege, anchor_source, anchors=anchors
-            ):
+            for farther_source in walks.backward(anchor_source):
                 worklist.append((farther_source, anchor_target))
-            for farther_target in forward_visible_set(
-                graph, markings, privilege, anchor_target, anchors=anchors
-            ):
+            for farther_target in walks.forward(anchor_target):
                 worklist.append((anchor_source, farther_target))
             continue
         if (

@@ -72,6 +72,9 @@ class ReleasePolicy:
     def set_lowest(self, node_id: NodeId, privilege: object) -> None:
         """Declare the lowest privilege required to see ``node_id``."""
         self._lowest[node_id] = self.lattice.get(privilege)
+        # Default incidence markings read lowest() through the bound callable,
+        # so compiled marking views must be invalidated explicitly.
+        self.markings.touch()
 
     def set_lowest_bulk(self, assignments: Mapping[NodeId, object]) -> None:
         """Declare many ``lowest()`` assignments at once."""

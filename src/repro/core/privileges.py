@@ -59,6 +59,7 @@ class PrivilegeLattice:
         self._privileges: Dict[str, Privilege] = {}
         self._direct_dominates: Dict[str, Set[str]] = {}
         self._closure: Optional[Dict[str, FrozenSet[str]]] = None
+        self._dominated_names: Optional[Dict[str, FrozenSet[str]]] = None
         self.public = Privilege(public_name, "dominated by every other privilege-predicate")
         self._privileges[public_name] = self.public
         self._direct_dominates[public_name] = set()
@@ -97,6 +98,7 @@ class PrivilegeLattice:
         if name != self.public.name:
             self._direct_dominates[name].add(self.public.name)
         self._closure = None
+        self._dominated_names = None
         self._check_acyclic()
         return privilege
 
@@ -147,11 +149,29 @@ class PrivilegeLattice:
         """Definition 2: ``higher`` dominates ``lower`` (reflexive, transitive)."""
         higher_name = self.get(higher).name
         lower_name = self.get(lower).name
-        if higher_name == lower_name:
-            return True
-        if lower_name == self.public.name:
-            return True
-        return lower_name in self._transitive_closure()[higher_name]
+        return lower_name in self.dominated_closure(higher_name)
+
+    def dominated_closure(self, privilege: object) -> FrozenSet[str]:
+        """The frozen set of every name dominated by ``privilege``.
+
+        Includes the privilege itself and Public (reflexivity + bottom
+        element), so ``lower in lattice.dominated_closure(higher)`` is the
+        O(1) form of :meth:`dominates`.  The table is built once per lattice
+        mutation and shared; compiled marking views hold on to these
+        frozensets to answer dominance without touching the lattice again.
+        """
+        if self._dominated_names is None:
+            closure = self._transitive_closure()
+            public_name = self.public.name
+            self._dominated_names = {
+                name: frozenset(closure[name] | {name, public_name})
+                for name in self._privileges
+            }
+        name = privilege.name if isinstance(privilege, Privilege) else str(privilege)
+        try:
+            return self._dominated_names[name]
+        except KeyError:
+            raise UnknownPrivilegeError(name) from None
 
     def strictly_dominates(self, higher: object, lower: object) -> bool:
         """Dominates and is not the same predicate."""

@@ -53,6 +53,10 @@ class ProtectedAccount:
     surrogate_nodes: Set[NodeId] = field(default_factory=set)
     surrogate_edges: Set[EdgeKey] = field(default_factory=set)
     strategy: str = "custom"
+    #: Lazily built original -> account-node index (see :meth:`_reverse`).
+    _reverse_cache: Optional[Dict[NodeId, NodeId]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         missing = [node_id for node_id in self.graph.node_ids() if node_id not in self.correspondence]
@@ -90,7 +94,19 @@ class ProtectedAccount:
         return set(self.correspondence.values())
 
     def _reverse(self) -> Dict[NodeId, NodeId]:
-        return {original: account for account, original in self.correspondence.items()}
+        """The original -> account-node index, built once and reused.
+
+        The utility and opacity measures call :meth:`account_node_of` for
+        every node of ``G``; rebuilding the reverse dict per call would make
+        those passes quadratic.  The cache is refreshed when the
+        correspondence map grows or shrinks; callers replacing entries
+        in place (same size) must reset ``_reverse_cache`` to ``None``.
+        """
+        cache = self._reverse_cache
+        if cache is None or len(cache) != len(self.correspondence):
+            cache = {original: account for account, original in self.correspondence.items()}
+            self._reverse_cache = cache
+        return cache
 
     # ------------------------------------------------------------------ #
     # surrogate queries

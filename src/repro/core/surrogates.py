@@ -142,8 +142,8 @@ class SurrogateRegistry:
                     f"surrogate id {surrogate.surrogate_id!r} already registered for node "
                     f"{surrogate.original_id!r}"
                 )
+        self._check_info_score_monotonicity(surrogate, siblings)
         siblings.append(surrogate)
-        self._check_info_score_monotonicity(surrogate.original_id)
         return surrogate
 
     def add(
@@ -268,23 +268,41 @@ class SurrogateRegistry:
             for surrogate in surrogates:
                 self.check_lowest_constraint(surrogate, node_lowest[original_id])
 
-    def _check_info_score_monotonicity(self, original_id: NodeId) -> None:
-        """Enforce: more restrictive surrogates never have lower explicit infoScores."""
-        siblings = [s for s in self._by_original.get(original_id, ()) if s.info_score is not None]
-        for first in siblings:
-            for second in siblings:
-                if first is second:
-                    continue
-                if (
-                    self.lattice.strictly_dominates(first.lowest, second.lowest)
-                    and first.info_score < second.info_score
-                ):
-                    raise SurrogateError(
-                        f"surrogate {first.surrogate_id!r} (lowest={first.lowest.name}) has "
-                        f"infoScore {first.info_score} < {second.info_score} of the less "
-                        f"restrictive surrogate {second.surrogate_id!r}; infoScore must be "
-                        "monotone in privilege (paper Section 4.1)"
-                    )
+    def _check_info_score_monotonicity(
+        self, incoming: Surrogate, siblings: Iterable[Surrogate]
+    ) -> None:
+        """Enforce: more restrictive surrogates never have lower explicit infoScores.
+
+        Incremental form: every already-registered sibling passed this check
+        against the others when it was registered, so only the ``incoming``
+        surrogate needs comparing against its siblings — O(k) per register
+        instead of re-scanning all O(k²) pairs.  Runs *before* the incoming
+        surrogate is stored, so a rejected surrogate never pollutes the
+        registry.
+        """
+        if incoming.info_score is None:
+            return
+        for sibling in siblings:
+            if sibling.info_score is None:
+                continue
+            first = second = None
+            if (
+                self.lattice.strictly_dominates(incoming.lowest, sibling.lowest)
+                and incoming.info_score < sibling.info_score
+            ):
+                first, second = incoming, sibling
+            elif (
+                self.lattice.strictly_dominates(sibling.lowest, incoming.lowest)
+                and sibling.info_score < incoming.info_score
+            ):
+                first, second = sibling, incoming
+            if first is not None:
+                raise SurrogateError(
+                    f"surrogate {first.surrogate_id!r} (lowest={first.lowest.name}) has "
+                    f"infoScore {first.info_score} < {second.info_score} of the less "
+                    f"restrictive surrogate {second.surrogate_id!r}; infoScore must be "
+                    "monotone in privilege (paper Section 4.1)"
+                )
 
     def __len__(self) -> int:
         return sum(len(surrogates) for surrogates in self._by_original.values())

@@ -12,10 +12,16 @@ Design notes
   examples).
 * Adjacency is indexed in both directions so that predecessor and successor
   queries — the backbone of provenance path traversal — are O(out-degree) /
-  O(in-degree).
+  O(in-degree).  The indexes are insertion-ordered dicts, so every iteration
+  order is deterministic without per-call sorting.
 * Mutating operations keep the indexes consistent; the container never hands
   out internal dicts (nodes and edges are returned as lightweight value
-  objects).
+  objects).  Hot traversal loops can use the ``iter_*`` adjacency methods,
+  which iterate the internal indexes without copying — callers must not
+  mutate the graph while consuming them.
+* Every mutation bumps :attr:`PropertyGraph.version`, which caching layers
+  (e.g. the compiled marking views in :mod:`repro.core.markings`) use to
+  detect staleness without hashing the graph.
 """
 
 from __future__ import annotations
@@ -33,6 +39,10 @@ from repro.graph.features import normalize_features
 
 NodeId = Hashable
 EdgeKey = Tuple[NodeId, NodeId]
+
+#: Shared empty adjacency index returned by the zero-copy iterators for
+#: edge-less nodes, so the no-edge case allocates nothing either.
+_EMPTY_ADJACENCY: Dict[NodeId, None] = {}
 
 
 @dataclass(frozen=True)
@@ -96,8 +106,17 @@ class PropertyGraph:
         self.name = name
         self._nodes: Dict[NodeId, Node] = {}
         self._edges: Dict[EdgeKey, Edge] = {}
-        self._succ: Dict[NodeId, Set[NodeId]] = {}
-        self._pred: Dict[NodeId, Set[NodeId]] = {}
+        # Adjacency as insertion-ordered dicts (values unused): membership is
+        # O(1) like a set, iteration order is edge-insertion order.
+        self._succ: Dict[NodeId, Dict[NodeId, None]] = {}
+        self._pred: Dict[NodeId, Dict[NodeId, None]] = {}
+        #: Monotonically increasing mutation counter for cache invalidation.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: changes whenever nodes or edges are added/removed."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # dunder helpers
@@ -147,8 +166,9 @@ class PropertyGraph:
             raise DuplicateNodeError(node_id)
         node = Node(node_id=node_id, kind=kind, features=normalize_features(features))
         self._nodes[node_id] = node
-        self._succ.setdefault(node_id, set())
-        self._pred.setdefault(node_id, set())
+        self._succ.setdefault(node_id, {})
+        self._pred.setdefault(node_id, {})
+        self._version += 1
         return node
 
     def ensure_node(self, node_id: NodeId, **kwargs: Any) -> Node:
@@ -190,6 +210,7 @@ class PropertyGraph:
         self._succ.pop(node_id, None)
         self._pred.pop(node_id, None)
         del self._nodes[node_id]
+        self._version += 1
         return node
 
     def set_node_features(self, node_id: NodeId, features: Mapping[str, Any]) -> Node:
@@ -197,6 +218,7 @@ class PropertyGraph:
         node = self.node(node_id)
         updated = node.with_features(features)
         self._nodes[node_id] = updated
+        self._version += 1
         return updated
 
     # ------------------------------------------------------------------ #
@@ -233,8 +255,9 @@ class PropertyGraph:
             raise DuplicateEdgeError(source, target)
         edge = Edge(source=source, target=target, label=label, features=normalize_features(features))
         self._edges[key] = edge
-        self._succ[source].add(target)
-        self._pred[target].add(source)
+        self._succ[source][target] = None
+        self._pred[target][source] = None
+        self._version += 1
         return edge
 
     def add_bidirectional_edge(
@@ -286,20 +309,21 @@ class PropertyGraph:
 
     def _drop_edge(self, source: NodeId, target: NodeId) -> Edge:
         edge = self._edges.pop((source, target))
-        self._succ[source].discard(target)
-        self._pred[target].discard(source)
+        self._succ[source].pop(target, None)
+        self._pred[target].pop(source, None)
+        self._version += 1
         return edge
 
     # ------------------------------------------------------------------ #
     # adjacency queries
     # ------------------------------------------------------------------ #
     def successors(self, node_id: NodeId) -> Set[NodeId]:
-        """Targets of out-edges of ``node_id``."""
+        """Targets of out-edges of ``node_id`` (a fresh, mutation-safe set)."""
         self.node(node_id)
         return set(self._succ.get(node_id, ()))
 
     def predecessors(self, node_id: NodeId) -> Set[NodeId]:
-        """Sources of in-edges of ``node_id``."""
+        """Sources of in-edges of ``node_id`` (a fresh, mutation-safe set)."""
         self.node(node_id)
         return set(self._pred.get(node_id, ()))
 
@@ -308,14 +332,39 @@ class PropertyGraph:
         self.node(node_id)
         return set(self._succ.get(node_id, ())) | set(self._pred.get(node_id, ()))
 
+    def iter_successors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Zero-copy view of out-neighbours, in edge-insertion order.
+
+        Unlike :meth:`successors` no set is allocated; the returned view
+        reads the internal index directly, so the graph must not be mutated
+        while it is being consumed.  This is the traversal-hot-path API.
+        """
+        self.node(node_id)
+        return self._succ.get(node_id, _EMPTY_ADJACENCY).keys()
+
+    def iter_predecessors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Zero-copy view of in-neighbours, in edge-insertion order."""
+        self.node(node_id)
+        return self._pred.get(node_id, _EMPTY_ADJACENCY).keys()
+
+    def iter_neighbors(self, node_id: NodeId) -> Iterator[NodeId]:
+        """Distinct neighbours ignoring direction, successors first, no copies."""
+        self.node(node_id)
+        succ = self._succ.get(node_id, _EMPTY_ADJACENCY)
+        yield from succ
+        for predecessor in self._pred.get(node_id, _EMPTY_ADJACENCY):
+            if predecessor not in succ:
+                yield predecessor
+
     def out_edges(self, node_id: NodeId) -> List[Edge]:
-        """Edges leaving ``node_id``."""
-        return [self._edges[(node_id, target)] for target in sorted(self._succ.get(node_id, ()), key=repr)]
+        """Edges leaving ``node_id``, in edge-insertion order."""
+        self.node(node_id)
+        return [self._edges[(node_id, target)] for target in self._succ.get(node_id, ())]
 
     def in_edges(self, node_id: NodeId) -> List[Edge]:
-        """Edges entering ``node_id``."""
+        """Edges entering ``node_id``, in edge-insertion order."""
         self.node(node_id)
-        return [self._edges[(source, node_id)] for source in sorted(self._pred.get(node_id, ()), key=repr)]
+        return [self._edges[(source, node_id)] for source in self._pred.get(node_id, ())]
 
     def incident_edges(self, node_id: NodeId) -> List[Edge]:
         """All edges touching ``node_id`` (in either direction)."""

@@ -213,10 +213,10 @@ def _steps(
 ) -> List[NodeId]:
     """Neighbours reachable in one step, respecting direction and the edge filter."""
     candidates: List[Tuple[NodeId, NodeId, NodeId]] = []
-    for successor in graph.successors(current):
+    for successor in graph.iter_successors(current):
         candidates.append((current, successor, successor))
     if not directed:
-        for predecessor in graph.predecessors(current):
+        for predecessor in graph.iter_predecessors(current):
             candidates.append((predecessor, current, predecessor))
     steps: List[NodeId] = []
     for edge_source, edge_target, next_node in candidates:

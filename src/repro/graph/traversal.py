@@ -19,16 +19,16 @@ from repro.graph.model import NodeId, PropertyGraph
 
 def descendants(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
     """All nodes reachable from ``node_id`` following edge direction (excluding itself)."""
-    return _directed_reach(graph, node_id, graph.successors)
+    return _directed_reach(graph, node_id, graph.iter_successors)
 
 
 def ancestors(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
     """All nodes that can reach ``node_id`` following edge direction (excluding itself)."""
-    return _directed_reach(graph, node_id, graph.predecessors)
+    return _directed_reach(graph, node_id, graph.iter_predecessors)
 
 
 def _directed_reach(
-    graph: PropertyGraph, node_id: NodeId, step: Callable[[NodeId], Set[NodeId]]
+    graph: PropertyGraph, node_id: NodeId, step: Callable[[NodeId], Iterable[NodeId]]
 ) -> Set[NodeId]:
     graph.node(node_id)
     seen: Set[NodeId] = set()
@@ -53,7 +53,7 @@ def weakly_reachable(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
     frontier = deque([node_id])
     while frontier:
         current = frontier.popleft()
-        for neighbor in graph.neighbors(current):
+        for neighbor in graph.iter_neighbors(current):
             if neighbor not in seen:
                 seen.add(neighbor)
                 frontier.append(neighbor)
@@ -62,14 +62,27 @@ def weakly_reachable(graph: PropertyGraph, node_id: NodeId) -> Set[NodeId]:
 
 
 def weakly_connected_components(graph: PropertyGraph) -> List[Set[NodeId]]:
-    """The weakly connected components, each as a set of node ids."""
-    remaining: Set[NodeId] = set(graph.node_ids())
+    """The weakly connected components, each as a set of node ids.
+
+    A single O(V + E) sweep in node-insertion order; each node is visited
+    exactly once.  This is the backbone of the component-based Path Utility
+    computation in :mod:`repro.core.utility`.
+    """
+    assigned: Set[NodeId] = set()
     components: List[Set[NodeId]] = []
-    while remaining:
-        start = next(iter(remaining))
-        component = weakly_reachable(graph, start) | {start}
+    for start in graph.node_ids():
+        if start in assigned:
+            continue
+        component: Set[NodeId] = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in graph.iter_neighbors(current):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        assigned |= component
         components.append(component)
-        remaining -= component
     return components
 
 
@@ -115,7 +128,7 @@ def bfs_layers(graph: PropertyGraph, start: NodeId, *, directed: bool = True) ->
     workload generators and by tests that cross-check shortest-path code.
     """
     graph.node(start)
-    step = graph.successors if directed else graph.neighbors
+    step = graph.iter_successors if directed else graph.iter_neighbors
     layers: List[Set[NodeId]] = [{start}]
     seen: Set[NodeId] = {start}
     while True:

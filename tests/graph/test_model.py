@@ -176,6 +176,57 @@ class TestAdjacency:
     def test_adjacency_queries_validate_node(self, small_graph):
         with pytest.raises(NodeNotFoundError):
             small_graph.successors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.out_edges("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.in_edges("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.iter_successors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            small_graph.iter_predecessors("ghost")
+        with pytest.raises(NodeNotFoundError):
+            list(small_graph.iter_neighbors("ghost"))
+
+    def test_edge_listings_follow_insertion_order(self):
+        graph = PropertyGraph()
+        for name in ("m", "b", "z", "a"):
+            graph.add_node(name)
+        graph.add_edge("m", "z")
+        graph.add_edge("m", "a")
+        graph.add_edge("m", "b")
+        graph.add_edge("b", "m")
+        assert [edge.key for edge in graph.out_edges("m")] == [("m", "z"), ("m", "a"), ("m", "b")]
+        assert [edge.key for edge in graph.in_edges("m")] == [("b", "m")]
+        assert list(graph.iter_successors("m")) == ["z", "a", "b"]
+        graph.remove_edge("m", "a")
+        assert [edge.key for edge in graph.out_edges("m")] == [("m", "z"), ("m", "b")]
+
+    def test_zero_copy_iterators_match_copying_queries(self, small_graph):
+        for node_id in small_graph.node_ids():
+            assert set(small_graph.iter_successors(node_id)) == small_graph.successors(node_id)
+            assert set(small_graph.iter_predecessors(node_id)) == small_graph.predecessors(node_id)
+            neighbors = list(small_graph.iter_neighbors(node_id))
+            assert set(neighbors) == small_graph.neighbors(node_id)
+            assert len(neighbors) == len(set(neighbors))  # no duplicates
+
+    def test_version_bumps_on_mutation(self):
+        graph = PropertyGraph()
+        version = graph.version
+        graph.add_node("a")
+        graph.add_node("b")
+        assert graph.version > version
+        version = graph.version
+        graph.add_edge("a", "b")
+        assert graph.version > version
+        version = graph.version
+        graph.remove_edge("a", "b")
+        assert graph.version > version
+        version = graph.version
+        graph.set_node_features("a", {"x": 1})
+        assert graph.version > version
+        version = graph.version
+        graph.remove_node("a")
+        assert graph.version > version
 
 
 class TestWholeGraphOperations:
