@@ -14,12 +14,10 @@ Run with::
     python examples/computer_network_disclosure.py
 """
 
+from repro.api import ProtectionRequest, ProtectionService
 from repro.attacks.adversary import simulate_attack
-from repro.core.generation import ProtectionEngine
 from repro.core.markings import Marking
-from repro.core.opacity import average_opacity
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
-from repro.core.utility import path_utility
 from repro.core.validation import validate_protected_account
 from repro.graph.builders import GraphBuilder
 from repro.core.privileges import PrivilegeLattice
@@ -76,8 +74,8 @@ def main() -> None:
         features={"role": "managed infrastructure"}, kind="host", info_score=0.3,
     )
 
-    engine = ProtectionEngine(policy)
-    partner_account = engine.protect(graph, partner)
+    service = ProtectionService(graph, policy)
+    partner_account = service.protect(privilege=partner, score=False).account
     validate_protected_account(graph, partner_account, strict=True)
 
     print("Partner-visible topology:")
@@ -86,15 +84,20 @@ def main() -> None:
         print(f"  {edge[0]} -> {edge[1]} {marker}")
     print()
 
-    # Now protect the uplinks of rack_c (a sensitive customer) two ways and compare.
-    sensitive_edges = [("core_switch", "rack_c"), ("rack_c", "rack_c_db")]
-    comparison = engine.compare_strategies(graph, sensitive_edges, partner)
-    for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE):
-        account = comparison[strategy]
-        attack = simulate_attack(graph, account)
+    # Now protect the uplinks of rack_c (a sensitive customer) two ways and
+    # compare — one batched service call, scored over the protected edges.
+    sensitive_edges = (("core_switch", "rack_c"), ("rack_c", "rack_c_db"))
+    results = service.protect_many(
+        ProtectionRequest(
+            privileges=(partner,), strategy=strategy, protect_edges=sensitive_edges
+        )
+        for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE)
+    )
+    for result in results:
+        attack = simulate_attack(graph, result.account)
         print(
-            f"{strategy:10s} utility={path_utility(graph, account):.3f} "
-            f"avg opacity={average_opacity(graph, account, sensitive_edges):.3f} "
+            f"{result.request.strategy:10s} utility={result.scores.path_utility:.3f} "
+            f"avg opacity={result.scores.average_opacity:.3f} "
             f"attacker precision={attack.precision:.2f} recall={attack.recall:.2f}"
         )
     print()

@@ -12,7 +12,6 @@ Run with::
     python examples/provenance_emergency_plan.py
 """
 
-from repro.core.utility import node_utility, path_utility
 from repro.provenance.examples import PLAN, emergency_plan_example
 from repro.provenance.plus import PLUSClient
 from repro.provenance.queries import lineage, lineage_gain, lineage_over_account
@@ -55,12 +54,15 @@ def main() -> None:
     print(f"  surrogates in result  : {sorted(map(str, protected_lineage.surrogate_nodes))}")
     print()
 
-    # Account quality, as the paper measures it.
+    # Account quality, as the paper measures it (ScoreCards from the service).
+    service = client.service(example.graph)
+    naive_scores = service.score(naive_account)
+    protected_scores = service.score(protected_account)
     print("Account quality for the Emergency Responder:")
-    print(f"  naive     path utility {path_utility(example.graph, naive_account):.3f}, "
-          f"node utility {node_utility(example.graph, naive_account):.3f}")
-    print(f"  protected path utility {path_utility(example.graph, protected_account):.3f}, "
-          f"node utility {node_utility(example.graph, protected_account):.3f}")
+    print(f"  naive     path utility {naive_scores.path_utility:.3f}, "
+          f"node utility {naive_scores.node_utility:.3f}")
+    print(f"  protected path utility {protected_scores.path_utility:.3f}, "
+          f"node utility {protected_scores.node_utility:.3f}")
     print()
 
     # Show the store-level timing phases (the Figure-10 measurement).

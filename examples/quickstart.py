@@ -5,18 +5,18 @@ The scenario is the paper's abstract example: a small directed graph where
 one node (``f``) is sensitive, yet the relationship it mediates between
 ``c`` and ``g`` should remain discoverable to a broader audience.
 
+Everything goes through :class:`repro.api.ProtectionService`: one request
+in, one result (account + ScoreCard) out.
+
 Run with::
 
     python examples/quickstart.py
 """
 
 from repro import (
-    MarkingPolicy,  # noqa: F401  (exported for users who explore the API from here)
+    ProtectionRequest,
+    ProtectionService,
     PropertyGraph,
-    ProtectionEngine,
-    path_utility,
-    node_utility,
-    opacity,
 )
 from repro.core.markings import Marking
 from repro.core.policy import ReleasePolicy
@@ -43,25 +43,26 @@ def main() -> None:
     policy.markings.mark_edge(("c", "f"), lattice.public, source=Marking.VISIBLE, target=Marking.SURROGATE)
     policy.markings.mark_edge(("f", "g"), lattice.public, source=Marking.SURROGATE, target=Marking.VISIBLE)
 
-    # 3. Generate the protected account for the Public class.
-    engine = ProtectionEngine(policy)
-    account = engine.protect(graph, lattice.public)
+    # 3. Protect and score for the Public class — one service request.
+    service = ProtectionService(graph, policy)
+    result = service.protect(privilege=lattice.public, opacity_edges=(("f", "g"),))
+    account = result.account
 
     print("Protected account nodes :", sorted(account.graph.node_ids()))
     print("Protected account edges :", sorted(account.graph.edge_keys()))
     print("Surrogate edges          :", sorted(account.surrogate_edges))
 
-    # 4. Score it: how informative is the account, and how well is f->g hidden?
-    print(f"Path utility            : {path_utility(graph, account):.3f}")
-    print(f"Node utility            : {node_utility(graph, account):.3f}")
-    print(f"Opacity of (f -> g)      : {opacity(graph, account, ('f', 'g')):.3f}")
+    # 4. The ScoreCard: how informative is the account, how well is f->g hidden?
+    print(f"Path utility            : {result.scores.path_utility:.3f}")
+    print(f"Node utility            : {result.scores.node_utility:.3f}")
+    print(f"Opacity of (f -> g)      : {result.scores.opacity.per_edge[('f', 'g')]:.3f}")
 
     # 5. Compare with the naive account (drop f and its edges): c and g fall apart.
-    from repro import naive_protected_account
-
-    naive = naive_protected_account(graph, policy, lattice.public)
-    print("Naive account edges      :", sorted(naive.graph.edge_keys()))
-    print(f"Naive path utility       : {path_utility(graph, naive):.3f}")
+    naive = service.protect(
+        ProtectionRequest(privileges=(lattice.public,), strategy="naive")
+    )
+    print("Naive account edges      :", sorted(naive.account.graph.edge_keys()))
+    print(f"Naive path utility       : {naive.scores.path_utility:.3f}")
 
 
 if __name__ == "__main__":

@@ -15,13 +15,10 @@ Run with::
     python examples/social_network_investigation.py
 """
 
-from repro.core.generation import generate_protected_account
-from repro.core.hiding import naive_protected_account
-from repro.core.opacity import opacity
-from repro.core.utility import node_utility, path_utility
+from repro.api import ProtectionRequest, ProtectionService
 from repro.experiments.table1 import run_table1
 from repro.security.credentials import Consumer
-from repro.security.enforcement import EnforcementMode, QueryEnforcer
+from repro.security.enforcement import EnforcementMode
 from repro.workloads.social import SENSITIVE_EDGE, figure1_example, figure2_variant
 
 
@@ -35,7 +32,8 @@ def print_analyst_view() -> None:
     """What the High-2 analyst sees when asking about suspect g's connections."""
     example = figure2_variant("b")  # hidden node f, surrogate edge c->g
     analyst = Consumer.with_credentials("analyst-42", "High-2")
-    enforcer = QueryEnforcer(example.graph, example.policy)
+    service = ProtectionService(example.graph, example.policy)
+    enforcer = service.enforce()
 
     results = enforcer.compare_modes(analyst, "g", direction="connected")
     naive_result = results[EnforcementMode.NAIVE.value]
@@ -55,25 +53,30 @@ def print_variant_details() -> None:
     """Per-variant detail: what each marking strategy releases."""
     for variant in ("a", "b", "c", "d"):
         example = figure2_variant(variant)
-        account = generate_protected_account(example.graph, example.policy, example.high2)
+        service = ProtectionService(example.graph, example.policy)
+        result = service.protect(privilege=example.high2, opacity_edges=(SENSITIVE_EDGE,))
+        account = result.account
         print(f"Figure 2({variant}) account:")
         print(f"  nodes           : {sorted(map(str, account.graph.node_ids()))}")
         print(f"  edges           : {sorted(account.graph.edge_keys())}")
         print(f"  surrogate edges : {sorted(account.surrogate_edges)}")
-        print(f"  path utility    : {path_utility(example.graph, account):.3f}")
-        print(f"  node utility    : {node_utility(example.graph, account):.3f}")
-        print(f"  opacity (f->g)  : {opacity(example.graph, account, SENSITIVE_EDGE):.3f}")
+        print(f"  path utility    : {result.scores.path_utility:.3f}")
+        print(f"  node utility    : {result.scores.node_utility:.3f}")
+        print(f"  opacity (f->g)  : {result.scores.opacity.per_edge[SENSITIVE_EDGE]:.3f}")
         print()
 
 
 def print_naive_baseline() -> None:
     """The Figure 1(c) baseline the paper starts from."""
     example = figure1_example()
-    naive = naive_protected_account(example.graph, example.policy, example.high2)
+    service = ProtectionService(example.graph, example.policy)
+    naive = service.protect(
+        ProtectionRequest(privileges=(example.high2,), strategy="naive")
+    )
     print("Naive High-2 account (Figure 1c):")
-    print(f"  nodes        : {sorted(map(str, naive.graph.node_ids()))}")
-    print(f"  path utility : {path_utility(example.graph, naive):.3f} (paper: 0.13)")
-    print(f"  node utility : {node_utility(example.graph, naive):.3f} (paper: 6/11 = {6 / 11:.3f})")
+    print(f"  nodes        : {sorted(map(str, naive.account.graph.node_ids()))}")
+    print(f"  path utility : {naive.scores.path_utility:.3f} (paper: 0.13)")
+    print(f"  node utility : {naive.scores.node_utility:.3f} (paper: 6/11 = {6 / 11:.3f})")
     print()
 
 

@@ -17,12 +17,22 @@ Blaustein et al., PVLDB 4(8), 2011:
   and figure of the paper's evaluation (:mod:`repro.workloads`,
   :mod:`repro.experiments`).
 
-The most common entry points are re-exported here::
+The recommended entry point is the unified request/response API in
+:mod:`repro.api`: bind a graph and a release policy to a
+:class:`ProtectionService`, then protect, score, enforce and persist through
+explicit request/result values::
 
-    from repro import (
-        PropertyGraph, PrivilegeLattice, SurrogateRegistry, MarkingPolicy,
-        ProtectionEngine, path_utility, node_utility, opacity,
-    )
+    from repro import ProtectionService, ProtectionRequest
+
+    service = ProtectionService(graph, policy)
+    result = service.protect(privilege="Public")      # ProtectionResult
+    result.scores.path_utility                        # ScoreCard
+    enforcer = service.enforce()                      # QueryEnforcer
+
+The older free functions (``generate_protected_account``,
+``generate_multi_privilege_account``) remain available as deprecated shims
+that delegate to the service; the underlying measures (``path_utility``,
+``opacity``, ...) are stable API.
 """
 
 from repro.graph.model import Edge, Node, PropertyGraph
@@ -32,20 +42,55 @@ from repro.core.privileges import (
     PrivilegeLattice,
 )
 from repro.core.surrogates import NULL_SURROGATE, Surrogate, SurrogateRegistry
-from repro.core.markings import Marking, MarkingPolicy
+from repro.core.markings import EdgeState, Marking, MarkingPolicy
+from repro.core.policy import (
+    ReleasePolicy,
+    STRATEGIES,
+    STRATEGY_HIDE,
+    STRATEGY_SURROGATE,
+)
 from repro.core.protected_account import ProtectedAccount
-from repro.core.generation import ProtectionEngine, generate_protected_account
-from repro.core.multi import generate_multi_privilege_account
+from repro.core.generation import (
+    ProtectionEngine,
+    build_protected_account,
+    generate_protected_account,
+)
+from repro.core.multi import (
+    build_multi_privilege_account,
+    generate_multi_privilege_account,
+    merge_accounts,
+)
 from repro.core.hiding import hide_protected_account, naive_protected_account
-from repro.core.utility import node_utility, path_utility
-from repro.core.opacity import AdvancedAdversary, NaiveAdversary, average_opacity, opacity
+from repro.core.utility import (
+    UtilityReport,
+    node_utility,
+    path_utility,
+    utility_report,
+)
+from repro.core.opacity import (
+    AdvancedAdversary,
+    NaiveAdversary,
+    OpacityReport,
+    average_opacity,
+    opacity,
+    opacity_report,
+)
+from repro.api import (
+    ProtectionRequest,
+    ProtectionResult,
+    ProtectionService,
+    ScoreCard,
+)
+from repro.security.enforcement import EnforcementMode, QueryEnforcer, QueryResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # graph substrate
     "Edge",
     "Node",
     "PropertyGraph",
+    # privileges and policies
     "Privilege",
     "PrivilegeLattice",
     "HighWaterSet",
@@ -53,18 +98,41 @@ __all__ = [
     "SurrogateRegistry",
     "NULL_SURROGATE",
     "Marking",
+    "EdgeState",
     "MarkingPolicy",
+    "ReleasePolicy",
+    "STRATEGIES",
+    "STRATEGY_HIDE",
+    "STRATEGY_SURROGATE",
+    # account generation
     "ProtectedAccount",
     "ProtectionEngine",
+    "build_protected_account",
+    "build_multi_privilege_account",
     "generate_protected_account",
     "generate_multi_privilege_account",
+    "merge_accounts",
     "hide_protected_account",
     "naive_protected_account",
+    # measures
     "path_utility",
     "node_utility",
+    "utility_report",
+    "UtilityReport",
     "opacity",
     "average_opacity",
+    "opacity_report",
+    "OpacityReport",
     "NaiveAdversary",
     "AdvancedAdversary",
+    # the unified service API
+    "ProtectionService",
+    "ProtectionRequest",
+    "ProtectionResult",
+    "ScoreCard",
+    # enforcement
+    "QueryEnforcer",
+    "QueryResult",
+    "EnforcementMode",
     "__version__",
 ]

@@ -1,0 +1,39 @@
+"""The unified request/response API: protect → score → enforce.
+
+:class:`ProtectionService` is the recommended entry point to the library.
+It binds one graph and one release policy and turns the paper's whole
+workflow into explicit values:
+
+* :class:`ProtectionRequest` — privileges, strategy, edges to protect,
+  repair mode, scoring and persistence options;
+* :class:`ProtectionResult` — the generated account, a :class:`ScoreCard`
+  (Path Utility, Node Utility, opacity), per-phase timings;
+* :meth:`ProtectionService.protect` / :meth:`ProtectionService.protect_many`
+  / :meth:`ProtectionService.enforce` / :meth:`ProtectionService.persist`.
+
+The old free functions (``generate_protected_account``,
+``generate_multi_privilege_account``) survive as deprecated shims that
+delegate here.
+"""
+
+from repro.api.requests import ProtectionRequest, REQUEST_STRATEGIES
+from repro.api.results import ProtectionResult, ScoreCard
+from repro.api.service import ProtectionService
+from repro.api.persistence import (
+    account_from_metadata,
+    account_metadata_to_dict,
+    load_account,
+    persist_account,
+)
+
+__all__ = [
+    "ProtectionService",
+    "ProtectionRequest",
+    "ProtectionResult",
+    "ScoreCard",
+    "REQUEST_STRATEGIES",
+    "persist_account",
+    "load_account",
+    "account_metadata_to_dict",
+    "account_from_metadata",
+]

@@ -1,0 +1,101 @@
+"""The response side of the :class:`~repro.api.service.ProtectionService` API.
+
+A :class:`ProtectionResult` bundles the generated account with its
+:class:`ScoreCard` (the paper's utility and opacity measures), per-phase
+timings and — when the request asked for persistence — the name the account
+was stored under.  Both types serialise to plain dicts so the CLI's
+``--json`` output and experiment reports share one shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.opacity import OpacityReport
+from repro.core.protected_account import ProtectedAccount
+from repro.core.utility import UtilityReport
+from repro.api.requests import ProtectionRequest
+
+
+@dataclass(frozen=True)
+class ScoreCard:
+    """Utility and opacity of one account, as one value.
+
+    Wraps the full :class:`~repro.core.utility.UtilityReport` (both measures
+    plus the per-node ``%P`` breakdown) and
+    :class:`~repro.core.opacity.OpacityReport` (average plus per-edge
+    opacity) so callers can drill down, with flat properties for the four
+    headline numbers.
+    """
+
+    utility: UtilityReport
+    opacity: OpacityReport
+
+    @property
+    def path_utility(self) -> float:
+        return self.utility.path_utility
+
+    @property
+    def node_utility(self) -> float:
+        return self.utility.node_utility
+
+    @property
+    def average_opacity(self) -> float:
+        return self.opacity.average
+
+    @property
+    def min_opacity(self) -> float:
+        return self.opacity.minimum()
+
+    def as_dict(self) -> Dict[str, object]:
+        """The four headline numbers (the shape reports and ``--json`` use)."""
+        merged: Dict[str, object] = {}
+        merged.update(self.utility.as_dict())
+        merged.update(self.opacity.as_dict())
+        return merged
+
+
+@dataclass
+class ProtectionResult:
+    """Everything one ``service.protect()`` call produced.
+
+    Attributes
+    ----------
+    request:
+        The request this result answers (privileges resolved to
+        :class:`~repro.core.privileges.Privilege` objects).
+    account:
+        The generated :class:`~repro.core.protected_account.ProtectedAccount`.
+    scores:
+        The :class:`ScoreCard`, or ``None`` when the request set
+        ``score=False``.
+    timings_ms:
+        Wall-clock milliseconds per phase (``generate``, ``score``,
+        ``persist`` when applicable, and ``total``).
+    stored_as:
+        The store name the account was persisted under, or ``None``.
+    """
+
+    request: ProtectionRequest
+    account: ProtectedAccount
+    scores: Optional[ScoreCard] = None
+    timings_ms: Dict[str, float] = field(default_factory=dict)
+    stored_as: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly summary (used by ``repro.cli protect --json``)."""
+        payload: Dict[str, object] = {
+            "account": self.account.summary(),
+            "privileges": [
+                getattr(privilege, "name", str(privilege))
+                for privilege in self.request.privileges
+            ],
+            "strategy": self.request.strategy,
+            "timings_ms": {name: round(value, 3) for name, value in self.timings_ms.items()},
+        }
+        if self.scores is not None:
+            payload["scores"] = self.scores.as_dict()
+        if self.stored_as is not None:
+            payload["stored_as"] = self.stored_as
+        return payload

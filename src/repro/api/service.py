@@ -1,0 +1,342 @@
+"""The :class:`ProtectionService` facade: protect → score → enforce, one API.
+
+The paper's workflow — mark a graph, generate a protected account per
+privilege, score its utility and opacity, answer queries through it — used
+to be assembled by hand at every call site.  The service binds one graph and
+one release policy and exposes the whole workflow behind an explicit
+request/response object model:
+
+* :meth:`ProtectionService.protect` — one
+  :class:`~repro.api.requests.ProtectionRequest` in, one
+  :class:`~repro.api.results.ProtectionResult` (account + ScoreCard +
+  timings) out;
+* :meth:`ProtectionService.protect_many` — batched generation that shares
+  the compiled per-privilege marking views and the visible-set walk caches
+  across requests (no recompilation between requests for the same class);
+* :meth:`ProtectionService.score` — the ScoreCard of any account against
+  the bound graph;
+* :meth:`ProtectionService.enforce` — a session-scoped
+  :class:`~repro.security.enforcement.QueryEnforcer` answering lineage
+  queries through the service's accounts;
+* :meth:`ProtectionService.persist` / :meth:`ProtectionService.load_account`
+  — round-trip accounts through an embedded
+  :class:`~repro.store.engine.GraphStore`.
+
+Example
+-------
+>>> from repro.api import ProtectionService
+>>> from repro.core.policy import ReleasePolicy
+>>> from repro.core.privileges import PrivilegeLattice
+>>> from repro.graph.builders import GraphBuilder
+>>> graph = GraphBuilder("demo").chain(["a", "b", "c"]).build()
+>>> service = ProtectionService(graph, ReleasePolicy(PrivilegeLattice()))
+>>> result = service.protect(privilege="Public")
+>>> result.scores.path_utility
+1.0
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.persistence import load_account as _load_account
+from repro.api.persistence import persist_account as _persist_account
+from repro.api.requests import ProtectionRequest
+from repro.api.results import ProtectionResult, ScoreCard
+from repro.core.generation import build_protected_account
+from repro.core.hiding import STRATEGY_NAIVE, naive_protected_account
+from repro.core.multi import build_multi_privilege_account, merge_accounts
+from repro.core.opacity import AttackerModel, opacity_report
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import Privilege
+from repro.core.protected_account import ProtectedAccount
+from repro.core.utility import utility_report
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, StoreError
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+from repro.store.engine import GraphStore
+
+#: Anything `protect()` accepts as its request argument.
+RequestLike = Union[ProtectionRequest, object]
+
+#: Upper bound on cached visible-walk registries; versioned keys mean stale
+#: entries are never *wrong*, just dead weight, so the bound only caps memory.
+_WALK_CACHE_LIMIT = 32
+
+
+class ProtectionService:
+    """One graph + one policy behind the protect → score → enforce API.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G`` the service protects.
+    policy:
+        The provider's :class:`~repro.core.policy.ReleasePolicy`.
+    store:
+        Optional :class:`~repro.store.engine.GraphStore` accounts are
+        persisted to (requests with ``persist_as`` require it).
+    adversary:
+        Default attacker model for opacity scoring; individual requests may
+        override it.  ``None`` selects the paper's advanced adversary.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        policy: ReleasePolicy,
+        *,
+        store: Optional[GraphStore] = None,
+        adversary: Optional[AttackerModel] = None,
+    ) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.store = store
+        self.adversary = adversary
+        #: Visible-walk registries shared across requests (see protect_many).
+        self._walks_cache: Dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # protect
+    # ------------------------------------------------------------------ #
+    def protect(
+        self,
+        request: Optional[RequestLike] = None,
+        *,
+        privilege: Optional[object] = None,
+        privileges: Optional[Sequence[object]] = None,
+        **options: object,
+    ) -> ProtectionResult:
+        """Run one protection request end to end.
+
+        Accepts a full :class:`~repro.api.requests.ProtectionRequest`, a bare
+        privilege (``service.protect(privilege="High-2")`` or positionally
+        ``service.protect("High-2")``), or keyword options that build a
+        request on the fly.  Returns a
+        :class:`~repro.api.results.ProtectionResult`.
+        """
+        request = self._coerce_request(request, privilege, privileges, options)
+        timings: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        account = self._build_account(request)
+        timings["generate"] = (time.perf_counter() - start) * 1000.0
+
+        scores: Optional[ScoreCard] = None
+        if request.score:
+            start = time.perf_counter()
+            scores = self.score(
+                account,
+                adversary=request.adversary,
+                opacity_edges=request.default_opacity_edges(),
+                normalize_focus=request.normalize_focus,
+                explicit_scores=request.explicit_scores,
+            )
+            timings["score"] = (time.perf_counter() - start) * 1000.0
+
+        stored_as: Optional[str] = None
+        if request.persist_as is not None:
+            start = time.perf_counter()
+            stored_as = self.persist(account, name=request.persist_as)
+            timings["persist"] = (time.perf_counter() - start) * 1000.0
+
+        timings["total"] = sum(timings.values())
+        return ProtectionResult(
+            request=request,
+            account=account,
+            scores=scores,
+            timings_ms=timings,
+            stored_as=stored_as,
+        )
+
+    def protect_many(
+        self, requests: Iterable[RequestLike]
+    ) -> List[ProtectionResult]:
+        """Run several requests, sharing compiled state between them.
+
+        Each element may be a full request or a bare privilege.  Compiled
+        marking views are cached on the policy (one per privilege, reused
+        until the graph or policy mutates) and visible-set walk caches are
+        shared through the service, so asking for the same consumer class
+        twice — or for N classes over one graph — never recompiles.  The
+        exception is requests with ``protect_edges``: those generate on a
+        scoped one-shot policy copy whose compiled state dies with the
+        request, so only their issuing convenience is batched.
+        """
+        return [self.protect(request) for request in requests]
+
+    def protect_all_classes(self) -> Dict[str, ProtectionResult]:
+        """One scored result per declared privilege, keyed by privilege name."""
+        results: Dict[str, ProtectionResult] = {}
+        for privilege in self.policy.lattice.privileges():
+            results[privilege.name] = self.protect(privilege=privilege)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # score
+    # ------------------------------------------------------------------ #
+    def score(
+        self,
+        account: ProtectedAccount,
+        *,
+        adversary: Optional[AttackerModel] = None,
+        opacity_edges: Optional[Iterable[EdgeKey]] = None,
+        normalize_focus: bool = False,
+        explicit_scores: Optional[Mapping[NodeId, float]] = None,
+    ) -> ScoreCard:
+        """Utility and opacity of ``account`` against the service's graph."""
+        adversary = adversary if adversary is not None else self.adversary
+        return ScoreCard(
+            utility=utility_report(self.graph, account, explicit_scores=explicit_scores),
+            opacity=opacity_report(
+                self.graph,
+                account,
+                opacity_edges,
+                adversary=adversary,
+                normalize_focus=normalize_focus,
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # enforce
+    # ------------------------------------------------------------------ #
+    def enforce(self, *, controller: Optional[object] = None) -> "QueryEnforcer":
+        """A session-scoped query enforcer over this service's accounts.
+
+        The enforcer generates (and caches) each consumer's account through
+        the service, so enforcement and ad-hoc protection share compiled
+        views.  ``controller`` is an optional
+        :class:`~repro.security.authorization.AccessController`.
+        """
+        from repro.security.enforcement import QueryEnforcer
+
+        return QueryEnforcer(self.graph, self.policy, controller=controller, service=self)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def persist(
+        self,
+        result_or_account: Union[ProtectionResult, ProtectedAccount],
+        *,
+        name: Optional[str] = None,
+        store: Optional[GraphStore] = None,
+    ) -> str:
+        """Store an account (or a result's account) in the graph store."""
+        store = store if store is not None else self.store
+        if store is None:
+            raise StoreError(
+                "ProtectionService has no store; pass store= to persist() or the constructor"
+            )
+        account = (
+            result_or_account.account
+            if isinstance(result_or_account, ProtectionResult)
+            else result_or_account
+        )
+        if name is None:
+            name = account.graph.name
+        if not name:
+            raise StoreError("a persisted account needs a name")
+        return _persist_account(store, account, name)
+
+    def load_account(
+        self, name: str, *, store: Optional[GraphStore] = None
+    ) -> ProtectedAccount:
+        """Reload a persisted account; privileges resolve via the service's lattice."""
+        store = store if store is not None else self.store
+        if store is None:
+            raise StoreError(
+                "ProtectionService has no store; pass store= to load_account() or the constructor"
+            )
+        return _load_account(store, name, lattice=self.policy.lattice)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _coerce_request(
+        self,
+        request: Optional[RequestLike],
+        privilege: Optional[object],
+        privileges: Optional[Sequence[object]],
+        options: Mapping[str, object],
+    ) -> ProtectionRequest:
+        if request is not None and not isinstance(request, ProtectionRequest):
+            # A bare privilege (or privilege name) passed positionally.
+            if privilege is not None or privileges is not None:
+                raise TypeError(
+                    "pass either a positional privilege or privilege=/privileges=, not both"
+                )
+            request = ProtectionRequest(privileges=(request,), **options)  # type: ignore[arg-type]
+        elif request is None:
+            if privilege is not None and privileges is not None:
+                raise TypeError("pass either privilege= or privileges=, not both")
+            selected: Tuple[object, ...]
+            if privilege is not None:
+                selected = (privilege,)
+            elif privileges is not None:
+                selected = tuple(privileges)
+            else:
+                raise TypeError("protect() needs a request, privilege= or privileges=")
+            request = ProtectionRequest(privileges=selected, **options)  # type: ignore[arg-type]
+        elif options or privilege is not None or privileges is not None:
+            raise TypeError("pass either a ProtectionRequest or keyword options, not both")
+        resolved = tuple(self.policy.lattice.get(item) for item in request.privileges)
+        return request.with_options(privileges=resolved)
+
+    def _build_account(self, request: ProtectionRequest) -> ProtectedAccount:
+        privileges: Tuple[Privilege, ...] = request.privileges  # type: ignore[assignment]
+        if request.strategy == STRATEGY_NAIVE:
+            accounts = [
+                naive_protected_account(self.graph, self.policy, privilege)
+                for privilege in privileges
+            ]
+            if len(accounts) == 1:
+                return accounts[0]
+            return merge_accounts(self.graph, accounts, name=request.name)
+
+        policy = self.policy
+        walks_cache = self._walks_cache
+        if request.protect_edges:
+            self._check_edges_exist(request.protect_edges)
+            policy = self.policy.copy()
+            for privilege in privileges:
+                policy.protect_edges(
+                    list(request.protect_edges), privilege, strategy=request.strategy
+                )
+            # A scoped one-shot policy gets no shared walk cache: its markings
+            # die with this request.
+            walks_cache = None
+        if len(self._walks_cache) > _WALK_CACHE_LIMIT:
+            self._walks_cache.clear()
+
+        if len(privileges) > 1:
+            return build_multi_privilege_account(
+                self.graph,
+                policy,
+                privileges,
+                ensure_maximal_connectivity=request.repair_connectivity,
+                strategy=request.strategy,
+                name=request.name,
+                walks_cache=walks_cache,
+            )
+        return build_protected_account(
+            self.graph,
+            policy,
+            privileges[0],
+            include_surrogate_edges=request.include_surrogate_edges,
+            ensure_maximal_connectivity=request.repair_connectivity,
+            strategy=request.strategy,
+            name=request.name,
+            compiled=request.compiled,
+            walks_cache=walks_cache,
+        )
+
+    def _check_edges_exist(self, edges: Tuple[EdgeKey, ...]) -> None:
+        """Protecting an edge that is not in the graph is a caller error."""
+        for source, target in edges:
+            if not self.graph.has_node(source):
+                raise NodeNotFoundError(source)
+            if not self.graph.has_node(target):
+                raise NodeNotFoundError(target)
+            if not self.graph.has_edge(source, target):
+                raise EdgeNotFoundError(source, target)

@@ -9,7 +9,10 @@ Subcommands
 ``figure10``            Reproduce Figure 10 (performance phases).
 ``all``                 Run every experiment and print the combined report.
 ``protect``             Protect a graph JSON file for a consumer class and
-                        write the protected account to another JSON file.
+                        write the protected account to another JSON file
+                        (runs through :class:`repro.api.ProtectionService`;
+                        ``--json`` emits the full result, and policy/graph
+                        errors exit non-zero with a one-line diagnosis).
 ``motifs``              List the motif catalog with basic statistics.
 
 Every experiment accepts ``--full`` to use the paper-scale synthetic family
@@ -23,11 +26,11 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.core.generation import ProtectionEngine
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
 from repro.core.policy import ReleasePolicy, STRATEGIES, STRATEGY_SURROGATE
 from repro.core.privileges import PrivilegeLattice
-from repro.core.utility import path_utility
-from repro.core.opacity import average_opacity
+from repro.exceptions import ReproError
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
@@ -75,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="edge to protect, as 'source,target' (repeatable)",
     )
     protect.add_argument("--report", action="store_true", help="print utility/opacity of the result")
+    protect.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full ProtectionResult (account summary, scores, timings) as JSON",
+    )
 
     subparsers.add_parser("motifs", help="List the motif catalog")
     return parser
@@ -84,27 +92,70 @@ def _print(text: str) -> None:
     sys.stdout.write(text + "\n")
 
 
+def _print_error(message: str, *, kind: str, as_json: bool) -> None:
+    """One structured error line: JSON on ``--json``, ``error: ...`` otherwise."""
+    if as_json:
+        _print(json.dumps({"error": {"kind": kind, "message": message}}))
+    else:
+        _print(f"error: {message}")
+
+
 def _cmd_protect(args: argparse.Namespace) -> int:
-    graph = load_graph(args.input)
-    policy = ReleasePolicy(PrivilegeLattice())
-    engine = ProtectionEngine(policy)
+    as_json = getattr(args, "json", False)
     edges = []
     for raw in args.protect_edge:
         parts = [part.strip() for part in raw.split(",")]
         if len(parts) != 2:
-            _print(f"error: --protect-edge expects 'source,target', got {raw!r}")
+            _print_error(
+                f"--protect-edge expects 'source,target', got {raw!r}",
+                kind="usage",
+                as_json=as_json,
+            )
             return 2
         edges.append((parts[0], parts[1]))
-    account = engine.with_edge_protection(graph, edges, policy.lattice.public, strategy=args.strategy)
-    save_graph(account.graph, args.output)
+    try:
+        graph = load_graph(args.input)
+    except (OSError, ReproError) as exc:
+        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json)
+        return 1
+    policy = ReleasePolicy(PrivilegeLattice())
+    service = ProtectionService(graph, policy)
+    request = ProtectionRequest(
+        privileges=(policy.lattice.public,),
+        strategy=args.strategy,
+        protect_edges=tuple(edges),
+        score=args.report or as_json,
+    )
+    try:
+        result = service.protect(request)
+    except ReproError as exc:
+        # NodeNotFoundError, EdgeNotFoundError, PolicyError, ProtectionError:
+        # a structured one-line diagnosis instead of a traceback.
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        return 1
+    account = result.account
+    try:
+        save_graph(account.graph, args.output)
+    except (OSError, ReproError) as exc:
+        _print_error(
+            f"cannot write protected account to {args.output}: {exc}",
+            kind=type(exc).__name__,
+            as_json=as_json,
+        )
+        return 1
+    if as_json:
+        payload = result.as_dict()
+        payload["output"] = str(args.output)
+        _print(json.dumps(payload, indent=2, default=str))
+        return 0
     _print(f"protected account written to {args.output} "
            f"({account.graph.node_count()} nodes, {account.graph.edge_count()} edges, "
            f"{len(account.surrogate_edges)} surrogate edges)")
     if args.report:
         report = {
             "strategy": args.strategy,
-            "path_utility": round(path_utility(graph, account), 4),
-            "average_opacity": round(average_opacity(graph, account, edges or None), 4),
+            "path_utility": round(result.scores.path_utility, 4),
+            "average_opacity": round(result.scores.average_opacity, 4),
         }
         _print(json.dumps(report, indent=2))
     return 0

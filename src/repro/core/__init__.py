@@ -39,15 +39,24 @@ from repro.core.markings import CompiledMarkingView, EdgeState, Marking, Marking
 from repro.core.permitted import VisibleWalkCache
 from repro.core.policy import ReleasePolicy
 from repro.core.protected_account import ProtectedAccount
-from repro.core.generation import ProtectionEngine, generate_protected_account
-from repro.core.multi import generate_multi_privilege_account, merge_accounts
+from repro.core.generation import (
+    ProtectionEngine,
+    build_protected_account,
+    generate_protected_account,
+)
+from repro.core.multi import (
+    build_multi_privilege_account,
+    generate_multi_privilege_account,
+    merge_accounts,
+)
 from repro.core.hiding import hide_protected_account, naive_protected_account
-from repro.core.utility import node_utility, path_percentage, path_utility
+from repro.core.utility import node_utility, path_percentage, path_utility, utility_report
 from repro.core.opacity import (
     AdvancedAdversary,
     NaiveAdversary,
     average_opacity,
     opacity,
+    opacity_report,
 )
 from repro.core.validation import validate_protected_account, validate_maximally_informative
 
@@ -66,6 +75,8 @@ __all__ = [
     "ReleasePolicy",
     "ProtectedAccount",
     "ProtectionEngine",
+    "build_protected_account",
+    "build_multi_privilege_account",
     "generate_protected_account",
     "generate_multi_privilege_account",
     "merge_accounts",
@@ -74,8 +85,10 @@ __all__ = [
     "path_utility",
     "path_percentage",
     "node_utility",
+    "utility_report",
     "opacity",
     "average_opacity",
+    "opacity_report",
     "NaiveAdversary",
     "AdvancedAdversary",
     "validate_protected_account",

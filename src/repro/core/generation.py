@@ -26,7 +26,8 @@ property-based tests in ``tests/property`` check exactly that.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+import warnings
+from typing import Dict, Iterable, MutableMapping, Optional, Set, Tuple
 
 from repro.core.markings import EdgeState
 from repro.core.permitted import VisibleWalkCache, surrogate_edge_candidates
@@ -40,8 +41,14 @@ from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 #: Label attached to computed surrogate edges in the account graph.
 SURROGATE_EDGE_LABEL = "surrogate"
 
+#: Key type of the ``walks_cache`` registry accepted by
+#: :func:`build_protected_account`: (privilege name, graph version, policy
+#: version, compiled flag).  Entries keyed this way stay valid exactly as long
+#: as the compiled marking view they were built against.
+WalkCacheKey = Tuple[str, int, int, bool]
 
-def generate_protected_account(
+
+def build_protected_account(
     graph: PropertyGraph,
     policy: ReleasePolicy,
     privilege: object,
@@ -51,8 +58,15 @@ def generate_protected_account(
     strategy: str = STRATEGY_SURROGATE,
     name: Optional[str] = None,
     compiled: bool = True,
+    walks_cache: Optional[MutableMapping[WalkCacheKey, VisibleWalkCache]] = None,
 ) -> ProtectedAccount:
     """Run the Surrogate Generation Algorithm for one consumer class.
+
+    This is the canonical implementation behind
+    :class:`repro.api.ProtectionService`; application code should go through
+    the service (or through :class:`ProtectionEngine`) rather than call this
+    directly, but the function is stable API for the other ``repro.core``
+    modules.
 
     Parameters
     ----------
@@ -85,6 +99,15 @@ def generate_protected_account(
         every per-edge question below is an O(1) table lookup.  ``False``
         forces the uncompiled reference path; the equivalence test suite
         uses it to check the two paths produce identical accounts.
+    walks_cache:
+        Optional registry of :class:`~repro.core.permitted.VisibleWalkCache`
+        objects shared across calls **against the same policy object**.
+        Keyed by (privilege, graph version, policy version, compiled), so a
+        hit is guaranteed to describe the same markings; the owner must not
+        share one registry between different policies.
+        :meth:`repro.api.ProtectionService.protect_many` passes one so
+        repeated requests for the same consumer class reuse each other's
+        visible-set walks.
     """
     privilege = policy.lattice.get(privilege)
     markings = policy.markings
@@ -145,9 +168,19 @@ def generate_protected_account(
     # ------------------------------------------------------------------ #
     surrogate_edges: Set[EdgeKey] = set()
     if include_surrogate_edges:
-        walks = VisibleWalkCache(
-            graph, markings, privilege, anchors=anchors, compiled=compiled
-        )
+        walks = None
+        cache_key: Optional[WalkCacheKey] = None
+        if walks_cache is not None:
+            cache_key = (privilege.name, graph.version, policy.markings.version, compiled)
+            walks = walks_cache.get(cache_key)
+            if walks is not None and (walks.graph is not graph or walks.anchors != anchors):
+                walks = None  # stale or foreign entry: never trust it
+        if walks is None:
+            walks = VisibleWalkCache(
+                graph, markings, privilege, anchors=anchors, compiled=compiled
+            )
+            if walks_cache is not None and cache_key is not None:
+                walks_cache[cache_key] = walks
         for original_source, original_target in sorted(
             surrogate_edge_candidates(
                 graph, markings, privilege, anchors=anchors, walks=walks, compiled=compiled
@@ -178,6 +211,46 @@ def generate_protected_account(
         surrogate_nodes=surrogate_nodes,
         surrogate_edges=surrogate_edges,
         strategy=strategy,
+    )
+
+
+def generate_protected_account(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privilege: object,
+    *,
+    include_surrogate_edges: bool = True,
+    ensure_maximal_connectivity: bool = False,
+    strategy: str = STRATEGY_SURROGATE,
+    name: Optional[str] = None,
+    compiled: bool = True,
+) -> ProtectedAccount:
+    """Deprecated free-function entry point; use :class:`repro.api.ProtectionService`.
+
+    Delegates to ``ProtectionService(graph, policy).protect(...)`` and
+    returns the resulting account, so it stays byte-identical to the service
+    path (the equivalence tests in ``tests/api`` pin this down).
+    """
+    warnings.warn(
+        "generate_protected_account() is deprecated; use "
+        "repro.api.ProtectionService(graph, policy).protect(privilege=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.service import ProtectionService
+
+    return (
+        ProtectionService(graph, policy)
+        .protect(
+            privilege=privilege,
+            include_surrogate_edges=include_surrogate_edges,
+            repair_connectivity=ensure_maximal_connectivity,
+            strategy=strategy,
+            name=name,
+            compiled=compiled,
+            score=False,
+        )
+        .account
     )
 
 
@@ -227,10 +300,11 @@ def _repair_maximal_connectivity(
 class ProtectionEngine:
     """Facade bundling a release policy with the generation algorithm.
 
-    The engine is what applications hold on to: it can produce the
-    maximally informative account for any consumer class, the naive
-    baseline, or hide/surrogate edge-protection variants used throughout the
-    evaluation.
+    The engine is the low-level, policy-only facade: it produces accounts
+    but does not score, persist or enforce them.  Applications should prefer
+    :class:`repro.api.ProtectionService`, which wraps an engine together
+    with the utility/opacity measures, the graph store and query
+    enforcement behind one request/response API.
     """
 
     def __init__(self, policy: ReleasePolicy) -> None:
@@ -249,7 +323,7 @@ class ProtectionEngine:
         strategy: str = STRATEGY_SURROGATE,
     ) -> ProtectedAccount:
         """The maximally informative protected account for ``privilege``."""
-        return generate_protected_account(
+        return build_protected_account(
             graph,
             self.policy,
             privilege,
@@ -290,7 +364,7 @@ class ProtectionEngine:
         """
         scoped = self.policy.copy()
         scoped.protect_edges(list(edges), privilege, strategy=strategy)
-        return generate_protected_account(graph, scoped, privilege, strategy=strategy)
+        return build_protected_account(graph, scoped, privilege, strategy=strategy)
 
     def compare_strategies(
         self,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
-from repro.core.generation import generate_protected_account
+from repro.core.generation import build_protected_account
 from repro.core.markings import EdgeState
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE
 from repro.core.protected_account import ProtectedAccount
@@ -88,8 +88,8 @@ def hide_protected_account(
     scoped = policy.copy()
     if edges_to_protect is not None:
         scoped.protect_edges(list(edges_to_protect), privilege, strategy=STRATEGY_HIDE)
-        return generate_protected_account(graph, scoped, privilege, strategy=STRATEGY_HIDE)
-    return generate_protected_account(
+        return build_protected_account(graph, scoped, privilege, strategy=STRATEGY_HIDE)
+    return build_protected_account(
         graph,
         scoped,
         privilege,

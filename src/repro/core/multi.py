@@ -25,9 +25,15 @@ graph (Definition 5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import warnings
+from typing import Dict, Iterable, List, MutableMapping, Optional, Sequence, Set, Tuple
 
-from repro.core.generation import SURROGATE_EDGE_LABEL, generate_protected_account
+from repro.core.generation import (
+    SURROGATE_EDGE_LABEL,
+    WalkCacheKey,
+    build_protected_account,
+)
+from repro.core.permitted import VisibleWalkCache
 from repro.core.policy import ReleasePolicy, STRATEGY_SURROGATE
 from repro.core.privileges import Privilege
 from repro.core.protected_account import ProtectedAccount
@@ -35,7 +41,7 @@ from repro.exceptions import ProtectionError
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
 
-def generate_multi_privilege_account(
+def build_multi_privilege_account(
     graph: PropertyGraph,
     policy: ReleasePolicy,
     privileges: Sequence[object],
@@ -43,25 +49,27 @@ def generate_multi_privilege_account(
     ensure_maximal_connectivity: bool = False,
     strategy: str = STRATEGY_SURROGATE,
     name: Optional[str] = None,
+    walks_cache: Optional[MutableMapping[WalkCacheKey, VisibleWalkCache]] = None,
 ) -> ProtectedAccount:
     """The merged protected account for a consumer satisfying ``privileges``.
 
     ``privileges`` may contain comparable classes; only the maximal ones
     matter (a dominated class adds nothing).  With a single (maximal)
     privilege this reduces exactly to
-    :func:`~repro.core.generation.generate_protected_account`.
+    :func:`~repro.core.generation.build_protected_account`.
     """
     resolved = [policy.lattice.get(privilege) for privilege in privileges]
     if not resolved:
         raise ProtectionError("at least one privilege-predicate is required")
     maximal = sorted(policy.lattice.maximal(resolved), key=lambda privilege: privilege.name)
     per_class = [
-        generate_protected_account(
+        build_protected_account(
             graph,
             policy,
             privilege,
             ensure_maximal_connectivity=ensure_maximal_connectivity,
             strategy=strategy,
+            walks_cache=walks_cache,
         )
         for privilege in maximal
     ]
@@ -74,6 +82,42 @@ def generate_multi_privilege_account(
         if name is not None
         else f"{graph.name or 'graph'}@{'+'.join(privilege.name for privilege in maximal)}",
         strategy=strategy,
+    )
+
+
+def generate_multi_privilege_account(
+    graph: PropertyGraph,
+    policy: ReleasePolicy,
+    privileges: Sequence[object],
+    *,
+    ensure_maximal_connectivity: bool = False,
+    strategy: str = STRATEGY_SURROGATE,
+    name: Optional[str] = None,
+) -> ProtectedAccount:
+    """Deprecated free-function entry point; use :class:`repro.api.ProtectionService`.
+
+    Delegates to ``ProtectionService(graph, policy).protect(...)`` with
+    every privilege in the request, so it stays byte-identical to the
+    service path.
+    """
+    warnings.warn(
+        "generate_multi_privilege_account() is deprecated; use "
+        "repro.api.ProtectionService(graph, policy).protect(privileges=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.service import ProtectionService
+
+    return (
+        ProtectionService(graph, policy)
+        .protect(
+            privileges=tuple(privileges),
+            repair_connectivity=ensure_maximal_connectivity,
+            strategy=strategy,
+            name=name,
+            score=False,
+        )
+        .account
     )
 
 

@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.generation import ProtectionEngine
-from repro.core.opacity import AdvancedAdversary, AttackerModel, opacity
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.opacity import AdvancedAdversary, AttackerModel
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
 from repro.core.privileges import PrivilegeLattice
-from repro.core.utility import path_utility
 from repro.experiments.reporting import format_table
 from repro.workloads.motifs import Motif, all_motifs
 
@@ -75,22 +75,32 @@ def compare_motif(
     *,
     adversary: Optional[AttackerModel] = None,
 ) -> MotifComparison:
-    """Protect one motif's designated edge both ways and measure the outcome."""
+    """Protect one motif's designated edge both ways and measure the outcome.
+
+    Both strategies run as one :meth:`ProtectionService.protect_many` batch.
+    (Edge-protecting requests each generate on their own scoped policy copy,
+    so no compiled state is shared between the two strategies — the batch is
+    purely a call-site convenience here.)
+    """
     adversary = adversary if adversary is not None else AdvancedAdversary()
     policy = ReleasePolicy(PrivilegeLattice())
-    engine = ProtectionEngine(policy)
+    service = ProtectionService(motif.graph, policy, adversary=adversary)
     public = policy.lattice.public
-    accounts = engine.compare_strategies(motif.graph, [motif.protected_edge], public)
-    hide_account = accounts[STRATEGY_HIDE]
-    surrogate_account = accounts[STRATEGY_SURROGATE]
+    hide, surrogate = service.protect_many(
+        ProtectionRequest(
+            privileges=(public,),
+            strategy=strategy,
+            protect_edges=(motif.protected_edge,),
+            opacity_edges=(motif.protected_edge,),
+        )
+        for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE)
+    )
     return MotifComparison(
         motif=motif.name,
-        utility_hide=path_utility(motif.graph, hide_account),
-        utility_surrogate=path_utility(motif.graph, surrogate_account),
-        opacity_hide=opacity(motif.graph, hide_account, motif.protected_edge, adversary=adversary),
-        opacity_surrogate=opacity(
-            motif.graph, surrogate_account, motif.protected_edge, adversary=adversary
-        ),
+        utility_hide=hide.scores.path_utility,
+        utility_surrogate=surrogate.scores.path_utility,
+        opacity_hide=hide.scores.opacity.per_edge[motif.protected_edge],
+        opacity_surrogate=surrogate.scores.opacity.per_edge[motif.protected_edge],
     )
 
 

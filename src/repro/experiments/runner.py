@@ -2,7 +2,10 @@
 
 ``run_all`` is what the CLI's ``repro-surrogate all`` command and the
 EXPERIMENTS.md generator use; each experiment can also be run on its own via
-its driver module.
+its driver module.  Every account the drivers generate and score goes
+through :class:`repro.api.service.ProtectionService` (one request per
+account), so the experiments exercise exactly the code path applications
+use.
 """
 
 from __future__ import annotations

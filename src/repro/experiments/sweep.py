@@ -12,11 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.generation import ProtectionEngine
-from repro.core.opacity import AdvancedAdversary, AttackerModel, average_opacity
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.opacity import AdvancedAdversary, AttackerModel
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
 from repro.core.privileges import PrivilegeLattice
-from repro.core.utility import path_utility
 from repro.workloads.synthetic import (
     DEFAULT_CONNECTIVITY_TARGETS,
     DEFAULT_PROTECT_FRACTIONS,
@@ -73,14 +73,25 @@ def measure_instance(
     *,
     adversary: Optional[AttackerModel] = None,
 ) -> SweepRecord:
-    """Apply both strategies to one instance and score the accounts."""
+    """Apply both strategies to one instance and score the accounts.
+
+    One :class:`~repro.api.service.ProtectionService` batch per instance:
+    the hide and surrogate requests protect the same sampled edges and score
+    average opacity over exactly those edges.
+    """
     adversary = adversary if adversary is not None else AdvancedAdversary()
     policy = ReleasePolicy(PrivilegeLattice())
-    engine = ProtectionEngine(policy)
+    service = ProtectionService(instance.graph, policy, adversary=adversary)
     public = policy.lattice.public
-    accounts = engine.compare_strategies(instance.graph, instance.protected_edges, public)
-    hide_account = accounts[STRATEGY_HIDE]
-    surrogate_account = accounts[STRATEGY_SURROGATE]
+    hide, surrogate = service.protect_many(
+        ProtectionRequest(
+            privileges=(public,),
+            strategy=strategy,
+            protect_edges=tuple(instance.protected_edges),
+            opacity_edges=tuple(instance.protected_edges),
+        )
+        for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE)
+    )
     return SweepRecord(
         label=instance.spec.label(),
         nodes=instance.graph.node_count(),
@@ -88,14 +99,10 @@ def measure_instance(
         connected_pairs=instance.achieved_connected_pairs,
         protect_fraction=instance.protect_fraction,
         protected_edges=len(instance.protected_edges),
-        utility_hide=path_utility(instance.graph, hide_account),
-        utility_surrogate=path_utility(instance.graph, surrogate_account),
-        opacity_hide=average_opacity(
-            instance.graph, hide_account, instance.protected_edges, adversary=adversary
-        ),
-        opacity_surrogate=average_opacity(
-            instance.graph, surrogate_account, instance.protected_edges, adversary=adversary
-        ),
+        utility_hide=hide.scores.path_utility,
+        utility_surrogate=surrogate.scores.path_utility,
+        opacity_hide=hide.scores.average_opacity,
+        opacity_surrogate=surrogate.scores.average_opacity,
     )
 
 

@@ -11,10 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.generation import generate_protected_account
-from repro.core.hiding import naive_protected_account
-from repro.core.opacity import AdvancedAdversary, opacity
-from repro.core.utility import node_utility, path_utility
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.hiding import STRATEGY_NAIVE
+from repro.core.opacity import AdvancedAdversary
 from repro.experiments.reporting import format_table
 from repro.workloads.social import SENSITIVE_EDGE, figure1_example, figure2_variant
 
@@ -77,35 +77,43 @@ _DESCRIPTIONS = {
 
 
 def run_table1(*, adversary: AdvancedAdversary = AdvancedAdversary()) -> Table1Result:
-    """Reproduce Table 1 (and the Figure 3 utilities) of the paper."""
+    """Reproduce Table 1 (and the Figure 3 utilities) of the paper.
+
+    Every account is generated and scored through one
+    :class:`~repro.api.service.ProtectionService` request per row; the
+    sensitive edge ``f -> g`` is the opacity target.
+    """
     result = Table1Result()
 
+    def row(account_label: str, scores, paper_path: float, paper_opacity: float) -> Table1Row:
+        return Table1Row(
+            account=account_label,
+            description=_DESCRIPTIONS[account_label],
+            path_utility=scores.path_utility,
+            node_utility=scores.node_utility,
+            opacity_fg=scores.opacity.per_edge[SENSITIVE_EDGE],
+            paper_path_utility=paper_path,
+            paper_opacity_fg=paper_opacity,
+        )
+
     naive_example = figure1_example()
-    naive = naive_protected_account(naive_example.graph, naive_example.policy, naive_example.high2)
-    result.rows.append(
-        Table1Row(
-            account="naive",
-            description=_DESCRIPTIONS["naive"],
-            path_utility=path_utility(naive_example.graph, naive),
-            node_utility=node_utility(naive_example.graph, naive),
-            opacity_fg=opacity(naive_example.graph, naive, SENSITIVE_EDGE, adversary=adversary),
-            paper_path_utility=PAPER_PATH_UTILITY["naive"],
-            paper_opacity_fg=1.0,
+    naive_service = ProtectionService(naive_example.graph, naive_example.policy, adversary=adversary)
+    naive = naive_service.protect(
+        ProtectionRequest(
+            privileges=(naive_example.high2,),
+            strategy=STRATEGY_NAIVE,
+            opacity_edges=(SENSITIVE_EDGE,),
         )
     )
+    result.rows.append(row("naive", naive.scores, PAPER_PATH_UTILITY["naive"], 1.0))
 
     for variant in ("a", "b", "c", "d"):
         example = figure2_variant(variant)
-        account = generate_protected_account(example.graph, example.policy, example.high2)
+        service = ProtectionService(example.graph, example.policy, adversary=adversary)
+        protected = service.protect(
+            ProtectionRequest(privileges=(example.high2,), opacity_edges=(SENSITIVE_EDGE,))
+        )
         result.rows.append(
-            Table1Row(
-                account=variant,
-                description=_DESCRIPTIONS[variant],
-                path_utility=path_utility(example.graph, account),
-                node_utility=node_utility(example.graph, account),
-                opacity_fg=opacity(example.graph, account, SENSITIVE_EDGE, adversary=adversary),
-                paper_path_utility=PAPER_PATH_UTILITY[variant],
-                paper_opacity_fg=PAPER_OPACITY[variant],
-            )
+            row(variant, protected.scores, PAPER_PATH_UTILITY[variant], PAPER_OPACITY[variant])
         )
     return result

@@ -15,8 +15,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.core.generation import ProtectionEngine
-from repro.core.hiding import naive_protected_account
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.hiding import STRATEGY_NAIVE
 from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
 from repro.core.protected_account import ProtectedAccount
 from repro.exceptions import ProvenanceError
@@ -64,7 +65,6 @@ class PLUSClient:
         self.graph_name = graph_name
         if not self.store.has_graph(graph_name):
             self.store.create_graph(graph_name, kind="provenance")
-        self.engine = ProtectionEngine(self.policy)
 
     # ------------------------------------------------------------------ #
     # recording provenance
@@ -117,12 +117,26 @@ class PLUSClient:
         """A copy of the stored provenance graph."""
         return self.store.graph(self.graph_name)
 
+    def service(self, graph: Optional[PropertyGraph] = None) -> ProtectionService:
+        """A :class:`~repro.api.service.ProtectionService` over the stored graph.
+
+        Each call binds a fresh copy of the stored graph (store reads always
+        copy), so the service reflects the provenance recorded so far.
+        """
+        return ProtectionService(
+            graph if graph is not None else self.current_graph(),
+            self.policy,
+            store=self.store,
+        )
+
     def protected_account(self, privilege: object, *, naive: bool = False) -> ProtectedAccount:
         """The account served to consumers in class ``privilege``."""
-        graph = self.current_graph()
-        if naive:
-            return naive_protected_account(graph, self.policy, privilege)
-        return self.engine.protect(graph, privilege)
+        request = ProtectionRequest(
+            privileges=(privilege,),
+            strategy=STRATEGY_NAIVE if naive else STRATEGY_SURROGATE,
+            score=False,
+        )
+        return self.service().protect(request).account
 
     def lineage_for(
         self,
@@ -173,19 +187,30 @@ class PLUSClient:
             rebuilt.add_edge(record["source"], record["target"], label=record["label"])
         build_graph_ms = (time.perf_counter() - start) * 1000.0
 
-        edges = list(protected_edges) if protected_edges is not None else []
+        edges = tuple(protected_edges) if protected_edges is not None else ()
+        service = self.service(rebuilt)
         start = time.perf_counter()
         if edges:
-            self.engine.with_edge_protection(rebuilt, edges, privilege, strategy=STRATEGY_HIDE)
+            service.protect(
+                ProtectionRequest(
+                    privileges=(privilege,), strategy=STRATEGY_HIDE, protect_edges=edges, score=False
+                )
+            )
         else:
-            naive_protected_account(rebuilt, self.policy, privilege)
+            service.protect(
+                ProtectionRequest(privileges=(privilege,), strategy=STRATEGY_NAIVE, score=False)
+            )
         protect_hide_ms = (time.perf_counter() - start) * 1000.0
 
         start = time.perf_counter()
-        if edges:
-            self.engine.with_edge_protection(rebuilt, edges, privilege, strategy=STRATEGY_SURROGATE)
-        else:
-            self.engine.protect(rebuilt, privilege)
+        service.protect(
+            ProtectionRequest(
+                privileges=(privilege,),
+                strategy=STRATEGY_SURROGATE,
+                protect_edges=edges,
+                score=False,
+            )
+        )
         protect_surrogate_ms = (time.perf_counter() - start) * 1000.0
 
         return ProtectionTimings(

@@ -22,10 +22,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.core.generation import ProtectionEngine
-from repro.core.hiding import naive_protected_account
-from repro.core.multi import generate_multi_privilege_account, merge_accounts
-from repro.core.policy import ReleasePolicy
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.hiding import STRATEGY_NAIVE
+from repro.core.policy import ReleasePolicy, STRATEGY_SURROGATE
 from repro.core.protected_account import ProtectedAccount
 from repro.exceptions import NodeNotFoundError
 from repro.graph.model import NodeId, PropertyGraph
@@ -69,11 +69,16 @@ class QueryEnforcer:
         policy: ReleasePolicy,
         *,
         controller: Optional[AccessController] = None,
+        service: Optional[ProtectionService] = None,
     ) -> None:
         self.graph = graph
         self.policy = policy
         self.controller = controller if controller is not None else AccessController(policy)
-        self.engine = ProtectionEngine(policy)
+        #: Accounts are generated through the service so enforcement shares
+        #: compiled marking views with every other service caller; an
+        #: enforcer built by :meth:`ProtectionService.enforce` is handed the
+        #: parent service itself (session scoping).
+        self.service = service if service is not None else ProtectionService(graph, policy)
         self._account_cache: Dict[tuple, ProtectedAccount] = {}
 
     # ------------------------------------------------------------------ #
@@ -89,17 +94,11 @@ class QueryEnforcer:
         privileges = self.controller.effective_privileges(consumer)
         key = (tuple(sorted(privilege.name for privilege in privileges)), mode)
         if key not in self._account_cache:
-            if mode is EnforcementMode.NAIVE:
-                accounts = [
-                    naive_protected_account(self.graph, self.policy, privilege)
-                    for privilege in privileges
-                ]
-                account = accounts[0] if len(accounts) == 1 else merge_accounts(self.graph, accounts)
-            elif len(privileges) == 1:
-                account = self.engine.protect(self.graph, privileges[0])
-            else:
-                account = generate_multi_privilege_account(self.graph, self.policy, privileges)
-            self._account_cache[key] = account
+            strategy = STRATEGY_NAIVE if mode is EnforcementMode.NAIVE else STRATEGY_SURROGATE
+            request = ProtectionRequest(
+                privileges=tuple(privileges), strategy=strategy, score=False
+            )
+            self._account_cache[key] = self.service.protect(request).account
         return self._account_cache[key]
 
     def invalidate(self) -> None:

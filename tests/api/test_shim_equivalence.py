@@ -1,0 +1,82 @@
+"""The deprecated free-function shims are byte-identical to the service path.
+
+``generate_protected_account`` and ``generate_multi_privilege_account`` now
+delegate to :class:`repro.api.ProtectionService`; these tests pin the shims
+to the service with hypothesis over random graph/policy/consumer triples, and
+check they actually warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+
+from repro.api import ProtectionService
+from repro.core.generation import generate_protected_account
+from repro.core.multi import generate_multi_privilege_account
+from repro.graph.serialization import graph_to_dict
+
+from tests.property.strategies import graph_with_policy
+
+
+def assert_accounts_identical(left, right) -> None:
+    assert graph_to_dict(left.graph) == graph_to_dict(right.graph)
+    assert left.correspondence == right.correspondence
+    assert left.surrogate_nodes == right.surrogate_nodes
+    assert left.surrogate_edges == right.surrogate_edges
+    assert left.strategy == right.strategy
+    assert left.privilege == right.privilege
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_policy())
+def test_generate_protected_account_shim_matches_service(data) -> None:
+    graph, policy, consumer = data
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shimmed = generate_protected_account(graph, policy, consumer)
+    serviced = (
+        ProtectionService(graph, policy).protect(privilege=consumer, score=False).account
+    )
+    assert_accounts_identical(shimmed, serviced)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_with_policy())
+def test_uncompiled_reference_path_survives_the_shim(data) -> None:
+    """``compiled=False`` must still reach the reference implementation."""
+    graph, policy, consumer = data
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        reference = generate_protected_account(graph, policy, consumer, compiled=False)
+    serviced = (
+        ProtectionService(graph, policy)
+        .protect(privilege=consumer, compiled=False, score=False)
+        .account
+    )
+    assert_accounts_identical(reference, serviced)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_with_policy())
+def test_multi_privilege_shim_matches_service(data) -> None:
+    graph, policy, _consumer = data
+    privileges = tuple(policy.lattice.privileges())
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shimmed = generate_multi_privilege_account(graph, policy, privileges)
+    serviced = (
+        ProtectionService(graph, policy).protect(privileges=privileges, score=False).account
+    )
+    assert_accounts_identical(shimmed, serviced)
+
+
+def test_shims_emit_deprecation_warnings(figure2b) -> None:
+    with pytest.warns(DeprecationWarning, match="generate_protected_account"):
+        generate_protected_account(figure2b.graph, figure2b.policy, figure2b.high2)
+    with pytest.warns(DeprecationWarning, match="generate_multi_privilege_account"):
+        generate_multi_privilege_account(
+            figure2b.graph, figure2b.policy, ["High-1", "High-2"]
+        )

@@ -82,3 +82,60 @@ class TestProtectCommand:
         exit_code = main(["protect", str(source), str(tmp_path / "out.json"), "--protect-edge", "oops"])
         assert exit_code == 2
         assert "error" in capsys.readouterr().out
+
+    def test_protect_json_output(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        target = tmp_path / "protected.json"
+        save_graph(figure1_graph(), source)
+        exit_code = main(
+            ["protect", str(source), str(target), "--protect-edge", "f,g", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["output"] == str(target)
+        assert payload["strategy"] == "surrogate"
+        assert payload["account"]["surrogate_edges"] >= 1
+        assert 0.0 <= payload["scores"]["path_utility"] <= 1.0
+        assert "generate" in payload["timings_ms"]
+        assert load_graph(target).has_edge("f", "j")
+
+    def test_protect_unknown_node_is_structured_error(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        save_graph(figure1_graph(), source)
+        exit_code = main(
+            ["protect", str(source), str(tmp_path / "out.json"), "--protect-edge", "zzz,g"]
+        )
+        assert exit_code == 1
+        output = capsys.readouterr().out
+        assert output.startswith("error:")
+        assert "zzz" in output
+
+    def test_protect_unknown_node_json_error(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        save_graph(figure1_graph(), source)
+        exit_code = main(
+            ["protect", str(source), str(tmp_path / "out.json"), "--protect-edge", "zzz,g", "--json"]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["kind"] == "NodeNotFoundError"
+        assert "zzz" in payload["error"]["message"]
+
+    def test_protect_missing_input_file(self, tmp_path, capsys):
+        exit_code = main(
+            ["protect", str(tmp_path / "nope.json"), str(tmp_path / "out.json")]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_protect_unwritable_output_is_structured_error(self, tmp_path, capsys):
+        source = tmp_path / "original.json"
+        save_graph(figure1_graph(), source)
+        target = tmp_path / "missing-dir-file"
+        target.write_text("")  # a plain file used as a directory below
+        exit_code = main(
+            ["protect", str(source), str(target / "out.json"), "--json"]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert "cannot write" in payload["error"]["message"]
