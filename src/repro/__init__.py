@@ -29,6 +29,15 @@ explicit request/result values::
     result.scores.path_utility                        # ScoreCard
     enforcer = service.enforce()                      # QueryEnforcer
 
+For serving at scale, :class:`AccountCache` memoises whole ``protect()``
+results (keyed by graph/policy version counters, so invalidation is
+automatic) and :class:`ServiceRegistry` runs many tenants over one shared
+cache with per-tenant store roots and :class:`TenantQuota` budgets::
+
+    registry = ServiceRegistry(base_dir="/var/lib/repro")
+    registry.register("acme", max_requests=100_000)
+    service = registry.service("acme", graph, policy)
+
 The older free functions (``generate_protected_account``,
 ``generate_multi_privilege_account``) remain available as deprecated shims
 that delegate to the service; the underlying measures (``path_utility``,
@@ -76,14 +85,18 @@ from repro.core.opacity import (
     opacity_report,
 )
 from repro.api import (
+    AccountCache,
+    CacheStats,
     ProtectionRequest,
     ProtectionResult,
     ProtectionService,
     ScoreCard,
+    ServiceRegistry,
+    TenantQuota,
 )
 from repro.security.enforcement import EnforcementMode, QueryEnforcer, QueryResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # graph substrate
@@ -130,6 +143,11 @@ __all__ = [
     "ProtectionRequest",
     "ProtectionResult",
     "ScoreCard",
+    # serving at scale
+    "AccountCache",
+    "CacheStats",
+    "ServiceRegistry",
+    "TenantQuota",
     # enforcement
     "QueryEnforcer",
     "QueryResult",

@@ -1,24 +1,36 @@
-"""The unified request/response API: protect → score → enforce.
+"""The unified request/response API: protect → score → enforce, at scale.
 
 :class:`ProtectionService` is the recommended entry point to the library.
 It binds one graph and one release policy and turns the paper's whole
 workflow into explicit values:
 
 * :class:`ProtectionRequest` — privileges, strategy, edges to protect,
-  repair mode, scoring and persistence options;
+  repair mode, scoring and persistence options (and, in cross-graph
+  batches, the target graph);
 * :class:`ProtectionResult` — the generated account, a :class:`ScoreCard`
-  (Path Utility, Node Utility, opacity), per-phase timings;
+  (Path Utility, Node Utility, opacity), per-phase timings and cache
+  hit/miss statistics;
 * :meth:`ProtectionService.protect` / :meth:`ProtectionService.protect_many`
   / :meth:`ProtectionService.enforce` / :meth:`ProtectionService.persist`.
+
+Serving heavy traffic is handled by two further pieces:
+
+* :class:`AccountCache` — account-level result caching keyed by the graph's
+  and policy's version counters (automatic invalidation, LRU bounds,
+  per-tenant namespaces, hit/miss stats);
+* :class:`ServiceRegistry` / :class:`TenantQuota` — multi-tenant serving
+  with per-tenant store roots, cache namespaces and request/graph quotas.
 
 The old free functions (``generate_protected_account``,
 ``generate_multi_privilege_account``) survive as deprecated shims that
 delegate here.
 """
 
+from repro.api.cache import AccountCache, CacheStats, DEFAULT_CACHE_CAPACITY, DEFAULT_TENANT
 from repro.api.requests import ProtectionRequest, REQUEST_STRATEGIES
 from repro.api.results import ProtectionResult, ScoreCard
 from repro.api.service import ProtectionService
+from repro.api.registry import ServiceRegistry, TenantQuota
 from repro.api.persistence import (
     account_from_metadata,
     account_metadata_to_dict,
@@ -31,6 +43,12 @@ __all__ = [
     "ProtectionRequest",
     "ProtectionResult",
     "ScoreCard",
+    "AccountCache",
+    "CacheStats",
+    "ServiceRegistry",
+    "TenantQuota",
+    "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_TENANT",
     "REQUEST_STRATEGIES",
     "persist_account",
     "load_account",

@@ -109,6 +109,8 @@ def persist_account(store: GraphStore, account: ProtectedAccount, name: str) -> 
         _sidecar_path(store, stored_name).write_text(
             json.dumps(payload, indent=2, default=str), encoding="utf-8"
         )
+        # The kind/metadata mutations above must survive a reopen too.
+        store.storage.save_catalog()
     return stored_name
 
 

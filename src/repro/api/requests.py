@@ -11,13 +11,13 @@ keyword conventions now build one request and hand it to the service.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Hashable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.hiding import STRATEGY_NAIVE
 from repro.core.opacity import AttackerModel
 from repro.core.policy import STRATEGY_HIDE, STRATEGY_SURROGATE
 from repro.exceptions import ProtectionError
-from repro.graph.model import EdgeKey, NodeId
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
 #: Every strategy a request may name.  ``"naive"`` selects the all-or-nothing
 #: baseline of Figure 1(c); ``"hide"`` and ``"surrogate"`` select the two
@@ -71,6 +71,19 @@ class ProtectionRequest:
     persist_as:
         When set, the service stores the account under this name in its
         configured :class:`~repro.store.engine.GraphStore`.
+    graph:
+        Optional per-request graph override.  ``None`` (default) targets the
+        service's bound graph; a :class:`~repro.graph.model.PropertyGraph`
+        makes this request run against that graph instead, which is how
+        :meth:`~repro.api.service.ProtectionService.protect_many` serves
+        batches spanning multiple graphs.
+    use_cache:
+        ``False`` skips the account-cache *lookup* for this request (the
+        fresh result still refreshes the cache entry).  Callers that must
+        observe a genuinely regenerated account — e.g.
+        :meth:`QueryEnforcer.invalidate
+        <repro.security.enforcement.QueryEnforcer.invalidate>` — use this
+        instead of evicting other requests' entries.
     """
 
     privileges: Tuple[object, ...] = ()
@@ -86,6 +99,8 @@ class ProtectionRequest:
     explicit_scores: Optional[Mapping[NodeId, float]] = None
     compiled: bool = True
     persist_as: Optional[str] = None
+    graph: Optional[PropertyGraph] = None
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         # Normalise sequence fields so callers may pass lists; keep the
@@ -127,6 +142,45 @@ class ProtectionRequest:
         if self.opacity_edges is not None:
             return self.opacity_edges
         return self.protect_edges or None
+
+    def cache_fingerprint(
+        self, *, adversary: Optional[AttackerModel] = None
+    ) -> Optional[Hashable]:
+        """A hashable digest of every option that affects this request's result.
+
+        ``None`` marks the request uncacheable: it carries a side effect
+        (``persist_as``) or an option that cannot be fingerprinted (an
+        unhashable adversary or ``explicit_scores`` payload).  The graph and
+        policy are deliberately absent — the
+        :class:`~repro.api.cache.AccountCache` keys on their identities and
+        version counters separately — and ``adversary`` must be the
+        *effective* model (request override or service default), since two
+        services sharing one cache may default differently.
+        """
+        if self.persist_as is not None:
+            return None
+        explicit: Optional[Hashable] = None
+        if self.explicit_scores is not None:
+            explicit = tuple(sorted(self.explicit_scores.items(), key=repr))
+        fingerprint = (
+            tuple(getattr(p, "name", str(p)) for p in self.privileges),
+            self.strategy,
+            self.protect_edges,
+            self.include_surrogate_edges,
+            self.repair_connectivity,
+            self.name,
+            self.score,
+            adversary,
+            self.opacity_edges,
+            self.normalize_focus,
+            explicit,
+            self.compiled,
+        )
+        try:
+            hash(fingerprint)
+        except TypeError:
+            return None
+        return fingerprint
 
 
 def _as_tuple(value: object) -> Tuple[object, ...]:

@@ -34,18 +34,22 @@ class ScoreCard:
 
     @property
     def path_utility(self) -> float:
+        """Path Utility: fraction of original connected pairs still connected."""
         return self.utility.path_utility
 
     @property
     def node_utility(self) -> float:
+        """Node Utility: information retained across represented nodes."""
         return self.utility.node_utility
 
     @property
     def average_opacity(self) -> float:
+        """Mean opacity over the scored edges (1.0 = nothing inferable)."""
         return self.opacity.average
 
     @property
     def min_opacity(self) -> float:
+        """The worst-protected scored edge's opacity."""
         return self.opacity.minimum()
 
     def as_dict(self) -> Dict[str, object]:

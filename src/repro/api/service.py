@@ -12,7 +12,8 @@ request/response object model:
   timings) out;
 * :meth:`ProtectionService.protect_many` — batched generation that shares
   the compiled per-privilege marking views and the visible-set walk caches
-  across requests (no recompilation between requests for the same class);
+  across requests (no recompilation between requests for the same class),
+  including batches whose requests target *different graphs*;
 * :meth:`ProtectionService.score` — the ScoreCard of any account against
   the bound graph;
 * :meth:`ProtectionService.enforce` — a session-scoped
@@ -21,6 +22,21 @@ request/response object model:
 * :meth:`ProtectionService.persist` / :meth:`ProtectionService.load_account`
   — round-trip accounts through an embedded
   :class:`~repro.store.engine.GraphStore`.
+
+Serving at scale
+----------------
+Every service owns (or shares) an :class:`~repro.api.cache.AccountCache`:
+repeated identical requests against an unmodified (graph, policy) pair are
+answered from the cache in microseconds, with hit/miss statistics surfaced
+in :attr:`ProtectionResult.timings_ms <repro.api.results.ProtectionResult>`
+(``cache_hit`` / ``cache_hits`` / ``cache_misses``).  Invalidation is
+automatic — keys embed the graph's and policy's version counters — and the
+cache is namespaced per tenant, so a
+:class:`~repro.api.registry.ServiceRegistry` can hand one cache to many
+tenants without cross-talk.  Account generation is serialised behind an
+internal lock, which makes a shared service safe to call from concurrent
+threads (cache hits stay lock-free on the service; the cache has its own
+short lock).
 
 Example
 -------
@@ -33,13 +49,17 @@ Example
 >>> result = service.protect(privilege="Public")
 >>> result.scores.path_utility
 1.0
+>>> service.protect(privilege="Public").timings_ms["cache_hit"]
+1.0
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.api.cache import DEFAULT_TENANT, AccountCache, CacheStats
 from repro.api.persistence import load_account as _load_account
 from repro.api.persistence import persist_account as _persist_account
 from repro.api.requests import ProtectionRequest
@@ -52,16 +72,27 @@ from repro.core.policy import ReleasePolicy
 from repro.core.privileges import Privilege
 from repro.core.protected_account import ProtectedAccount
 from repro.core.utility import utility_report
-from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, StoreError
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    ProtectionError,
+    StoreError,
+)
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 from repro.store.engine import GraphStore
 
 #: Anything `protect()` accepts as its request argument.
 RequestLike = Union[ProtectionRequest, object]
 
-#: Upper bound on cached visible-walk registries; versioned keys mean stale
-#: entries are never *wrong*, just dead weight, so the bound only caps memory.
+#: Upper bound on cached visible-walk registries *per graph*; versioned keys
+#: mean stale entries are never *wrong*, just dead weight, so the bound only
+#: caps memory.
 _WALK_CACHE_LIMIT = 32
+
+#: Upper bound on the number of graphs the service keeps walk registries for.
+#: Cross-graph batches are grouped by graph, so eviction never causes
+#: recompilation within one batch.
+_WALK_GRAPH_LIMIT = 16
 
 
 class ProtectionService:
@@ -70,7 +101,9 @@ class ProtectionService:
     Parameters
     ----------
     graph:
-        The original graph ``G`` the service protects.
+        The original graph ``G`` the service protects.  ``None`` creates a
+        multi-graph service: every request must then carry its own
+        ``graph`` (the mode cross-graph batch serving uses).
     policy:
         The provider's :class:`~repro.core.policy.ReleasePolicy`.
     store:
@@ -79,22 +112,47 @@ class ProtectionService:
     adversary:
         Default attacker model for opacity scoring; individual requests may
         override it.  ``None`` selects the paper's advanced adversary.
+    cache:
+        The :class:`~repro.api.cache.AccountCache` results are memoised in.
+        ``None`` (default) gives the service a private cache; a
+        :class:`~repro.api.registry.ServiceRegistry` passes one shared,
+        tenant-namespaced cache to every service it creates.
+    tenant:
+        The cache namespace this service reads and writes
+        (``"default"`` outside a registry).
+    quota:
+        Optional per-tenant quota object (anything with a
+        ``charge_request()`` method, e.g.
+        :class:`~repro.api.registry.TenantQuota`); charged once per
+        ``protect()`` call, cache hit or miss.
     """
 
     def __init__(
         self,
-        graph: PropertyGraph,
+        graph: Optional[PropertyGraph],
         policy: ReleasePolicy,
         *,
         store: Optional[GraphStore] = None,
         adversary: Optional[AttackerModel] = None,
+        cache: Optional[AccountCache] = None,
+        tenant: str = DEFAULT_TENANT,
+        quota: Optional[object] = None,
     ) -> None:
         self.graph = graph
         self.policy = policy
         self.store = store
         self.adversary = adversary
-        #: Visible-walk registries shared across requests (see protect_many).
-        self._walks_cache: Dict[tuple, object] = {}
+        self.cache = cache if cache is not None else AccountCache()
+        self.tenant = tenant
+        self.quota = quota
+        #: Per-graph visible-walk registries shared across requests
+        #: (see :meth:`protect_many`), keyed by graph identity.
+        self._walks_caches: Dict[int, Dict[tuple, object]] = {}
+        #: Serialises account generation: the compiled-view cache on the
+        #: policy and the walk registries are shared mutable state, so a
+        #: service used from many threads generates one account at a time
+        #: (cache hits never take this lock).
+        self._generation_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # protect
@@ -114,12 +172,43 @@ class ProtectionService:
         ``service.protect("High-2")``), or keyword options that build a
         request on the fly.  Returns a
         :class:`~repro.api.results.ProtectionResult`.
+
+        Identical requests against an unmodified (graph, policy) pair are
+        served from the account cache; ``result.timings_ms["cache_hit"]``
+        tells which path answered, and ``cache_hits`` / ``cache_misses``
+        carry the tenant's cumulative counters.
         """
         request = self._coerce_request(request, privilege, privileges, options)
+        return self._execute(request)
+
+    def _execute(self, request: ProtectionRequest) -> ProtectionResult:
+        """Serve one already-coerced request (privileges resolved)."""
+        graph = self._effective_graph(request)
+        if self.quota is not None:
+            self.quota.charge_request()
+        adversary = request.adversary if request.adversary is not None else self.adversary
+        fingerprint = request.cache_fingerprint(adversary=adversary)
+
         timings: Dict[str, float] = {}
+        if fingerprint is not None and request.use_cache:
+            start = time.perf_counter()
+            cached = self.cache.lookup(self.tenant, graph, self.policy, fingerprint)
+            lookup_ms = (time.perf_counter() - start) * 1000.0
+            if cached is not None:
+                timings["cache_lookup"] = lookup_ms
+                timings["total"] = lookup_ms
+                result = ProtectionResult(
+                    request=request,
+                    account=cached.account,
+                    scores=cached.scores,
+                    timings_ms=timings,
+                    stored_as=None,
+                )
+                self._stamp_cache_stats(timings, hit=True)
+                return result
 
         start = time.perf_counter()
-        account = self._build_account(request)
+        account = self._build_account(request, graph)
         timings["generate"] = (time.perf_counter() - start) * 1000.0
 
         scores: Optional[ScoreCard] = None
@@ -127,6 +216,7 @@ class ProtectionService:
             start = time.perf_counter()
             scores = self.score(
                 account,
+                graph=graph,
                 adversary=request.adversary,
                 opacity_edges=request.default_opacity_edges(),
                 normalize_focus=request.normalize_focus,
@@ -141,29 +231,64 @@ class ProtectionService:
             timings["persist"] = (time.perf_counter() - start) * 1000.0
 
         timings["total"] = sum(timings.values())
-        return ProtectionResult(
+        result = ProtectionResult(
             request=request,
             account=account,
             scores=scores,
             timings_ms=timings,
             stored_as=stored_as,
         )
+        if fingerprint is not None:
+            # Store a copy whose request drops the per-request graph: the
+            # entry's weakref identity check covers the graph, and a strong
+            # reference here would pin swept-over batch graphs in memory for
+            # the entry's whole LRU lifetime.
+            memoised = ProtectionResult(
+                request=request.with_options(graph=None),
+                account=account,
+                scores=scores,
+                timings_ms={},
+                stored_as=None,
+            )
+            self.cache.store(self.tenant, graph, self.policy, fingerprint, memoised)
+            self._stamp_cache_stats(timings, hit=False)
+        return result
 
     def protect_many(
         self, requests: Iterable[RequestLike]
     ) -> List[ProtectionResult]:
         """Run several requests, sharing compiled state between them.
 
-        Each element may be a full request or a bare privilege.  Compiled
-        marking views are cached on the policy (one per privilege, reused
-        until the graph or policy mutates) and visible-set walk caches are
-        shared through the service, so asking for the same consumer class
-        twice — or for N classes over one graph — never recompiles.  The
-        exception is requests with ``protect_edges``: those generate on a
-        scoped one-shot policy copy whose compiled state dies with the
-        request, so only their issuing convenience is batched.
+        Each element may be a full request or a bare privilege, and requests
+        may target different graphs (via ``ProtectionRequest(graph=...)``).
+        The batch is grouped by target graph before execution, so each
+        (graph, policy, privilege) combination compiles its marking view and
+        visible-walk cache **exactly once per batch** even when the batch
+        spans more graphs than the bounded compiled-view cache holds.
+        Results come back in the order the requests were given.
+
+        Compiled marking views are cached on the policy (one per privilege,
+        reused until the graph or policy mutates) and visible-set walk
+        caches are shared through the service, so asking for the same
+        consumer class twice — or for N classes over one graph — never
+        recompiles.  The exception is requests with ``protect_edges``: those
+        generate on a scoped one-shot policy copy whose compiled state dies
+        with the request, so only their issuing convenience is batched.
         """
-        return [self.protect(request) for request in requests]
+        coerced: List[ProtectionRequest] = [
+            self._coerce_request(request, None, None, {}) for request in requests
+        ]
+        # Group by target graph (first-appearance order), keeping each
+        # request's original position so the result list lines up.
+        groups: Dict[int, List[Tuple[int, ProtectionRequest]]] = {}
+        for position, request in enumerate(coerced):
+            graph = self._effective_graph(request)
+            groups.setdefault(id(graph), []).append((position, request))
+        results: List[Optional[ProtectionResult]] = [None] * len(coerced)
+        for group in groups.values():
+            for position, request in group:
+                results[position] = self._execute(request)
+        return [result for result in results if result is not None]
 
     def protect_all_classes(self) -> Dict[str, ProtectionResult]:
         """One scored result per declared privilege, keyed by privilege name."""
@@ -179,23 +304,40 @@ class ProtectionService:
         self,
         account: ProtectedAccount,
         *,
+        graph: Optional[PropertyGraph] = None,
         adversary: Optional[AttackerModel] = None,
         opacity_edges: Optional[Iterable[EdgeKey]] = None,
         normalize_focus: bool = False,
         explicit_scores: Optional[Mapping[NodeId, float]] = None,
     ) -> ScoreCard:
-        """Utility and opacity of ``account`` against the service's graph."""
+        """Utility and opacity of ``account`` against the service's graph.
+
+        ``graph`` overrides the service's bound graph (used when scoring an
+        account generated from a per-request graph in a cross-graph batch).
+        """
+        graph = graph if graph is not None else self.graph
+        if graph is None:
+            raise ProtectionError(
+                "this service has no bound graph; pass score(..., graph=...)"
+            )
         adversary = adversary if adversary is not None else self.adversary
         return ScoreCard(
-            utility=utility_report(self.graph, account, explicit_scores=explicit_scores),
+            utility=utility_report(graph, account, explicit_scores=explicit_scores),
             opacity=opacity_report(
-                self.graph,
+                graph,
                 account,
                 opacity_edges,
                 adversary=adversary,
                 normalize_focus=normalize_focus,
             ),
         )
+
+    # ------------------------------------------------------------------ #
+    # cache introspection
+    # ------------------------------------------------------------------ #
+    def cache_stats(self) -> CacheStats:
+        """This service's tenant-namespace counters from the account cache."""
+        return self.cache.stats(self.tenant)
 
     # ------------------------------------------------------------------ #
     # enforce
@@ -210,6 +352,8 @@ class ProtectionService:
         """
         from repro.security.enforcement import QueryEnforcer
 
+        if self.graph is None:
+            raise ProtectionError("a multi-graph service cannot hand out enforcers; bind a graph")
         return QueryEnforcer(self.graph, self.policy, controller=controller, service=self)
 
     # ------------------------------------------------------------------ #
@@ -222,7 +366,12 @@ class ProtectionService:
         name: Optional[str] = None,
         store: Optional[GraphStore] = None,
     ) -> str:
-        """Store an account (or a result's account) in the graph store."""
+        """Store an account (or a result's account) in the graph store.
+
+        When the service carries a tenant quota with a graph budget
+        (:class:`~repro.api.registry.TenantQuota`), the budget is checked
+        before the write.
+        """
         store = store if store is not None else self.store
         if store is None:
             raise StoreError(
@@ -237,6 +386,10 @@ class ProtectionService:
             name = account.graph.name
         if not name:
             raise StoreError("a persisted account needs a name")
+        guard = getattr(self.quota, "persist_guard", None)
+        if guard is not None:
+            with guard(store, name):
+                return _persist_account(store, account, name)
         return _persist_account(store, account, name)
 
     def load_account(
@@ -253,6 +406,26 @@ class ProtectionService:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _effective_graph(self, request: ProtectionRequest) -> PropertyGraph:
+        """The graph this request runs against (request override or bound)."""
+        graph = request.graph if request.graph is not None else self.graph
+        if graph is None:
+            raise ProtectionError(
+                "this service has no bound graph; requests must carry graph="
+            )
+        return graph
+
+    def _stamp_cache_stats(self, timings: Dict[str, float], *, hit: bool) -> None:
+        """Surface the tenant's cache counters in a result's timings map.
+
+        Stamped *after* ``timings["total"]`` is computed so the counters
+        never inflate the phase sum.
+        """
+        stats = self.cache.stats(self.tenant)
+        timings["cache_hit"] = 1.0 if hit else 0.0
+        timings["cache_hits"] = float(stats.hits)
+        timings["cache_misses"] = float(stats.misses)
+
     def _coerce_request(
         self,
         request: Optional[RequestLike],
@@ -283,60 +456,81 @@ class ProtectionService:
         resolved = tuple(self.policy.lattice.get(item) for item in request.privileges)
         return request.with_options(privileges=resolved)
 
-    def _build_account(self, request: ProtectionRequest) -> ProtectedAccount:
+    def _walks_registry(self, graph: PropertyGraph) -> Dict[tuple, object]:
+        """The visible-walk registry for one graph (bounded, oldest evicted).
+
+        Keyed by graph identity; a recycled ``id()`` is harmless because
+        :func:`~repro.core.generation.build_protected_account` verifies each
+        cached walk's graph identity before trusting it.
+        """
+        key = id(graph)
+        registry = self._walks_caches.get(key)
+        if registry is None:
+            if len(self._walks_caches) >= _WALK_GRAPH_LIMIT:
+                self._walks_caches.pop(next(iter(self._walks_caches)))
+            registry = {}
+            self._walks_caches[key] = registry
+        return registry
+
+    def _build_account(
+        self, request: ProtectionRequest, graph: PropertyGraph
+    ) -> ProtectedAccount:
         privileges: Tuple[Privilege, ...] = request.privileges  # type: ignore[assignment]
-        if request.strategy == STRATEGY_NAIVE:
-            accounts = [
-                naive_protected_account(self.graph, self.policy, privilege)
-                for privilege in privileges
-            ]
-            if len(accounts) == 1:
-                return accounts[0]
-            return merge_accounts(self.graph, accounts, name=request.name)
+        with self._generation_lock:
+            if request.strategy == STRATEGY_NAIVE:
+                accounts = [
+                    naive_protected_account(graph, self.policy, privilege)
+                    for privilege in privileges
+                ]
+                if len(accounts) == 1:
+                    return accounts[0]
+                return merge_accounts(graph, accounts, name=request.name)
 
-        policy = self.policy
-        walks_cache = self._walks_cache
-        if request.protect_edges:
-            self._check_edges_exist(request.protect_edges)
-            policy = self.policy.copy()
-            for privilege in privileges:
-                policy.protect_edges(
-                    list(request.protect_edges), privilege, strategy=request.strategy
+            policy = self.policy
+            walks_cache: Optional[Dict[tuple, object]] = self._walks_registry(graph)
+            if request.protect_edges:
+                self._check_edges_exist(request.protect_edges, graph)
+                policy = self.policy.copy()
+                for privilege in privileges:
+                    policy.protect_edges(
+                        list(request.protect_edges), privilege, strategy=request.strategy
+                    )
+                # A scoped one-shot policy gets no shared walk cache: its
+                # markings die with this request.
+                walks_cache = None
+            elif len(walks_cache) > _WALK_CACHE_LIMIT:
+                walks_cache.clear()
+
+            if len(privileges) > 1:
+                return build_multi_privilege_account(
+                    graph,
+                    policy,
+                    privileges,
+                    ensure_maximal_connectivity=request.repair_connectivity,
+                    strategy=request.strategy,
+                    name=request.name,
+                    walks_cache=walks_cache,
                 )
-            # A scoped one-shot policy gets no shared walk cache: its markings
-            # die with this request.
-            walks_cache = None
-        if len(self._walks_cache) > _WALK_CACHE_LIMIT:
-            self._walks_cache.clear()
-
-        if len(privileges) > 1:
-            return build_multi_privilege_account(
-                self.graph,
+            return build_protected_account(
+                graph,
                 policy,
-                privileges,
+                privileges[0],
+                include_surrogate_edges=request.include_surrogate_edges,
                 ensure_maximal_connectivity=request.repair_connectivity,
                 strategy=request.strategy,
                 name=request.name,
+                compiled=request.compiled,
                 walks_cache=walks_cache,
             )
-        return build_protected_account(
-            self.graph,
-            policy,
-            privileges[0],
-            include_surrogate_edges=request.include_surrogate_edges,
-            ensure_maximal_connectivity=request.repair_connectivity,
-            strategy=request.strategy,
-            name=request.name,
-            compiled=request.compiled,
-            walks_cache=walks_cache,
-        )
 
-    def _check_edges_exist(self, edges: Tuple[EdgeKey, ...]) -> None:
+    def _check_edges_exist(
+        self, edges: Tuple[EdgeKey, ...], graph: PropertyGraph
+    ) -> None:
         """Protecting an edge that is not in the graph is a caller error."""
         for source, target in edges:
-            if not self.graph.has_node(source):
+            if not graph.has_node(source):
                 raise NodeNotFoundError(source)
-            if not self.graph.has_node(target):
+            if not graph.has_node(target):
                 raise NodeNotFoundError(target)
-            if not self.graph.has_edge(source, target):
+            if not graph.has_edge(source, target):
                 raise EdgeNotFoundError(source, target)

@@ -13,6 +13,13 @@ Subcommands
                         (runs through :class:`repro.api.ProtectionService`;
                         ``--json`` emits the full result, and policy/graph
                         errors exit non-zero with a one-line diagnosis).
+``serve-batch``         Serve a JSON batch of protection requests spanning
+                        one or more graphs through a single multi-graph
+                        service — optionally under a named tenant with a
+                        scoped store (``--tenant``/``--store-root``) — and
+                        report per-request results plus account-cache
+                        statistics.  ``--repeat`` replays the batch to
+                        demonstrate cached serving.
 ``motifs``              List the motif catalog with basic statistics.
 
 Every experiment accepts ``--full`` to use the paper-scale synthetic family
@@ -24,8 +31,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.api.registry import ServiceRegistry
 from repro.api.requests import ProtectionRequest
 from repro.api.service import ProtectionService
 from repro.core.policy import ReleasePolicy, STRATEGIES, STRATEGY_SURROGATE
@@ -39,6 +47,7 @@ from repro.experiments.runner import run_all
 from repro.experiments.table1 import run_table1
 from repro.graph.serialization import graph_to_dict, load_graph, save_graph
 from repro.graph.statistics import summarize
+from repro.store.engine import GraphStore
 from repro.workloads.motifs import all_motifs
 
 
@@ -82,6 +91,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the full ProtectionResult (account summary, scores, timings) as JSON",
+    )
+
+    serve = subparsers.add_parser(
+        "serve-batch", help="Serve a JSON batch of protection requests (multi-graph, multi-tenant)"
+    )
+    serve.add_argument(
+        "batch",
+        help="path to a batch spec: {graphs: {name: path}, lattice: {priv: [dominates...]},"
+        " lowest: {node: priv}, requests: [{graph, privilege(s), strategy, ...}]}",
+    )
+    serve.add_argument("--tenant", default=None, help="serve under this registered tenant")
+    serve.add_argument(
+        "--store-root",
+        default=None,
+        help="store directory (per-tenant subdirectories with --tenant, one shared store otherwise)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1, metavar="N", help="serve the batch N times (default 1)"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit full per-request results and cache stats as JSON"
     )
 
     subparsers.add_parser("motifs", help="List the motif catalog")
@@ -161,6 +191,130 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_batch_spec(path: str, *, as_json: bool) -> Optional[dict]:
+    """Parse the serve-batch spec file, or print a diagnosis and return None."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, ValueError) as exc:
+        _print_error(f"cannot load batch spec {path}: {exc}", kind="usage", as_json=as_json)
+        return None
+    if not isinstance(spec, dict) or not isinstance(spec.get("requests"), list):
+        _print_error(
+            f"batch spec {path} must be an object with a 'requests' list",
+            kind="usage",
+            as_json=as_json,
+        )
+        return None
+    return spec
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    as_json = getattr(args, "json", False)
+    spec = _load_batch_spec(args.batch, as_json=as_json)
+    if spec is None:
+        return 2
+
+    try:
+        graphs = {
+            name: load_graph(path) for name, path in dict(spec.get("graphs", {})).items()
+        }
+    except (OSError, ReproError) as exc:
+        _print_error(f"cannot load batch graph: {exc}", kind=type(exc).__name__, as_json=as_json)
+        return 1
+
+    policy = ReleasePolicy(PrivilegeLattice())
+    try:
+        for name, dominates in dict(spec.get("lattice", {})).items():
+            policy.lattice.add(name, dominates=list(dominates))
+        for node_id, privilege in dict(spec.get("lowest", {})).items():
+            policy.set_lowest(node_id, privilege)
+    except ReproError as exc:
+        _print_error(str(exc), kind=type(exc).__name__, as_json=as_json)
+        return 1
+
+    if args.tenant is not None:
+        registry = ServiceRegistry(args.store_root)
+        registry.register(args.tenant)
+        service = registry.service(args.tenant, None, policy)
+    else:
+        # An explicit --store-root without --tenant still deserves a store:
+        # requests with persist_as would otherwise fail despite the flag.
+        store = GraphStore(args.store_root) if args.store_root is not None else None
+        service = ProtectionService(None, policy, store=store)
+
+    try:
+        requests = [_batch_request(entry, graphs) for entry in spec["requests"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        _print_error(f"bad batch request: {exc}", kind="usage", as_json=as_json)
+        return 2
+
+    try:
+        for _ in range(max(0, args.repeat - 1)):
+            service.protect_many(requests)
+        results = service.protect_many(requests)
+    except ReproError as exc:
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        return 1
+
+    stats = service.cache_stats()
+    if as_json:
+        payload = {
+            "tenant": args.tenant,
+            "served": len(results) * max(1, args.repeat),
+            "results": [result.as_dict() for result in results],
+            "cache": stats.as_dict(),
+        }
+        _print(json.dumps(payload, indent=2, default=str))
+        return 0
+    for index, result in enumerate(results):
+        summary = result.account.graph
+        line = (
+            f"[{index}] privileges={','.join(p.name for p in result.request.privileges)} "
+            f"strategy={result.request.strategy} nodes={summary.node_count()} "
+            f"edges={summary.edge_count()} cache_hit={int(result.timings_ms.get('cache_hit', 0))}"
+        )
+        if result.scores is not None:
+            line += (
+                f" path_utility={result.scores.path_utility:.4f}"
+                f" avg_opacity={result.scores.average_opacity:.4f}"
+            )
+        _print(line)
+    _print(
+        f"cache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
+    )
+    return 0
+
+
+def _batch_request(entry: dict, graphs: Dict[str, object]) -> ProtectionRequest:
+    """Build one ProtectionRequest from its batch-spec JSON entry."""
+    if not isinstance(entry, dict):
+        raise TypeError(f"each request must be an object, got {entry!r}")
+    options = dict(entry)
+    graph_name = options.pop("graph", None)
+    graph = None
+    if graph_name is not None:
+        if graph_name not in graphs:
+            raise ValueError(f"request names unknown graph {graph_name!r}")
+        graph = graphs[graph_name]
+    privileges = options.pop("privileges", None)
+    privilege = options.pop("privilege", None)
+    if privileges is None:
+        if privilege is None:
+            raise ValueError("each request needs 'privilege' or 'privileges'")
+        privileges = [privilege]
+    if "protect_edges" in options:
+        options["protect_edges"] = tuple(
+            (source, target) for source, target in options["protect_edges"]
+        )
+    if "opacity_edges" in options:
+        options["opacity_edges"] = tuple(
+            (source, target) for source, target in options["opacity_edges"]
+        )
+    return ProtectionRequest(privileges=tuple(privileges), graph=graph, **options)
+
+
 def _cmd_motifs() -> int:
     for motif in all_motifs():
         summary = summarize(motif.graph).as_dict()
@@ -192,6 +346,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print(run_all(quick=quick, seed=seed).render())
     elif args.command == "protect":
         return _cmd_protect(args)
+    elif args.command == "serve-batch":
+        return _cmd_serve_batch(args)
     elif args.command == "motifs":
         return _cmd_motifs()
     else:  # pragma: no cover - argparse enforces the choices

@@ -48,6 +48,35 @@ SURROGATE_EDGE_LABEL = "surrogate"
 WalkCacheKey = Tuple[str, int, int, bool]
 
 
+def account_cache_token(
+    graph: PropertyGraph, policy: ReleasePolicy
+) -> Tuple[int, int, int, int, bool]:
+    """The version fingerprint any cache of ``build_*`` outputs must key on.
+
+    A protected account is a pure function of the graph's structure and
+    every policy ingredient: the markings/``lowest()`` assignments, the
+    surrogate registry, the privilege lattice and the null-surrogate flag.
+    Each mutable ingredient carries a monotonic mutation counter
+    (:attr:`~repro.graph.model.PropertyGraph.version`,
+    :attr:`~repro.core.markings.MarkingPolicy.version`,
+    :attr:`~repro.core.surrogates.SurrogateRegistry.version`,
+    :attr:`~repro.core.privileges.PrivilegeLattice.version`), so a result
+    keyed by this token can never be served stale: any mutation bumps a
+    counter and the old entry simply stops matching.  This is the hook
+    :mod:`repro.api.cache` builds its account-level result cache on; the
+    shared visible-walk registries key on the graph/markings pair
+    (:data:`WalkCacheKey`), which is sufficient there because walks never
+    consult surrogates or the lattice beyond the compiled view.
+    """
+    return (
+        graph.version,
+        policy.markings.version,
+        policy.surrogates.version,
+        policy.lattice.version,
+        policy.use_null_surrogates,
+    )
+
+
 def build_protected_account(
     graph: PropertyGraph,
     policy: ReleasePolicy,

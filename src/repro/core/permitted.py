@@ -36,6 +36,7 @@ marking *view* (its BFS is permitted-reachability, not a visible-set walk).
 
 from __future__ import annotations
 
+import weakref
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
@@ -306,10 +307,15 @@ class VisibleWalkCache:
     the candidate scan and its blocked-pair re-anchoring worklist (and any
     other caller passed the same cache via the ``walks`` parameter).
 
-    The cached sets are frozen so sharing across callers is safe.
+    The cached sets are frozen so sharing across callers is safe.  The graph
+    is held through a weak reference (like
+    :class:`~repro.core.markings.CompiledMarkingView`) so long-lived walk
+    registries never keep swept-over batch graphs alive; callers always hold
+    the graph while walking, and owners verify ``walks.graph is graph``
+    before trusting a shared cache, which a dead reference fails naturally.
     """
 
-    __slots__ = ("graph", "markings", "privilege", "anchors", "_forward", "_backward")
+    __slots__ = ("_graph_ref", "markings", "privilege", "anchors", "_forward", "_backward")
 
     def __init__(
         self,
@@ -320,12 +326,17 @@ class VisibleWalkCache:
         anchors: Optional[Set[NodeId]] = None,
         compiled: bool = True,
     ) -> None:
-        self.graph = graph
+        self._graph_ref = weakref.ref(graph)
         self.markings = _resolve_markings(graph, markings, privilege, compiled)
         self.privilege = privilege
         self.anchors = anchors
         self._forward: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._backward: Dict[NodeId, FrozenSet[NodeId]] = {}
+
+    @property
+    def graph(self) -> Optional[PropertyGraph]:
+        """The walked graph, or ``None`` once it has been garbage-collected."""
+        return self._graph_ref()
 
     def forward(self, start: NodeId) -> FrozenSet[NodeId]:
         """Memoised :func:`forward_visible_set` from ``start``."""

@@ -60,9 +60,17 @@ class PrivilegeLattice:
         self._direct_dominates: Dict[str, Set[str]] = {}
         self._closure: Optional[Dict[str, FrozenSet[str]]] = None
         self._dominated_names: Optional[Dict[str, FrozenSet[str]]] = None
+        #: Mutation counter: new privileges/dominance edges change visibility
+        #: answers, so result caches key on this alongside the policy version.
+        self._version = 0
         self.public = Privilege(public_name, "dominated by every other privilege-predicate")
         self._privileges[public_name] = self.public
         self._direct_dominates[public_name] = set()
+
+    @property
+    def version(self) -> int:
+        """Bumped on every :meth:`add` (cache-invalidation hook)."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # construction
@@ -99,6 +107,7 @@ class PrivilegeLattice:
             self._direct_dominates[name].add(self.public.name)
         self._closure = None
         self._dominated_names = None
+        self._version += 1
         self._check_acyclic()
         return privilege
 

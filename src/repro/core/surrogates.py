@@ -108,6 +108,14 @@ class SurrogateRegistry:
     def __init__(self, lattice: PrivilegeLattice) -> None:
         self.lattice = lattice
         self._by_original: Dict[NodeId, List[Surrogate]] = {}
+        #: Mutation counter: registering a surrogate changes which accounts
+        #: the generation algorithm produces, so result caches key on this.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on every successful registration (cache-invalidation hook)."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # registration
@@ -144,6 +152,7 @@ class SurrogateRegistry:
                 )
         self._check_info_score_monotonicity(surrogate, siblings)
         siblings.append(surrogate)
+        self._version += 1
         return surrogate
 
     def add(

@@ -92,6 +92,28 @@ class CatalogError(StoreError, KeyError):
     """A named graph was not found in (or conflicts with) the store catalog."""
 
 
+class TenantError(ReproError):
+    """Base class for multi-tenant service-registry errors."""
+
+
+class UnknownTenantError(TenantError, KeyError):
+    """A tenant name was referenced but never registered."""
+
+    def __init__(self, tenant):
+        super().__init__(f"tenant {tenant!r} is not registered")
+        self.tenant = tenant
+
+
+class QuotaExceededError(TenantError):
+    """A tenant exhausted one of its registry quotas (requests, graphs, ...)."""
+
+    def __init__(self, tenant, quota, limit):
+        super().__init__(f"tenant {tenant!r} exceeded its {quota} quota (limit {limit})")
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+
+
 class ProvenanceError(ReproError):
     """Errors raised by the PLUS-style provenance substrate."""
 

@@ -68,29 +68,56 @@ class SweepRecord:
         }
 
 
-def measure_instance(
-    instance: SyntheticInstance,
-    *,
-    adversary: Optional[AttackerModel] = None,
-) -> SweepRecord:
-    """Apply both strategies to one instance and score the accounts.
+def sweep_service(adversary: Optional[AttackerModel] = None) -> ProtectionService:
+    """A multi-graph service suitable for sweep batches.
 
-    One :class:`~repro.api.service.ProtectionService` batch per instance:
-    the hide and surrogate requests protect the same sampled edges and score
-    average opacity over exactly those edges.
+    The service carries no bound graph (each request brings its instance's
+    graph) and a fresh empty policy over the default lattice — exactly the
+    configuration every sweep instance used to build privately.  Passing one
+    such service to several :func:`run_synthetic_sweep` calls makes repeated
+    sweeps over the same instances replay from its account cache.
     """
     adversary = adversary if adversary is not None else AdvancedAdversary()
-    policy = ReleasePolicy(PrivilegeLattice())
-    service = ProtectionService(instance.graph, policy, adversary=adversary)
-    public = policy.lattice.public
-    hide, surrogate = service.protect_many(
+    return ProtectionService(None, ReleasePolicy(PrivilegeLattice()), adversary=adversary)
+
+
+def instance_requests(
+    instance: SyntheticInstance, public: object
+) -> List[ProtectionRequest]:
+    """The hide and surrogate requests of one instance, targeting its graph."""
+    return [
         ProtectionRequest(
             privileges=(public,),
             strategy=strategy,
             protect_edges=tuple(instance.protected_edges),
             opacity_edges=tuple(instance.protected_edges),
+            graph=instance.graph,
         )
         for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE)
+    ]
+
+
+def measure_instance(
+    instance: SyntheticInstance,
+    *,
+    adversary: Optional[AttackerModel] = None,
+    service: Optional[ProtectionService] = None,
+) -> SweepRecord:
+    """Apply both strategies to one instance and score the accounts.
+
+    The hide and surrogate requests protect the same sampled edges and score
+    average opacity over exactly those edges.  ``service`` may be a shared
+    :func:`sweep_service` (batch drivers pass one so repeated measurements
+    hit its account cache); by default a private one is built.  A shared
+    service already carries its attacker model, so combining it with
+    ``adversary`` is rejected rather than silently ignoring one of them.
+    """
+    if service is not None and adversary is not None:
+        raise ValueError("pass the adversary through the shared service, not both")
+    if service is None:
+        service = sweep_service(adversary)
+    hide, surrogate = service.protect_many(
+        instance_requests(instance, service.policy.lattice.public)
     )
     return SweepRecord(
         label=instance.spec.label(),
@@ -112,12 +139,20 @@ def run_synthetic_sweep(
     quick: bool = True,
     seed: int = 2011,
     adversary: Optional[AttackerModel] = None,
+    service: Optional[ProtectionService] = None,
 ) -> List[SweepRecord]:
-    """Measure every instance of the synthetic family.
+    """Measure every instance of the synthetic family as one cross-graph batch.
 
     Without an explicit ``instances`` sequence the family is generated here:
     the reduced ``quick`` family by default, or the paper's full 50-graph /
     200-node family with ``quick=False``.
+
+    The whole sweep is served as a single
+    :meth:`~repro.api.service.ProtectionService.protect_many` batch over a
+    multi-graph service — each instance's two requests carry the instance's
+    graph — so per-graph compiled views are built exactly once per batch.
+    Pass a shared ``service`` (see :func:`sweep_service`) to make repeated
+    sweeps over the same instances replay from its account cache.
     """
     if instances is None:
         if quick:
@@ -133,7 +168,34 @@ def run_synthetic_sweep(
                 protect_fractions=DEFAULT_PROTECT_FRACTIONS,
                 seed=seed,
             )
-    return [measure_instance(instance, adversary=adversary) for instance in instances]
+    instances = list(instances)
+    if service is not None and adversary is not None:
+        raise ValueError("pass the adversary through the shared service, not both")
+    if service is None:
+        service = sweep_service(adversary)
+    public = service.policy.lattice.public
+    requests: List[ProtectionRequest] = []
+    for instance in instances:
+        requests.extend(instance_requests(instance, public))
+    results = service.protect_many(requests)
+    records: List[SweepRecord] = []
+    for index, instance in enumerate(instances):
+        hide, surrogate = results[2 * index], results[2 * index + 1]
+        records.append(
+            SweepRecord(
+                label=instance.spec.label(),
+                nodes=instance.graph.node_count(),
+                edges=instance.graph.edge_count(),
+                connected_pairs=instance.achieved_connected_pairs,
+                protect_fraction=instance.protect_fraction,
+                protected_edges=len(instance.protected_edges),
+                utility_hide=hide.scores.path_utility,
+                utility_surrogate=surrogate.scores.path_utility,
+                opacity_hide=hide.scores.average_opacity,
+                opacity_surrogate=surrogate.scores.average_opacity,
+            )
+        )
+    return records
 
 
 def group_by_protection(records: Sequence[SweepRecord]) -> Dict[float, List[SweepRecord]]:

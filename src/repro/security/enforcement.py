@@ -80,6 +80,9 @@ class QueryEnforcer:
         #: parent service itself (session scoping).
         self.service = service if service is not None else ProtectionService(graph, policy)
         self._account_cache: Dict[tuple, ProtectedAccount] = {}
+        #: Consumer keys whose next generation must bypass the service's
+        #: account-cache lookup (set by :meth:`invalidate`).
+        self._force_fresh: set = set()
 
     # ------------------------------------------------------------------ #
     # account management
@@ -96,13 +99,26 @@ class QueryEnforcer:
         if key not in self._account_cache:
             strategy = STRATEGY_NAIVE if mode is EnforcementMode.NAIVE else STRATEGY_SURROGATE
             request = ProtectionRequest(
-                privileges=tuple(privileges), strategy=strategy, score=False
+                privileges=tuple(privileges),
+                strategy=strategy,
+                score=False,
+                use_cache=key not in self._force_fresh,
             )
             self._account_cache[key] = self.service.protect(request).account
+            self._force_fresh.discard(key)
         return self._account_cache[key]
 
     def invalidate(self) -> None:
-        """Drop cached accounts (call after the policy or graph changes)."""
+        """Drop cached accounts (call after the policy or graph changes).
+
+        Clears the enforcer's per-consumer map and marks every consumer it
+        had served for one cache-bypassing regeneration (the fresh account
+        also refreshes the service's cache entry).  Entries belonging to
+        other graphs or callers in the same tenant namespace are left
+        untouched — the service's versioned keys already guarantee they can
+        never be served stale.
+        """
+        self._force_fresh.update(self._account_cache)
         self._account_cache.clear()
 
     # ------------------------------------------------------------------ #

@@ -86,3 +86,21 @@ class Catalog:
     def descriptors(self) -> List[GraphDescriptor]:
         """Every descriptor, in registration order."""
         return list(self._descriptors.values())
+
+    def find(
+        self, *, kind: Optional[str] = None, tenant: Optional[str] = None
+    ) -> List[GraphDescriptor]:
+        """Descriptors filtered by ``kind`` and/or owning tenant.
+
+        The tenant filter matches the ``"tenant"`` metadata key stamped by
+        tenant-scoped :class:`~repro.store.engine.GraphStore` instances;
+        either filter may be omitted.
+        """
+        found: List[GraphDescriptor] = []
+        for descriptor in self._descriptors.values():
+            if kind is not None and descriptor.kind != kind:
+                continue
+            if tenant is not None and descriptor.metadata.get("tenant") != tenant:
+                continue
+            found.append(descriptor)
+        return found

@@ -9,6 +9,7 @@ Hide" / "Protect via Surrogate" bars).
 
 from __future__ import annotations
 
+import hashlib
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -21,6 +22,23 @@ from repro.graph.traversal import ancestors, descendants
 from repro.store.index import AdjacencyIndex, FeatureIndex
 from repro.store.storage import GraphStorage
 from repro.store.transactions import Transaction, apply_operations
+
+
+def _tenant_dirname(tenant: str) -> str:
+    """A filesystem-safe directory name that is injective over tenant names.
+
+    Plain substitution alone would let ``".."`` escape the base directory
+    and would map distinct tenants (``"a b"`` / ``"a_b"``) onto one
+    directory — breaking the isolation the scoped store promises.  A digest
+    of the exact original name is therefore *always* appended: every
+    distinct tenant gets a distinct, traversal-free directory, and no crafted
+    name can collide with another tenant's directory (a conditional digest
+    would let a tenant literally named ``"x-<digest-of-y>"`` claim tenant
+    ``y``'s directory).
+    """
+    safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in tenant)
+    digest = hashlib.sha256(tenant.encode("utf-8")).hexdigest()[:12]
+    return f"{safe.strip('.') or 'tenant'}-{digest}"
 
 
 class PhaseTimer:
@@ -97,14 +115,41 @@ class GraphStore:
     {'b'}
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        tenant: Optional[str] = None,
+    ) -> None:
         self.storage = GraphStorage(directory)
         self.timer = PhaseTimer()
         self.stats = StoreStats()
+        #: Owning tenant; stamped on every catalog descriptor this engine
+        #: creates so multi-tenant registries can audit who owns what.
+        self.tenant = tenant
         self._adjacency: Dict[str, AdjacencyIndex] = {}
         self._features: Dict[str, FeatureIndex] = {}
         for name in self.storage.names():
             self._rebuild_indexes(name)
+
+    @classmethod
+    def for_tenant(
+        cls, base_directory: Optional[Union[str, Path]], tenant: str
+    ) -> "GraphStore":
+        """A tenant-scoped store rooted under ``base_directory/<tenant>``.
+
+        Each tenant gets its own snapshot directory, write log and catalog,
+        so tenants can never read (or clobber) each other's graphs.  A
+        ``None`` base directory gives the tenant an isolated in-memory
+        store.  This is what the
+        :class:`~repro.api.registry.ServiceRegistry` hands to each tenant's
+        services.
+        """
+        if not tenant:
+            raise StoreError("a tenant-scoped store needs a non-empty tenant name")
+        if base_directory is None:
+            return cls(tenant=tenant)
+        return cls(Path(base_directory) / _tenant_dirname(tenant), tenant=tenant)
 
     # ------------------------------------------------------------------ #
     # graph lifecycle
@@ -113,6 +158,8 @@ class GraphStore:
         """Create an empty named graph and its indexes."""
         with self.timer.phase("db_access"):
             self.storage.create_graph(name, kind=kind, description=description)
+        self._stamp_tenant(name)
+        self.storage.save_catalog()
         self._adjacency[name] = AdjacencyIndex()
         self._features[name] = FeatureIndex()
         return name
@@ -120,7 +167,11 @@ class GraphStore:
     def put_graph(self, graph: PropertyGraph, *, name: Optional[str] = None) -> str:
         """Store a prebuilt graph wholesale (snapshot write when durable)."""
         with self.timer.phase("db_access"):
-            stored_name = self.storage.put_graph(graph, name=name)
+            # Defer the catalog write until after the tenant stamp so one
+            # put costs one catalog save, not two.
+            stored_name = self.storage.put_graph(graph, name=name, save_catalog=False)
+        self._stamp_tenant(stored_name)
+        self.storage.save_catalog()
         self._rebuild_indexes(stored_name)
         self.stats.nodes_written += graph.node_count()
         self.stats.edges_written += graph.edge_count()
@@ -280,6 +331,11 @@ class GraphStore:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _stamp_tenant(self, graph_name: str) -> None:
+        """Mutate only; callers persist via ``storage.save_catalog()``."""
+        if self.tenant is not None:
+            self.storage.catalog.get(graph_name).metadata["tenant"] = self.tenant
+
     def _index_for(self, graph_name: str) -> AdjacencyIndex:
         if graph_name not in self._adjacency:
             self._rebuild_indexes(graph_name)

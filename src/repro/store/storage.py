@@ -10,6 +10,7 @@ used by most tests and benchmarks).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -21,6 +22,7 @@ from repro.store.wal import LogRecord, WriteAheadLog
 
 _SNAPSHOT_SUFFIX = ".graph.json"
 _WAL_NAME = "wal.jsonl"
+_CATALOG_NAME = "catalog.json"
 
 
 class GraphStorage:
@@ -53,8 +55,19 @@ class GraphStorage:
         self.wal.append("create_graph", name, {"kind": kind, "description": description})
         return graph
 
-    def put_graph(self, graph: PropertyGraph, *, name: Optional[str] = None) -> str:
-        """Store an already-built graph under ``name`` (default: its own name)."""
+    def put_graph(
+        self,
+        graph: PropertyGraph,
+        *,
+        name: Optional[str] = None,
+        save_catalog: bool = True,
+    ) -> str:
+        """Store an already-built graph under ``name`` (default: its own name).
+
+        ``save_catalog=False`` defers the catalog write for callers that
+        mutate the descriptor right after storing (tenant stamps, account
+        metadata) and save once themselves.
+        """
         name = name if name is not None else graph.name
         if not name:
             raise StoreError("a stored graph needs a name")
@@ -65,6 +78,8 @@ class GraphStorage:
         self._refresh_counts(name)
         if self.durable:
             self._write_snapshot(name)
+            if save_catalog:
+                self.save_catalog()
         return name
 
     def drop_graph(self, name: str) -> None:
@@ -76,6 +91,7 @@ class GraphStorage:
             snapshot = self._snapshot_path(name)
             if snapshot.exists():
                 snapshot.unlink()
+            self.save_catalog()
 
     def graph(self, name: str) -> PropertyGraph:
         """The live graph object for ``name`` (mutations must go through the engine)."""
@@ -110,7 +126,48 @@ class GraphStorage:
             return
         for name in self._graphs:
             self._write_snapshot(name)
+        self.save_catalog()
         self.wal.truncate()
+
+    def save_catalog(self) -> None:
+        """Persist catalog descriptors (kind, description, metadata) to disk.
+
+        Snapshots only carry graph structure; without this file a reopened
+        store would rebuild its catalog with default kinds and empty
+        metadata, losing the ``protected_account`` kind and the tenant
+        stamps the registry's audit report relies on.  Counts are excluded —
+        they are recomputed from the graphs on recovery.  Callers that
+        mutate a descriptor directly (e.g. account persistence) must call
+        this afterwards; it is a no-op for in-memory stores.
+        """
+        if not self.durable:
+            return
+        payload = {
+            descriptor.name: {
+                "kind": descriptor.kind,
+                "description": descriptor.description,
+                "metadata": dict(descriptor.metadata),
+            }
+            for descriptor in self.catalog.descriptors()
+        }
+        (self.directory / _CATALOG_NAME).write_text(
+            json.dumps(payload, indent=2, default=str), encoding="utf-8"
+        )
+
+    def _restore_catalog(self) -> None:
+        """Merge the persisted descriptor attributes into the rebuilt catalog."""
+        assert self.directory is not None
+        path = self.directory / _CATALOG_NAME
+        if not path.exists():
+            return
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        for name, attributes in payload.items():
+            if name not in self.catalog:
+                continue  # snapshot gone: the graphs on disk win
+            descriptor = self.catalog.get(name)
+            descriptor.kind = attributes.get("kind", descriptor.kind)
+            descriptor.description = attributes.get("description", descriptor.description)
+            descriptor.metadata.update(attributes.get("metadata", {}))
 
     def _write_snapshot(self, name: str) -> None:
         assert self.directory is not None
@@ -133,6 +190,7 @@ class GraphStorage:
             self._refresh_counts(name)
         for record in self.wal.records():
             self._replay(record)
+        self._restore_catalog()
 
     def _replay(self, record: LogRecord) -> None:
         name = record.graph

@@ -1,0 +1,256 @@
+"""Tests for the multi-tenant :class:`repro.api.ServiceRegistry`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ServiceRegistry, TenantQuota
+from repro.exceptions import (
+    QuotaExceededError,
+    StoreError,
+    TenantError,
+    UnknownTenantError,
+)
+from repro.store.engine import GraphStore
+
+
+class TestTenantLifecycle:
+    def test_register_and_list(self):
+        registry = ServiceRegistry()
+        quota = registry.register("acme", max_requests=10)
+        assert isinstance(quota, TenantQuota)
+        assert registry.tenants() == ("acme",)
+        assert registry.quota_for("acme") is quota
+
+    def test_duplicate_registration_rejected(self):
+        registry = ServiceRegistry()
+        registry.register("acme")
+        with pytest.raises(TenantError):
+            registry.register("acme")
+
+    def test_invalid_cache_quota_does_not_half_register(self):
+        """Regression: a rejected max_cache_entries must leave the name free
+        for a corrected retry."""
+        registry = ServiceRegistry()
+        with pytest.raises(ValueError):
+            registry.register("acme", max_cache_entries=0)
+        assert registry.tenants() == ()
+        registry.register("acme", max_cache_entries=8)  # retry succeeds
+        assert registry.tenants() == ("acme",)
+
+    def test_unknown_tenant_rejected(self, figure2b):
+        registry = ServiceRegistry()
+        with pytest.raises(UnknownTenantError):
+            registry.service("ghost", figure2b.graph, figure2b.policy)
+        with pytest.raises(UnknownTenantError):
+            registry.store_for("ghost")
+
+    def test_reregistered_tenant_starts_with_fresh_namespace(self, figure2b):
+        """Regression: drop() must remove the cache namespace outright so a
+        re-registered tenant inherits neither stats nor capacity overrides."""
+        registry = ServiceRegistry()
+        registry.register("acme", max_cache_entries=1)
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2")
+        service.protect(privilege="High-2")
+        registry.drop("acme")
+        registry.register("acme")  # no overrides this time
+        fresh = registry.service("acme", figure2b.graph, figure2b.policy)
+        for privilege in ("High-1", "High-2", "Low-2"):
+            fresh.protect(privilege=privilege)
+        stats = registry.cache.stats("acme")
+        assert stats.entries == 3  # default capacity, not the old bound of 1
+        assert stats.hits == 0  # and no inherited counters
+        assert stats.evictions == 0
+
+    def test_drop_clears_cache_namespace(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme")
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2")
+        assert registry.cache.stats("acme").entries == 1
+        registry.drop("acme")
+        assert registry.cache.stats("acme").entries == 0
+        with pytest.raises(UnknownTenantError):
+            registry.store_for("acme")
+
+
+class TestTenantIsolation:
+    def test_per_tenant_stores_are_disjoint(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("police")
+        registry.register("audit")
+        police = registry.service("police", figure2b.graph, figure2b.policy)
+        police.protect(privilege="High-2", persist_as="case-1")
+        assert registry.store_for("police").has_graph("case-1")
+        assert not registry.store_for("audit").has_graph("case-1")
+
+    def test_durable_tenant_roots_are_separate_directories(self, figure2b, tmp_path):
+        registry = ServiceRegistry(tmp_path)
+        registry.register("police")
+        registry.register("audit")
+        police = registry.service("police", figure2b.graph, figure2b.policy)
+        police.protect(privilege="High-2", persist_as="case-1")
+        directories = sorted(p.name for p in tmp_path.iterdir() if p.is_dir())
+        assert len(directories) == 2
+        assert any(name.startswith("police-") for name in directories)
+        assert any(name.startswith("audit-") for name in directories)
+        reopened = GraphStore.for_tenant(tmp_path, "police")
+        assert reopened.has_graph("case-1")
+        assert not GraphStore.for_tenant(tmp_path, "audit").has_graph("case-1")
+
+    def test_reopened_store_keeps_kind_and_tenant_stamp(self, figure2b, tmp_path):
+        """Regression: descriptor kind + tenant metadata must survive reopen
+        (they used to live only in the in-memory catalog)."""
+        registry = ServiceRegistry(tmp_path)
+        registry.register("police")
+        service = registry.service("police", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2", persist_as="case-1")
+
+        reopened = GraphStore.for_tenant(tmp_path, "police")
+        descriptor = reopened.storage.catalog.get("case-1")
+        assert descriptor.kind == "protected_account"
+        assert descriptor.metadata["tenant"] == "police"
+        assert reopened.storage.catalog.find(kind="protected_account", tenant="police")
+
+        restarted = ServiceRegistry(tmp_path)
+        restarted.register("police")
+        assert restarted.stats()["police"]["stored_accounts"] == 1
+
+    def test_tenant_stamped_in_catalog(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("police")
+        service = registry.service("police", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2", persist_as="case-1")
+        store = registry.store_for("police")
+        descriptor = store.storage.catalog.get("case-1")
+        assert descriptor.metadata["tenant"] == "police"
+        assert descriptor.kind == "protected_account"
+        assert store.storage.catalog.find(kind="protected_account", tenant="police")
+        assert not store.storage.catalog.find(kind="protected_account", tenant="audit")
+
+    def test_cache_namespaces_do_not_cross(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("police")
+        registry.register("audit")
+        police = registry.service("police", figure2b.graph, figure2b.policy)
+        audit = registry.service("audit", figure2b.graph, figure2b.policy)
+        police.protect(privilege="High-2")
+        result = audit.protect(privilege="High-2")
+        assert result.timings_ms["cache_hit"] == 0.0
+
+
+class TestQuotas:
+    def test_request_quota_enforced(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme", max_requests=2)
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2")
+        service.protect(privilege="High-2")  # cache hit still counts as traffic
+        with pytest.raises(QuotaExceededError) as excinfo:
+            service.protect(privilege="High-2")
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.quota == "requests"
+        assert registry.quota_for("acme").requests_served == 2
+
+    def test_graph_quota_enforced_on_persist(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme", max_graphs=1)
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2", persist_as="first")
+        with pytest.raises(QuotaExceededError):
+            service.protect(privilege="High-1", persist_as="second")
+        assert registry.store_for("acme").graph_names() == ["first"]
+
+    def test_cache_entry_quota_bounds_namespace(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme", max_cache_entries=1)
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        for privilege in ("High-1", "High-2", "Low-2"):
+            service.protect(privilege=privilege)
+        stats = registry.cache.stats("acme")
+        assert stats.entries == 1
+        assert stats.evictions == 2
+
+    def test_quota_thread_safety(self):
+        quota = TenantQuota("acme", max_requests=100)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(25):
+                    quota.charge_request()
+            except QuotaExceededError:
+                pass
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert quota.requests_served == 100  # never over-charged
+
+
+class TestRegistryIntrospection:
+    def test_stats_report_shape(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme", max_requests=10)
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-2")
+        service.protect(privilege="High-2")
+        service.protect(privilege="High-1", persist_as="kept")
+        report = registry.stats()
+        assert set(report) == {"acme"}
+        acme = report["acme"]
+        assert acme["quota"]["requests_served"] == 3
+        assert acme["cache"]["hits"] == 1
+        assert acme["stored_graphs"] == 1
+        assert acme["stored_accounts"] == 1
+        assert acme["services"] == 1
+
+    def test_invalidate_returns_dropped_count(self, figure2b):
+        registry = ServiceRegistry()
+        registry.register("acme")
+        service = registry.service("acme", figure2b.graph, figure2b.policy)
+        service.protect(privilege="High-1")
+        service.protect(privilege="High-2")
+        assert registry.invalidate("acme") == 2
+        assert registry.cache.stats("acme").entries == 0
+
+
+class TestTenantStoreHelper:
+    def test_for_tenant_requires_name(self):
+        with pytest.raises(StoreError):
+            GraphStore.for_tenant(None, "")
+
+    def test_for_tenant_sanitises_directory(self, tmp_path):
+        store = GraphStore.for_tenant(tmp_path, "we/ird name")
+        assert store.tenant == "we/ird name"
+        created = [p for p in tmp_path.iterdir() if p.is_dir()]
+        assert len(created) == 1
+        assert created[0].name.startswith("we_ird_name-")
+
+    def test_for_tenant_never_escapes_base_directory(self, tmp_path):
+        base = tmp_path / "stores"
+        base.mkdir()
+        for hostile in ("..", ".", "../../etc"):
+            store = GraphStore.for_tenant(base, hostile)
+            directory = store.storage.directory.resolve()
+            assert base.resolve() in directory.parents, hostile
+
+    def test_for_tenant_distinct_names_get_distinct_directories(self, tmp_path):
+        a = GraphStore.for_tenant(tmp_path, "a b")
+        b = GraphStore.for_tenant(tmp_path, "a_b")
+        assert a.storage.directory != b.storage.directory
+
+    def test_for_tenant_digest_literal_cannot_claim_another_root(self, tmp_path):
+        """Regression: a tenant literally named like another tenant's
+        directory must not resolve to that directory."""
+        victim = GraphStore.for_tenant(tmp_path, "a b")
+        attacker = GraphStore.for_tenant(tmp_path, victim.storage.directory.name)
+        assert attacker.storage.directory != victim.storage.directory

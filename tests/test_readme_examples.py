@@ -1,0 +1,49 @@
+"""Keep the README's Python snippets honest by executing them verbatim.
+
+Every fenced ``python`` block in the top-level README is run in its own
+namespace; the serving quickstart carries its own ``assert`` statements, so
+a behaviour drift in the cache/tenant API fails here before it misleads a
+reader.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def readme_snippets():
+    return _FENCE.findall(README.read_text(encoding="utf-8"))
+
+
+def test_readme_has_python_snippets():
+    snippets = readme_snippets()
+    assert len(snippets) >= 2, "README lost its quickstart snippets"
+
+
+@pytest.mark.parametrize(
+    "index,snippet",
+    list(enumerate(readme_snippets())),
+    ids=lambda value: value if isinstance(value, int) else "src",
+)
+def test_readme_snippet_executes(index, snippet, capsys):
+    namespace: dict = {"__name__": f"readme_snippet_{index}"}
+    exec(compile(snippet, f"README.md#python-{index}", "exec"), namespace)
+
+
+def test_serving_snippet_covers_cache_and_batching():
+    """The serving quickstart must keep demonstrating the PR-3 surface."""
+    text = README.read_text(encoding="utf-8")
+    for needle in (
+        "ServiceRegistry",
+        'timings_ms["cache_hit"]',
+        "protect_many",
+        "ProtectionRequest(privileges=(\"Public\",), graph=g)",
+    ):
+        assert needle in text, f"README serving snippet lost {needle!r}"
