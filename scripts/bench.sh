@@ -4,6 +4,8 @@
 # Usage:
 #   scripts/bench.sh           # full benchmark suite; writes BENCH_scaling.json
 #   scripts/bench.sh scaling   # just the scaling benchmark (fastest perf signal)
+#   scripts/bench.sh opacity   # just the compiled-opacity case (naive vs compiled
+#                              # vs cached replay; refreshes BENCH_scaling.json)
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
 #
 # Set REPRO_BENCH_FULL=1 to run the synthetic experiments at paper scale and
@@ -23,11 +25,17 @@ case "${1:-all}" in
   scaling)
     python -m pytest benchmarks/test_bench_scaling.py --benchmark-only -q
     ;;
+  opacity)
+    # Plain test mode: the opacity case is wall-clock timed (not
+    # pytest-benchmark grouped) and the module teardown rewrites the
+    # trajectory file including the opacity section.
+    python -m pytest benchmarks/test_bench_scaling.py -q -k opacity
+    ;;
   all)
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|smoke]" >&2
     exit 2
     ;;
 esac

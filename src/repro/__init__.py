@@ -78,10 +78,12 @@ from repro.core.utility import (
 )
 from repro.core.opacity import (
     AdvancedAdversary,
+    CompiledOpacityView,
     NaiveAdversary,
     OpacityReport,
     average_opacity,
     opacity,
+    opacity_many,
     opacity_report,
 )
 from repro.api import (
@@ -133,11 +135,13 @@ __all__ = [
     "utility_report",
     "UtilityReport",
     "opacity",
+    "opacity_many",
     "average_opacity",
     "opacity_report",
     "OpacityReport",
     "NaiveAdversary",
     "AdvancedAdversary",
+    "CompiledOpacityView",
     # the unified service API
     "ProtectionService",
     "ProtectionRequest",

@@ -10,7 +10,7 @@ was stored under.  Both types serialise to plain dicts so the CLI's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.opacity import OpacityReport
 from repro.core.protected_account import ProtectedAccount
@@ -25,12 +25,23 @@ class ScoreCard:
     Wraps the full :class:`~repro.core.utility.UtilityReport` (both measures
     plus the per-node ``%P`` breakdown) and
     :class:`~repro.core.opacity.OpacityReport` (average plus per-edge
-    opacity) so callers can drill down, with flat properties for the four
-    headline numbers.
+    opacity — whose ``view`` field keeps the compiled adversary simulation
+    alive for cached replays) so callers can drill down, with flat
+    properties for the four headline numbers.  ``timings_ms`` carries the
+    scoring-phase breakdown (``opacity_compile`` — the adversary
+    simulation, 0.0 when the view cache answered or nothing needed
+    inference — and ``opacity_score`` — the O(1)-per-edge batch pass).
+    The service folds these keys into
+    :attr:`ProtectionResult.timings_ms` when it *generates* a result; an
+    account-cache replay's ``timings_ms`` describes only the replay
+    (``cache_lookup``), so read the scoring breakdown from
+    ``result.scores.timings_ms``, which always carries the cost of the
+    original computation.
     """
 
     utility: UtilityReport
     opacity: OpacityReport
+    timings_ms: Mapping[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def path_utility(self) -> float:

@@ -67,7 +67,12 @@ from repro.api.results import ProtectionResult, ScoreCard
 from repro.core.generation import build_protected_account
 from repro.core.hiding import STRATEGY_NAIVE, naive_protected_account
 from repro.core.multi import build_multi_privilege_account, merge_accounts
-from repro.core.opacity import AttackerModel, opacity_report
+from repro.core.opacity import (
+    DEFAULT_ADVERSARY,
+    AttackerModel,
+    OpacityViewCache,
+    opacity_report,
+)
 from repro.core.policy import ReleasePolicy
 from repro.core.privileges import Privilege
 from repro.core.protected_account import ProtectedAccount
@@ -148,6 +153,10 @@ class ProtectionService:
         #: Per-graph visible-walk registries shared across requests
         #: (see :meth:`protect_many`), keyed by graph identity.
         self._walks_caches: Dict[int, Dict[tuple, object]] = {}
+        #: Compiled adversary simulations keyed by (account graph, adversary):
+        #: repeated :meth:`score` calls over the same account — including
+        #: accounts replayed from the account cache — never re-simulate.
+        self._opacity_views = OpacityViewCache()
         #: Serialises account generation: the compiled-view cache on the
         #: policy and the walk registries are shared mutable state, so a
         #: service used from many threads generates one account at a time
@@ -231,6 +240,11 @@ class ProtectionService:
             timings["persist"] = (time.perf_counter() - start) * 1000.0
 
         timings["total"] = sum(timings.values())
+        if scores is not None:
+            # Stamped after "total": the opacity_compile/opacity_score split
+            # is already inside the "score" phase, so it must never inflate
+            # the phase sum.
+            timings.update(scores.timings_ms)
         result = ProtectionResult(
             request=request,
             account=account,
@@ -314,6 +328,16 @@ class ProtectionService:
 
         ``graph`` overrides the service's bound graph (used when scoring an
         account generated from a per-request graph in a cross-graph batch).
+
+        Opacity runs on the compiled engine: when (and only when) a scored
+        edge actually needs inference, the adversary simulation is fetched
+        from (or compiled into) the service's
+        :class:`~repro.core.opacity.OpacityViewCache`, after which every
+        edge is O(1).  The returned ScoreCard's ``timings_ms`` records the
+        split as ``opacity_compile`` / ``opacity_score``; repeated calls for
+        the same account graph and adversary hit the view cache and run
+        **zero** additional simulations (``opacity_compile`` is 0.0 when no
+        simulation was needed at all).
         """
         graph = graph if graph is not None else self.graph
         if graph is None:
@@ -321,15 +345,32 @@ class ProtectionService:
                 "this service has no bound graph; pass score(..., graph=...)"
             )
         adversary = adversary if adversary is not None else self.adversary
+        effective_adversary = adversary if adversary is not None else DEFAULT_ADVERSARY
+        compile_ms = 0.0
+
+        def view_factory():
+            """Fetch/compile the simulation through the view cache, timed."""
+            nonlocal compile_ms
+            start = time.perf_counter()
+            view = self._opacity_views.get_or_compile(account.graph, effective_adversary)
+            compile_ms += (time.perf_counter() - start) * 1000.0
+            return view
+
+        utility = utility_report(graph, account, explicit_scores=explicit_scores)
+        start = time.perf_counter()
+        opacity = opacity_report(
+            graph,
+            account,
+            opacity_edges,
+            adversary=effective_adversary,
+            normalize_focus=normalize_focus,
+            view_factory=view_factory,
+        )
+        score_ms = (time.perf_counter() - start) * 1000.0 - compile_ms
         return ScoreCard(
-            utility=utility_report(graph, account, explicit_scores=explicit_scores),
-            opacity=opacity_report(
-                graph,
-                account,
-                opacity_edges,
-                adversary=adversary,
-                normalize_focus=normalize_focus,
-            ),
+            utility=utility,
+            opacity=opacity,
+            timings_ms={"opacity_compile": compile_ms, "opacity_score": score_ms},
         )
 
     # ------------------------------------------------------------------ #

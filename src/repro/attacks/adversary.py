@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
 from repro.attacks.inference import EdgeInferenceAttack, InferredEdge
-from repro.core.opacity import AttackerModel, hidden_edges
+from repro.core.opacity import AttackerModel, CompiledOpacityView, hidden_edges
 from repro.core.protected_account import ProtectedAccount
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
@@ -49,6 +49,7 @@ def simulate_attack(
     *,
     adversary: Optional[AttackerModel] = None,
     guess_budget: Optional[int] = None,
+    view: Optional[CompiledOpacityView] = None,
 ) -> AttackOutcome:
     """Run the edge-inference attack and score it against the original graph.
 
@@ -56,7 +57,11 @@ def simulate_attack(
     number of actually hidden edges — the "informed budget" that makes
     precision and recall comparable across accounts).  A guess counts as a
     hit when the guessed account nodes correspond to original nodes joined
-    by a hidden original edge in the guessed direction.
+    by a hidden original edge in the guessed direction.  ``view`` lets
+    callers that already scored the account (e.g. through
+    :meth:`ProtectionService.score <repro.api.service.ProtectionService.score>`,
+    whose reports carry their compiled view) hand the attack the same
+    adversary simulation instead of compiling a fresh one.
     """
     attack = EdgeInferenceAttack(adversary)
     hidden = {tuple(edge) for edge in hidden_edges(original, account)}
@@ -66,7 +71,7 @@ def simulate_attack(
         if account.account_node_of(source) is not None and account.account_node_of(target) is not None
     }
     budget = guess_budget if guess_budget is not None else max(1, len(representable_hidden))
-    guesses = attack.top_guesses(account.graph, budget)
+    guesses = attack.top_guesses(account.graph, budget, view=view)
     hits: Set[EdgeKey] = set()
     for guess in guesses:
         original_source = account.correspondence.get(guess.source)

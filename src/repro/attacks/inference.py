@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.opacity import AdvancedAdversary, AttackerModel
+from repro.core.opacity import AdvancedAdversary, AttackerModel, CompiledOpacityView
 from repro.graph.model import NodeId, PropertyGraph
 
 
@@ -35,40 +35,60 @@ class EdgeInferenceAttack:
     def __init__(self, adversary: Optional[AttackerModel] = None) -> None:
         self.adversary = adversary if adversary is not None else AdvancedAdversary()
 
-    def candidate_scores(self, account_graph: PropertyGraph) -> List[InferredEdge]:
+    def candidate_scores(
+        self,
+        account_graph: PropertyGraph,
+        *,
+        view: Optional[CompiledOpacityView] = None,
+    ) -> List[InferredEdge]:
         """Score every ordered pair of distinct nodes with no account edge.
 
         The score of a candidate ``(u, v)`` is the probability mass the
         opacity formula assigns to the attacker naming that pair: focus on
         either endpoint (normalised ``FP``) times the chance of picking the
         other endpoint (normalised ``IP`` among candidates).
+
+        The weight vectors, the focus total and every per-source
+        leave-one-out denominator come off one
+        :class:`~repro.core.opacity.CompiledOpacityView` — the same compiled
+        adversary simulation the opacity measure batches over — so scoring
+        the O(V²) candidate grid no longer redoes an O(V) weight pass per
+        source.  (As in the seed implementation, both directional terms of a
+        candidate normalise over the nodes other than ``source`` — the
+        attacker fixes its anchor first, then weighs both reading
+        directions.)  ``view`` optionally supplies an already-compiled
+        simulation (revalidated, recompiled if stale).
         """
         node_ids = account_graph.node_ids()
         if len(node_ids) < 2:
             return []
-        focus = {
-            node_id: max(0.0, self.adversary.focus_probability(account_graph, node_id))
-            for node_id in node_ids
-        }
-        inference = {
-            node_id: max(0.0, self.adversary.inference_probability(account_graph, node_id))
-            for node_id in node_ids
-        }
-        total_focus = sum(focus.values()) or 1.0
+        if view is None or not view.is_current_for(account_graph, self.adversary):
+            view = CompiledOpacityView.compile(account_graph, self.adversary)
+        focus = view.focus_weights
+        inference = view.inference_weights
+        total_focus = view.total_focus or 1.0
+        denominators = view.guess_denominators
         candidates: List[InferredEdge] = []
         for source in node_ids:
-            inference_total = sum(value for node, value in inference.items() if node != source) or 1.0
+            focus_source = focus[source] / total_focus
+            inference_total = denominators[source] or 1.0
             for target in node_ids:
                 if source == target or account_graph.has_edge(source, target):
                     continue
-                score = (focus[source] / total_focus) * (inference[target] / inference_total)
+                score = focus_source * (inference[target] / inference_total)
                 score += (focus[target] / total_focus) * (inference[source] / inference_total)
                 candidates.append(InferredEdge(source=source, target=target, score=score))
         candidates.sort(key=lambda edge: (-edge.score, repr(edge.source), repr(edge.target)))
         return candidates
 
-    def top_guesses(self, account_graph: PropertyGraph, count: int) -> List[InferredEdge]:
+    def top_guesses(
+        self,
+        account_graph: PropertyGraph,
+        count: int,
+        *,
+        view: Optional[CompiledOpacityView] = None,
+    ) -> List[InferredEdge]:
         """The attacker's ``count`` most confident guesses."""
         if count <= 0:
             return []
-        return self.candidate_scores(account_graph)[:count]
+        return self.candidate_scores(account_graph, view=view)[:count]

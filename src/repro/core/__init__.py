@@ -53,10 +53,15 @@ from repro.core.hiding import hide_protected_account, naive_protected_account
 from repro.core.utility import node_utility, path_percentage, path_utility, utility_report
 from repro.core.opacity import (
     AdvancedAdversary,
+    CompiledOpacityView,
     NaiveAdversary,
+    OpacityViewCache,
+    adversary_fingerprint,
     average_opacity,
     opacity,
+    opacity_many,
     opacity_report,
+    opacity_simulations_run,
 )
 from repro.core.validation import validate_protected_account, validate_maximally_informative
 
@@ -87,10 +92,15 @@ __all__ = [
     "node_utility",
     "utility_report",
     "opacity",
+    "opacity_many",
     "average_opacity",
     "opacity_report",
+    "opacity_simulations_run",
     "NaiveAdversary",
     "AdvancedAdversary",
+    "CompiledOpacityView",
+    "OpacityViewCache",
+    "adversary_fingerprint",
     "validate_protected_account",
     "validate_maximally_informative",
 ]

@@ -1,8 +1,9 @@
-"""The opacity measure and its attacker models (paper Section 4.2, Figures 4–5).
+"""The opacity measure, its attacker models and the compiled opacity engine.
 
-Opacity quantifies how hard it is for an attacker, who sees only the
-protected account ``G'``, to infer the existence of an original edge
-``e = (n1 -> n2)`` of ``G`` that the account does not show:
+Opacity (paper Section 4.2, Figures 4–5) quantifies how hard it is for an
+attacker, who sees only the protected account ``G'``, to infer the existence
+of an original edge ``e = (n1 -> n2)`` of ``G`` that the account does not
+show:
 
 * opacity is **0** when the account shows an edge between the nodes
   corresponding to ``n1`` and ``n2`` (nothing left to infer),
@@ -36,12 +37,41 @@ protected account ``G'``, to infer the existence of an original edge
   probability distribution over account nodes);
   :meth:`AdvancedAdversary.figure5` gives the paper's literal two-tier
   constants.
+
+The compiled engine
+-------------------
+Evaluating the formula naively costs O(V) per edge: the attacker's focus and
+inference weight vectors are a function of the *account graph alone*, yet the
+per-edge reading rebuilds them — and the O(V) "guess" denominator — for every
+hidden edge, making ``opacity_report`` O(E·V).  :class:`CompiledOpacityView`
+runs the adversary simulation **once** per (account graph, adversary): it
+compiles the focus-weight vector, the inference-weight vector, both totals
+and every node's leave-one-out guess denominator in O(V), after which each
+edge's opacity is O(1).  :func:`opacity_many` (and the batch-rewritten
+:func:`opacity_profile` / :func:`average_opacity` / :func:`opacity_report`)
+share one compiled view across all scored edges; :class:`OpacityViewCache`
+lets serving layers reuse views across calls so repeated scoring of the same
+account never re-simulates the adversary.
+
+The compiled path is *bit-identical* to the paper-literal per-edge reference
+(:mod:`repro.core.reference.opacity_reference`): the reference evaluates
+every weight total with :func:`math.fsum` (the correctly-rounded float sum,
+independent of summation order) and the compiled view computes the same
+totals through exact :class:`fractions.Fraction` arithmetic rounded once at
+the end — two routes to the same correctly-rounded double.  The differential
+property suite (``tests/property/test_opacity_equivalence.py``) pins the two
+paths equal with exact float equality on every workload generator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+import math
+import threading
+import weakref
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
 
 from repro.core.protected_account import ProtectedAccount
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
@@ -122,6 +152,272 @@ class AdvancedAdversary:
 DEFAULT_ADVERSARY = AdvancedAdversary()
 
 
+def adversary_fingerprint(adversary: AttackerModel) -> Hashable:
+    """A hashable identity for an attacker model (view-cache key ingredient).
+
+    The built-in adversaries are frozen dataclasses, so they fingerprint by
+    *value*: two equal configurations share compiled views (and the
+    :class:`~repro.api.cache.AccountCache` can key entries on the adversary
+    alongside :func:`~repro.core.generation.account_cache_token`).
+    Unhashable custom models fall back to object identity — still correct,
+    just never shared across distinct instances.
+    """
+    try:
+        hash(adversary)
+    except TypeError:
+        return ("unhashable-adversary", id(adversary))
+    return adversary
+
+
+def _checked_weight(kind: str, node_id: NodeId, weight: float) -> float:
+    """Clamp one adversary weight to ``[0, ∞)`` after rejecting non-finite values.
+
+    Both the compiled engine and the paper-literal reference run every raw
+    weight through this contract, so a misbehaving custom
+    :class:`AttackerModel` fails loudly and identically on both paths
+    instead of poisoning totals with ``inf``/``nan``.
+    """
+    if not math.isfinite(weight):
+        raise ValueError(
+            f"adversary returned a non-finite {kind} weight {weight!r} for node {node_id!r}"
+        )
+    return max(0.0, weight)
+
+
+#: Process-wide count of adversary simulations (view compilations) run so
+#: far.  Monotonic; read through :func:`opacity_simulations_run`.  The
+#: increment is a read-modify-write, so it takes the lock below — compiles
+#: may happen from concurrent service threads.
+_SIMULATIONS_COMPILED = 0
+_SIMULATIONS_LOCK = threading.Lock()
+
+
+def opacity_simulations_run() -> int:
+    """How many adversary simulations (view compilations) have run in-process.
+
+    The counter is monotonic and increments exactly once per
+    :meth:`CompiledOpacityView.compile` call.  Tests snapshot it around
+    cached paths (repeated ``score()`` calls, account-cache ``protect()``
+    replays) to assert that **zero** additional simulations happened.
+    """
+    return _SIMULATIONS_COMPILED
+
+
+@dataclass
+class CompiledOpacityView:
+    """One adversary simulation over one account graph, compiled for O(1) reads.
+
+    The view captures everything the Figure-4 formula needs that does not
+    depend on the particular hidden edge:
+
+    * ``focus_weights`` / ``inference_weights`` — the clamped ``FP`` / ``IP``
+      vectors over the account's nodes,
+    * ``total_focus`` — the correctly-rounded sum of the focus vector (the
+      ``normalize_focus`` denominator),
+    * ``total_inference`` — the correctly-rounded sum of the inference
+      vector (zero iff every guess has zero mass),
+    * ``guess_denominators`` — for every node ``u``, the correctly-rounded
+      leave-one-out sum ``Σ_{v ≠ u} IP(v)`` that normalises the attacker's
+      guess from ``u``.
+
+    Setup is O(V); :meth:`inference_likelihood` is then O(1) per edge.  The
+    leave-one-out denominators are derived from one exact
+    :class:`~fractions.Fraction` total (``float(total - w_u)``, deduplicated
+    by weight value), which makes them bit-identical to the reference's
+    :func:`math.fsum` over the same V−1 weights — both are the correctly
+    rounded value of the same exact real sum.  Stale views are detected via
+    :meth:`is_current_for` (graph identity + version + adversary
+    fingerprint), never silently served.
+    """
+
+    graph_version: int
+    node_count: int
+    focus_weights: Dict[NodeId, float]
+    inference_weights: Dict[NodeId, float]
+    total_focus: float
+    total_inference: float
+    guess_denominators: Dict[NodeId, float]
+    adversary_key: Hashable
+    _graph_ref: "weakref.ref[PropertyGraph]" = field(repr=False)
+
+    @classmethod
+    def compile(
+        cls, account_graph: PropertyGraph, adversary: AttackerModel
+    ) -> "CompiledOpacityView":
+        """Run the adversary simulation once and freeze its vectors (O(V)).
+
+        Raises :class:`ValueError` if the adversary emits a non-finite
+        weight (``inf``/``nan``): an attacker model is a relative-weight
+        assignment, and a non-finite weight would poison every total (the
+        reference path rejects them identically, keeping the differential
+        contract intact).
+        """
+        global _SIMULATIONS_COMPILED
+        with _SIMULATIONS_LOCK:
+            _SIMULATIONS_COMPILED += 1
+        node_ids = account_graph.node_ids()
+        focus_weights = {
+            node_id: _checked_weight(
+                "focus", node_id, adversary.focus_probability(account_graph, node_id)
+            )
+            for node_id in node_ids
+        }
+        inference_weights = {
+            node_id: _checked_weight(
+                "inference", node_id, adversary.inference_probability(account_graph, node_id)
+            )
+            for node_id in node_ids
+        }
+        # Exact rational totals, rounded once: float(Fraction) is the
+        # correctly-rounded double of the exact sum, i.e. exactly what
+        # math.fsum over the same weights returns in the reference path.
+        # Tiered adversaries emit only a handful of distinct weight values,
+        # so the exact arithmetic runs per distinct value, not per node.
+        focus_counts = Counter(focus_weights.values())
+        inference_counts = Counter(inference_weights.values())
+        total_focus_exact = sum(
+            (count * Fraction(weight) for weight, count in focus_counts.items()),
+            Fraction(0),
+        )
+        total_inference_exact = sum(
+            (count * Fraction(weight) for weight, count in inference_counts.items()),
+            Fraction(0),
+        )
+        # Leave-one-out denominators depend only on the *value* removed, so
+        # one exact subtraction per distinct weight covers every node.
+        loo_by_value = {
+            weight: float(total_inference_exact - Fraction(weight))
+            for weight in inference_counts
+        }
+        return cls(
+            graph_version=account_graph.version,
+            node_count=len(node_ids),
+            focus_weights=focus_weights,
+            inference_weights=inference_weights,
+            total_focus=float(total_focus_exact),
+            total_inference=float(total_inference_exact),
+            guess_denominators={
+                node_id: loo_by_value[weight]
+                for node_id, weight in inference_weights.items()
+            },
+            adversary_key=adversary_fingerprint(adversary),
+            _graph_ref=weakref.ref(account_graph),
+        )
+
+    def is_current_for(
+        self, account_graph: PropertyGraph, adversary: AttackerModel
+    ) -> bool:
+        """True when this view was compiled against exactly this simulation.
+
+        Checks graph *identity* (weakref — a recycled ``id()`` can never
+        alias a dead graph), the graph's mutation counter and the
+        adversary's fingerprint.
+        """
+        return (
+            self._graph_ref() is account_graph
+            and self.graph_version == account_graph.version
+            and self.adversary_key == adversary_fingerprint(adversary)
+        )
+
+    # ------------------------------------------------------------------ #
+    # the Figure-4 formula, O(1) per edge
+    # ------------------------------------------------------------------ #
+    def inference_likelihood(
+        self,
+        account_source: NodeId,
+        account_target: NodeId,
+        *,
+        normalize_focus: bool = False,
+    ) -> float:
+        """``I`` — probability the attacker names the hidden edge from either endpoint.
+
+        Each edge case has an explicit branch (pinned by dedicated unit
+        tests in ``tests/core/test_opacity.py``) rather than relying on the
+        arithmetic falling through to zero.
+        """
+        if self.node_count < 2:
+            # A single-node account graph offers no far endpoint to name.
+            return 0.0
+        if self.total_inference == 0.0:
+            # All-zero inference weights: every guess has zero mass.
+            return 0.0
+        if normalize_focus and self.total_focus <= 0.0:
+            # Normalised focus over zero total attention is no attention.
+            return 0.0
+        likelihood = self._focus(account_source, normalize_focus) * self._guess(
+            account_source, account_target
+        ) + self._focus(account_target, normalize_focus) * self._guess(
+            account_target, account_source
+        )
+        return max(0.0, min(1.0, likelihood))
+
+    def _focus(self, node_id: NodeId, normalize_focus: bool) -> float:
+        """``FP`` of one node — raw, or normalised to a distribution."""
+        weight = self.focus_weights[node_id]
+        if not normalize_focus:
+            return weight
+        return weight / self.total_focus if self.total_focus > 0 else 0.0
+
+    def _guess(self, from_node: NodeId, to_node: NodeId) -> float:
+        """P(attacker focused on ``from_node`` names ``to_node`` as the other endpoint)."""
+        denominator = self.guess_denominators[from_node]
+        if denominator <= 0:
+            return 0.0
+        return self.inference_weights[to_node] / denominator
+
+
+class OpacityViewCache:
+    """A bounded LRU of compiled opacity views, keyed by (graph, adversary).
+
+    Serving layers (:meth:`ProtectionService.score
+    <repro.api.service.ProtectionService.score>`) keep one of these so
+    repeated scoring of the same account graph — including accounts replayed
+    from the :class:`~repro.api.cache.AccountCache` — reuses the compiled
+    simulation instead of re-running it.  Keys embed the graph's ``id()``
+    and version plus the adversary fingerprint; hits additionally prove
+    graph identity through the view's weakref, so a recycled ``id()`` can
+    never alias a dead graph.  All map operations take the cache's lock, so
+    a shared :class:`~repro.api.service.ProtectionService` may score from
+    concurrent threads (the O(V) compile itself runs outside the lock; two
+    racing threads may both simulate, but neither can corrupt the LRU).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"view cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, CompiledOpacityView]" = OrderedDict()
+
+    def get_or_compile(
+        self, account_graph: PropertyGraph, adversary: AttackerModel
+    ) -> CompiledOpacityView:
+        """The cached view for this simulation, compiling (and storing) on miss."""
+        key = (
+            id(account_graph),
+            account_graph.version,
+            adversary_fingerprint(adversary),
+        )
+        with self._lock:
+            view = self._entries.get(key)
+            if view is not None and view.is_current_for(account_graph, adversary):
+                self._entries.move_to_end(key)
+                return view
+            if view is not None:
+                del self._entries[key]
+        view = CompiledOpacityView.compile(account_graph, adversary)
+        with self._lock:
+            self._entries.pop(key, None)
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = view
+        return view
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 def opacity(
     original: PropertyGraph,
     account: ProtectedAccount,
@@ -129,66 +425,19 @@ def opacity(
     *,
     adversary: Optional[AttackerModel] = None,
     normalize_focus: bool = False,
+    view: Optional[CompiledOpacityView] = None,
 ) -> float:
-    """Opacity of one original edge with respect to a protected account (Figure 4)."""
-    adversary = adversary if adversary is not None else DEFAULT_ADVERSARY
-    source, target = edge
-    if account.contains_original_edge(source, target):
-        return 0.0
-    account_source = account.account_node_of(source)
-    account_target = account.account_node_of(target)
-    if account_source is None or account_target is None:
-        return 1.0
-    inference = _inference_likelihood(
-        account.graph,
-        account_source,
-        account_target,
-        adversary,
-        normalize_focus=normalize_focus,
+    """Opacity of one original edge with respect to a protected account (Figure 4).
+
+    Pass ``view`` (a current :class:`CompiledOpacityView`) to skip the O(V)
+    setup; callers scoring many edges should prefer :func:`opacity_many`,
+    which compiles at most one view for the whole batch.  This is exactly
+    the one-edge case of that batch core, so the two can never diverge.
+    """
+    values, _ = _batch_opacity(
+        original, account, [edge], adversary, normalize_focus, view
     )
-    return max(0.0, min(1.0, 1.0 - inference))
-
-
-def _inference_likelihood(
-    account_graph: PropertyGraph,
-    account_source: NodeId,
-    account_target: NodeId,
-    adversary: AttackerModel,
-    *,
-    normalize_focus: bool,
-) -> float:
-    """``I`` — probability the attacker names the hidden edge from either endpoint."""
-    node_ids = account_graph.node_ids()
-    if len(node_ids) < 2:
-        return 0.0
-    focus_weights = {
-        node_id: max(0.0, adversary.focus_probability(account_graph, node_id)) for node_id in node_ids
-    }
-    inference_weights = {
-        node_id: max(0.0, adversary.inference_probability(account_graph, node_id))
-        for node_id in node_ids
-    }
-    total_focus = sum(focus_weights.values())
-
-    def focus(node_id: NodeId) -> float:
-        weight = focus_weights[node_id]
-        if not normalize_focus:
-            return weight
-        return weight / total_focus if total_focus > 0 else 0.0
-
-    def guess(from_node: NodeId, to_node: NodeId) -> float:
-        """P(attacker focused on ``from_node`` names ``to_node`` as the other endpoint)."""
-        denominator = sum(
-            weight for node_id, weight in inference_weights.items() if node_id != from_node
-        )
-        if denominator <= 0:
-            return 0.0
-        return inference_weights[to_node] / denominator
-
-    likelihood = focus(account_source) * guess(account_source, account_target) + focus(
-        account_target
-    ) * guess(account_target, account_source)
-    return max(0.0, min(1.0, likelihood))
+    return values[tuple(edge)]
 
 
 def hidden_edges(original: PropertyGraph, account: ProtectedAccount) -> List[EdgeKey]:
@@ -200,6 +449,73 @@ def hidden_edges(original: PropertyGraph, account: ProtectedAccount) -> List[Edg
     ]
 
 
+def _batch_opacity(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    edges: Iterable[EdgeKey],
+    adversary: Optional[AttackerModel],
+    normalize_focus: bool,
+    view: Optional[CompiledOpacityView],
+    view_factory: Optional[Callable[[], CompiledOpacityView]] = None,
+) -> Tuple[Dict[EdgeKey, float], Optional[CompiledOpacityView]]:
+    """Shared batch core: per-edge opacity plus the view that scored it.
+
+    The view is compiled lazily — an account that shows (or cannot name) every
+    scored edge never pays for a simulation — and validated once per batch.
+    ``view_factory`` (when given) supplies the view at that first point of
+    need instead of a direct compile; serving layers pass their
+    :class:`OpacityViewCache` through it.  A stale view from either source
+    is recompiled, never trusted.
+    """
+    adversary = adversary if adversary is not None else DEFAULT_ADVERSARY
+    values: Dict[EdgeKey, float] = {}
+    view_checked = False
+    for edge in edges:
+        source, target = edge
+        key = (source, target)
+        if account.contains_original_edge(source, target):
+            values[key] = 0.0
+            continue
+        account_source = account.account_node_of(source)
+        account_target = account.account_node_of(target)
+        if account_source is None or account_target is None:
+            values[key] = 1.0
+            continue
+        if not view_checked:
+            if view is None or not view.is_current_for(account.graph, adversary):
+                if view_factory is not None:
+                    view = view_factory()
+                if view is None or not view.is_current_for(account.graph, adversary):
+                    view = CompiledOpacityView.compile(account.graph, adversary)
+            view_checked = True
+        inference = view.inference_likelihood(
+            account_source, account_target, normalize_focus=normalize_focus
+        )
+        values[key] = max(0.0, min(1.0, 1.0 - inference))
+    return values, view
+
+
+def opacity_many(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    edges: Iterable[EdgeKey],
+    *,
+    adversary: Optional[AttackerModel] = None,
+    normalize_focus: bool = False,
+    view: Optional[CompiledOpacityView] = None,
+) -> Dict[EdgeKey, float]:
+    """Per-edge opacity for many edges off **one** adversary simulation.
+
+    O(V + k) for k edges — the batch entry point every aggregate
+    (:func:`opacity_profile`, :func:`average_opacity`,
+    :func:`opacity_report`) and the serving stack build on.  ``view``
+    optionally supplies an already-compiled simulation (it is revalidated,
+    and recompiled if stale).
+    """
+    values, _ = _batch_opacity(original, account, edges, adversary, normalize_focus, view)
+    return values
+
+
 def opacity_profile(
     original: PropertyGraph,
     account: ProtectedAccount,
@@ -207,16 +523,19 @@ def opacity_profile(
     *,
     adversary: Optional[AttackerModel] = None,
     normalize_focus: bool = False,
+    view: Optional[CompiledOpacityView] = None,
 ) -> Dict[EdgeKey, float]:
     """Per-edge opacity for a set of original edges (default: every hidden edge)."""
     if edges is None:
         edges = hidden_edges(original, account)
-    return {
-        tuple(edge): opacity(
-            original, account, tuple(edge), adversary=adversary, normalize_focus=normalize_focus
-        )
-        for edge in edges
-    }
+    return opacity_many(
+        original,
+        account,
+        edges,
+        adversary=adversary,
+        normalize_focus=normalize_focus,
+        view=view,
+    )
 
 
 def average_opacity(
@@ -226,6 +545,7 @@ def average_opacity(
     *,
     adversary: Optional[AttackerModel] = None,
     normalize_focus: bool = False,
+    view: Optional[CompiledOpacityView] = None,
 ) -> float:
     """Average opacity over a set of original edges.
 
@@ -235,7 +555,12 @@ def average_opacity(
     inferred).
     """
     profile = opacity_profile(
-        original, account, edges, adversary=adversary, normalize_focus=normalize_focus
+        original,
+        account,
+        edges,
+        adversary=adversary,
+        normalize_focus=normalize_focus,
+        view=view,
     )
     if not profile:
         return 1.0
@@ -244,16 +569,25 @@ def average_opacity(
 
 @dataclass(frozen=True)
 class OpacityReport:
-    """Average and per-edge opacity for one account (used by experiment drivers)."""
+    """Average and per-edge opacity for one account (used by experiment drivers).
+
+    ``view`` carries the compiled adversary simulation that scored the
+    report (when one was needed), so cached results — e.g.
+    :class:`~repro.api.cache.AccountCache` entries, whose ScoreCards embed
+    their reports — keep the simulation alive for replay without re-running
+    it.  It is excluded from comparison and from :meth:`as_dict`.
+    """
 
     average: float
     per_edge: Dict[EdgeKey, float]
+    view: Optional[CompiledOpacityView] = field(default=None, compare=False, repr=False)
 
     def minimum(self) -> float:
         """The least-protected hidden edge's opacity (1.0 when nothing is hidden)."""
         return min(self.per_edge.values(), default=1.0)
 
     def as_dict(self) -> Dict[str, object]:
+        """The two headline numbers (the shape reports and ``--json`` use)."""
         return {"average_opacity": round(self.average, 6), "min_opacity": round(self.minimum(), 6)}
 
 
@@ -264,10 +598,23 @@ def opacity_report(
     *,
     adversary: Optional[AttackerModel] = None,
     normalize_focus: bool = False,
+    view: Optional[CompiledOpacityView] = None,
+    view_factory: Optional[Callable[[], CompiledOpacityView]] = None,
 ) -> OpacityReport:
-    """Build an :class:`OpacityReport` for a set of edges (default: all hidden)."""
-    profile = opacity_profile(
-        original, account, edges, adversary=adversary, normalize_focus=normalize_focus
+    """Build an :class:`OpacityReport` for a set of edges (default: all hidden).
+
+    One compiled view scores every edge; the view used (if any) rides along
+    on the report so callers can reuse it for later batches.  The view is
+    obtained lazily — from ``view``, else ``view_factory`` (how
+    :meth:`ProtectionService.score
+    <repro.api.service.ProtectionService.score>` threads its
+    :class:`OpacityViewCache` in), else a direct compile — and only when
+    some scored edge actually needs inference.
+    """
+    if edges is None:
+        edges = hidden_edges(original, account)
+    profile, used_view = _batch_opacity(
+        original, account, edges, adversary, normalize_focus, view, view_factory
     )
     average = sum(profile.values()) / len(profile) if profile else 1.0
-    return OpacityReport(average=average, per_edge=profile)
+    return OpacityReport(average=average, per_edge=profile, view=used_view)

@@ -1,0 +1,30 @@
+"""Paper-literal reference implementations kept as differential-test oracles.
+
+The optimised engines in :mod:`repro.core` each keep (or, where the seed
+code was replaced outright, move here) a naive implementation that follows
+the paper's definitions as directly as possible:
+
+* ``%P`` / Path Utility — :func:`repro.core.utility.path_percentage` (the
+  per-node BFS form, still in :mod:`repro.core.utility`),
+* opacity — :mod:`repro.core.reference.opacity_reference` (the per-edge
+  O(V) evaluation of Figures 4–5 that the compiled opacity engine
+  replaced).
+
+These functions are **not** part of the serving path: only the differential
+property suites (``tests/property``) and the benchmarks import them, to pin
+the fast paths exactly equal to the paper-literal semantics.
+"""
+
+from repro.core.reference.opacity_reference import (
+    average_opacity_reference,
+    inference_likelihood_reference,
+    opacity_profile_reference,
+    opacity_reference,
+)
+
+__all__ = [
+    "average_opacity_reference",
+    "inference_likelihood_reference",
+    "opacity_profile_reference",
+    "opacity_reference",
+]

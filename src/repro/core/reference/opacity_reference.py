@@ -1,0 +1,154 @@
+"""The paper-literal per-edge opacity formula (Figures 4–5), kept as an oracle.
+
+This is the seed implementation of the opacity measure: for **every** edge it
+re-runs the adversary over the whole account graph — both weight vectors, the
+``normalize_focus`` total and the O(V) leave-one-out guess denominator — so a
+whole-account :func:`opacity_profile_reference` costs O(E·V).  The compiled
+engine (:class:`repro.core.opacity.CompiledOpacityView`) replaced it on the
+serving path; this module survives purely as the differential-testing oracle
+that pins the compiled path **bit-identical** to the paper-literal reading,
+mirroring how the per-node BFS ``path_percentage`` was kept when utility
+scoring went component-based.
+
+Float determinism: every weight total is evaluated with :func:`math.fsum`,
+the correctly-rounded float sum.  Correct rounding is what makes exact
+(``==``) cross-implementation equality *possible*: the compiled view reaches
+the same totals through exact :class:`fractions.Fraction` arithmetic rounded
+once, and two correctly-rounded evaluations of the same real sum are the
+same double, regardless of summation order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.opacity import DEFAULT_ADVERSARY, AttackerModel, hidden_edges
+from repro.core.opacity import _checked_weight
+from repro.core.protected_account import ProtectedAccount
+from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+
+def inference_likelihood_reference(
+    account_graph: PropertyGraph,
+    account_source: NodeId,
+    account_target: NodeId,
+    adversary: AttackerModel,
+    *,
+    normalize_focus: bool = False,
+) -> float:
+    """``I`` — probability the attacker names the hidden edge from either endpoint.
+
+    The direct reading of Figure 4: rebuild both weight vectors for this one
+    edge, normalise the far endpoint's ``IP`` over all other nodes, sum the
+    two focus-then-guess terms and clamp to ``[0, 1]``.  Each degenerate
+    input gets an explicit branch (the compiled engine mirrors them exactly):
+
+    * a single-node account graph offers no far endpoint to name → 0,
+    * all-zero inference weights leave every guess without mass → 0,
+    * ``normalize_focus`` over a zero focus total is no attention at all → 0.
+    """
+    node_ids = account_graph.node_ids()
+    if len(node_ids) < 2:
+        return 0.0
+    focus_weights = {
+        node_id: _checked_weight(
+            "focus", node_id, adversary.focus_probability(account_graph, node_id)
+        )
+        for node_id in node_ids
+    }
+    inference_weights = {
+        node_id: _checked_weight(
+            "inference", node_id, adversary.inference_probability(account_graph, node_id)
+        )
+        for node_id in node_ids
+    }
+    total_focus = math.fsum(focus_weights.values())
+    total_inference = math.fsum(inference_weights.values())
+    if total_inference == 0.0:
+        return 0.0
+    if normalize_focus and total_focus <= 0.0:
+        return 0.0
+
+    def focus(node_id: NodeId) -> float:
+        weight = focus_weights[node_id]
+        if not normalize_focus:
+            return weight
+        return weight / total_focus if total_focus > 0 else 0.0
+
+    def guess(from_node: NodeId, to_node: NodeId) -> float:
+        """P(attacker focused on ``from_node`` names ``to_node`` as the other endpoint)."""
+        denominator = math.fsum(
+            weight for node_id, weight in inference_weights.items() if node_id != from_node
+        )
+        if denominator <= 0:
+            return 0.0
+        return inference_weights[to_node] / denominator
+
+    likelihood = focus(account_source) * guess(account_source, account_target) + focus(
+        account_target
+    ) * guess(account_target, account_source)
+    return max(0.0, min(1.0, likelihood))
+
+
+def opacity_reference(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    edge: EdgeKey,
+    *,
+    adversary: Optional[AttackerModel] = None,
+    normalize_focus: bool = False,
+) -> float:
+    """Opacity of one original edge, evaluated the paper-literal O(V) way."""
+    adversary = adversary if adversary is not None else DEFAULT_ADVERSARY
+    source, target = edge
+    if account.contains_original_edge(source, target):
+        return 0.0
+    account_source = account.account_node_of(source)
+    account_target = account.account_node_of(target)
+    if account_source is None or account_target is None:
+        return 1.0
+    inference = inference_likelihood_reference(
+        account.graph,
+        account_source,
+        account_target,
+        adversary,
+        normalize_focus=normalize_focus,
+    )
+    return max(0.0, min(1.0, 1.0 - inference))
+
+
+def opacity_profile_reference(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    edges: Optional[Iterable[EdgeKey]] = None,
+    *,
+    adversary: Optional[AttackerModel] = None,
+    normalize_focus: bool = False,
+) -> Dict[EdgeKey, float]:
+    """Per-edge opacity over a set of edges (default: all hidden), O(V) each."""
+    if edges is None:
+        edges = hidden_edges(original, account)
+    return {
+        tuple(edge): opacity_reference(
+            original, account, tuple(edge), adversary=adversary, normalize_focus=normalize_focus
+        )
+        for edge in edges
+    }
+
+
+def average_opacity_reference(
+    original: PropertyGraph,
+    account: ProtectedAccount,
+    edges: Optional[Iterable[EdgeKey]] = None,
+    *,
+    adversary: Optional[AttackerModel] = None,
+    normalize_focus: bool = False,
+) -> float:
+    """Average opacity over a set of edges, the paper-literal way (1.0 if empty)."""
+    profile = opacity_profile_reference(
+        original, account, edges, adversary=adversary, normalize_focus=normalize_focus
+    )
+    if not profile:
+        return 1.0
+    return sum(profile.values()) / len(profile)

@@ -70,31 +70,27 @@ class Figure7Result:
         )
 
 
-def compare_motif(
-    motif: Motif,
-    *,
-    adversary: Optional[AttackerModel] = None,
-) -> MotifComparison:
-    """Protect one motif's designated edge both ways and measure the outcome.
+def _motif_requests(motif: Motif, public: object, *, with_graph: bool) -> List[ProtectionRequest]:
+    """The hide and surrogate requests of one motif (in that order).
 
-    Both strategies run as one :meth:`ProtectionService.protect_many` batch.
-    (Edge-protecting requests each generate on their own scoped policy copy,
-    so no compiled state is shared between the two strategies — the batch is
-    purely a call-site convenience here.)
+    ``with_graph`` attaches the motif's graph to each request, which is how
+    the cross-graph batch of :func:`run_figure7` targets a multi-graph
+    service.
     """
-    adversary = adversary if adversary is not None else AdvancedAdversary()
-    policy = ReleasePolicy(PrivilegeLattice())
-    service = ProtectionService(motif.graph, policy, adversary=adversary)
-    public = policy.lattice.public
-    hide, surrogate = service.protect_many(
+    return [
         ProtectionRequest(
             privileges=(public,),
             strategy=strategy,
             protect_edges=(motif.protected_edge,),
             opacity_edges=(motif.protected_edge,),
+            graph=motif.graph if with_graph else None,
         )
         for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE)
-    )
+    ]
+
+
+def _comparison_from_results(motif: Motif, hide, surrogate) -> MotifComparison:
+    """Assemble one table row from the two strategies' scored results."""
     return MotifComparison(
         motif=motif.name,
         utility_hide=hide.scores.path_utility,
@@ -104,9 +100,50 @@ def compare_motif(
     )
 
 
+def compare_motif(
+    motif: Motif,
+    *,
+    adversary: Optional[AttackerModel] = None,
+) -> MotifComparison:
+    """Protect one motif's designated edge both ways and measure the outcome.
+
+    Both strategies run as one :meth:`ProtectionService.protect_many` batch;
+    scoring goes through the service's compiled opacity engine, so each
+    account's protected-edge opacity is read off one adversary simulation.
+    (Edge-protecting requests each generate on their own scoped policy copy,
+    so no compiled *marking* state is shared between the two strategies —
+    the batch is a call-site convenience for generation.)
+    """
+    adversary = adversary if adversary is not None else AdvancedAdversary()
+    policy = ReleasePolicy(PrivilegeLattice())
+    service = ProtectionService(motif.graph, policy, adversary=adversary)
+    hide, surrogate = service.protect_many(
+        _motif_requests(motif, policy.lattice.public, with_graph=False)
+    )
+    return _comparison_from_results(motif, hide, surrogate)
+
+
 def run_figure7(*, adversary: Optional[AttackerModel] = None) -> Figure7Result:
-    """Reproduce Figure 7 over every motif of Figure 6."""
+    """Reproduce Figure 7 over every motif of Figure 6.
+
+    All seven motifs run as **one** cross-graph
+    :meth:`~repro.api.service.ProtectionService.protect_many` batch over a
+    multi-graph service (each request carries its motif's graph), the same
+    serving shape the Figures-8/9 sweep uses; per-motif results are
+    identical to :func:`compare_motif` because both paths score through the
+    compiled opacity engine.
+    """
+    adversary = adversary if adversary is not None else AdvancedAdversary()
+    policy = ReleasePolicy(PrivilegeLattice())
+    service = ProtectionService(None, policy, adversary=adversary)
+    motifs = all_motifs()
+    requests: List[ProtectionRequest] = []
+    for motif in motifs:
+        requests.extend(_motif_requests(motif, policy.lattice.public, with_graph=True))
+    results = service.protect_many(requests)
     result = Figure7Result()
-    for motif in all_motifs():
-        result.comparisons.append(compare_motif(motif, adversary=adversary))
+    for index, motif in enumerate(motifs):
+        result.comparisons.append(
+            _comparison_from_results(motif, results[2 * index], results[2 * index + 1])
+        )
     return result

@@ -5,6 +5,13 @@ both protection strategies are applied and the resulting accounts are scored
 for Path Utility and for average opacity over the protected edges.  The
 sweep records are then aggregated differently by the Figure-8 and Figure-9
 drivers.
+
+Scoring runs on the service's compiled opacity engine: each account's
+protected-edge opacities are read off **one** adversary simulation
+(:class:`~repro.core.opacity.CompiledOpacityView`, O(V) setup then O(1) per
+edge) instead of re-running the adversary per edge, and repeated sweeps over
+the same instances replay both the accounts and their simulations from the
+shared service's caches.
 """
 
 from __future__ import annotations

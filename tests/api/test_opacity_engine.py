@@ -1,0 +1,167 @@
+"""The serving stack on the compiled opacity engine: timings + zero re-simulation.
+
+The acceptance contract of the compiled engine at the service layer:
+
+* ``score()`` runs opacity off one compiled adversary simulation and
+  surfaces the ``opacity_compile`` / ``opacity_score`` split in its
+  ScoreCard (folded into ``ProtectionResult.timings_ms``),
+* repeated ``score()`` calls for the same account and adversary hit the
+  service's view cache — **zero** additional simulations,
+* account-cache ``protect()`` replays return memoised ScoreCards whose
+  reports carry their compiled view — **zero** additional simulations,
+* mutating the graph (or asking for a different adversary) compiles anew.
+
+"Simulation" is observable through
+:func:`repro.core.opacity.opacity_simulations_run`, a process-wide counter
+that increments exactly once per :meth:`CompiledOpacityView.compile
+<repro.core.opacity.CompiledOpacityView.compile>`.
+"""
+
+import pytest
+
+from repro.api import ProtectionRequest, ProtectionService
+from repro.core.opacity import (
+    AdvancedAdversary,
+    CompiledOpacityView,
+    opacity_simulations_run,
+)
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import figure1_lattice
+from repro.workloads.random_graphs import random_digraph, sample_edges
+from repro.workloads.social import figure1_example
+
+
+@pytest.fixture()
+def service():
+    example = figure1_example(with_feature_surrogate=True)
+    return ProtectionService(example.graph, example.policy), example
+
+
+class TestScoreTimings:
+    def test_score_records_compile_and_score_split(self, service):
+        svc, example = service
+        result = svc.protect(privilege=example.high2)
+        assert "opacity_compile" in result.scores.timings_ms
+        assert "opacity_score" in result.scores.timings_ms
+        # The split is folded into the result's timing map without
+        # inflating the phase sum: total was computed from the phases.
+        assert "opacity_compile" in result.timings_ms
+        assert "opacity_score" in result.timings_ms
+        phase_sum = sum(
+            result.timings_ms[key]
+            for key in ("generate", "score", "persist")
+            if key in result.timings_ms
+        )
+        assert result.timings_ms["total"] == pytest.approx(phase_sum)
+
+    def test_report_carries_its_compiled_view(self, service):
+        svc, example = service
+        result = svc.protect(privilege=example.high2)
+        view = result.scores.opacity.view
+        assert isinstance(view, CompiledOpacityView)
+        assert view.is_current_for(result.account.graph, AdvancedAdversary())
+
+
+class TestNoRecompute:
+    def test_repeated_score_runs_zero_additional_simulations(self, service):
+        svc, example = service
+        result = svc.protect(privilege=example.high2)
+        before = opacity_simulations_run()
+        for _ in range(3):
+            scores = svc.score(result.account)
+        assert opacity_simulations_run() == before
+        assert scores.average_opacity == result.scores.average_opacity
+        assert scores.opacity.per_edge == result.scores.opacity.per_edge
+
+    def test_cached_protect_replays_run_zero_additional_simulations(self, service):
+        svc, example = service
+        request = ProtectionRequest(privileges=(example.high2,))
+        first = svc.protect(request)
+        assert first.timings_ms["cache_hit"] == 0.0
+        before = opacity_simulations_run()
+        for _ in range(3):
+            replay = svc.protect(request)
+            assert replay.timings_ms["cache_hit"] == 1.0
+        assert opacity_simulations_run() == before
+        # The memoised entry still carries the compiled simulation ...
+        assert replay.scores.opacity.view is first.scores.opacity.view
+        # ... and the original scoring breakdown stays readable off the
+        # ScoreCard even though the replay's own timings are just the lookup.
+        assert "opacity_compile" in replay.scores.timings_ms
+        assert "opacity_score" in replay.scores.timings_ms
+        assert "generate" not in replay.timings_ms
+
+    def test_score_after_cached_replay_reuses_the_view(self, service):
+        """protect → cached replay → score(): still no new simulation."""
+        svc, example = service
+        request = ProtectionRequest(privileges=(example.high2,))
+        svc.protect(request)
+        replay = svc.protect(request)
+        before = opacity_simulations_run()
+        svc.score(replay.account)
+        assert opacity_simulations_run() == before
+
+    def test_unscored_requests_never_simulate(self, service):
+        svc, example = service
+        before = opacity_simulations_run()
+        svc.protect(ProtectionRequest(privileges=(example.high2,), score=False))
+        assert opacity_simulations_run() == before
+
+    def test_scoring_without_inferable_edges_never_simulates(self):
+        """A fully-public account hides nothing, so score() stays lazy."""
+        graph = random_digraph(20, 40, seed=1)
+        svc = ProtectionService(graph, ReleasePolicy(figure1_lattice()[0]))
+        before = opacity_simulations_run()
+        result = svc.protect(privilege="Public")
+        assert opacity_simulations_run() == before
+        assert result.timings_ms["opacity_compile"] == 0.0
+        assert result.scores.opacity.view is None
+        assert result.scores.average_opacity == 1.0
+
+    def test_graph_mutation_forces_exactly_one_new_simulation(self, service):
+        svc, example = service
+        request = ProtectionRequest(privileges=(example.high2,))
+        svc.protect(request)
+        example.graph.add_node("newcomer")
+        before = opacity_simulations_run()
+        fresh = svc.protect(request)
+        assert fresh.timings_ms["cache_hit"] == 0.0
+        assert opacity_simulations_run() == before + 1
+
+    def test_distinct_adversaries_get_distinct_simulations(self, service):
+        svc, example = service
+        base = ProtectionRequest(privileges=(example.high2,))
+        svc.protect(base)
+        before = opacity_simulations_run()
+        svc.protect(base.with_options(adversary=AdvancedAdversary.figure5()))
+        assert opacity_simulations_run() == before + 1
+        # ... but an equal-by-value adversary shares the compiled view.
+        before = opacity_simulations_run()
+        svc.score(svc.protect(base).account, adversary=AdvancedAdversary())
+        assert opacity_simulations_run() == before
+
+
+class TestBatchSimulationSharing:
+    def test_cross_graph_batch_simulates_once_per_account(self):
+        lattice, privileges = figure1_lattice()
+        policy = ReleasePolicy(lattice)
+        graphs = [random_digraph(30, 70, seed=seed) for seed in range(4)]
+        service = ProtectionService(None, policy)
+        # Each request protects (and scores) a few of its graph's edges, so
+        # every account hides something and needs exactly one simulation.
+        requests = [
+            ProtectionRequest(
+                privileges=(privileges["Low-2"],),
+                graph=graph,
+                protect_edges=tuple(sample_edges(graph, 3, seed=seed)),
+            )
+            for seed, graph in enumerate(graphs)
+        ]
+        before = opacity_simulations_run()
+        service.protect_many(requests)
+        assert opacity_simulations_run() == before + len(graphs)
+        # The cached replay of the whole batch re-simulates nothing.
+        before = opacity_simulations_run()
+        replays = service.protect_many(requests)
+        assert all(result.timings_ms["cache_hit"] == 1.0 for result in replays)
+        assert opacity_simulations_run() == before

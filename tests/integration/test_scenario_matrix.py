@@ -1,0 +1,138 @@
+"""Scenario matrix: protect → score → enforce across workloads × strategies.
+
+One parametrized smoke pass over every workload generator family
+({random_graphs, synthetic, motifs, social}) crossed with every protection
+strategy ({hide, surrogate, naive}), checking the ScoreCard invariants the
+compiled opacity engine must preserve on real serving paths:
+
+* every opacity value lies in ``[0, 1]`` (min ≤ average included),
+* every edge the account *shows* has opacity exactly 0,
+* both utility measures lie in ``[0, 1]``,
+* the enforcement hand-off (``service.enforce()``) answers queries over the
+  same accounts without error, and only with nodes the account contains.
+"""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import pytest
+
+from repro.api import ProtectionRequest, ProtectionService
+from repro.core.hiding import STRATEGY_NAIVE
+from repro.core.opacity import opacity_many
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice, figure1_lattice
+from repro.graph.model import PropertyGraph
+from repro.security.credentials import Consumer
+from repro.security.enforcement import EnforcementMode
+from repro.workloads.motifs import motif
+from repro.workloads.random_graphs import random_digraph, sample_edges
+from repro.workloads.social import SENSITIVE_EDGE, figure1_example
+from repro.workloads.synthetic import small_family_for_tests
+
+STRATEGIES = (STRATEGY_HIDE, STRATEGY_SURROGATE, STRATEGY_NAIVE)
+
+WORKLOADS = ("random_graphs", "synthetic", "motifs", "social")
+
+
+@dataclass
+class Scenario:
+    """One workload instance ready for the protect → score → enforce pass."""
+
+    graph: PropertyGraph
+    policy: ReleasePolicy
+    privilege: object
+    protect_edges: Tuple[Tuple[object, object], ...] = field(default_factory=tuple)
+
+
+def _build_scenario(workload: str) -> Scenario:
+    if workload == "random_graphs":
+        graph = random_digraph(36, 90, seed=9)
+        lattice, privileges = figure1_lattice()
+        policy = ReleasePolicy(lattice)
+        for node_id in graph.node_ids()[::7]:
+            policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+        return Scenario(
+            graph=graph,
+            policy=policy,
+            privilege=privileges["Low-2"],
+            protect_edges=tuple(sample_edges(graph, 5, seed=9)),
+        )
+    if workload == "synthetic":
+        instance = small_family_for_tests(node_count=30, connectivity_targets=(6,))[0]
+        policy = ReleasePolicy(PrivilegeLattice())
+        return Scenario(
+            graph=instance.graph,
+            policy=policy,
+            privilege=policy.lattice.public,
+            protect_edges=tuple(tuple(edge) for edge in instance.protected_edges[:6]),
+        )
+    if workload == "motifs":
+        chosen = motif("tree")
+        policy = ReleasePolicy(PrivilegeLattice())
+        return Scenario(
+            graph=chosen.graph,
+            policy=policy,
+            privilege=policy.lattice.public,
+            protect_edges=(chosen.protected_edge,),
+        )
+    if workload == "social":
+        example = figure1_example(with_feature_surrogate=True)
+        return Scenario(
+            graph=example.graph,
+            policy=example.policy,
+            privilege=example.high2,
+            protect_edges=(SENSITIVE_EDGE,),
+        )
+    raise AssertionError(f"unknown workload {workload!r}")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_protect_score_enforce_matrix(workload, strategy):
+    scenario = _build_scenario(workload)
+    service = ProtectionService(scenario.graph, scenario.policy)
+    request = ProtectionRequest(
+        privileges=(scenario.privilege,),
+        strategy=strategy,
+        protect_edges=scenario.protect_edges,
+        opacity_edges=scenario.protect_edges,
+    )
+    result = service.protect(request)
+    account, scores = result.account, result.scores
+
+    # -- score invariants ------------------------------------------------ #
+    assert scores is not None
+    assert 0.0 <= scores.path_utility <= 1.0
+    assert 0.0 <= scores.node_utility <= 1.0
+    assert 0.0 <= scores.average_opacity <= 1.0
+    # (+1 ulp slack: the mean of k identical values can round just below them)
+    assert 0.0 <= scores.min_opacity <= scores.average_opacity + 1e-12
+    assert set(scores.opacity.per_edge) == set(scenario.protect_edges)
+    for value in scores.opacity.per_edge.values():
+        assert 0.0 <= value <= 1.0
+
+    # -- shown edges are never opaque ------------------------------------ #
+    all_edges = list(scenario.graph.edge_keys())
+    per_edge = opacity_many(scenario.graph, account, all_edges)
+    for edge in all_edges:
+        assert 0.0 <= per_edge[edge] <= 1.0
+        if account.contains_original_edge(*edge):
+            assert per_edge[edge] == 0.0
+    # The scored subset agrees with the full pass on every shown edge.
+    for edge, value in scores.opacity.per_edge.items():
+        if account.contains_original_edge(*edge):
+            assert value == 0.0
+
+    # -- enforcement over the same serving stack ------------------------- #
+    enforcer = service.enforce()
+    privilege_name = getattr(scenario.privilege, "name", str(scenario.privilege))
+    consumer = Consumer.with_credentials("matrix-probe", privilege_name)
+    start = scenario.graph.node_ids()[0]
+    for mode in (EnforcementMode.PROTECTED, EnforcementMode.NAIVE):
+        answer = enforcer.reachable(consumer, start, direction="connected", mode=mode)
+        served_account = enforcer.account_for(consumer, mode)
+        assert set(answer.nodes) <= set(served_account.graph.node_ids())
+        assert answer.surrogate_nodes <= set(answer.nodes)
+        if answer.start_missing:
+            assert answer.nodes == []

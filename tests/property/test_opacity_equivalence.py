@@ -1,0 +1,190 @@
+"""Differential suite: the compiled opacity engine == the paper-literal reference.
+
+The compiled engine (`CompiledOpacityView` + `opacity_many`) must be
+*observationally invisible*: on any account, any adversary and either focus
+reading it has to produce **bit-identical** floats to the per-edge O(V)
+reference (`repro.core.reference.opacity_reference`).  These tests pin that
+with exact ``==`` (no tolerance) across accounts built from all four
+workload generator families — random graphs, the synthetic family, the
+Figure-6 motifs and the Figure-1/2 social example — times four adversaries
+(including a custom model emitting zero and negative weights, which the
+formula clamps) times both ``normalize_focus`` readings, plus hypothesis
+over arbitrary graph/policy/consumer triples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generation import build_protected_account
+from repro.core.opacity import (
+    AdvancedAdversary,
+    CompiledOpacityView,
+    NaiveAdversary,
+    average_opacity,
+    hidden_edges,
+    opacity,
+    opacity_many,
+    opacity_report,
+)
+from repro.core.policy import ReleasePolicy, STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.core.privileges import PrivilegeLattice, figure1_lattice
+from repro.core.reference import (
+    average_opacity_reference,
+    opacity_profile_reference,
+    opacity_reference,
+)
+from repro.workloads.motifs import all_motifs
+from repro.workloads.random_graphs import random_connected_dag, random_digraph, sample_edges
+from repro.workloads.social import figure2_variant
+from repro.workloads.synthetic import small_family_for_tests
+
+from tests.property.strategies import graph_with_policy
+
+
+@dataclass(frozen=True)
+class SpikyAdversary:
+    """A custom attacker emitting zero and negative raw weights.
+
+    Negative weights exercise the ``max(0.0, ...)`` clamp; zero weights
+    exercise the zero-denominator and zero-total branches.  Degree-driven so
+    the vectors vary across nodes without any randomness.
+    """
+
+    focus_slope: float = 0.45
+    focus_offset: float = -0.6
+
+    def focus_probability(self, account_graph, node_id):
+        return self.focus_slope * account_graph.neighbor_count(node_id) + self.focus_offset
+
+    def inference_probability(self, account_graph, node_id):
+        degree = account_graph.neighbor_count(node_id)
+        return 0.0 if degree % 2 == 0 else 0.37 * degree
+
+
+ADVERSARIES = [
+    NaiveAdversary(),
+    AdvancedAdversary(),
+    AdvancedAdversary.figure5(),
+    SpikyAdversary(),
+]
+
+ADVERSARY_IDS = ["naive", "advanced", "figure5", "spiky-zero-negative"]
+
+
+def _assert_compiled_matches_reference(original, account, adversary, normalize_focus):
+    """Exact per-edge, profile-level and average-level agreement."""
+    edges = list(original.edge_keys())
+    compiled = opacity_many(
+        original, account, edges, adversary=adversary, normalize_focus=normalize_focus
+    )
+    for edge in edges:
+        reference = opacity_reference(
+            original, account, edge, adversary=adversary, normalize_focus=normalize_focus
+        )
+        assert compiled[edge] == reference  # exact float equality, no tolerance
+        # The single-edge convenience entry point agrees too.
+        assert (
+            opacity(original, account, edge, adversary=adversary, normalize_focus=normalize_focus)
+            == reference
+        )
+    hidden = hidden_edges(original, account)
+    assert opacity_many(
+        original, account, hidden, adversary=adversary, normalize_focus=normalize_focus
+    ) == opacity_profile_reference(
+        original, account, hidden, adversary=adversary, normalize_focus=normalize_focus
+    )
+    assert average_opacity(
+        original, account, adversary=adversary, normalize_focus=normalize_focus
+    ) == average_opacity_reference(
+        original, account, adversary=adversary, normalize_focus=normalize_focus
+    )
+
+
+def _workload_account(graph, seed):
+    """The benchmark-style policy (protected nodes + protected edges) and account."""
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    rng = random.Random(seed)
+    for node_id in rng.sample(graph.node_ids(), max(1, graph.node_count() // 8)):
+        policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+    policy.protect_edges(
+        sample_edges(graph, max(1, graph.edge_count() // 10), seed=seed), privileges["Low-2"]
+    )
+    return build_protected_account(graph, policy, privileges["Low-2"])
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES, ids=ADVERSARY_IDS)
+@pytest.mark.parametrize("normalize_focus", [False, True], ids=["raw", "normalized"])
+@pytest.mark.parametrize("seed", [0, 11])
+def test_random_digraph_workloads(seed, normalize_focus, adversary):
+    graph = random_digraph(48, 140, seed=seed)
+    account = _workload_account(graph, seed)
+    _assert_compiled_matches_reference(graph, account, adversary, normalize_focus)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES, ids=ADVERSARY_IDS)
+@pytest.mark.parametrize("normalize_focus", [False, True], ids=["raw", "normalized"])
+def test_random_connected_dag_workloads(normalize_focus, adversary):
+    graph = random_connected_dag(40, 90, seed=3)
+    account = _workload_account(graph, 3)
+    _assert_compiled_matches_reference(graph, account, adversary, normalize_focus)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES, ids=ADVERSARY_IDS)
+@pytest.mark.parametrize("normalize_focus", [False, True], ids=["raw", "normalized"])
+def test_synthetic_family_instances(normalize_focus, adversary):
+    for instance in small_family_for_tests(node_count=30, connectivity_targets=(6,)):
+        policy = ReleasePolicy(PrivilegeLattice())
+        policy.protect_edges(instance.protected_edges, policy.lattice.public, strategy=STRATEGY_HIDE)
+        account = build_protected_account(instance.graph, policy, policy.lattice.public)
+        _assert_compiled_matches_reference(instance.graph, account, adversary, normalize_focus)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES, ids=ADVERSARY_IDS)
+@pytest.mark.parametrize("normalize_focus", [False, True], ids=["raw", "normalized"])
+@pytest.mark.parametrize("strategy", [STRATEGY_HIDE, STRATEGY_SURROGATE])
+def test_motif_accounts(strategy, normalize_focus, adversary):
+    for motif in all_motifs():
+        policy = ReleasePolicy(PrivilegeLattice())
+        policy.protect_edges([motif.protected_edge], policy.lattice.public, strategy=strategy)
+        account = build_protected_account(motif.graph, policy, policy.lattice.public)
+        _assert_compiled_matches_reference(motif.graph, account, adversary, normalize_focus)
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES, ids=ADVERSARY_IDS)
+@pytest.mark.parametrize("normalize_focus", [False, True], ids=["raw", "normalized"])
+@pytest.mark.parametrize("variant", ["a", "b", "c", "d"])
+def test_social_figure2_accounts(variant, normalize_focus, adversary):
+    example = figure2_variant(variant)
+    account = build_protected_account(example.graph, example.policy, example.high2)
+    _assert_compiled_matches_reference(example.graph, account, adversary, normalize_focus)
+
+
+@settings(max_examples=30, deadline=None)
+@given(triple=graph_with_policy(), adversary_index=st.integers(0, len(ADVERSARIES) - 1))
+def test_hypothesis_accounts_match_reference(triple, adversary_index):
+    """Arbitrary graph/policy/consumer accounts agree under every focus reading."""
+    graph, policy, consumer = triple
+    account = build_protected_account(graph, policy, consumer)
+    adversary = ADVERSARIES[adversary_index]
+    for normalize_focus in (False, True):
+        _assert_compiled_matches_reference(graph, account, adversary, normalize_focus)
+
+
+def test_report_average_and_view_match_reference():
+    """opacity_report's numbers equal the reference's and carry the view used."""
+    graph = random_digraph(32, 80, seed=5)
+    account = _workload_account(graph, 5)
+    adversary = AdvancedAdversary()
+    report = opacity_report(graph, account, adversary=adversary)
+    assert report.per_edge == opacity_profile_reference(graph, account, adversary=adversary)
+    assert report.average == average_opacity_reference(graph, account, adversary=adversary)
+    if any(value not in (0.0, 1.0) for value in report.per_edge.values()):
+        assert isinstance(report.view, CompiledOpacityView)
+        assert report.view.is_current_for(account.graph, adversary)
