@@ -26,6 +26,15 @@ compiled ``opacity_report`` over every hidden edge, and the cached-replay
 ``score()`` that reuses the compiled adversary simulation (asserted to run
 zero additional simulations).
 
+An ``incremental`` section (PR 5) tracks the delta-aware mutation pipeline
+on the same 8k-node workload: a 100-edit interactive loop through
+``ProtectionService.edit()`` — every commit re-protects and re-scores off
+delta-patched compiled views — against the full-recompile path a
+delta-blind system pays per edit (cold marking view, cold walks, fresh
+account, fresh utility + opacity reports).  The acceptance bar is a ≥ 20×
+per-edit speedup, and the bench refuses to record a number until the
+session's final state matches a fresh ``protect()+score()`` exactly.
+
 Quick mode (the default) benchmarks the 500- and 2 000-node cases and runs
 the 8 000-node case once for the JSON trajectory; ``REPRO_BENCH_FULL=1``
 benchmarks all three sizes.
@@ -69,6 +78,15 @@ BATCH_SIZE = (500, 1_500)
 #: Size of the compiled-opacity case (the acceptance-criteria workload).
 OPACITY_SIZE = (8_000, 24_000)
 
+#: Size and length of the incremental edit-loop case.
+INCREMENTAL_SIZE = (8_000, 24_000)
+EDIT_LOOP = 100
+
+#: Edits sampled for the (expensive) full-recompile baseline; its per-edit
+#: cost is flat — every edit recompiles the same O(V + E) state — so a few
+#: samples characterise it.
+BASELINE_EDITS = 3
+
 #: Hidden edges timed under the per-edge reference.  The reference costs
 #: O(V) *per edge*, so timing every hidden edge would take minutes; both
 #: paths are timed on this identical sample and the full-set reference cost
@@ -82,6 +100,7 @@ _SEED = 7
 _results = {}
 _serving = {}
 _opacity = {}
+_incremental = {}
 
 
 def build_workload(node_count, edge_count, seed=_SEED):
@@ -274,6 +293,97 @@ def measure_opacity():
     }
 
 
+def measure_incremental():
+    """The 8k-node 100-edit interactive loop: delta path vs full recompile.
+
+    The delta path drives a single ``service.edit()`` session: each edit
+    removes a random edge or restores a previously removed one, and every
+    ``commit()`` re-protects + re-scores off patched views (the bench
+    asserts that **no** commit fell back to a rebuild and that the loop ran
+    zero additional adversary simulations).  The baseline pays what a
+    delta-blind pipeline pays per edit — compiled marking view, walk
+    caches, account, utility and opacity all rebuilt cold.  Before any
+    number is recorded, the session's final account and ScoreCard are
+    compared **exactly** against a fresh ``protect()+score()`` of the edited
+    graph.
+    """
+    from repro.graph.deltas import view_maintenance_stats
+
+    node_count, edge_count = INCREMENTAL_SIZE
+    graph, policy, consumer = build_workload(node_count, edge_count)
+    service = ProtectionService(graph, policy)
+
+    start = time.perf_counter()
+    session = service.edit(consumer)
+    setup_s = time.perf_counter() - start
+
+    rng = random.Random(_SEED)
+    removed = []
+    maintenance_before = view_maintenance_stats().get("edit_session", {})
+    simulations_before = opacity_simulations_run()
+    edit_times = []
+    for step in range(EDIT_LOOP):
+        start = time.perf_counter()
+        if step % 2 == 0 or not removed:
+            edge = session.remove_edge(*rng.choice(graph.edge_keys()))
+            removed.append(edge)
+        else:
+            edge = removed.pop()
+            session.add_edge(
+                edge.source, edge.target, label=edge.label, features=dict(edge.features)
+            )
+        result = session.commit()
+        edit_times.append(time.perf_counter() - start)
+    delta_total_s = sum(edit_times)
+    maintenance_after = view_maintenance_stats()["edit_session"]
+    fallbacks = maintenance_after.get("recompile_fallback", 0) - maintenance_before.get(
+        "recompile_fallback", 0
+    )
+    assert fallbacks == 0, "edge edits must stay on the delta path"
+    assert opacity_simulations_run() == simulations_before, (
+        "the edit loop must reuse its patched adversary simulation"
+    )
+
+    # Exactness gate: the maintained state equals a fresh protect+score.
+    fresh = ProtectionService(graph, policy.copy()).protect(
+        ProtectionRequest(privileges=(consumer,))
+    )
+    assert result.account.graph == fresh.account.graph
+    assert result.account.surrogate_edges == fresh.account.surrogate_edges
+    assert result.scores.path_utility == fresh.scores.path_utility
+    assert result.scores.node_utility == fresh.scores.node_utility
+    assert result.scores.average_opacity == fresh.scores.average_opacity
+    assert result.scores.opacity.per_edge == fresh.scores.opacity.per_edge
+    session.close()
+
+    # Baseline: the same edit, served by full recompilation.
+    baseline_times = []
+    for _ in range(BASELINE_EDITS):
+        edge = graph.remove_edge(*rng.choice(graph.edge_keys()))
+        start = time.perf_counter()
+        policy.markings.touch()  # defeat every compiled view: a cold pipeline
+        account = generate_protected_account(graph, policy, consumer)
+        utility_report(graph, account)
+        opacity_report(graph, account)
+        baseline_times.append(time.perf_counter() - start)
+        graph.add_edge(edge.source, edge.target, label=edge.label, features=dict(edge.features))
+
+    delta_avg = delta_total_s / EDIT_LOOP
+    baseline_avg = sum(baseline_times) / len(baseline_times)
+    return {
+        "nodes": node_count,
+        "edges": edge_count,
+        "edits": EDIT_LOOP,
+        "session_setup_s": round(setup_s, 6),
+        "delta_edit_avg_s": round(delta_avg, 6),
+        "delta_edit_max_s": round(max(edit_times), 6),
+        "delta_loop_total_s": round(delta_total_s, 6),
+        "full_recompile_edit_avg_s": round(baseline_avg, 6),
+        "speedup": round(baseline_avg / delta_avg, 1),
+        "fallbacks": fallbacks,
+    }
+
+
 def _write_trajectory():
     """Fill in any un-benchmarked sizes, then write BENCH_scaling.json."""
     for node_count, edge_count in SIZES:
@@ -288,6 +398,8 @@ def _write_trajectory():
         _serving["cross_graph_batch"] = measure_cross_graph_batch()
     if not _opacity:
         _opacity.update(measure_opacity())
+    if not _incremental:
+        _incremental.update(measure_incremental())
     payload = {
         "benchmark": "protect_and_score_scaling",
         "workload": "random_digraph seed=7, 10% protected nodes, 5% protected edges, Low-2 consumer",
@@ -295,6 +407,7 @@ def _write_trajectory():
         "sizes": [_results[nodes] for nodes, _ in SIZES],
         "serving": dict(_serving),
         "opacity": dict(_opacity),
+        "incremental": dict(_incremental),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -333,6 +446,22 @@ def test_bench_opacity_compiled_vs_reference(bench_quick):
     assert _opacity["compiled_full_report_s"] < _opacity["reference_s"]
 
 
+def test_bench_incremental_edit_loop(bench_quick):
+    """Edit case: the delta path beats full recompilation ≥ 20× per edit.
+
+    The measurement itself gates on exactness (see
+    :func:`measure_incremental`): the speedup only counts because the
+    delta-maintained account and every ScoreCard float equal a fresh
+    ``protect()+score()`` of the edited graph.
+    """
+    _incremental.update(measure_incremental())
+    assert _incremental["speedup"] >= 20.0
+    assert _incremental["fallbacks"] == 0
+    # Amortisation sanity: one session setup costs no more than a handful
+    # of cold edits, so interactive loops win almost immediately.
+    assert _incremental["session_setup_s"] < 5 * _incremental["full_recompile_edit_avg_s"]
+
+
 def test_bench_scaling_writes_trajectory(bench_quick):
     """Shape-check the emitted BENCH_scaling.json (runs in plain test mode)."""
     _write_trajectory()
@@ -346,3 +475,5 @@ def test_bench_scaling_writes_trajectory(bench_quick):
         < written["serving"]["cross_graph_batch"]["cold_batch_s"]
     )
     assert written["opacity"]["speedup"] >= 20.0
+    assert written["incremental"]["speedup"] >= 20.0
+    assert written["incremental"]["edits"] == EDIT_LOOP

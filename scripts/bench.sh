@@ -6,6 +6,8 @@
 #   scripts/bench.sh scaling   # just the scaling benchmark (fastest perf signal)
 #   scripts/bench.sh opacity   # just the compiled-opacity case (naive vs compiled
 #                              # vs cached replay; refreshes BENCH_scaling.json)
+#   scripts/bench.sh edits     # just the incremental edit-loop case (delta path vs
+#                              # full recompile; refreshes BENCH_scaling.json)
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
 #
 # Set REPRO_BENCH_FULL=1 to run the synthetic experiments at paper scale and
@@ -31,11 +33,16 @@ case "${1:-all}" in
     # trajectory file including the opacity section.
     python -m pytest benchmarks/test_bench_scaling.py -q -k opacity
     ;;
+  edits)
+    # Plain test mode: the edit-loop case is wall-clock timed and the module
+    # teardown rewrites the trajectory file including the incremental section.
+    python -m pytest benchmarks/test_bench_scaling.py -q -k incremental
+    ;;
   all)
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|opacity|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|smoke]" >&2
     exit 2
     ;;
 esac

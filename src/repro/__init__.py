@@ -38,12 +38,29 @@ cache with per-tenant store roots and :class:`TenantQuota` budgets::
     registry.register("acme", max_requests=100_000)
     service = registry.service("acme", graph, policy)
 
+Interactive editing runs on the typed-delta pipeline: every graph mutation
+emits a :class:`GraphDelta`, compiled views patch themselves in O(affected)
+(:func:`view_maintenance_stats` counts delta vs recompile paths), and
+``service.edit(privilege)`` opens an :class:`EditSession` whose
+mutate → commit loop re-protects and re-scores interactively::
+
+    with service.edit("Low-2") as session:
+        session.remove_edge("alice", "bob")
+        result = session.commit()             # patched, not recompiled
+        result.timings_ms["delta_apply"]
+
 The older free functions (``generate_protected_account``,
 ``generate_multi_privilege_account``) remain available as deprecated shims
 that delegate to the service; the underlying measures (``path_utility``,
 ``opacity``, ...) are stable API.
 """
 
+from repro.graph.deltas import (
+    DeltaBus,
+    DeltaKind,
+    GraphDelta,
+    view_maintenance_stats,
+)
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.core.privileges import (
     HighWaterSet,
@@ -89,6 +106,7 @@ from repro.core.opacity import (
 from repro.api import (
     AccountCache,
     CacheStats,
+    EditSession,
     ProtectionRequest,
     ProtectionResult,
     ProtectionService,
@@ -105,6 +123,11 @@ __all__ = [
     "Edge",
     "Node",
     "PropertyGraph",
+    # the delta pipeline
+    "GraphDelta",
+    "DeltaKind",
+    "DeltaBus",
+    "view_maintenance_stats",
     # privileges and policies
     "Privilege",
     "PrivilegeLattice",
@@ -147,6 +170,7 @@ __all__ = [
     "ProtectionRequest",
     "ProtectionResult",
     "ScoreCard",
+    "EditSession",
     # serving at scale
     "AccountCache",
     "CacheStats",

@@ -21,12 +21,19 @@ Serving heavy traffic is handled by two further pieces:
 * :class:`ServiceRegistry` / :class:`TenantQuota` — multi-tenant serving
   with per-tenant store roots, cache namespaces and request/graph quotas.
 
+Interactive editing rides on the delta pipeline
+(:mod:`repro.graph.deltas`): :meth:`ProtectionService.edit` opens an
+:class:`EditSession` whose mutate → re-protect → re-score loop patches
+every compiled structure in O(affected) instead of recompiling — see
+``timings_ms["delta_apply"]`` / ``timings_ms["recompile_fallback"]``.
+
 The old free functions (``generate_protected_account``,
 ``generate_multi_privilege_account``) survive as deprecated shims that
 delegate here.
 """
 
 from repro.api.cache import AccountCache, CacheStats, DEFAULT_CACHE_CAPACITY, DEFAULT_TENANT
+from repro.api.editing import EditSession
 from repro.api.requests import ProtectionRequest, REQUEST_STRATEGIES
 from repro.api.results import ProtectionResult, ScoreCard
 from repro.api.service import ProtectionService
@@ -43,6 +50,7 @@ __all__ = [
     "ProtectionRequest",
     "ProtectionResult",
     "ScoreCard",
+    "EditSession",
     "AccountCache",
     "CacheStats",
     "ServiceRegistry",

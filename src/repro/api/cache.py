@@ -36,6 +36,7 @@ from typing import Dict, Hashable, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.generation import account_cache_token
 from repro.core.policy import ReleasePolicy
+from repro.graph.deltas import GraphDelta, record_maintenance
 from repro.graph.model import PropertyGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -94,6 +95,9 @@ class _CacheEntry:
     result: "ProtectionResult"
     graph_ref: "weakref.ref[PropertyGraph]"
     policy_ref: "weakref.ref[ReleasePolicy]"
+    #: ``id()`` of the graph at store time — the per-graph eviction index
+    #: key (usable even after the weakref dies).
+    graph_id: int = 0
 
     def alive_for(self, graph: PropertyGraph, policy: ReleasePolicy) -> bool:
         """True when the entry was built against exactly these objects.
@@ -111,6 +115,42 @@ class _TenantNamespace:
     capacity: int
     entries: "OrderedDict[Hashable, _CacheEntry]" = field(default_factory=OrderedDict)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: graph id -> keys of entries built against that graph, so
+    #: delta-scoped eviction is O(entries of the edited graph), not
+    #: O(all entries of all tenants).
+    by_graph: Dict[int, set] = field(default_factory=dict)
+
+    def insert(self, key: Hashable, entry: _CacheEntry) -> None:
+        """Add one entry, maintaining the per-graph index."""
+        self.entries[key] = entry
+        self.by_graph.setdefault(entry.graph_id, set()).add(key)
+
+    def remove(self, key: Hashable) -> Optional[_CacheEntry]:
+        """Drop one entry (returns it), maintaining the per-graph index."""
+        entry = self.entries.pop(key, None)
+        if entry is not None:
+            keys = self.by_graph.get(entry.graph_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self.by_graph[entry.graph_id]
+        return entry
+
+    def pop_oldest(self) -> None:
+        """Evict the least recently used entry (index maintained)."""
+        key, entry = self.entries.popitem(last=False)
+        keys = self.by_graph.get(entry.graph_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self.by_graph[entry.graph_id]
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self.entries)
+        self.entries.clear()
+        self.by_graph.clear()
+        return dropped
 
 
 class AccountCache:
@@ -175,7 +215,7 @@ class AccountCache:
                 return entry.result
             if entry is not None:
                 # A recycled id() aliased a dead graph/policy: drop the corpse.
-                del namespace.entries[key]
+                namespace.remove(key)
             namespace.stats.misses += 1
             return None
 
@@ -193,14 +233,15 @@ class AccountCache:
             result=result,
             graph_ref=weakref.ref(graph),
             policy_ref=weakref.ref(policy),
+            graph_id=id(graph),
         )
         with self._lock:
             namespace = self._namespace(tenant)
-            namespace.entries.pop(key, None)
+            namespace.remove(key)
             while len(namespace.entries) >= namespace.capacity:
-                namespace.entries.popitem(last=False)
+                namespace.pop_oldest()
                 namespace.stats.evictions += 1
-            namespace.entries[key] = entry
+            namespace.insert(key, entry)
 
     # ------------------------------------------------------------------ #
     # maintenance
@@ -213,8 +254,43 @@ class AccountCache:
             namespace = self._namespace(tenant)
             namespace.capacity = capacity
             while len(namespace.entries) > capacity:
-                namespace.entries.popitem(last=False)
+                namespace.pop_oldest()
                 namespace.stats.evictions += 1
+
+    def on_delta(self, graph: PropertyGraph, delta: GraphDelta) -> int:
+        """Delta-scoped eviction: drop every entry built against ``graph``.
+
+        A protected account is a function of the whole graph, so *any*
+        structural delta kills every entry of the edited graph — but the
+        versioned keys already guarantee those entries can never be served
+        again.  What this subscriber (wired through the service's
+        :class:`~repro.graph.deltas.DeltaBus`) adds is promptness: dead
+        entries are reclaimed the moment the edit happens instead of
+        squatting in the LRU until capacity pressure finds them.  The
+        per-graph key index makes each dispatch O(entries of the edited
+        graph) — a mutation of a graph with no cached entries costs
+        O(tenants) dictionary probes, so high-churn edit loops do not
+        serialize other tenants' cache hits behind full scans.  Entries of
+        other graphs are untouched.  Returns how many entries were dropped.
+        """
+        dropped = 0
+        graph_id = id(graph)
+        with self._lock:
+            for namespace in self._tenants.values():
+                keys = namespace.by_graph.get(graph_id)
+                if not keys:
+                    continue
+                for key in list(keys):
+                    holder = namespace.entries[key].graph_ref()
+                    # A recycled id() may alias a *different* live graph's
+                    # entries into this bucket; drop only this graph's
+                    # entries and dead-ref corpses.
+                    if holder is graph or holder is None:
+                        namespace.remove(key)
+                        dropped += 1
+        if dropped:
+            record_maintenance("account_cache", "delta_evicted", dropped)
+        return dropped
 
     def invalidate_tenant(self, tenant: str) -> int:
         """Drop every entry of one tenant; returns how many were dropped."""
@@ -222,9 +298,7 @@ class AccountCache:
             namespace = self._tenants.get(tenant)
             if namespace is None:
                 return 0
-            dropped = len(namespace.entries)
-            namespace.entries.clear()
-            return dropped
+            return namespace.clear()
 
     def drop_tenant(self, tenant: str) -> int:
         """Remove a tenant's namespace entirely — entries, stats and any
@@ -238,7 +312,7 @@ class AccountCache:
         """Drop every entry of every tenant (stats are kept)."""
         with self._lock:
             for namespace in self._tenants.values():
-                namespace.entries.clear()
+                namespace.clear()
 
     # ------------------------------------------------------------------ #
     # introspection

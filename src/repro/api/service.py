@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.cache import DEFAULT_TENANT, AccountCache, CacheStats
@@ -83,6 +84,7 @@ from repro.exceptions import (
     ProtectionError,
     StoreError,
 )
+from repro.graph.deltas import DeltaBus, view_maintenance_stats
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 from repro.store.engine import GraphStore
 
@@ -162,6 +164,18 @@ class ProtectionService:
         #: service used from many threads generates one account at a time
         #: (cache hits never take this lock).
         self._generation_lock = threading.RLock()
+        #: The delta fan-out: every graph the service serves gets attached
+        #: (which *enables that graph's delta log for good* — a deliberate
+        #: trade: served graphs pay one event object per mutation so graph
+        #: edits translate into delta-scoped invalidation — prompt
+        #: account-cache eviction, opacity-view patching, compiled-view
+        #: catch-up — instead of blanket version checks and recompiles).
+        self.delta_bus = DeltaBus()
+        self.delta_bus.subscribe(self.cache.on_delta)
+        self.delta_bus.subscribe(self._opacity_views.on_delta)
+        self._attached_graphs: Dict[int, Tuple["weakref.ref[PropertyGraph]", int]] = {}
+        if graph is not None:
+            self._attach_graph(graph)
 
     # ------------------------------------------------------------------ #
     # protect
@@ -348,11 +362,20 @@ class ProtectionService:
         effective_adversary = adversary if adversary is not None else DEFAULT_ADVERSARY
         compile_ms = 0.0
 
+        # A merged multi-privilege account and its sub-accounts form one
+        # derivation family: whichever member compiled its adversary
+        # simulation first seeds the others (zero further simulations).
+        derive_from = tuple(
+            peer.graph for peer in account.derivation_peers if peer is not account
+        )
+
         def view_factory():
             """Fetch/compile the simulation through the view cache, timed."""
             nonlocal compile_ms
             start = time.perf_counter()
-            view = self._opacity_views.get_or_compile(account.graph, effective_adversary)
+            view = self._opacity_views.get_or_compile(
+                account.graph, effective_adversary, derive_from=derive_from
+            )
             compile_ms += (time.perf_counter() - start) * 1000.0
             return view
 
@@ -374,11 +397,56 @@ class ProtectionService:
         )
 
     # ------------------------------------------------------------------ #
+    # edit
+    # ------------------------------------------------------------------ #
+    def edit(
+        self,
+        privilege: object,
+        *,
+        adversary: Optional[AttackerModel] = None,
+        normalize_focus: bool = False,
+        name: Optional[str] = None,
+    ) -> "EditSession":
+        """An interactive mutate → re-protect → re-score session.
+
+        Returns an :class:`~repro.api.editing.EditSession` bound to the
+        service's graph and one consumer class.  Mutate the graph (through
+        the session's proxies or directly), then :meth:`~repro.api.editing.
+        EditSession.commit` — the session patches the compiled marking
+        view, the visible-walk cache, the protected account and the
+        compiled opacity view through the recorded deltas in O(affected)
+        and re-scores off the patched state, falling back to a counted full
+        rebuild for deltas that cannot be patched soundly.  Timings carry
+        the split as ``delta_apply`` / ``recompile_fallback``.
+        """
+        from repro.api.editing import EditSession
+
+        if self.graph is None:
+            raise ProtectionError("a multi-graph service cannot edit; bind a graph")
+        return EditSession(
+            self,
+            privilege,
+            adversary=adversary,
+            normalize_focus=normalize_focus,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------ #
     # cache introspection
     # ------------------------------------------------------------------ #
     def cache_stats(self) -> CacheStats:
         """This service's tenant-namespace counters from the account cache."""
         return self.cache.stats(self.tenant)
+
+    def view_maintenance_stats(self) -> Dict[str, Dict[str, int]]:
+        """Process-wide incremental-maintenance counters (convenience).
+
+        See :func:`repro.graph.deltas.view_maintenance_stats`: per
+        maintainer (marking views, opacity views, walk caches, account
+        cache, edit sessions), how often the delta path vs the full
+        recompile/rebuild path ran.
+        """
+        return view_maintenance_stats()
 
     # ------------------------------------------------------------------ #
     # enforce
@@ -447,6 +515,26 @@ class ProtectionService:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _attach_graph(self, graph: PropertyGraph) -> None:
+        """Attach the delta bus to a graph the service serves (idempotent).
+
+        The graph-side subscription holds the bus weakly, so attaching
+        request graphs never extends the service's lifetime beyond its
+        owner's.  The token map verifies graph identity through a weakref,
+        so a recycled ``id()`` can neither skip an attach nor double one.
+        """
+        key = id(graph)
+        entry = self._attached_graphs.get(key)
+        if entry is not None and entry[0]() is graph:
+            return
+        if len(self._attached_graphs) >= 4 * _WALK_GRAPH_LIMIT:
+            self._attached_graphs = {
+                existing_key: existing
+                for existing_key, existing in self._attached_graphs.items()
+                if existing[0]() is not None
+            }
+        self._attached_graphs[key] = (weakref.ref(graph), self.delta_bus.attach(graph))
+
     def _effective_graph(self, request: ProtectionRequest) -> PropertyGraph:
         """The graph this request runs against (request override or bound)."""
         graph = request.graph if request.graph is not None else self.graph
@@ -454,6 +542,7 @@ class ProtectionService:
             raise ProtectionError(
                 "this service has no bound graph; requests must carry graph="
             )
+        self._attach_graph(graph)
         return graph
 
     def _stamp_cache_stats(self, timings: Dict[str, float], *, hit: bool) -> None:

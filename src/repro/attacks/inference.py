@@ -67,7 +67,9 @@ class EdgeInferenceAttack:
         focus = view.focus_weights
         inference = view.inference_weights
         total_focus = view.total_focus or 1.0
-        denominators = view.guess_denominators
+        # denominators(): a delta-patched or derived view rebuilds its
+        # leave-one-out table lazily; reading the raw dict would be stale.
+        denominators = view.denominators()
         candidates: List[InferredEdge] = []
         for source in node_ids:
             focus_source = focus[source] / total_focus

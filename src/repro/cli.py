@@ -20,6 +20,13 @@ Subcommands
                         report per-request results plus account-cache
                         statistics.  ``--repeat`` replays the batch to
                         demonstrate cached serving.
+``edit``                Replay an edit script against a graph through an
+                        incremental :meth:`ProtectionService.edit
+                        <repro.api.service.ProtectionService.edit>` session:
+                        each edit re-protects and re-scores off delta-patched
+                        views (``delta_apply``) instead of recompiling, with
+                        per-edit scores/timings and view-maintenance counters
+                        in the report.
 ``motifs``              List the motif catalog with basic statistics.
 
 Every experiment accepts ``--full`` to use the paper-scale synthetic family
@@ -112,6 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", action="store_true", help="emit full per-request results and cache stats as JSON"
+    )
+
+    edit = subparsers.add_parser(
+        "edit", help="Replay an edit script through an incremental edit session"
+    )
+    edit.add_argument("input", help="path to a graph JSON file")
+    edit.add_argument(
+        "script",
+        help="path to an edit script: either a JSON list of edits or an object"
+        " {lattice, lowest, privilege, edits}; each edit is"
+        " {op: add_edge|remove_edge|add_bidirectional_edge|add_node|remove_node"
+        "|set_node_features, ...}",
+    )
+    edit.add_argument(
+        "--privilege", default=None, help="consumer class (default: the script's, else Public)"
+    )
+    edit.add_argument(
+        "--output", default=None, help="write the final protected account graph to this path"
+    )
+    edit.add_argument(
+        "--json", action="store_true", help="emit per-edit results and maintenance stats as JSON"
     )
 
     subparsers.add_parser("motifs", help="List the motif catalog")
@@ -315,6 +343,173 @@ def _batch_request(entry: dict, graphs: Dict[str, object]) -> ProtectionRequest:
     return ProtectionRequest(privileges=tuple(privileges), graph=graph, **options)
 
 
+def _stats_since(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-run view-maintenance counters: ``after`` minus ``before``."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for component, counters in after.items():
+        base = before.get(component, {})
+        moved = {
+            event: count - base.get(event, 0)
+            for event, count in counters.items()
+            if count - base.get(event, 0)
+        }
+        if moved:
+            delta[component] = moved
+    return delta
+
+
+#: Edit-script op -> (EditSession method, required JSON fields).
+_EDIT_OPS = {
+    "add_edge": ("add_edge", ("source", "target")),
+    "remove_edge": ("remove_edge", ("source", "target")),
+    "add_bidirectional_edge": ("add_bidirectional_edge", ("source", "target")),
+    "add_node": ("add_node", ("node",)),
+    "remove_node": ("remove_node", ("node",)),
+    "set_node_features": ("set_node_features", ("node", "features")),
+}
+
+
+def _apply_script_edit(session, entry: dict) -> None:
+    """Apply one edit-script entry to the session (raises on a bad entry)."""
+    if not isinstance(entry, dict) or "op" not in entry:
+        raise ValueError(f"each edit must be an object with an 'op', got {entry!r}")
+    op = entry["op"]
+    if op not in _EDIT_OPS:
+        raise ValueError(f"unknown edit op {op!r}; expected one of {sorted(_EDIT_OPS)}")
+    method, required = _EDIT_OPS[op]
+    missing = [name for name in required if name not in entry]
+    if missing:
+        raise ValueError(f"edit op {op!r} is missing fields {missing}")
+    if op in ("add_edge", "add_bidirectional_edge"):
+        getattr(session, method)(
+            entry["source"],
+            entry["target"],
+            label=entry.get("label"),
+            features=entry.get("features"),
+            create_nodes=bool(entry.get("create_nodes", False)),
+        )
+    elif op == "remove_edge":
+        session.remove_edge(entry["source"], entry["target"])
+    elif op == "add_node":
+        session.add_node(
+            entry["node"], kind=entry.get("kind"), features=entry.get("features")
+        )
+    elif op == "remove_node":
+        session.remove_node(entry["node"])
+    else:
+        session.set_node_features(entry["node"], dict(entry["features"]))
+
+
+def _cmd_edit(args: argparse.Namespace) -> int:
+    as_json = getattr(args, "json", False)
+    try:
+        graph = load_graph(args.input)
+    except (OSError, ReproError) as exc:
+        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json)
+        return 1
+    try:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            script = json.load(handle)
+    except (OSError, ValueError) as exc:
+        _print_error(f"cannot load edit script {args.script}: {exc}", kind="usage", as_json=as_json)
+        return 2
+    if isinstance(script, list):
+        script = {"edits": script}
+    if not isinstance(script, dict) or not isinstance(script.get("edits"), list):
+        _print_error(
+            f"edit script {args.script} must be a list of edits or an object with an 'edits' list",
+            kind="usage",
+            as_json=as_json,
+        )
+        return 2
+
+    policy = ReleasePolicy(PrivilegeLattice())
+    try:
+        for name, dominates in dict(script.get("lattice", {})).items():
+            policy.lattice.add(name, dominates=list(dominates))
+        for node_id, privilege in dict(script.get("lowest", {})).items():
+            policy.set_lowest(node_id, privilege)
+        privilege = args.privilege or script.get("privilege") or policy.lattice.public
+        service = ProtectionService(graph, policy)
+        session = service.edit(privilege)
+    except ReproError as exc:
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        return 1
+
+    # Maintenance counters are process-wide and cumulative; snapshot before
+    # the loop so the report describes this run only.
+    stats_before = service.view_maintenance_stats()
+    edits_report: List[Dict[str, object]] = []
+    try:
+        for index, entry in enumerate(script["edits"]):
+            try:
+                _apply_script_edit(session, entry)
+            except (ValueError, TypeError) as exc:
+                _print_error(f"bad edit [{index}]: {exc}", kind="usage", as_json=as_json)
+                return 2
+            result = session.commit()
+            edits_report.append(
+                {
+                    "edit": entry,
+                    "path_utility": round(result.scores.path_utility, 6),
+                    "node_utility": round(result.scores.node_utility, 6),
+                    "average_opacity": round(result.scores.average_opacity, 6),
+                    "delta_apply_ms": round(result.timings_ms.get("delta_apply", 0.0), 3),
+                    "recompile_fallback_ms": round(
+                        result.timings_ms.get("recompile_fallback", 0.0), 3
+                    ),
+                }
+            )
+    except ReproError as exc:
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        return 1
+    finally:
+        session.close()
+
+    account = session.result.account
+    if args.output is not None:
+        try:
+            save_graph(account.graph, args.output)
+        except (OSError, ReproError) as exc:
+            _print_error(
+                f"cannot write protected account to {args.output}: {exc}",
+                kind=type(exc).__name__,
+                as_json=as_json,
+            )
+            return 1
+    maintenance = _stats_since(stats_before, service.view_maintenance_stats())
+    stats = maintenance.get("edit_session", {})
+    if as_json:
+        payload: Dict[str, object] = {
+            "edits": edits_report,
+            "account": account.summary(),
+            "maintenance": maintenance,
+        }
+        if args.output is not None:
+            payload["output"] = str(args.output)
+        _print(json.dumps(payload, indent=2, default=str))
+        return 0
+    for index, row in enumerate(edits_report):
+        path = (
+            f"delta_apply={row['delta_apply_ms']}ms"
+            if row["recompile_fallback_ms"] == 0.0
+            else f"recompile_fallback={row['recompile_fallback_ms']}ms"
+        )
+        _print(
+            f"[{index}] {row['edit']['op']}: path_utility={row['path_utility']:.4f} "
+            f"avg_opacity={row['average_opacity']:.4f} ({path})"
+        )
+    _print(
+        f"edits: {len(edits_report)} "
+        f"(delta path {stats.get('delta_applied', 0)}, fallback {stats.get('recompile_fallback', 0)})"
+    )
+    if args.output is not None:
+        _print(f"protected account written to {args.output}")
+    return 0
+
+
 def _cmd_motifs() -> int:
     for motif in all_motifs():
         summary = summarize(motif.graph).as_dict()
@@ -348,6 +543,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_protect(args)
     elif args.command == "serve-batch":
         return _cmd_serve_batch(args)
+    elif args.command == "edit":
+        return _cmd_edit(args)
     elif args.command == "motifs":
         return _cmd_motifs()
     else:  # pragma: no cover - argparse enforces the choices

@@ -57,6 +57,7 @@ from repro.core.opacity import (
     NaiveAdversary,
     OpacityViewCache,
     adversary_fingerprint,
+    adversary_supports_deltas,
     average_opacity,
     opacity,
     opacity_many,
@@ -96,6 +97,7 @@ __all__ = [
     "average_opacity",
     "opacity_report",
     "opacity_simulations_run",
+    "adversary_supports_deltas",
     "NaiveAdversary",
     "AdvancedAdversary",
     "CompiledOpacityView",

@@ -42,10 +42,15 @@ from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 SURROGATE_EDGE_LABEL = "surrogate"
 
 #: Key type of the ``walks_cache`` registry accepted by
-#: :func:`build_protected_account`: (privilege name, graph version, policy
-#: version, compiled flag).  Entries keyed this way stay valid exactly as long
-#: as the compiled marking view they were built against.
-WalkCacheKey = Tuple[str, int, int, bool]
+#: :func:`build_protected_account`: (privilege name, markings-policy version,
+#: compiled flag).  The graph's version is deliberately *not* part of the
+#: key: a registry hit is revalidated against the live graph — identity,
+#: anchors, markings view — and a version gap is closed by replaying the
+#: graph's recorded deltas through
+#: :meth:`~repro.core.permitted.VisibleWalkCache.apply_delta`, which evicts
+#: only the walks the edits can touch.  Only when no delta chain exists (or
+#: a delta is unpatchable) is the entry rebuilt.
+WalkCacheKey = Tuple[str, int, bool]
 
 
 def account_cache_token(
@@ -131,9 +136,11 @@ def build_protected_account(
     walks_cache:
         Optional registry of :class:`~repro.core.permitted.VisibleWalkCache`
         objects shared across calls **against the same policy object**.
-        Keyed by (privilege, graph version, policy version, compiled), so a
-        hit is guaranteed to describe the same markings; the owner must not
-        share one registry between different policies.
+        Keyed by (privilege name, markings-policy version, compiled) — see
+        :data:`WalkCacheKey`; a hit is revalidated against the live graph
+        and carried across graph edits by replaying recorded deltas, so the
+        graph's version is deliberately not part of the key.  The owner
+        must not share one registry between different policies.
         :meth:`repro.api.ProtectionService.protect_many` passes one so
         repeated requests for the same consumer class reuse each other's
         visible-set walks.
@@ -199,11 +206,11 @@ def build_protected_account(
     if include_surrogate_edges:
         walks = None
         cache_key: Optional[WalkCacheKey] = None
-        if walks_cache is not None:
-            cache_key = (privilege.name, graph.version, policy.markings.version, compiled)
+        if walks_cache is not None and not graph.in_batch:
+            cache_key = (privilege.name, policy.markings.version, compiled)
             walks = walks_cache.get(cache_key)
-            if walks is not None and (walks.graph is not graph or walks.anchors != anchors):
-                walks = None  # stale or foreign entry: never trust it
+            if walks is not None:
+                walks = _revalidate_walks(walks, graph, markings, anchors, compiled)
         if walks is None:
             walks = VisibleWalkCache(
                 graph, markings, privilege, anchors=anchors, compiled=compiled
@@ -241,6 +248,36 @@ def build_protected_account(
         surrogate_edges=surrogate_edges,
         strategy=strategy,
     )
+
+
+def _revalidate_walks(
+    walks: VisibleWalkCache,
+    graph: PropertyGraph,
+    markings: object,
+    anchors: Set[NodeId],
+    compiled: bool,
+) -> Optional[VisibleWalkCache]:
+    """Vet (and delta-patch) a registry walk cache before trusting it.
+
+    A hit must describe the same graph object, the same anchor set and —
+    on the compiled path — the *same* marking-view object (compile()
+    patches views in place, so identity survives graph edits; a view the
+    policy's LRU rebuilt fails this and the walks are rebuilt with it).
+    A graph-version gap is closed by replaying the recorded delta chain;
+    ``None`` means the entry cannot be trusted and must be rebuilt.
+    """
+    if walks.graph is not graph or walks.anchors != anchors:
+        return None
+    if compiled and walks.markings is not markings:
+        return None
+    if walks.graph_version != graph.version:
+        deltas = graph.deltas_since(walks.graph_version)
+        if deltas is None:
+            return None
+        for delta in deltas:
+            if walks.apply_delta(delta) is None:
+                return None
+    return walks
 
 
 def generate_protected_account(

@@ -41,6 +41,17 @@ the :class:`EdgeState` of every edge — and then answers in O(1) dict lookups.
 Views are cached on the policy and invalidated automatically via the graph's
 and the policy's mutation counters, so callers can simply call
 :meth:`MarkingPolicy.compile` in hot paths and never worry about staleness.
+
+Incremental maintenance
+-----------------------
+A view over an 8k-node graph costs O(V + E) to build; a single edge edit
+used to throw all of that away.  When the graph records typed deltas
+(:meth:`~repro.graph.model.PropertyGraph.enable_delta_log`),
+:meth:`MarkingPolicy.compile` instead *patches* the cached view through
+:meth:`CompiledMarkingView.apply_delta` — O(affected) per delta, falling
+back to a full recompile only when the chain cannot be reconstructed or the
+policy itself changed.  Both paths are counted in
+:func:`repro.graph.deltas.view_maintenance_stats` under ``"marking_view"``.
 """
 
 from __future__ import annotations
@@ -50,6 +61,7 @@ import weakref
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.privileges import Privilege, PrivilegeLattice
+from repro.graph.deltas import DeltaKind, GraphDelta, record_maintenance
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
 
@@ -267,15 +279,25 @@ class MarkingPolicy:
         privileges at a time), evicting the oldest entry when full.
         """
         privilege = self.lattice.get(privilege)
+        if graph.in_batch:
+            # Mid-batch the version counter is deferred: a view compiled now
+            # could be stamped current while describing a half-applied batch.
+            # Serve a throwaway view and never cache it.
+            return CompiledMarkingView(graph, self, privilege)
         key = (id(graph), privilege.name)
         cached = self._compiled.get(key)
         if (
             cached is not None
             and cached.graph is graph
-            and cached.graph_version == graph.version
             and cached.policy_version == self._version
         ):
-            return cached
+            if cached.graph_version == graph.version:
+                return cached
+            # The graph moved on — try to carry the view forward through the
+            # recorded delta chain instead of recompiling O(V + E) state.
+            deltas = graph.deltas_since(cached.graph_version)
+            if deltas is not None and all(cached.apply_delta(delta) for delta in deltas):
+                return cached
         view = CompiledMarkingView(graph, self, privilege)
         # Re-inserting moves the key to the back so eviction is oldest-first
         # even when an existing entry is being replaced.
@@ -338,6 +360,7 @@ class CompiledMarkingView:
     )
 
     def __init__(self, graph: PropertyGraph, policy: MarkingPolicy, privilege: Privilege) -> None:
+        record_maintenance("marking_view", "compiled")
         # Weak reference: the policy's view cache must not keep swept-over
         # graphs alive; a dead reference simply fails the cache check.
         self._graph_ref = weakref.ref(graph)
@@ -385,6 +408,84 @@ class CompiledMarkingView:
     def graph(self) -> Optional[PropertyGraph]:
         """The compiled graph, or ``None`` once it has been garbage-collected."""
         return self._graph_ref()
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: GraphDelta) -> bool:
+        """Patch the view in place for one graph delta; O(affected).
+
+        Every delta kind is patchable here — markings never read node
+        features, so feature edits are free, and node/edge structure maps
+        one-to-one onto table entries.  Returns ``False`` (leaving the view
+        untouched) only when the delta does not start at this view's
+        version, i.e. the chain is broken and the caller must recompile.
+        The patched view is the *same object*, so shared holders (walk
+        caches, traversals in flight) observe the update without re-fetching.
+        """
+        if delta.pre_version != self.graph_version:
+            return False
+        self._apply_one(delta)
+        self.graph_version = delta.post_version
+        record_maintenance("marking_view", "delta_applied")
+        return True
+
+    def _apply_one(self, delta: GraphDelta) -> None:
+        kind = delta.kind
+        if kind is DeltaKind.BATCH:
+            for sub in delta.deltas:
+                self._apply_one(sub)
+        elif kind is DeltaKind.ADD_NODE or kind is DeltaKind.REPLACE_NODE:
+            self.node_default[delta.node.node_id] = self._default_for(delta.node.node_id)
+        elif kind is DeltaKind.SET_NODE_FEATURES:
+            pass  # markings are feature-blind
+        elif kind is DeltaKind.REMOVE_NODE:
+            for edge in delta.removed_edges:
+                self._remove_edge_entry(edge.key)
+            self.node_default.pop(delta.old_node.node_id, None)
+        elif kind is DeltaKind.ADD_EDGE or kind is DeltaKind.REPLACE_EDGE:
+            self._set_edge_entry(delta.edge.key)
+        elif kind is DeltaKind.REMOVE_EDGE:
+            self._remove_edge_entry(delta.old_edge.key)
+
+    def _default_for(self, node_id: NodeId) -> Marking:
+        """One node's default marking, resolved exactly as compile() does."""
+        policy = self._policy
+        lowest_of = policy._lowest_of
+        if lowest_of is None:
+            return Marking.VISIBLE
+        closure = policy.lattice.dominated_closure(self.privilege)
+        if lowest_of(node_id).name in closure:
+            return Marking.VISIBLE
+        return policy.default_protected_marking
+
+    def _set_edge_entry(self, key: EdgeKey) -> None:
+        """(Re)derive one edge's incidence markings and state (compile()'s
+        per-edge block, run for just this edge)."""
+        policy = self._policy
+        source_id, target_id = key
+        self._overrides.pop((source_id, key), None)
+        self._overrides.pop((target_id, key), None)
+        source_marking = self.node_default[source_id]
+        target_marking = self.node_default[target_id]
+        explicit = policy._explicit
+        if explicit:
+            if (source_id, key) in explicit:
+                resolved = policy.explicit_marking(source_id, key, self.privilege)
+                if resolved is not None:
+                    source_marking = resolved
+                    self._overrides[(source_id, key)] = resolved
+            if (target_id, key) in explicit:
+                resolved = policy.explicit_marking(target_id, key, self.privilege)
+                if resolved is not None:
+                    target_marking = resolved
+                    self._overrides[(target_id, key)] = resolved
+        self.edge_state_table[key] = combine_markings(source_marking, target_marking)
+
+    def _remove_edge_entry(self, key: EdgeKey) -> None:
+        self.edge_state_table.pop(key, None)
+        self._overrides.pop((key[0], key), None)
+        self._overrides.pop((key[1], key), None)
 
     # ------------------------------------------------------------------ #
     # lookups (MarkingPolicy-compatible signatures)

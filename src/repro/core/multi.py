@@ -190,7 +190,7 @@ def merge_accounts(
             merged.add_edge(key[0], key[1], label=SURROGATE_EDGE_LABEL, replace=True)
 
     privilege = accounts[0].privilege if len({a.privilege for a in accounts}) == 1 else None
-    return ProtectedAccount(
+    result = ProtectedAccount(
         graph=merged,
         correspondence=correspondence,
         privilege=privilege,
@@ -198,6 +198,14 @@ def merge_accounts(
         surrogate_edges=surrogate_edges,
         strategy=strategy,
     )
+    # Stamp the whole family (merged + per-class sub-accounts) as derivation
+    # peers: scoring any member after any other re-uses the first member's
+    # compiled adversary simulation via CompiledOpacityView.derive_for — one
+    # O(V) simulation per family instead of one per sub-account.
+    family = (result, *accounts)
+    for member in family:
+        member.derivation_peers = family
+    return result
 
 
 def _representation_rank(candidate: Tuple[ProtectedAccount, NodeId]) -> Tuple[int, int, str]:

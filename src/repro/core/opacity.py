@@ -74,6 +74,7 @@ from fractions import Fraction
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Protocol, Tuple
 
 from repro.core.protected_account import ProtectedAccount
+from repro.graph.deltas import DeltaKind, GraphDelta, record_maintenance
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 
 
@@ -87,6 +88,22 @@ class AttackerModel(Protocol):
         """Relative plausibility of ``node_id`` as the far endpoint of a hidden edge."""
 
 
+def adversary_supports_deltas(adversary: AttackerModel) -> bool:
+    """True when a node's weights depend only on its own neighbourhood.
+
+    Incremental view maintenance (:meth:`CompiledOpacityView.apply_delta`,
+    :meth:`CompiledOpacityView.derive_for`) recomputes weights only for the
+    nodes an edit structurally touched — which is sound exactly when the
+    attacker model is *delta-local*: ``focus_probability(g, n)`` and
+    ``inference_probability(g, n)`` may read ``n``'s adjacency but nothing
+    else of the graph.  The built-in adversaries declare this with a
+    ``LOCAL_WEIGHTS = True`` class attribute; custom models that satisfy the
+    contract can opt in the same way, and everything else falls back to a
+    full recompile (counted, never silently wrong).
+    """
+    return bool(getattr(adversary, "LOCAL_WEIGHTS", False))
+
+
 @dataclass(frozen=True)
 class NaiveAdversary:
     """An attacker with no knowledge of typical graph structure.
@@ -95,6 +112,9 @@ class NaiveAdversary:
     has been redacted, so it never infers hidden edges: every hidden edge
     with both endpoints represented has opacity 1 under this model.
     """
+
+    #: Weights are constant, hence trivially delta-local.
+    LOCAL_WEIGHTS = True
 
     def focus_probability(self, account_graph: PropertyGraph, node_id: NodeId) -> float:
         return 0.0
@@ -117,6 +137,9 @@ class AdvancedAdversary:
     set them equal to the loner weights — or use :meth:`figure5` — to obtain
     the paper's literal two-tier constants.
     """
+
+    #: Weights read only the node's own connected-node count: delta-local.
+    LOCAL_WEIGHTS = True
 
     loner_focus: float = 0.8
     other_focus: float = 0.2
@@ -239,6 +262,15 @@ class CompiledOpacityView:
     guess_denominators: Dict[NodeId, float]
     adversary_key: Hashable
     _graph_ref: "weakref.ref[PropertyGraph]" = field(repr=False)
+    # Exact-arithmetic state kept for incremental maintenance: the rational
+    # totals the floats are rounded from, and the multiset of inference
+    # weight values (whose distinct values parameterise the leave-one-out
+    # denominators).  ``_denominators_stale`` defers the O(V) denominator
+    # rebuild until the next read after a patch.
+    _total_focus_exact: Fraction = field(default=Fraction(0), repr=False, compare=False)
+    _total_inference_exact: Fraction = field(default=Fraction(0), repr=False, compare=False)
+    _inference_value_counts: Counter = field(default_factory=Counter, repr=False, compare=False)
+    _denominators_stale: bool = field(default=False, repr=False, compare=False)
 
     @classmethod
     def compile(
@@ -255,6 +287,7 @@ class CompiledOpacityView:
         global _SIMULATIONS_COMPILED
         with _SIMULATIONS_LOCK:
             _SIMULATIONS_COMPILED += 1
+        record_maintenance("opacity_view", "compiled")
         node_ids = account_graph.node_ids()
         focus_weights = {
             node_id: _checked_weight(
@@ -302,7 +335,213 @@ class CompiledOpacityView:
             },
             adversary_key=adversary_fingerprint(adversary),
             _graph_ref=weakref.ref(account_graph),
+            _total_focus_exact=total_focus_exact,
+            _total_inference_exact=total_inference_exact,
+            _inference_value_counts=Counter(inference_counts),
         )
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: GraphDelta, adversary: AttackerModel) -> bool:
+        """Patch the simulation in place for one delta of its graph.
+
+        O(affected): only nodes the delta structurally touched — added or
+        removed nodes and the endpoints of added/removed edges — get their
+        ``FP``/``IP`` weights re-evaluated; the exact
+        :class:`~fractions.Fraction` totals are updated by exact
+        subtraction/addition, so the rounded floats stay *identical* to a
+        fresh compile's (exact arithmetic has no order sensitivity).  The
+        leave-one-out denominators are marked stale and rebuilt lazily on
+        the next read.
+
+        Returns ``False`` — leaving the view untouched — when the patch
+        would be unsound: the adversary is not the view's, is not
+        delta-local (:func:`adversary_supports_deltas`), the delta does not
+        start at the view's version, or the graph is gone/mid-batch.
+        Feature-only deltas are free (structural weights cannot change).
+        """
+        if delta.pre_version != self.graph_version:
+            return False
+        if self.adversary_key != adversary_fingerprint(adversary):
+            return False
+        if not adversary_supports_deltas(adversary):
+            return False
+        graph = self._graph_ref()
+        if graph is None or graph.in_batch:
+            return False
+        affected = set()
+        for primitive in delta.flatten():
+            kind = primitive.kind
+            if kind is DeltaKind.ADD_NODE:
+                affected.add(primitive.node.node_id)
+            elif kind is DeltaKind.REMOVE_NODE:
+                affected.add(primitive.old_node.node_id)
+                for edge in primitive.removed_edges:
+                    affected.add(edge.source)
+                    affected.add(edge.target)
+            elif kind is DeltaKind.ADD_EDGE or kind is DeltaKind.REMOVE_EDGE:
+                edge = primitive.edge if kind is DeltaKind.ADD_EDGE else primitive.old_edge
+                affected.add(edge.source)
+                affected.add(edge.target)
+            # REPLACE_NODE / REPLACE_EDGE / SET_NODE_FEATURES change no
+            # structure: delta-local weights cannot move.
+        if affected:
+            self._reweigh(graph, adversary, affected)
+        self.graph_version = delta.post_version
+        record_maintenance("opacity_view", "delta_applied")
+        return True
+
+    def patched_copy(
+        self, delta: GraphDelta, adversary: AttackerModel
+    ) -> Optional["CompiledOpacityView"]:
+        """A *new* view with ``delta`` applied; this view is left untouched.
+
+        The copy-on-patch form of :meth:`apply_delta`, for owners whose
+        views may be read concurrently (the
+        :class:`OpacityViewCache`): readers holding the old object keep a
+        consistent — merely stale — snapshot whose :meth:`is_current_for`
+        fails, instead of observing a view mutating under them.  Returns
+        ``None`` under exactly :meth:`apply_delta`'s fallback conditions.
+        """
+        if delta.pre_version != self.graph_version:
+            return None
+        clone = CompiledOpacityView(
+            graph_version=self.graph_version,
+            node_count=self.node_count,
+            focus_weights=dict(self.focus_weights),
+            inference_weights=dict(self.inference_weights),
+            total_focus=self.total_focus,
+            total_inference=self.total_inference,
+            # Not copied: the patch (or the first read) rebuilds the
+            # leave-one-out table from the exact total anyway.
+            guess_denominators={},
+            adversary_key=self.adversary_key,
+            _graph_ref=self._graph_ref,
+            _total_focus_exact=self._total_focus_exact,
+            _total_inference_exact=self._total_inference_exact,
+            _inference_value_counts=Counter(self._inference_value_counts),
+            _denominators_stale=True,
+        )
+        if not clone.apply_delta(delta, adversary):
+            return None
+        return clone
+
+    def derive_for(
+        self, account_graph: PropertyGraph, adversary: AttackerModel
+    ) -> Optional["CompiledOpacityView"]:
+        """A view for a *different* graph, derived without a new simulation.
+
+        Sub-accounts of a merged multi-privilege account share most of
+        their structure; instead of running one O(V) adversary simulation
+        per sub-account, the first compiled view in the family seeds the
+        rest: nodes present in only one graph, plus common nodes whose
+        neighbourhoods differ, are re-weighed against the target graph and
+        the exact totals adjusted — everything else is carried over.  The
+        result is bit-identical to a fresh compile (same exact-Fraction
+        construction) but does **not** increment
+        :func:`opacity_simulations_run`; it records a ``derived`` event in
+        :func:`~repro.graph.deltas.view_maintenance_stats` instead.
+
+        Returns ``None`` when derivation is unavailable: non-local or
+        mismatched adversary, the source graph is gone, or the target is
+        mid-batch.
+        """
+        if self.adversary_key != adversary_fingerprint(adversary):
+            return None
+        if not adversary_supports_deltas(adversary):
+            return None
+        source = self._graph_ref()
+        if source is None or source is account_graph or account_graph.in_batch:
+            return None
+        derived = CompiledOpacityView(
+            graph_version=account_graph.version,
+            node_count=self.node_count,
+            focus_weights=dict(self.focus_weights),
+            inference_weights=dict(self.inference_weights),
+            total_focus=self.total_focus,
+            total_inference=self.total_inference,
+            guess_denominators={},
+            adversary_key=self.adversary_key,
+            _graph_ref=weakref.ref(account_graph),
+            _total_focus_exact=self._total_focus_exact,
+            _total_inference_exact=self._total_inference_exact,
+            _inference_value_counts=Counter(self._inference_value_counts),
+            _denominators_stale=True,
+        )
+        affected = set()
+        for node_id in self.focus_weights:
+            if not account_graph.has_node(node_id):
+                affected.add(node_id)
+        for node_id in account_graph.node_ids():
+            if node_id not in self.focus_weights or not account_graph.same_neighborhood(
+                source, node_id
+            ):
+                affected.add(node_id)
+        derived._reweigh(account_graph, adversary, affected)
+        record_maintenance("opacity_view", "derived")
+        return derived
+
+    def _reweigh(
+        self, graph: PropertyGraph, adversary: AttackerModel, affected: Iterable[NodeId]
+    ) -> None:
+        """Re-evaluate the weights of ``affected`` nodes against ``graph``.
+
+        Handles appearance and disappearance uniformly: a node's old
+        contribution (if any) is subtracted exactly, its new contribution
+        (if it is still in the graph) added exactly.
+        """
+        focus_weights = self.focus_weights
+        inference_weights = self.inference_weights
+        value_counts = self._inference_value_counts
+        total_focus = self._total_focus_exact
+        total_inference = self._total_inference_exact
+        for node_id in affected:
+            old_focus = focus_weights.pop(node_id, None)
+            if old_focus is not None:
+                total_focus -= Fraction(old_focus)
+                old_inference = inference_weights.pop(node_id)
+                total_inference -= Fraction(old_inference)
+                value_counts[old_inference] -= 1
+                if not value_counts[old_inference]:
+                    del value_counts[old_inference]
+            if graph.has_node(node_id):
+                new_focus = _checked_weight(
+                    "focus", node_id, adversary.focus_probability(graph, node_id)
+                )
+                new_inference = _checked_weight(
+                    "inference", node_id, adversary.inference_probability(graph, node_id)
+                )
+                focus_weights[node_id] = new_focus
+                inference_weights[node_id] = new_inference
+                total_focus += Fraction(new_focus)
+                total_inference += Fraction(new_inference)
+                value_counts[new_inference] += 1
+        self._total_focus_exact = total_focus
+        self._total_inference_exact = total_inference
+        self.total_focus = float(total_focus)
+        self.total_inference = float(total_inference)
+        self.node_count = len(focus_weights)
+        self._denominators_stale = True
+
+    def _refresh_denominators(self) -> None:
+        """Rebuild the leave-one-out denominators from the exact total."""
+        total = self._total_inference_exact
+        loo_by_value = {
+            weight: float(total - Fraction(weight))
+            for weight in self._inference_value_counts
+        }
+        self.guess_denominators = {
+            node_id: loo_by_value[weight]
+            for node_id, weight in self.inference_weights.items()
+        }
+        self._denominators_stale = False
+
+    def denominators(self) -> Dict[NodeId, float]:
+        """The per-node leave-one-out guess denominators (refreshed if stale)."""
+        if self._denominators_stale:
+            self._refresh_denominators()
+        return self.guess_denominators
 
     def is_current_for(
         self, account_graph: PropertyGraph, adversary: AttackerModel
@@ -335,6 +574,8 @@ class CompiledOpacityView:
         tests in ``tests/core/test_opacity.py``) rather than relying on the
         arithmetic falling through to zero.
         """
+        if self._denominators_stale:
+            self._refresh_denominators()
         if self.node_count < 2:
             # A single-node account graph offers no far endpoint to name.
             return 0.0
@@ -390,9 +631,18 @@ class OpacityViewCache:
         self._entries: "OrderedDict[Hashable, CompiledOpacityView]" = OrderedDict()
 
     def get_or_compile(
-        self, account_graph: PropertyGraph, adversary: AttackerModel
+        self,
+        account_graph: PropertyGraph,
+        adversary: AttackerModel,
+        derive_from: Tuple[PropertyGraph, ...] = (),
     ) -> CompiledOpacityView:
-        """The cached view for this simulation, compiling (and storing) on miss."""
+        """The cached view for this simulation, compiling (and storing) on miss.
+
+        ``derive_from`` names related graphs (e.g. the sub-accounts and
+        merged account of one multi-privilege family) whose cached views may
+        seed this one through :meth:`CompiledOpacityView.derive_for` — a
+        derivation is exact and runs **zero** new adversary simulations.
+        """
         key = (
             id(account_graph),
             account_graph.version,
@@ -405,13 +655,69 @@ class OpacityViewCache:
                 return view
             if view is not None:
                 del self._entries[key]
-        view = CompiledOpacityView.compile(account_graph, adversary)
+            seeds = [
+                seed_view
+                for seed in derive_from
+                if seed is not account_graph
+                for seed_view in (
+                    self._entries.get(
+                        (id(seed), seed.version, adversary_fingerprint(adversary))
+                    ),
+                )
+                if seed_view is not None and seed_view.is_current_for(seed, adversary)
+            ]
+        view = None
+        for seed_view in seeds:
+            view = seed_view.derive_for(account_graph, adversary)
+            if view is not None:
+                break
+        if view is None:
+            view = CompiledOpacityView.compile(account_graph, adversary)
         with self._lock:
             self._entries.pop(key, None)
             while len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
             self._entries[key] = view
         return view
+
+    def on_delta(self, graph: PropertyGraph, delta: "GraphDelta") -> None:
+        """Delta-scoped maintenance: patch this graph's views, drop corpses.
+
+        Called through the service's :class:`~repro.graph.deltas.DeltaBus`.
+        Views of ``graph`` sitting exactly at the delta's pre-version are
+        replaced by a patched *copy* (when their adversary is recoverable
+        and delta-local) keyed under the new version, so the next
+        ``score()`` still hits; anything else of this graph is stale by
+        definition and evicted immediately instead of lingering until LRU
+        pressure finds it.  Copy-on-patch keeps views immutable once handed
+        out: a concurrent reader holding the old object sees a consistent
+        stale snapshot (which :meth:`~CompiledOpacityView.is_current_for`
+        rejects), never a view mutating underneath it.
+        """
+        with self._lock:
+            candidates = []
+            for key in list(self._entries):
+                view = self._entries[key]
+                if view._graph_ref() is not graph:
+                    continue
+                del self._entries[key]
+                if view.graph_version == delta.pre_version and hasattr(
+                    view.adversary_key, "focus_probability"
+                ):
+                    candidates.append(view)
+        # Patch outside the lock: the copy is O(V) and runs adversary
+        # callbacks (user code); concurrent score() traffic must not queue
+        # behind it, and a callback that re-enters the cache must not
+        # deadlock.
+        for view in candidates:
+            patched = view.patched_copy(delta, view.adversary_key)
+            if patched is not None:
+                with self._lock:
+                    while len(self._entries) >= self.capacity:
+                        self._entries.popitem(last=False)
+                    self._entries[
+                        (id(graph), patched.graph_version, patched.adversary_key)
+                    ] = patched
 
     def __len__(self) -> int:
         with self._lock:

@@ -41,7 +41,11 @@ from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.core.markings import CompiledMarkingView, EdgeState, Marking, MarkingPolicy
+from repro.graph.deltas import GraphDelta, record_maintenance
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
+
+#: One evicted memoised walk: (``"forward"``/``"backward"``, start node).
+EvictedWalk = Tuple[str, NodeId]
 
 #: Either marking source accepted by the traversal functions.
 MarkingSource = Union[MarkingPolicy, CompiledMarkingView]
@@ -246,7 +250,7 @@ def forward_visible_set(
     so that connectivity between representable nodes is never lost.
     """
     markings = _resolve_markings(graph, markings, privilege, compiled)
-    return _visible_walk(graph, markings, privilege, start, forward=True, anchors=anchors)
+    return _visible_walk(graph, markings, privilege, start, forward=True, anchors=anchors)[0]
 
 
 def backward_visible_set(
@@ -260,7 +264,7 @@ def backward_visible_set(
 ) -> Set[NodeId]:
     """Mirror image of :func:`forward_visible_set` over in-edges."""
     markings = _resolve_markings(graph, markings, privilege, compiled)
-    return _visible_walk(graph, markings, privilege, start, forward=False, anchors=anchors)
+    return _visible_walk(graph, markings, privilege, start, forward=False, anchors=anchors)[0]
 
 
 def _visible_walk(
@@ -271,7 +275,16 @@ def _visible_walk(
     *,
     forward: bool,
     anchors: Optional[Set[NodeId]] = None,
-) -> Set[NodeId]:
+) -> Tuple[Set[NodeId], Set[NodeId]]:
+    """One visible-set walk; returns ``(collected, visited)``.
+
+    ``visited`` is the walk's *traversal region* — the start plus every node
+    the walk passed through (collected stop-nodes are not traversed, so they
+    are not in it).  The region is exactly the set of nodes whose incident
+    edges the walk examined, which is what delta-scoped cache eviction keys
+    on: an edge change can only alter walks whose region contains the
+    changed edge's near endpoint.
+    """
     collected: Set[NodeId] = set()
     visited: Set[NodeId] = {start}
     frontier: deque = deque([start])
@@ -293,7 +306,7 @@ def _visible_walk(
                 visited.add(neighbor)
                 frontier.append(neighbor)
     collected.discard(start)
-    return collected
+    return collected, visited
 
 
 class VisibleWalkCache:
@@ -313,9 +326,25 @@ class VisibleWalkCache:
     registries never keep swept-over batch graphs alive; callers always hold
     the graph while walking, and owners verify ``walks.graph is graph``
     before trusting a shared cache, which a dead reference fails naturally.
+
+    Delta maintenance: each memoised walk remembers its *traversal region*
+    (the visited set of its BFS), so :meth:`apply_delta` can evict exactly
+    the walks an edge edit can affect — a forward walk examines the edge
+    ``(u, v)`` only when ``u`` is in its region, a backward walk only when
+    ``v`` is — instead of clearing the whole cache.  Node-structural deltas
+    (and a markings view that was not carried to the same version first)
+    fail the patch, telling the owner to rebuild.
     """
 
-    __slots__ = ("_graph_ref", "markings", "privilege", "anchors", "_forward", "_backward")
+    __slots__ = (
+        "_graph_ref",
+        "markings",
+        "privilege",
+        "anchors",
+        "graph_version",
+        "_forward",
+        "_backward",
+    )
 
     def __init__(
         self,
@@ -326,12 +355,18 @@ class VisibleWalkCache:
         anchors: Optional[Set[NodeId]] = None,
         compiled: bool = True,
     ) -> None:
+        record_maintenance("walk_cache", "built")
         self._graph_ref = weakref.ref(graph)
         self.markings = _resolve_markings(graph, markings, privilege, compiled)
         self.privilege = privilege
         self.anchors = anchors
-        self._forward: Dict[NodeId, FrozenSet[NodeId]] = {}
-        self._backward: Dict[NodeId, FrozenSet[NodeId]] = {}
+        #: Graph version the memoised walks describe (advanced by
+        #: :meth:`apply_delta`; owners must not trust a cache whose version
+        #: they cannot reconcile with the graph's).
+        self.graph_version = graph.version
+        #: start -> (collected, visited-region), both frozen.
+        self._forward: Dict[NodeId, Tuple[FrozenSet[NodeId], FrozenSet[NodeId]]] = {}
+        self._backward: Dict[NodeId, Tuple[FrozenSet[NodeId], FrozenSet[NodeId]]] = {}
 
     @property
     def graph(self) -> Optional[PropertyGraph]:
@@ -342,35 +377,76 @@ class VisibleWalkCache:
         """Memoised :func:`forward_visible_set` from ``start``."""
         cached = self._forward.get(start)
         if cached is None:
-            cached = frozenset(
-                _visible_walk(
-                    self.graph,
-                    self.markings,
-                    self.privilege,
-                    start,
-                    forward=True,
-                    anchors=self.anchors,
-                )
+            collected, visited = _visible_walk(
+                self.graph,
+                self.markings,
+                self.privilege,
+                start,
+                forward=True,
+                anchors=self.anchors,
             )
+            cached = (frozenset(collected), frozenset(visited))
             self._forward[start] = cached
-        return cached
+        return cached[0]
 
     def backward(self, start: NodeId) -> FrozenSet[NodeId]:
         """Memoised :func:`backward_visible_set` from ``start``."""
         cached = self._backward.get(start)
         if cached is None:
-            cached = frozenset(
-                _visible_walk(
-                    self.graph,
-                    self.markings,
-                    self.privilege,
-                    start,
-                    forward=False,
-                    anchors=self.anchors,
-                )
+            collected, visited = _visible_walk(
+                self.graph,
+                self.markings,
+                self.privilege,
+                start,
+                forward=False,
+                anchors=self.anchors,
             )
+            cached = (frozenset(collected), frozenset(visited))
             self._backward[start] = cached
-        return cached
+        return cached[0]
+
+    def cached_walk_count(self) -> int:
+        """How many memoised walks the cache currently holds."""
+        return len(self._forward) + len(self._backward)
+
+    def apply_delta(self, delta: GraphDelta) -> Optional[List[EvictedWalk]]:
+        """Evict only the walks ``delta`` can affect; O(cached walks).
+
+        Returns the list of evicted ``(direction, start)`` walks on success
+        (possibly empty — a feature edit, or an edge edit outside every
+        cached region, evicts nothing), or ``None`` when the cache cannot be
+        patched soundly and must be rebuilt: the delta chain does not start
+        at this cache's version, the delta adds/removes *nodes* (the anchor
+        set may change), or the markings view has not been carried to at
+        least the delta's post-version.  (The view being *ahead* — already
+        at the end of a multi-delta chain this cache is still replaying —
+        is fine: eviction reads only the delta's edge endpoints, and any
+        edge whose markings changed is an added/removed edge, which evicts
+        every walk whose region could have read it.)
+        """
+        if delta.pre_version != self.graph_version:
+            return None
+        if delta.touches_nodes_structurally():
+            return None
+        if (
+            isinstance(self.markings, CompiledMarkingView)
+            and self.markings.graph_version < delta.post_version
+        ):
+            return None
+        evicted: List[EvictedWalk] = []
+        for _added, edge in delta.edge_changes():
+            source, target = edge.source, edge.target
+            for start, (_collected, visited) in list(self._forward.items()):
+                if source in visited:
+                    del self._forward[start]
+                    evicted.append(("forward", start))
+            for start, (_collected, visited) in list(self._backward.items()):
+                if target in visited:
+                    del self._backward[start]
+                    evicted.append(("backward", start))
+        self.graph_version = delta.post_version
+        record_maintenance("walk_cache", "delta_applied")
+        return evicted
 
 
 def surrogate_edge_candidates(

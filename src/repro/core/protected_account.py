@@ -45,6 +45,15 @@ class ProtectedAccount:
     strategy:
         Free-form label of the transformation that produced the account
         ("surrogate", "hide", "naive", ...), used in experiment reports.
+    derivation_peers:
+        Accounts structurally related to this one — a merged
+        multi-privilege account and its per-class sub-accounts share one
+        family tuple (set by :func:`repro.core.multi.merge_accounts`).  The
+        opacity engine uses the family to *derive* one account's compiled
+        adversary simulation from another's
+        (:meth:`~repro.core.opacity.CompiledOpacityView.derive_for`)
+        instead of re-simulating per sub-account.  Metadata only: excluded
+        from comparison, never required.
     """
 
     graph: PropertyGraph
@@ -53,6 +62,9 @@ class ProtectedAccount:
     surrogate_nodes: Set[NodeId] = field(default_factory=set)
     surrogate_edges: Set[EdgeKey] = field(default_factory=set)
     strategy: str = "custom"
+    derivation_peers: Tuple["ProtectedAccount", ...] = field(
+        default=(), compare=False, repr=False
+    )
     #: Lazily built original -> account-node index (see :meth:`_reverse`).
     _reverse_cache: Optional[Dict[NodeId, NodeId]] = field(
         default=None, init=False, repr=False, compare=False

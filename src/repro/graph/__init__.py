@@ -18,8 +18,18 @@ Public surface:
 * :mod:`repro.graph.algorithms` — DAG checks, topological sort, networkx
   interop.
 * :mod:`repro.graph.statistics` — degree/connectivity summaries.
+* :mod:`repro.graph.deltas` — typed mutation events (:class:`GraphDelta`),
+  the :class:`DeltaBus` fan-out and the view-maintenance counters behind
+  incremental view maintenance.
 """
 
+from repro.graph.deltas import (
+    DeltaBus,
+    DeltaKind,
+    GraphDelta,
+    reset_view_maintenance_stats,
+    view_maintenance_stats,
+)
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.builders import GraphBuilder, graph_from_edges
 from repro.graph.traversal import (
@@ -44,6 +54,11 @@ __all__ = [
     "PropertyGraph",
     "Node",
     "Edge",
+    "GraphDelta",
+    "DeltaKind",
+    "DeltaBus",
+    "view_maintenance_stats",
+    "reset_view_maintenance_stats",
     "GraphBuilder",
     "graph_from_edges",
     "ancestors",

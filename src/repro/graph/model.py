@@ -19,13 +19,22 @@ Design notes
   objects).  Hot traversal loops can use the ``iter_*`` adjacency methods,
   which iterate the internal indexes without copying — callers must not
   mutate the graph while consuming them.
-* Every mutation bumps :attr:`PropertyGraph.version`, which caching layers
+* Every logical mutation bumps :attr:`PropertyGraph.version` exactly once —
+  :meth:`remove_node` counts as one mutation however many incident edges it
+  drops, and a :meth:`batch` block commits as one — which caching layers
   (e.g. the compiled marking views in :mod:`repro.core.markings`) use to
   detect staleness without hashing the graph.
+* Every mutation additionally describes itself as a typed
+  :class:`~repro.graph.deltas.GraphDelta` delivered to subscribers and (when
+  enabled) a bounded delta log, so compiled views and caches can maintain
+  themselves incrementally instead of recompiling per version bump.  Event
+  construction is skipped entirely while nobody is listening.
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -35,7 +44,14 @@ from repro.exceptions import (
     EdgeNotFoundError,
     NodeNotFoundError,
 )
+from repro.graph.deltas import DeltaKind, GraphDelta
 from repro.graph.features import normalize_features
+
+#: Default bound on the per-graph delta log (see
+#: :meth:`PropertyGraph.enable_delta_log`).  256 single-edge edits is far
+#: more than any interactive editing burst between two view reads; a log
+#: that overflows simply makes stale views recompile once.
+DELTA_LOG_LIMIT = 256
 
 NodeId = Hashable
 EdgeKey = Tuple[NodeId, NodeId]
@@ -112,11 +128,200 @@ class PropertyGraph:
         self._pred: Dict[NodeId, Dict[NodeId, None]] = {}
         #: Monotonically increasing mutation counter for cache invalidation.
         self._version = 0
+        # Delta machinery, all lazily allocated: observers (subscription
+        # token -> listener or weak method), the bounded delta log, and the
+        # in-flight batch sub-delta list.  ``None`` everywhere means "nobody
+        # is listening" and mutators skip event construction.
+        self._observers: Optional[Dict[int, object]] = None
+        self._next_token = 0
+        self._delta_log: Optional[List[GraphDelta]] = None
+        self._delta_log_limit = 0
+        self._batch: Optional[List[GraphDelta]] = None
+        self._batch_dirty = False
+        self._batch_tainted = False
 
     @property
     def version(self) -> int:
         """Mutation counter: changes whenever nodes or edges are added/removed."""
         return self._version
+
+    @property
+    def in_batch(self) -> bool:
+        """True while a :meth:`batch` block is open (version bump pending)."""
+        return self._batch is not None
+
+    # ------------------------------------------------------------------ #
+    # delta emission
+    # ------------------------------------------------------------------ #
+    def enable_delta_log(self, limit: int = DELTA_LOG_LIMIT) -> None:
+        """Start recording mutations into a bounded delta log.
+
+        The log is what lets stale compiled views *catch up*: a view built
+        at version ``v`` asks :meth:`deltas_since` for the chain of events
+        from ``v`` to the present and patches itself in O(affected) instead
+        of recompiling.  Idempotent; a smaller ``limit`` trims the existing
+        log.
+        """
+        if limit < 1:
+            raise ValueError(f"delta log limit must be positive, got {limit}")
+        if self._delta_log is None:
+            self._delta_log = []
+        self._delta_log_limit = limit
+        del self._delta_log[:-limit]
+
+    @property
+    def delta_log_enabled(self) -> bool:
+        """True once :meth:`enable_delta_log` (or a bus attach) has run."""
+        return self._delta_log is not None
+
+    def subscribe(self, listener: object) -> int:
+        """Register a mutation listener called as ``listener(graph, delta)``.
+
+        Bound methods are held weakly (the owning object — typically a
+        :class:`~repro.graph.deltas.DeltaBus` — can be garbage-collected
+        without unsubscribing first); plain functions are held strongly.
+        Returns a token for :meth:`unsubscribe`.
+        """
+        if self._observers is None:
+            self._observers = {}
+        token = self._next_token
+        self._next_token += 1
+        try:
+            stored: object = weakref.WeakMethod(listener)  # type: ignore[arg-type]
+        except TypeError:
+            stored = listener
+        self._observers[token] = stored
+        return token
+
+    def unsubscribe(self, token: int) -> None:
+        """Drop one listener (unknown tokens are ignored)."""
+        if self._observers is not None:
+            self._observers.pop(token, None)
+
+    def deltas_since(self, version: int) -> Optional[List[GraphDelta]]:
+        """The contiguous delta chain from ``version`` to the present.
+
+        Returns ``[]`` when ``version`` is current, the ordered chain when
+        the log still reaches back that far, and ``None`` when it cannot be
+        reconstructed (logging disabled, the log overflowed, or ``version``
+        never existed) — in which case the caller must fall back to a full
+        recompile.
+        """
+        if version == self._version:
+            return []
+        log = self._delta_log
+        if log is None or version > self._version:
+            return None
+        for index, delta in enumerate(log):
+            if delta.pre_version == version:
+                chain = log[index:]
+                # Defensive contiguity check: a hole (e.g. a batch whose
+                # composite could not be recorded) must never be bridged.
+                expected = version
+                for entry in chain:
+                    if entry.pre_version != expected:
+                        return None
+                    expected = entry.post_version
+                if expected != self._version:
+                    return None
+                return chain
+        return None
+
+    def _commit(self, kind: DeltaKind, **payload: object) -> None:
+        """Record one mutation: version bump + delta emission (or batch defer)."""
+        if self._batch is not None:
+            self._batch_dirty = True
+            if self._delta_log is not None or self._observers:
+                self._batch.append(
+                    GraphDelta(
+                        kind=kind,
+                        pre_version=self._version,
+                        post_version=self._version,
+                        **payload,  # type: ignore[arg-type]
+                    )
+                )
+            else:
+                # Nobody was listening when this mutation happened.  If a
+                # listener (or the log) appears before the batch commits,
+                # the composite would be missing this sub-delta — publishing
+                # it would let stale views "catch up" incompletely and be
+                # served as current.  Taint the batch instead: the version
+                # still bumps, nothing is published, and deltas_since()
+                # reports an unbridgeable gap, forcing the sound recompile.
+                self._batch_tainted = True
+            return
+        pre = self._version
+        self._version = pre + 1
+        if self._delta_log is not None or self._observers:
+            self._publish(
+                GraphDelta(kind=kind, pre_version=pre, post_version=pre + 1, **payload)  # type: ignore[arg-type]
+            )
+
+    def _publish(self, delta: GraphDelta) -> None:
+        """Append one committed delta to the log and notify subscribers."""
+        log = self._delta_log
+        if log is not None:
+            log.append(delta)
+            if len(log) > self._delta_log_limit:
+                del log[: len(log) - self._delta_log_limit]
+        if self._observers:
+            for token, stored in list(self._observers.items()):
+                listener = stored() if isinstance(stored, weakref.WeakMethod) else stored
+                if listener is None:
+                    self._observers.pop(token, None)
+                    continue
+                listener(self, delta)
+
+    @contextmanager
+    def batch(self) -> Iterator["PropertyGraph"]:
+        """Coalesce several mutations into one version bump and one delta.
+
+        Within the block every mutator applies its structural change
+        immediately but defers the version bump; on exit the graph commits
+        **one** version bump and publishes **one** composite
+        :class:`~repro.graph.deltas.GraphDelta` (kind ``BATCH``) carrying
+        the sub-deltas — so symmetric inserts like
+        :meth:`add_bidirectional_edge` cause a single invalidation instead
+        of two.  Nested ``batch()`` blocks join the outermost one.
+
+        Two caveats, both consequences of the single deferred bump: derived
+        state (compiled views, caches) must not be *read* from inside the
+        block — :attr:`version` only changes at exit — and there is no
+        rollback: if the block raises, mutations already applied stay
+        applied and the commit still runs, so caches cannot go stale.
+        """
+        if self._batch is not None:
+            yield self
+            return
+        self._batch = []
+        self._batch_dirty = False
+        self._batch_tainted = False
+        try:
+            yield self
+        finally:
+            subs = tuple(self._batch)
+            dirty = self._batch_dirty
+            tainted = self._batch_tainted
+            self._batch = None
+            self._batch_dirty = False
+            self._batch_tainted = False
+            if dirty:
+                pre = self._version
+                self._version = pre + 1
+                if tainted:
+                    # The composite is incomplete; clear the log so no
+                    # earlier entry can bridge across the hole either.
+                    if self._delta_log is not None:
+                        self._delta_log.clear()
+                elif self._delta_log is not None or self._observers:
+                    self._publish(
+                        GraphDelta(
+                            kind=DeltaKind.BATCH,
+                            pre_version=pre,
+                            post_version=pre + 1,
+                            deltas=subs,
+                        )
+                    )
 
     # ------------------------------------------------------------------ #
     # dunder helpers
@@ -162,13 +367,17 @@ class PropertyGraph:
         ``replace=True``, in which case the node's kind/features are replaced
         while its incident edges are preserved.
         """
-        if node_id in self._nodes and not replace:
+        existing = self._nodes.get(node_id)
+        if existing is not None and not replace:
             raise DuplicateNodeError(node_id)
         node = Node(node_id=node_id, kind=kind, features=normalize_features(features))
         self._nodes[node_id] = node
         self._succ.setdefault(node_id, {})
         self._pred.setdefault(node_id, {})
-        self._version += 1
+        if existing is not None:
+            self._commit(DeltaKind.REPLACE_NODE, node=node, old_node=existing)
+        else:
+            self._commit(DeltaKind.ADD_NODE, node=node)
         return node
 
     def ensure_node(self, node_id: NodeId, **kwargs: Any) -> Node:
@@ -201,16 +410,21 @@ class PropertyGraph:
         return len(self._nodes)
 
     def remove_node(self, node_id: NodeId) -> Node:
-        """Remove a node and every incident edge; return the removed node."""
+        """Remove a node and every incident edge; return the removed node.
+
+        One logical mutation: a single version bump and a single
+        ``REMOVE_NODE`` delta carrying every dropped incident edge.
+        """
         node = self.node(node_id)
+        removed: List[Edge] = []
         for successor in list(self._succ.get(node_id, ())):
-            self._drop_edge(node_id, successor)
+            removed.append(self._pop_edge(node_id, successor))
         for predecessor in list(self._pred.get(node_id, ())):
-            self._drop_edge(predecessor, node_id)
+            removed.append(self._pop_edge(predecessor, node_id))
         self._succ.pop(node_id, None)
         self._pred.pop(node_id, None)
         del self._nodes[node_id]
-        self._version += 1
+        self._commit(DeltaKind.REMOVE_NODE, old_node=node, removed_edges=tuple(removed))
         return node
 
     def set_node_features(self, node_id: NodeId, features: Mapping[str, Any]) -> Node:
@@ -218,7 +432,7 @@ class PropertyGraph:
         node = self.node(node_id)
         updated = node.with_features(features)
         self._nodes[node_id] = updated
-        self._version += 1
+        self._commit(DeltaKind.SET_NODE_FEATURES, node=updated, old_node=node)
         return updated
 
     # ------------------------------------------------------------------ #
@@ -251,13 +465,17 @@ class PropertyGraph:
             if target not in self._nodes:
                 raise NodeNotFoundError(target)
         key = (source, target)
-        if key in self._edges and not replace:
+        existing = self._edges.get(key)
+        if existing is not None and not replace:
             raise DuplicateEdgeError(source, target)
         edge = Edge(source=source, target=target, label=label, features=normalize_features(features))
         self._edges[key] = edge
         self._succ[source][target] = None
         self._pred[target][source] = None
-        self._version += 1
+        if existing is not None:
+            self._commit(DeltaKind.REPLACE_EDGE, edge=edge, old_edge=existing)
+        else:
+            self._commit(DeltaKind.ADD_EDGE, edge=edge)
         return edge
 
     def add_bidirectional_edge(
@@ -269,9 +487,15 @@ class PropertyGraph:
         features: Optional[Mapping[str, Any]] = None,
         create_nodes: bool = False,
     ) -> Tuple[Edge, Edge]:
-        """Add both directions of an undirected relationship (paper, Section 2)."""
-        forward = self.add_edge(left, right, label=label, features=features, create_nodes=create_nodes)
-        backward = self.add_edge(right, left, label=label, features=features, create_nodes=create_nodes)
+        """Add both directions of an undirected relationship (paper, Section 2).
+
+        The two inserts commit as one :meth:`batch`: a single version bump
+        and a single composite delta, so caches invalidate (or patch) once
+        per symmetric insert instead of twice.
+        """
+        with self.batch():
+            forward = self.add_edge(left, right, label=label, features=features, create_nodes=create_nodes)
+            backward = self.add_edge(right, left, label=label, features=features, create_nodes=create_nodes)
         return forward, backward
 
     def edge(self, source: NodeId, target: NodeId) -> Edge:
@@ -308,10 +532,15 @@ class PropertyGraph:
         return self._drop_edge(source, target)
 
     def _drop_edge(self, source: NodeId, target: NodeId) -> Edge:
+        edge = self._pop_edge(source, target)
+        self._commit(DeltaKind.REMOVE_EDGE, old_edge=edge)
+        return edge
+
+    def _pop_edge(self, source: NodeId, target: NodeId) -> Edge:
+        """Structure-only edge removal (no version bump, no delta)."""
         edge = self._edges.pop((source, target))
         self._succ[source].pop(target, None)
         self._pred[target].pop(source, None)
-        self._version += 1
         return edge
 
     # ------------------------------------------------------------------ #
@@ -391,6 +620,21 @@ class PropertyGraph:
         focus probability is defined over (Figure 5: "0-1 connected nodes").
         """
         return len(self.neighbors(node_id))
+
+    def same_neighborhood(self, other: "PropertyGraph", node_id: NodeId) -> bool:
+        """True when ``node_id`` has identical in/out neighbour sets in both graphs.
+
+        Used by derived-view maintenance (e.g.
+        :meth:`repro.core.opacity.CompiledOpacityView.derive_for`) to find
+        the nodes whose structural weights can differ between two related
+        graphs without walking either edge list twice.
+        """
+        return (
+            self._succ.get(node_id, _EMPTY_ADJACENCY).keys()
+            == other._succ.get(node_id, _EMPTY_ADJACENCY).keys()
+            and self._pred.get(node_id, _EMPTY_ADJACENCY).keys()
+            == other._pred.get(node_id, _EMPTY_ADJACENCY).keys()
+        )
 
     def isolated_nodes(self) -> List[NodeId]:
         """Ids of nodes with no incident edges."""

@@ -1,0 +1,329 @@
+"""Tests for :class:`repro.api.editing.EditSession` and the edit pipeline.
+
+The load-bearing property is *observational invisibility*: after any edit
+script, the session's account and ScoreCard must be exactly — graph equality,
+set equality, bit-identical floats — what a cold ``protect()+score()`` of
+the edited graph produces.  Everything else (timings keys, maintenance
+counters, fallback behaviour, simulation sharing) is pinned on top of that.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import ProtectionRequest, ProtectionService
+from repro.core.opacity import AdvancedAdversary, opacity_simulations_run
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import figure1_lattice
+from repro.exceptions import ProtectionError
+from repro.graph.deltas import view_maintenance_stats
+from repro.workloads.random_graphs import random_digraph, sample_edges
+
+
+def build_workload(node_count=120, edge_count=360, seed=21):
+    graph = random_digraph(node_count, edge_count, seed=seed)
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    rng = random.Random(seed)
+    for node_id in rng.sample(graph.node_ids(), max(1, node_count // 10)):
+        policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+    policy.protect_edges(
+        sample_edges(graph, max(1, edge_count // 20), seed=seed), privileges["Low-2"]
+    )
+    return graph, policy, privileges["Low-2"]
+
+
+def assert_matches_fresh(result, graph, policy, consumer):
+    """The session result == a cold protect()+score() of the edited graph."""
+    reference = ProtectionService(graph, policy.copy()).protect(
+        ProtectionRequest(privileges=(consumer,))
+    )
+    assert result.account.graph == reference.account.graph
+    assert result.account.surrogate_edges == reference.account.surrogate_edges
+    assert result.account.correspondence == reference.account.correspondence
+    assert result.scores.path_utility == reference.scores.path_utility
+    assert result.scores.node_utility == reference.scores.node_utility
+    assert result.scores.average_opacity == reference.scores.average_opacity
+    assert result.scores.min_opacity == reference.scores.min_opacity
+    assert result.scores.opacity.per_edge == reference.scores.opacity.per_edge
+    assert (
+        result.scores.utility.path_percentages
+        == reference.scores.utility.path_percentages
+    )
+
+
+class TestEditSessionEquivalence:
+    def test_edge_edits_take_the_delta_path_and_stay_exact(self):
+        graph, policy, consumer = build_workload()
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        rng = random.Random(77)
+        removed = []
+        for step in range(30):
+            if step % 3 == 2 and removed:
+                edge = removed.pop()
+                session.add_edge(edge.source, edge.target, label=edge.label)
+            elif step % 3 == 1:
+                source, target = rng.sample(graph.node_ids(), 2)
+                if graph.has_edge(source, target):
+                    continue
+                session.add_edge(source, target, label=f"new{step}")
+            else:
+                removed.append(session.remove_edge(*rng.choice(graph.edge_keys())))
+            result = session.commit()
+            assert result.timings_ms["recompile_fallback"] == 0.0
+            assert result.timings_ms["delta_apply"] > 0.0
+            assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_multiple_edits_in_one_commit_stay_on_the_delta_path(self):
+        # Regression: a commit replaying a chain of >1 deltas used to fall
+        # back because the walk cache demanded the marking view sit exactly
+        # at each intermediate post-version.
+        graph, policy, consumer = build_workload(seed=23)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        rng = random.Random(1)
+        session.remove_edge(*rng.choice(graph.edge_keys()))
+        session.remove_edge(*rng.choice(graph.edge_keys()))
+        source, target = rng.sample(graph.node_ids(), 2)
+        if not graph.has_edge(source, target):
+            session.add_edge(source, target)
+        result = session.commit()
+        assert result.timings_ms["recompile_fallback"] == 0.0
+        assert result.timings_ms["delta_apply"] > 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_bidirectional_insert_is_one_commit_one_patch(self):
+        graph, policy, consumer = build_workload(seed=5)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        before = view_maintenance_stats()["edit_session"].get("delta_applied", 0)
+        source, target = [n for n in graph.node_ids() if not graph.has_link(n, graph.node_ids()[0])][:2]
+        session.add_bidirectional_edge(source, target, label="peer")
+        result = session.commit()
+        assert view_maintenance_stats()["edit_session"]["delta_applied"] == before + 1
+        assert result.timings_ms["recompile_fallback"] == 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_node_removal_falls_back_and_stays_exact(self):
+        graph, policy, consumer = build_workload(seed=9)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        rng = random.Random(11)
+        # Remove a node with incident edges: the under-tested invalidation path.
+        candidates = [n for n in graph.node_ids() if graph.degree(n) > 2]
+        session.remove_node(rng.choice(candidates))
+        result = session.commit()
+        assert result.timings_ms["recompile_fallback"] > 0.0
+        assert result.timings_ms["delta_apply"] == 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_feature_edit_falls_back_and_stays_exact(self):
+        graph, policy, consumer = build_workload(seed=13)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        session.set_node_features(graph.node_ids()[3], {"label": "edited"})
+        result = session.commit()
+        assert result.timings_ms["recompile_fallback"] > 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_mixed_script_interleaves_paths_and_stays_exact(self):
+        graph, policy, consumer = build_workload(seed=31)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        rng = random.Random(3)
+        fallbacks = patched = 0
+        for step in range(25):
+            roll = rng.random()
+            nodes = graph.node_ids()
+            if roll < 0.4:
+                session.remove_edge(*rng.choice(graph.edge_keys()))
+            elif roll < 0.7:
+                source, target = rng.sample(nodes, 2)
+                if graph.has_edge(source, target):
+                    continue
+                session.add_edge(source, target)
+            elif roll < 0.8:
+                session.set_node_features(rng.choice(nodes), {"step": step})
+            elif roll < 0.9 and len(nodes) > 20:
+                session.remove_node(rng.choice(nodes))
+            else:
+                session.add_node(f"fresh{step}")
+                session.add_bidirectional_edge(f"fresh{step}", rng.choice(nodes))
+            result = session.commit()
+            if result.timings_ms["recompile_fallback"] > 0.0:
+                fallbacks += 1
+            else:
+                patched += 1
+            assert_matches_fresh(result, graph, policy, consumer)
+        assert patched > 0 and fallbacks > 0  # both paths exercised
+        session.close()
+
+    def test_policy_change_falls_back(self):
+        graph, policy, consumer = build_workload(seed=41)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        policy.protect_edge(graph.edge_keys()[0], consumer)
+        session.remove_edge(*graph.edge_keys()[1])
+        result = session.commit()
+        assert result.timings_ms["recompile_fallback"] > 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+
+class TestEditSessionBehaviour:
+    def test_commit_without_edits_returns_last_result(self):
+        graph, policy, consumer = build_workload(seed=2)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        first = session.result
+        assert session.commit() is first
+        session.close()
+
+    def test_context_manager_commits_pending_edits(self):
+        graph, policy, consumer = build_workload(seed=4)
+        service = ProtectionService(graph, policy)
+        with service.edit(consumer) as session:
+            session.remove_edge(*graph.edge_keys()[0])
+        assert_matches_fresh(session.result, graph, policy, consumer)
+
+    def test_closed_session_refuses_commit(self):
+        graph, policy, consumer = build_workload(seed=6)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        session.close()
+        graph.remove_edge(*graph.edge_keys()[0])
+        with pytest.raises(ProtectionError):
+            session.commit()
+
+    def test_multi_graph_service_refuses_edit(self):
+        _graph, policy, consumer = build_workload(seed=8)
+        service = ProtectionService(None, policy)
+        with pytest.raises(ProtectionError):
+            service.edit(consumer)
+
+    def test_direct_graph_mutation_is_observed(self):
+        graph, policy, consumer = build_workload(seed=10)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        graph.remove_edge(*graph.edge_keys()[0])  # not via the proxy
+        result = session.commit()
+        assert result.timings_ms["delta_apply"] > 0.0
+        assert_matches_fresh(result, graph, policy, consumer)
+        session.close()
+
+    def test_session_account_is_private_never_the_cached_one(self):
+        graph, policy, consumer = build_workload(seed=12)
+        service = ProtectionService(graph, policy)
+        cached = service.protect(ProtectionRequest(privileges=(consumer,)))
+        session = service.edit(consumer)
+        assert session.account is not cached.account
+        session.close()
+
+    def test_fallback_counters_are_recorded(self):
+        graph, policy, consumer = build_workload(seed=14)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        before = dict(view_maintenance_stats().get("edit_session", {}))
+        session.remove_edge(*graph.edge_keys()[0])
+        session.commit()
+        session.remove_node(graph.node_ids()[0])
+        session.commit()
+        after = view_maintenance_stats()["edit_session"]
+        assert after.get("delta_applied", 0) == before.get("delta_applied", 0) + 1
+        assert (
+            after.get("recompile_fallback", 0)
+            == before.get("recompile_fallback", 0) + 1
+        )
+        session.close()
+
+
+class TestOpacityViewReuseAcrossEdits:
+    def test_commit_patches_the_account_simulation_at_most_once(self):
+        # Regression: each account-edge mutation used to dispatch its own
+        # delta, cloning the whole O(V) simulation once per edge; the diff
+        # now commits as one batch -> at most one patched copy per commit.
+        graph, policy, consumer = build_workload(seed=25)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        before = view_maintenance_stats()["opacity_view"].get("delta_applied", 0)
+        rng = random.Random(9)
+        session.remove_edge(*rng.choice(graph.edge_keys()))
+        result = session.commit()
+        assert result.timings_ms["recompile_fallback"] == 0.0
+        after = view_maintenance_stats()["opacity_view"].get("delta_applied", 0)
+        assert after - before <= 1
+        session.close()
+
+    def test_edit_loop_runs_zero_extra_simulations_on_the_delta_path(self):
+        graph, policy, consumer = build_workload(seed=16)
+        service = ProtectionService(graph, policy)
+        session = service.edit(consumer)
+        simulations = opacity_simulations_run()
+        rng = random.Random(5)
+        for _step in range(10):
+            session.remove_edge(*rng.choice(graph.edge_keys()))
+            session.commit()
+        # Every re-score ran off the *patched* compiled simulation.
+        assert opacity_simulations_run() == simulations
+        session.close()
+
+
+class TestMultiPrivilegeSimulationSharing:
+    def multi_workload(self, seed=18):
+        graph = random_digraph(150, 450, seed=seed)
+        lattice, privileges = figure1_lattice()
+        policy = ReleasePolicy(lattice)
+        for index, node_id in enumerate(graph.node_ids()):
+            if index % 4 == 0:
+                policy.set_lowest(node_id, privileges["High-1"])
+            elif index % 5 == 0:
+                policy.set_lowest(node_id, privileges["High-2"])
+        # Hide-protect some edges between *visible* nodes so the accounts
+        # carry hidden edges whose endpoints are representable — the case
+        # that actually needs an adversary simulation to score.
+        from repro.core.policy import STRATEGY_HIDE
+
+        policy.protect_edges(
+            sample_edges(graph, 40, seed=seed), "Public", strategy=STRATEGY_HIDE
+        )
+        return graph, policy
+
+    def test_sub_accounts_share_one_simulation(self):
+        graph, policy = self.multi_workload()
+        service = ProtectionService(graph, policy)
+        merged = service.protect(
+            ProtectionRequest(privileges=("High-1", "High-2"), score=False)
+        ).account
+        family = merged.derivation_peers
+        assert len(family) == 3 and merged in family
+        before = opacity_simulations_run()
+        service.score(merged)
+        assert opacity_simulations_run() == before + 1  # the one family simulation
+        for member in family:
+            if member is not merged:
+                service.score(member)
+        assert opacity_simulations_run() == before + 1  # derived, not re-simulated
+        derived = view_maintenance_stats()["opacity_view"].get("derived", 0)
+        assert derived >= 2
+
+    def test_derived_sub_account_scores_are_exact(self):
+        graph, policy = self.multi_workload(seed=20)
+        service = ProtectionService(graph, policy)
+        merged = service.protect(
+            ProtectionRequest(privileges=("High-1", "High-2"), score=False)
+        ).account
+        service.score(merged)  # seeds the family simulation
+        fresh_service = ProtectionService(graph, policy)
+        for member in merged.derivation_peers:
+            derived = service.score(member)
+            independent = fresh_service.score(member)
+            assert derived.opacity.average == independent.opacity.average
+            assert derived.opacity.per_edge == independent.opacity.per_edge

@@ -98,3 +98,45 @@ class TestSimulateAttack:
         better = max(opacity_by_strategy, key=opacity_by_strategy.get)
         worse = min(opacity_by_strategy, key=opacity_by_strategy.get)
         assert recall_by_strategy[better] <= recall_by_strategy[worse] + 1e-9
+
+
+class TestAttackOnMaintainedViews:
+    def test_patched_view_scores_match_fresh_compile(self):
+        # Regression: the attack used to read view.guess_denominators raw,
+        # bypassing the lazy refresh of delta-patched/derived views.
+        from repro.core.opacity import AdvancedAdversary, CompiledOpacityView
+        from repro.workloads.random_graphs import random_digraph
+
+        graph = random_digraph(25, 60, seed=6)
+        graph.enable_delta_log()
+        adversary = AdvancedAdversary()
+        view = CompiledOpacityView.compile(graph, adversary)
+        version = graph.version
+        graph.remove_edge(*graph.edge_keys()[0])
+        graph.remove_edge(*graph.edge_keys()[0])
+        for delta in graph.deltas_since(version):
+            assert view.apply_delta(delta, adversary)
+        attack = EdgeInferenceAttack(adversary=adversary)
+        patched = attack.top_guesses(graph, 5, view=view)
+        fresh = attack.top_guesses(graph, 5)
+        assert [(g.source, g.target, g.score) for g in patched] == [
+            (g.source, g.target, g.score) for g in fresh
+        ]
+
+    def test_derived_view_scores_match_fresh_compile(self):
+        from repro.core.opacity import AdvancedAdversary, CompiledOpacityView
+        from repro.workloads.random_graphs import random_digraph
+
+        graph = random_digraph(25, 60, seed=8)
+        other = graph.copy()
+        other.remove_edge(*other.edge_keys()[0])
+        adversary = AdvancedAdversary()
+        derived = CompiledOpacityView.compile(graph, adversary).derive_for(
+            other, adversary
+        )
+        attack = EdgeInferenceAttack(adversary=adversary)
+        from_derived = attack.top_guesses(other, 5, view=derived)
+        fresh = attack.top_guesses(other, 5)
+        assert [(g.source, g.target, g.score) for g in from_derived] == [
+            (g.source, g.target, g.score) for g in fresh
+        ]

@@ -1,0 +1,250 @@
+"""Tests for the typed graph-delta machinery (repro.graph.deltas)."""
+
+import gc
+
+import pytest
+
+from repro.graph.deltas import DeltaBus, DeltaKind, GraphDelta, view_maintenance_stats
+from repro.graph.model import PropertyGraph
+
+
+def tracked_graph():
+    graph = PropertyGraph(name="tracked")
+    graph.enable_delta_log()
+    events = []
+    graph.subscribe(lambda g, delta: events.append(delta))
+    return graph, events
+
+
+class TestDeltaEmission:
+    def test_add_node_delta(self):
+        graph, events = tracked_graph()
+        node = graph.add_node("a", kind="person", features={"name": "Alice"})
+        assert len(events) == 1
+        delta = events[0]
+        assert delta.kind is DeltaKind.ADD_NODE
+        assert delta.node == node
+        assert (delta.pre_version, delta.post_version) == (0, 1)
+
+    def test_replace_node_delta_carries_old_state(self):
+        graph, events = tracked_graph()
+        old = graph.add_node("a", features={"v": 1})
+        new = graph.add_node("a", features={"v": 2}, replace=True)
+        delta = events[-1]
+        assert delta.kind is DeltaKind.REPLACE_NODE
+        assert delta.old_node == old and delta.node == new
+
+    def test_set_node_features_delta(self):
+        graph, events = tracked_graph()
+        graph.add_node("a", features={"v": 1})
+        graph.set_node_features("a", {"v": 2})
+        delta = events[-1]
+        assert delta.kind is DeltaKind.SET_NODE_FEATURES
+        assert delta.old_node.features == {"v": 1}
+        assert delta.node.features == {"v": 2}
+
+    def test_edge_deltas(self):
+        graph, events = tracked_graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        edge = graph.add_edge("a", "b", label="knows")
+        assert events[-1].kind is DeltaKind.ADD_EDGE and events[-1].edge == edge
+        replaced = graph.add_edge("a", "b", label="met", replace=True)
+        assert events[-1].kind is DeltaKind.REPLACE_EDGE
+        assert events[-1].old_edge == edge and events[-1].edge == replaced
+        graph.remove_edge("a", "b")
+        assert events[-1].kind is DeltaKind.REMOVE_EDGE
+        assert events[-1].old_edge == replaced
+
+    def test_remove_node_is_one_delta_and_one_version_bump(self):
+        graph, events = tracked_graph()
+        for node_id in ("a", "b", "c"):
+            graph.add_node(node_id)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "b")
+        version = graph.version
+        graph.remove_node("b")
+        assert graph.version == version + 1
+        delta = events[-1]
+        assert delta.kind is DeltaKind.REMOVE_NODE
+        assert delta.old_node.node_id == "b"
+        assert {edge.key for edge in delta.removed_edges} == {
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "b"),
+        }
+
+    def test_untracked_graph_pays_nothing(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        assert not graph.delta_log_enabled
+        assert graph.deltas_since(0) is None
+        assert graph.deltas_since(graph.version) == []
+
+
+class TestBatch:
+    def test_bidirectional_edge_is_one_bump_one_composite_delta(self):
+        graph, events = tracked_graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        version = graph.version
+        graph.add_bidirectional_edge("a", "b", label="peer")
+        assert graph.version == version + 1  # the PR-5 bugfix: no double bump
+        delta = events[-1]
+        assert delta.kind is DeltaKind.BATCH
+        assert [sub.kind for sub in delta.deltas] == [DeltaKind.ADD_EDGE] * 2
+        assert {sub.edge.key for sub in delta.deltas} == {("a", "b"), ("b", "a")}
+
+    def test_explicit_batch_coalesces(self):
+        graph, events = tracked_graph()
+        for node_id in ("a", "b", "c"):
+            graph.add_node(node_id)
+        version = graph.version
+        with graph.batch():
+            graph.add_edge("a", "b")
+            graph.add_edge("b", "c")
+            graph.remove_edge("a", "b")
+        assert graph.version == version + 1
+        delta = events[-1]
+        assert delta.kind is DeltaKind.BATCH
+        assert [sub.kind for sub in delta.deltas] == [
+            DeltaKind.ADD_EDGE,
+            DeltaKind.ADD_EDGE,
+            DeltaKind.REMOVE_EDGE,
+        ]
+        changes = list(delta.edge_changes())
+        assert changes[0] == (True, delta.deltas[0].edge)
+        assert changes[-1][0] is False
+
+    def test_tracking_enabled_mid_batch_poisons_the_composite(self):
+        # Regression: a BATCH delta recorded after tracking started
+        # mid-block would be missing the earlier mutations; publishing it
+        # would let stale views catch up incompletely.  The batch must
+        # commit its version bump but leave the chain unbridgeable.
+        graph = PropertyGraph()
+        for node_id in ("a", "b", "c"):
+            graph.add_node(node_id)
+        version_before_log = None
+        events = []
+        with graph.batch():
+            graph.add_edge("a", "b")  # nobody listening yet
+            version_before_log = graph.version
+            graph.enable_delta_log()
+            graph.subscribe(lambda g, d: events.append(d))
+            graph.add_edge("b", "c")
+        assert graph.version == version_before_log + 1
+        assert events == []  # the partial composite was never published
+        assert graph.deltas_since(version_before_log) is None  # recompile forced
+        # After the poisoned batch, tracking works normally again.
+        resumed = graph.version
+        graph.add_edge("c", "a")
+        assert [d.kind for d in graph.deltas_since(resumed)] == [DeltaKind.ADD_EDGE]
+
+    def test_deltas_since_never_bridges_a_log_hole(self):
+        graph, _ = tracked_graph()
+        graph.add_node("a")
+        version = graph.version
+        graph.add_node("b")
+        # Simulate a hole (e.g. a poisoned batch) in the recorded chain.
+        graph._delta_log.pop()
+        graph.add_node("c")
+        assert graph.deltas_since(version) is None
+
+    def test_empty_batch_commits_nothing(self):
+        graph, events = tracked_graph()
+        version = graph.version
+        with graph.batch():
+            pass
+        assert graph.version == version and not events
+
+    def test_nested_batches_join_the_outer_one(self):
+        graph, events = tracked_graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        version = graph.version
+        with graph.batch():
+            graph.add_edge("a", "b")
+            with graph.batch():
+                graph.remove_edge("a", "b")
+        assert graph.version == version + 1
+        assert len(events[-1].deltas) == 2
+
+    def test_batch_commits_even_when_the_block_raises(self):
+        graph, events = tracked_graph()
+        graph.add_node("a")
+        graph.add_node("b")
+        version = graph.version
+        with pytest.raises(ValueError):
+            with graph.batch():
+                graph.add_edge("a", "b")
+                raise ValueError("boom")
+        assert graph.version == version + 1  # caches cannot go stale
+        assert events[-1].kind is DeltaKind.BATCH
+
+
+class TestDeltaLog:
+    def test_deltas_since_returns_contiguous_chain(self):
+        graph, _ = tracked_graph()
+        graph.add_node("a")
+        version = graph.version
+        graph.add_node("b")
+        graph.add_edge("a", "b")
+        chain = graph.deltas_since(version)
+        assert [delta.kind for delta in chain] == [DeltaKind.ADD_NODE, DeltaKind.ADD_EDGE]
+        assert chain[0].pre_version == version
+        assert chain[-1].post_version == graph.version
+
+    def test_overflowed_log_returns_none(self):
+        graph = PropertyGraph()
+        graph.enable_delta_log(limit=2)
+        version = graph.version
+        for index in range(5):
+            graph.add_node(f"n{index}")
+        assert graph.deltas_since(version) is None
+        # ... but a recent-enough version still reconstructs.
+        assert len(graph.deltas_since(graph.version - 2)) == 2
+
+    def test_unknown_version_returns_none(self):
+        graph, _ = tracked_graph()
+        graph.add_node("a")
+        assert graph.deltas_since(graph.version + 5) is None
+
+
+class TestSubscriptions:
+    def test_unsubscribe(self):
+        graph = PropertyGraph()
+        seen = []
+        token = graph.subscribe(lambda g, d: seen.append(d))
+        graph.add_node("a")
+        graph.unsubscribe(token)
+        graph.add_node("b")
+        assert len(seen) == 1
+
+    def test_bus_fans_out_and_detaches(self):
+        bus = DeltaBus()
+        seen = []
+        bus.subscribe(lambda graph, delta: seen.append((graph, delta.kind)))
+        graph = PropertyGraph()
+        token = bus.attach(graph)
+        assert graph.delta_log_enabled
+        graph.add_node("a")
+        assert seen == [(graph, DeltaKind.ADD_NODE)]
+        bus.detach(graph, token)
+        graph.add_node("b")
+        assert len(seen) == 1
+
+    def test_dead_bus_subscription_is_pruned(self):
+        graph = PropertyGraph()
+        bus = DeltaBus()
+        bus.subscribe(lambda g, d: pytest.fail("dead bus must not be called"))
+        bus.attach(graph)
+        del bus
+        gc.collect()
+        graph.add_node("a")  # must not raise nor call the dead listener
+
+    def test_maintenance_stats_shape(self):
+        stats = view_maintenance_stats()
+        assert isinstance(stats, dict)
+        for counters in stats.values():
+            assert all(isinstance(count, int) for count in counters.values())

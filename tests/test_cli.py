@@ -139,3 +139,86 @@ class TestProtectCommand:
         assert exit_code == 1
         payload = json.loads(capsys.readouterr().out)
         assert "cannot write" in payload["error"]["message"]
+
+
+class TestEditCommand:
+    def write_inputs(self, tmp_path, edits, *, script_extra=None):
+        source = tmp_path / "graph.json"
+        save_graph(figure1_graph(), source)
+        script = {"edits": edits}
+        if script_extra:
+            script.update(script_extra)
+        script_path = tmp_path / "edits.json"
+        script_path.write_text(json.dumps(script))
+        return source, script_path
+
+    def test_edit_replays_script_through_the_delta_path(self, tmp_path, capsys):
+        source, script = self.write_inputs(
+            tmp_path,
+            [
+                {"op": "add_edge", "source": "a1", "target": "g"},
+                {"op": "remove_edge", "source": "a1", "target": "g"},
+                {"op": "set_node_features", "node": "g", "features": {"note": "x"}},
+            ],
+        )
+        output = tmp_path / "account.json"
+        exit_code = main(["edit", str(source), str(script), "--output", str(output)])
+        assert exit_code == 0
+        text = capsys.readouterr().out
+        assert "delta_apply" in text and "recompile_fallback" in text
+        assert "protected account written" in text
+        assert load_graph(output).node_count() > 0
+
+    def test_edit_json_reports_per_edit_scores_and_maintenance(self, tmp_path, capsys):
+        source, script = self.write_inputs(
+            tmp_path,
+            [
+                {"op": "remove_edge", "source": "f", "target": "g"},
+                {"op": "remove_node", "node": "j"},
+            ],
+        )
+        exit_code = main(["edit", str(source), str(script), "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["edits"]) == 2
+        first, second = payload["edits"]
+        assert first["recompile_fallback_ms"] == 0.0 and first["delta_apply_ms"] > 0.0
+        assert second["recompile_fallback_ms"] > 0.0  # node removal falls back
+        for row in payload["edits"]:
+            assert 0.0 <= row["path_utility"] <= 1.0
+            assert 0.0 <= row["average_opacity"] <= 1.0
+        assert "edit_session" in payload["maintenance"]
+
+    def test_edit_bare_list_script_and_lattice_options(self, tmp_path, capsys):
+        source = tmp_path / "graph.json"
+        save_graph(figure1_graph(), source)
+        script_path = tmp_path / "edits.json"
+        script_path.write_text(
+            json.dumps([{"op": "add_edge", "source": "b", "target": "g"}])
+        )
+        assert main(["edit", str(source), str(script_path)]) == 0
+        assert "edits: 1" in capsys.readouterr().out
+
+    def test_edit_rejects_bad_op(self, tmp_path, capsys):
+        source, script = self.write_inputs(tmp_path, [{"op": "explode"}])
+        assert main(["edit", str(source), str(script)]) == 2
+        assert "unknown edit op" in capsys.readouterr().out
+
+    def test_edit_missing_graph_is_structured_error(self, tmp_path, capsys):
+        script_path = tmp_path / "edits.json"
+        script_path.write_text("[]")
+        assert main(["edit", str(tmp_path / "missing.json"), str(script_path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_edit_maintenance_counts_are_per_run(self, tmp_path, capsys):
+        # Regression: counters are process-global; a second invocation must
+        # report only its own run, not the accumulated totals.
+        source, script = self.write_inputs(
+            tmp_path, [{"op": "remove_edge", "source": "f", "target": "g"}]
+        )
+        assert main(["edit", str(source), str(script), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["edit", str(source), str(script), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["maintenance"]["edit_session"] == {"delta_applied": 1}
+        assert second["maintenance"]["edit_session"] == {"delta_applied": 1}
