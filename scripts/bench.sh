@@ -8,6 +8,8 @@
 #                              # vs cached replay; refreshes BENCH_scaling.json)
 #   scripts/bench.sh edits     # just the incremental edit-loop case (delta path vs
 #                              # full recompile; refreshes BENCH_scaling.json)
+#   scripts/bench.sh recovery  # just the crash-recovery case (warm restore from a
+#                              # checkpoint vs cold recompute; refreshes BENCH_scaling.json)
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
 #
 # Set REPRO_BENCH_FULL=1 to run the synthetic experiments at paper scale and
@@ -38,11 +40,17 @@ case "${1:-all}" in
     # teardown rewrites the trajectory file including the incremental section.
     python -m pytest benchmarks/test_bench_scaling.py -q -k incremental
     ;;
+  recovery)
+    # Plain test mode: checkpoint + crash + restore on the 8k-node workload
+    # (warm vs catch-up vs cold); the module teardown rewrites the trajectory
+    # file including the recovery section.
+    python -m pytest benchmarks/test_bench_scaling.py -q -k recovery
+    ;;
   all)
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|smoke]" >&2
     exit 2
     ;;
 esac

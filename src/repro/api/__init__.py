@@ -27,12 +27,22 @@ Interactive editing rides on the delta pipeline
 every compiled structure in O(affected) instead of recompiling — see
 ``timings_ms["delta_apply"]`` / ``timings_ms["recompile_fallback"]``.
 
+Warm restarts ride on service checkpoints
+(:mod:`repro.api.checkpoints`): :meth:`ProtectionService.checkpoint`
+freezes the compiled views, the account (as a diff against the original
+graph) and the ScoreCard next to the store; a restarted service calls
+:meth:`ProtectionService.restore` and resumes from the checkpoint plus
+write-log delta catch-up instead of recompiling O(V+E) state — with
+:meth:`ProtectionService.health` reporting how the restore (and the rest
+of the serving stack) fared.  See ``docs/reliability.md``.
+
 The old free functions (``generate_protected_account``,
 ``generate_multi_privilege_account``) survive as deprecated shims that
 delegate here.
 """
 
 from repro.api.cache import AccountCache, CacheStats, DEFAULT_CACHE_CAPACITY, DEFAULT_TENANT
+from repro.api.checkpoints import RestoreReport, restore_service, write_checkpoint
 from repro.api.editing import EditSession
 from repro.api.requests import ProtectionRequest, REQUEST_STRATEGIES
 from repro.api.results import ProtectionResult, ScoreCard
@@ -62,4 +72,7 @@ __all__ = [
     "load_account",
     "account_metadata_to_dict",
     "account_from_metadata",
+    "RestoreReport",
+    "write_checkpoint",
+    "restore_service",
 ]

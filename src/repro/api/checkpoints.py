@@ -1,0 +1,1163 @@
+"""Warm-restart checkpoints: compiled state persisted, delta catch-up on reopen.
+
+A cold :class:`~repro.api.service.ProtectionService` start against an 8k-node
+graph pays the whole pipeline again — compile the marking view, walk the
+visible sets, generate the account, run the adversary simulation, score.  A
+*checkpoint* freezes the expensive results next to the store:
+
+* the :class:`~repro.core.markings.CompiledMarkingView` tables (node default
+  markings, incidence overrides, per-edge states),
+* the :class:`~repro.core.opacity.CompiledOpacityView` vectors (with the
+  exact-Fraction totals, so a restored view is bit-identical to the one that
+  scored the checkpointed result),
+* the protected account — stored as a *structural diff against the original
+  graph* (dropped edges/nodes, surrogate additions, feature changes), so
+  restoring it is O(Δ) graph patching instead of O(V+E) JSON rebuild,
+* the full :class:`~repro.api.results.ScoreCard`, and
+* enough of the originating request to re-seed the
+  :class:`~repro.api.cache.AccountCache` (the first ``protect()`` after a
+  warm restart is a cache hit).
+
+Every checkpoint is stamped with the store's write-log sequence number and
+the delta-bus journal stamp.  On :func:`restore_service`, three paths:
+
+**warm**
+    The write log shows nothing happened since the stamp: every piece is
+    restored and the caches seeded.
+**catch-up**
+    The log holds a *complete* tail after the stamp
+    (:attr:`~repro.store.wal.WriteAheadLog.base_seq` proves no truncation
+    gap): the marking view is restored at checkpoint state and patched
+    through the tail records — O(affected), the same primitives the
+    delta-maintenance layer uses — while the account and scores (stale by
+    definition) are left for regeneration against the warm view.
+**cold**
+    No checkpoint, a CRC/format failure (the file is quarantined aside,
+    never deleted), a policy/adversary mismatch, or a truncation gap: the
+    service recompiles from scratch.  Corruption degrades to a recompile,
+    never to an error or — worse — to silently wrong state.
+
+The payload is a CRC-guarded two-line text file — a JSON header line
+(format version + CRC32 of the body) followed by one JSON body — written
+through the store's :class:`~repro.store.io.StorageIO` seam (atomic temp +
+fsync + rename), so the fault-injection suite covers checkpoint writes like
+any other store write.  Restore speed is the whole point of a checkpoint,
+so the bulky per-node/per-edge tables inside the body are *packed*: rows of
+string fields joined with tabs and newlines inside one JSON string.  A JSON
+parser flies through one long string where it would crawl through 100k
+tokens, and ``str.split`` recovers the rows at C speed — this is what makes
+an 8k-node warm restart an order of magnitude cheaper than a cold
+recompile.  Tables whose fields are not strings (exotic node ids) fall back
+to plain JSON rows, transparently to the reader.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import re
+import weakref
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.api.persistence import account_from_metadata, account_metadata_to_dict
+from repro.api.requests import ProtectionRequest
+from repro.api.results import ProtectionResult, ScoreCard
+from repro.core.markings import CompiledMarkingView, EdgeState, Marking
+from repro.core.opacity import (
+    DEFAULT_ADVERSARY,
+    CompiledOpacityView,
+    OpacityReport,
+    adversary_fingerprint,
+)
+from repro.core.utility import UtilityReport
+from repro.exceptions import CorruptionError, StoreError
+from repro.graph.deltas import record_maintenance
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.serialization import graph_from_json, graph_to_json
+from repro.store.wal import LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.service import ProtectionService
+    from repro.store.engine import GraphStore
+
+#: Version stamp of the checkpoint payload layout.
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: Suffix of checkpoint files inside the store directory.
+CHECKPOINT_SUFFIX = ".checkpoint.json"
+
+
+@dataclass
+class RestoreReport:
+    """What :func:`restore_service` managed to bring back.
+
+    ``mode`` is ``"warm"`` (everything restored, caches seeded),
+    ``"catchup"`` (marking view restored and patched through the write-log
+    tail; account/scores left for regeneration) or ``"cold"`` (nothing
+    usable — ``reason`` says why).
+    """
+
+    mode: str = "cold"
+    reason: str = ""
+    view_restored: bool = False
+    account_restored: bool = False
+    scores_restored: bool = False
+    cache_seeded: bool = False
+    opacity_view_restored: bool = False
+    wal_tail_applied: int = 0
+    quarantined: Optional[str] = None
+    #: The restored account (warm mode), for callers that want it directly.
+    account: Optional[object] = field(default=None, repr=False, compare=False)
+    scores: Optional[ScoreCard] = field(default=None, repr=False, compare=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly summary (embedded in ``service.health()``)."""
+        return {
+            "mode": self.mode,
+            "reason": self.reason,
+            "view_restored": self.view_restored,
+            "account_restored": self.account_restored,
+            "scores_restored": self.scores_restored,
+            "cache_seeded": self.cache_seeded,
+            "opacity_view_restored": self.opacity_view_restored,
+            "wal_tail_applied": self.wal_tail_applied,
+            "quarantined": self.quarantined,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# paths and framing
+# --------------------------------------------------------------------------- #
+def checkpoint_path(store: "GraphStore", name: str) -> Path:
+    """Where the named checkpoint lives inside the store directory."""
+    directory = store.storage.directory
+    if directory is None:
+        raise StoreError("service checkpoints need a durable (directory-backed) store")
+    safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
+    return directory / f"{safe}{CHECKPOINT_SUFFIX}"
+
+
+def _wrap(payload: Dict[str, Any]) -> str:
+    """Frame a payload: one JSON header line, then the CRC-guarded JSON body."""
+    body = json.dumps(payload, sort_keys=True, default=str)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    header = json.dumps(
+        {"format_version": CHECKPOINT_FORMAT_VERSION, "crc32": f"{crc:08x}"},
+        sort_keys=True,
+    )
+    return header + "\n" + body
+
+
+def _unwrap(text: str) -> Dict[str, Any]:
+    """Parse a framed checkpoint; raises :class:`CorruptionError` on damage.
+
+    The header and body are parsed separately (the body is never re-encoded
+    inside a JSON string), so the big payload is tokenised exactly once.
+    """
+    header_text, sep, body = text.partition("\n")
+    if not sep:
+        raise CorruptionError("checkpoint is missing its header line")
+    try:
+        header = json.loads(header_text)
+    except json.JSONDecodeError as exc:
+        raise CorruptionError(f"checkpoint header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or "crc32" not in header:
+        raise CorruptionError("checkpoint header is missing its CRC")
+    if header.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        raise CorruptionError(
+            f"unsupported checkpoint format {header.get('format_version')!r}"
+        )
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    if f"{crc:08x}" != header["crc32"]:
+        raise CorruptionError("checkpoint failed its CRC check")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise CorruptionError(f"checkpoint body is not valid JSON: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# packed columns
+# --------------------------------------------------------------------------- #
+# The per-node and per-edge tables dominate a checkpoint (a 2.5 MB payload
+# at 8k nodes).  Serialised as JSON rows they cost hundreds of thousands of
+# parser tokens *and* a Python-level loop per row on restore.  Packed as
+# tab-joined *columns* inside single JSON strings they parse at memcpy
+# speed, and decode with bulk C operations only — ``str.split``,
+# ``map(float, ...)``, ``zip``, ``dict.fromkeys`` — no per-row Python.
+# ``None`` fields ride as a NUL sentinel; tabs/newlines/backslashes inside
+# fields are escaped (a column takes the slow unescape path only when its
+# packed text actually contains an escape or sentinel).  Every packer falls
+# back to plain JSON rows when a column is not uniformly typed (exotic node
+# ids); every unpacker accepts both shapes.
+
+_NONE_FIELD = "\x00"
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", "t": "\t", "\\": "\\"}
+
+
+def _escape_field(field: Optional[str]) -> str:
+    if field is None:
+        return _NONE_FIELD
+    if "\\" in field or "\t" in field or "\n" in field:
+        return field.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
+    return field
+
+
+def _unescape_field(field: str) -> Optional[str]:
+    if field == _NONE_FIELD:
+        return None
+    if "\\" not in field:
+        return field
+    return _UNESCAPE_RE.sub(lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(1)), field)
+
+
+def _col_str(values: List[Any]) -> Optional[str]:
+    """Strings (or Nones) as one tab-joined column; ``None`` if unpackable."""
+    if not all(value is None or isinstance(value, str) for value in values):
+        return None
+    return "\t".join(_escape_field(value) for value in values)
+
+
+def _split_str(text: str, count: int) -> List[Optional[str]]:
+    """A string column back into its fields, validating the row count."""
+    if count == 0:
+        return []
+    fields: List[Optional[str]] = text.split("\t")
+    if len(fields) != count:
+        raise CorruptionError(
+            f"packed column holds {len(fields)} fields where {count} were recorded"
+        )
+    if "\\" in text or _NONE_FIELD in text:
+        fields = [_unescape_field(field) for field in fields]
+    return fields
+
+
+def _col_num(values: List[Any]) -> Optional[Dict[str, str]]:
+    """Uniform ints or floats as a type-tagged ``repr`` column (exact).
+
+    ``None`` when the values are mixed or exotic (bools, Decimals): the
+    caller falls back to raw JSON rows.  The type tag lets the decoder use
+    a single ``map(int, ...)`` / ``map(float, ...)`` pass — ``repr``/``float``
+    round-trips are exact, and there is no per-value try/except.
+    """
+    if all(type(value) is int for value in values):
+        tag = "i"
+    elif all(type(value) is float for value in values):
+        tag = "f"
+    else:
+        return None
+    return {"ty": tag, "t": "\t".join(map(repr, values))}
+
+
+def _split_num(spec: Dict[str, str], count: int) -> List[Any]:
+    """A numeric column back into its values."""
+    if count == 0:
+        return []
+    fields = spec["t"].split("\t")
+    if len(fields) != count:
+        raise CorruptionError(
+            f"packed column holds {len(fields)} fields where {count} were recorded"
+        )
+    return list(map(int if spec["ty"] == "i" else float, fields))
+
+
+def _pack_map(mapping: Any) -> Any:
+    """A ``{string: number}`` mapping, columnar (or raw rows as fallback)."""
+    keys = list(mapping)
+    key_col = _col_str(keys)
+    value_col = _col_num(list(mapping.values()))
+    if key_col is None or value_col is None:
+        return [[key, value] for key, value in mapping.items()]
+    return {"n": len(keys), "k": key_col, "v": value_col}
+
+
+def _unpack_map(value: Any) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {key: number for key, number in value}
+    count = value["n"]
+    return dict(zip(_split_str(value["k"], count), _split_num(value["v"], count)))
+
+
+def _pack_pairs(mapping: Any) -> Any:
+    """A ``{number: number}`` mapping (e.g. a Counter), columnar."""
+    key_col = _col_num(list(mapping))
+    value_col = _col_num(list(mapping.values()))
+    if key_col is None or value_col is None:
+        return [[key, value] for key, value in mapping.items()]
+    return {"n": len(mapping), "a": key_col, "b": value_col}
+
+
+def _unpack_pairs(value: Any) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {key: number for key, number in value}
+    count = value["n"]
+    return dict(zip(_split_num(value["a"], count), _split_num(value["b"], count)))
+
+
+def _pack_edge_map(mapping: Any) -> Any:
+    """A ``{(source, target): number}`` mapping, columnar."""
+    source_col = _col_str([key[0] for key in mapping])
+    target_col = _col_str([key[1] for key in mapping])
+    value_col = _col_num(list(mapping.values()))
+    if source_col is None or target_col is None or value_col is None:
+        return [[key[0], key[1], value] for key, value in mapping.items()]
+    return {"n": len(mapping), "s": source_col, "t": target_col, "v": value_col}
+
+
+def _unpack_edge_map(value: Any) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {(source, target): number for source, target, number in value}
+    count = value["n"]
+    keys = zip(_split_str(value["s"], count), _split_str(value["t"], count))
+    return dict(zip(keys, _split_num(value["v"], count)))
+
+
+def _pack_enum_map(mapping: Any) -> Any:
+    """A ``{node: Enum}`` mapping, grouped by enum value (few distinct values)."""
+    groups: Dict[Any, List[Any]] = {}
+    for key, member in mapping.items():
+        groups.setdefault(member.value, []).append(key)
+    packed = []
+    for value, keys in groups.items():
+        col = _col_str(keys)
+        if col is None:
+            return [[key, member.value] for key, member in mapping.items()]
+        packed.append([value, len(keys), col])
+    return {"groups": packed}
+
+
+def _unpack_enum_map(value: Any, by_value: Dict[Any, Any]) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {key: by_value[v] for key, v in value}
+    table: Dict[Any, Any] = {}
+    for v, count, col in value["groups"]:
+        table.update(dict.fromkeys(_split_str(col, count), by_value[v]))
+    return table
+
+
+def _pack_enum_edge_map(mapping: Any) -> Any:
+    """A ``{(source, target): Enum}`` mapping, grouped by enum value."""
+    groups: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+    for (source, target), member in mapping.items():
+        sources, targets = groups.setdefault(member.value, ([], []))
+        sources.append(source)
+        targets.append(target)
+    packed = []
+    for value, (sources, targets) in groups.items():
+        source_col = _col_str(sources)
+        target_col = _col_str(targets)
+        if source_col is None or target_col is None:
+            return [
+                [key[0], key[1], member.value] for key, member in mapping.items()
+            ]
+        packed.append([value, len(sources), source_col, target_col])
+    return {"groups": packed}
+
+
+def _unpack_enum_edge_map(value: Any, by_value: Dict[Any, Any]) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {(source, target): by_value[v] for source, target, v in value}
+    table: Dict[Any, Any] = {}
+    for v, count, source_col, target_col in value["groups"]:
+        keys = zip(_split_str(source_col, count), _split_str(target_col, count))
+        table.update(dict.fromkeys(keys, by_value[v]))
+    return table
+
+
+def _pack_override_map(mapping: Any) -> Any:
+    """The ``{(node, (source, target)): Marking}`` override table, grouped."""
+    groups: Dict[Any, Tuple[List[Any], List[Any], List[Any]]] = {}
+    for (node, (source, target)), member in mapping.items():
+        nodes, sources, targets = groups.setdefault(member.value, ([], [], []))
+        nodes.append(node)
+        sources.append(source)
+        targets.append(target)
+    packed = []
+    for value, (nodes, sources, targets) in groups.items():
+        cols = (_col_str(nodes), _col_str(sources), _col_str(targets))
+        if any(col is None for col in cols):
+            return [
+                [node, edge[0], edge[1], member.value]
+                for (node, edge), member in mapping.items()
+            ]
+        packed.append([value, len(nodes), *cols])
+    return {"groups": packed}
+
+
+def _unpack_override_map(value: Any) -> Dict[Any, Any]:
+    if isinstance(value, list):
+        return {
+            (node, (source, target)): _MARKING_BY_VALUE[v]
+            for node, source, target, v in value
+        }
+    table: Dict[Any, Any] = {}
+    for v, count, node_col, source_col, target_col in value["groups"]:
+        keys = zip(
+            _split_str(node_col, count),
+            zip(_split_str(source_col, count), _split_str(target_col, count)),
+        )
+        table.update(dict.fromkeys(keys, _MARKING_BY_VALUE[v]))
+    return table
+
+
+def _encode_features(features: Dict[str, Any]) -> str:
+    return (
+        ""
+        if not features
+        else json.dumps(features, separators=(",", ":"), sort_keys=True, default=str)
+    )
+
+
+def _pack_entities(rows: List[List[Any]]) -> Any:
+    """Entity rows (head string fields + a trailing features dict), columnar."""
+    head_cols = [
+        _col_str(list(col)) for col in zip(*[row[:-1] for row in rows])
+    ]
+    if any(col is None for col in head_cols):
+        return rows
+    features_col = "\t".join(
+        _escape_field(_encode_features(row[-1])) for row in rows
+    )
+    return {"n": len(rows), "cols": head_cols, "f": features_col}
+
+
+def _entity_columns(value: Any, width: int) -> List[List[Any]]:
+    """``width`` head columns plus the decoded features column."""
+    if isinstance(value, list):
+        if not value:
+            return [[] for _ in range(width + 1)]
+        return [list(col) for col in zip(*value)]
+    count = value["n"]
+    if count == 0:
+        return [[] for _ in range(width + 1)]
+    cols = [_split_str(col, count) for col in value["cols"]]
+    if len(cols) != width:
+        raise CorruptionError(
+            f"entity table holds {len(cols)} columns where {width} were expected"
+        )
+    features = [
+        json.loads(text) if text else {} for text in _split_str(value["f"], count)
+    ]
+    return [*cols, features]
+
+
+#: Enum members by value, so hot decode loops skip the Enum ``__call__``.
+_MARKING_BY_VALUE = {marking.value: marking for marking in Marking}
+_EDGE_STATE_BY_VALUE = {state.value: state for state in EdgeState}
+
+
+def _adversary_crc(adversary: object) -> str:
+    """A cross-process identity for an attacker model (repr of its fingerprint)."""
+    effective = adversary if adversary is not None else DEFAULT_ADVERSARY
+    return f"{zlib.crc32(repr(adversary_fingerprint(effective)).encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def _policy_crc(policy: object) -> str:
+    """A cross-process fingerprint of a release policy's protection-relevant state.
+
+    Covers the lattice's privilege names, the default protected marking, the
+    ``lowest()`` assignments and every explicit incidence marking — i.e.
+    everything a :class:`~repro.core.markings.CompiledMarkingView` depends
+    on.  Version counters are process-local, so content is hashed instead.
+    """
+    markings = getattr(policy, "markings", policy)
+    lattice = markings.lattice
+    # The explicit table can run to thousands of incidences, so it is folded
+    # with an order-independent sum of per-item CRCs — and ``MarkingPolicy``
+    # / ``ReleasePolicy`` maintain those sums incrementally as mutations
+    # land, so checkpoint and restore read them in O(1).  The fallback folds
+    # cover policy-like objects that do not maintain them; both paths hash
+    # identical item strings, so they agree on identical content.
+    crc32 = zlib.crc32
+    explicit_sum = getattr(markings, "_explicit_crc", None)
+    if explicit_sum is None:
+        explicit_sum = 0
+        for key, marking in markings.explicit_incidences():
+            item = f"{key!r}\x1f{marking.value}"
+            explicit_sum = (explicit_sum + crc32(item.encode("utf-8"))) & 0xFFFFFFFF
+    lowest_sum = getattr(policy, "_lowest_crc", None)
+    if lowest_sum is None:
+        lowest_sum = 0
+        for node, privilege in getattr(policy, "_lowest", {}).items():
+            item = f"{node!r}\x1f{getattr(privilege, 'name', str(privilege))}"
+            lowest_sum = (lowest_sum + crc32(item.encode("utf-8"))) & 0xFFFFFFFF
+    default_lowest = getattr(policy, "default_lowest", None)
+    canonical = json.dumps(
+        {
+            "privileges": sorted(p.name for p in lattice.privileges()),
+            "default_protected_marking": markings.default_protected_marking.value,
+            "default_lowest": getattr(default_lowest, "name", None),
+            "lowest_sum": lowest_sum,
+            "explicit_sum": explicit_sum,
+        },
+        sort_keys=True,
+    )
+    return f"{crc32(canonical.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+# --------------------------------------------------------------------------- #
+# compiled-view serialisation
+# --------------------------------------------------------------------------- #
+def _marking_view_to_dict(view: CompiledMarkingView) -> Dict[str, Any]:
+    """Serialise a compiled marking view's three tables (packed when possible)."""
+    return {
+        "privilege": view.privilege.name,
+        "node_default": _pack_enum_map(view.node_default),
+        "overrides": _pack_override_map(view._overrides),
+        "edge_states": _pack_enum_edge_map(view.edge_state_table),
+    }
+
+
+def _marking_view_from_dict(
+    payload: Dict[str, Any],
+    graph: PropertyGraph,
+    policy: object,
+    privilege: object,
+) -> CompiledMarkingView:
+    """Rebuild a compiled marking view from its serialised tables.
+
+    The view is constructed without the O(V+E) compile pass — slots are
+    filled straight from the payload — and stamped *current* for ``graph``
+    and ``policy``; the caller is responsible for having proven that the
+    tables actually describe the graph's present (warm path) or for patching
+    them forward (catch-up path) before handing the view out.
+    """
+    markings = getattr(policy, "markings", policy)
+    view = CompiledMarkingView.__new__(CompiledMarkingView)
+    view._graph_ref = weakref.ref(graph)
+    view.privilege = privilege
+    view.graph_version = graph.version
+    view.policy_version = markings.version
+    view._policy = markings
+    view.node_default = _unpack_enum_map(payload["node_default"], _MARKING_BY_VALUE)
+    view._overrides = _unpack_override_map(payload["overrides"])
+    view.edge_state_table = _unpack_enum_edge_map(
+        payload["edge_states"], _EDGE_STATE_BY_VALUE
+    )
+    record_maintenance("marking_view", "restored")
+    return view
+
+
+def _opacity_view_to_dict(view: CompiledOpacityView) -> Dict[str, Any]:
+    """Serialise a compiled opacity view, exact-Fraction totals included."""
+    return {
+        "node_count": view.node_count,
+        "focus_weights": _pack_map(view.focus_weights),
+        "inference_weights": _pack_map(view.inference_weights),
+        "total_focus": view.total_focus,
+        "total_inference": view.total_inference,
+        "guess_denominators": _pack_map(view.denominators()),
+        "total_focus_exact": str(view._total_focus_exact),
+        "total_inference_exact": str(view._total_inference_exact),
+        "inference_value_counts": _pack_pairs(view._inference_value_counts),
+    }
+
+
+def _opacity_view_from_dict(
+    payload: Dict[str, Any], account_graph: PropertyGraph, adversary: object
+) -> CompiledOpacityView:
+    """Rebuild a compiled opacity view bound to the restored account graph.
+
+    Exact totals come back as :class:`~fractions.Fraction` values, so the
+    restored view's arithmetic is bit-identical to the one checkpointed.
+    """
+    effective = adversary if adversary is not None else DEFAULT_ADVERSARY
+    view = CompiledOpacityView(
+        graph_version=account_graph.version,
+        node_count=payload["node_count"],
+        focus_weights=_unpack_map(payload["focus_weights"]),
+        inference_weights=_unpack_map(payload["inference_weights"]),
+        total_focus=payload["total_focus"],
+        total_inference=payload["total_inference"],
+        guess_denominators=_unpack_map(payload["guess_denominators"]),
+        adversary_key=adversary_fingerprint(effective),
+        _graph_ref=weakref.ref(account_graph),
+        _total_focus_exact=Fraction(payload["total_focus_exact"]),
+        _total_inference_exact=Fraction(payload["total_inference_exact"]),
+        _inference_value_counts=Counter(
+            _unpack_pairs(payload["inference_value_counts"])
+        ),
+    )
+    record_maintenance("opacity_view", "restored")
+    return view
+
+
+# --------------------------------------------------------------------------- #
+# account serialisation (diff against the original graph)
+# --------------------------------------------------------------------------- #
+def _graph_diff(base: PropertyGraph, target: PropertyGraph) -> Optional[Dict[str, Any]]:
+    """``target`` as a structural diff against ``base`` (``None`` if unsupported).
+
+    Unsupported means a node present in both graphs changed its ``kind`` —
+    rebuilding that needs edge surgery the O(Δ) patcher doesn't attempt, so
+    the caller falls back to a full graph serialisation.
+    """
+    removed_nodes: List[Any] = []
+    changed_nodes: List[List[Any]] = []
+    for node_id in base.node_ids():
+        if not target.has_node(node_id):
+            removed_nodes.append(node_id)
+            continue
+        old = base.node(node_id)
+        new = target.node(node_id)
+        if old.kind != new.kind:
+            return None
+        if dict(old.features) != dict(new.features):
+            changed_nodes.append([node_id, dict(new.features)])
+    added_nodes = []
+    for node_id in target.node_ids():
+        if not base.has_node(node_id):
+            node = target.node(node_id)
+            added_nodes.append([node.node_id, node.kind, dict(node.features)])
+    base_edges = set(base.edge_keys())
+    target_edges = set(target.edge_keys())
+    removed_edges = [[s, t] for (s, t) in base.edge_keys() if (s, t) not in target_edges]
+    added_edges = []
+    changed_edges = []
+    for key in target.edge_keys():
+        edge = target.edge(*key)
+        if key not in base_edges:
+            added_edges.append([edge.source, edge.target, edge.label, dict(edge.features)])
+        else:
+            old = base.edge(*key)
+            if old.label != edge.label or dict(old.features) != dict(edge.features):
+                changed_edges.append(
+                    [edge.source, edge.target, edge.label, dict(edge.features)]
+                )
+    return {
+        "removed_edges": removed_edges,
+        "removed_nodes": removed_nodes,
+        "added_nodes": added_nodes,
+        "added_edges": added_edges,
+        "changed_nodes": changed_nodes,
+        "changed_edges": changed_edges,
+    }
+
+
+def _encode_diff(diff: Dict[str, Any]) -> Dict[str, Any]:
+    """Pack the diff's six row lists for the checkpoint body."""
+    removed_edges = diff["removed_edges"]
+    source_col = _col_str([row[0] for row in removed_edges])
+    target_col = _col_str([row[1] for row in removed_edges])
+    if source_col is not None and target_col is not None:
+        packed_removed: Any = {
+            "n": len(removed_edges),
+            "s": source_col,
+            "t": target_col,
+        }
+    else:
+        packed_removed = removed_edges
+    id_col = _col_str(diff["removed_nodes"])
+    return {
+        "removed_edges": packed_removed,
+        "removed_nodes": {"n": len(diff["removed_nodes"]), "t": id_col}
+        if id_col is not None
+        else diff["removed_nodes"],
+        "added_nodes": _pack_entities(diff["added_nodes"]),
+        "added_edges": _pack_entities(diff["added_edges"]),
+        "changed_nodes": _pack_entities(diff["changed_nodes"]),
+        "changed_edges": _pack_entities(diff["changed_edges"]),
+    }
+
+
+def _build_edges(sources, targets, labels, features_col) -> list:
+    """Construct ``Edge`` rows positionally, bypassing the frozen ``__init__``.
+
+    The frozen-dataclass protocol routes every field through
+    ``object.__setattr__``; on a diff with tens of thousands of added edges
+    that is the single largest restore cost.  Populating ``__dict__``
+    directly builds identical instances (same fields, same equality) in
+    roughly two thirds of the time.
+    """
+    new = Edge.__new__
+    out = []
+    append = out.append
+    for source, target, label, features in zip(sources, targets, labels, features_col):
+        edge = new(Edge)
+        edge.__dict__.update(
+            source=source, target=target, label=label, features=features
+        )
+        append(edge)
+    return out
+
+
+def _apply_graph_diff(
+    base: PropertyGraph, diff: Dict[str, Any], name: Optional[str]
+) -> PropertyGraph:
+    """Rebuild an account graph: clone ``base`` structurally, apply the diff.
+
+    ``Node`` and ``Edge`` are immutable value objects, so the clone shares
+    them with ``base`` and only copies the containers — and the diff is
+    applied by direct container surgery rather than through the public
+    mutators, which would re-normalise every feature dict and drive the
+    delta machinery for a graph nothing is observing yet.  O(V+E) dict
+    copies plus O(Δ) construction, with none of the per-call typing tax.
+    """
+    rebuilt = PropertyGraph(name=name)
+    rebuilt._nodes = dict(base._nodes)
+    rebuilt._edges = dict(base._edges)
+    rebuilt._succ = {node: dict(adj) for node, adj in base._succ.items()}
+    rebuilt._pred = {node: dict(adj) for node, adj in base._pred.items()}
+    nodes, edges, succ, pred = rebuilt._nodes, rebuilt._edges, rebuilt._succ, rebuilt._pred
+
+    removed = diff["removed_edges"]
+    if isinstance(removed, dict):
+        count = removed["n"]
+        removed = zip(_split_str(removed["s"], count), _split_str(removed["t"], count))
+    for source, target in removed:
+        del edges[(source, target)]
+        del succ[source][target]
+        del pred[target][source]
+    removed_nodes = diff["removed_nodes"]
+    if isinstance(removed_nodes, dict):
+        removed_nodes = _split_str(removed_nodes["t"], removed_nodes["n"])
+    for node_id in removed_nodes:
+        del nodes[node_id]
+        succ.pop(node_id, None)
+        pred.pop(node_id, None)
+
+    ids, kinds, features_col = _entity_columns(diff["added_nodes"], 2)
+    nodes.update(zip(ids, map(Node, ids, kinds, features_col)))
+    for node_id in ids:
+        succ.setdefault(node_id, {})
+        pred.setdefault(node_id, {})
+    sources, targets, labels, features_col = _entity_columns(diff["added_edges"], 3)
+    keys = list(zip(sources, targets))
+    edges.update(zip(keys, _build_edges(sources, targets, labels, features_col)))
+    for source, target in keys:
+        succ[source][target] = None
+        pred[target][source] = None
+
+    ids, features_col = _entity_columns(diff["changed_nodes"], 1)
+    for node_id, features in zip(ids, features_col):
+        nodes[node_id] = Node(node_id, nodes[node_id].kind, features)
+    sources, targets, labels, features_col = _entity_columns(diff["changed_edges"], 3)
+    edges.update(
+        zip(zip(sources, targets), _build_edges(sources, targets, labels, features_col))
+    )
+    return rebuilt
+
+
+# --------------------------------------------------------------------------- #
+# scores serialisation
+# --------------------------------------------------------------------------- #
+def _scores_to_dict(scores: ScoreCard) -> Dict[str, Any]:
+    """Serialise a full ScoreCard (per-node and per-edge breakdowns included)."""
+    return {
+        "utility": {
+            "path_utility": scores.utility.path_utility,
+            "node_utility": scores.utility.node_utility,
+            "path_percentages": _pack_map(scores.utility.path_percentages),
+        },
+        "opacity": {
+            "average": scores.opacity.average,
+            "per_edge": _pack_edge_map(scores.opacity.per_edge),
+        },
+        "timings_ms": dict(scores.timings_ms),
+    }
+
+
+def _scores_from_dict(
+    payload: Dict[str, Any], opacity_view: Optional[CompiledOpacityView]
+) -> ScoreCard:
+    """Rebuild a ScoreCard; ``opacity_view`` rides along for cached re-scores."""
+    utility = UtilityReport(
+        path_utility=payload["utility"]["path_utility"],
+        node_utility=payload["utility"]["node_utility"],
+        path_percentages=_unpack_map(payload["utility"]["path_percentages"]),
+    )
+    opacity = OpacityReport(
+        average=payload["opacity"]["average"],
+        per_edge=_unpack_edge_map(payload["opacity"]["per_edge"]),
+        view=opacity_view,
+    )
+    return ScoreCard(utility=utility, opacity=opacity, timings_ms=payload.get("timings_ms", {}))
+
+
+# --------------------------------------------------------------------------- #
+# request serialisation (for account-cache re-seeding)
+# --------------------------------------------------------------------------- #
+_REQUEST_FIELDS = (
+    "strategy",
+    "include_surrogate_edges",
+    "repair_connectivity",
+    "name",
+    "score",
+    "normalize_focus",
+    "compiled",
+)
+
+
+def _request_to_dict(request: ProtectionRequest) -> Optional[Dict[str, Any]]:
+    """The cache-relevant request fields (``None`` when not reproducible).
+
+    Requests carrying an adversary override, explicit scores, protected
+    edges or a per-request graph are not checkpointed for cache seeding —
+    their fingerprints cannot be reproduced from JSON alone.
+    """
+    if (
+        request.adversary is not None
+        or request.explicit_scores is not None
+        or request.protect_edges
+        or request.graph is not None
+        or request.persist_as is not None
+    ):
+        return None
+    payload = {name: getattr(request, name) for name in _REQUEST_FIELDS}
+    payload["privileges"] = [
+        getattr(p, "name", str(p)) for p in request.privileges
+    ]
+    payload["opacity_edges"] = (
+        [[s, t] for (s, t) in request.opacity_edges]
+        if request.opacity_edges is not None
+        else None
+    )
+    return payload
+
+
+def _request_from_dict(payload: Dict[str, Any], lattice: object) -> ProtectionRequest:
+    """Rebuild a request with privileges resolved through the live lattice."""
+    options = {name: payload[name] for name in _REQUEST_FIELDS}
+    opacity_edges = payload.get("opacity_edges")
+    if opacity_edges is not None:
+        options["opacity_edges"] = tuple((s, t) for s, t in opacity_edges)
+    privileges = tuple(lattice.get(name) for name in payload["privileges"])
+    return ProtectionRequest(privileges=privileges, **options)
+
+
+# --------------------------------------------------------------------------- #
+# write
+# --------------------------------------------------------------------------- #
+def write_checkpoint(
+    service: "ProtectionService",
+    result: ProtectionResult,
+    *,
+    store: Optional["GraphStore"] = None,
+    name: str = "service",
+    graph_name: Optional[str] = None,
+) -> Path:
+    """Checkpoint one served result (account, scores, compiled views) to the store.
+
+    The store is checkpointed first (snapshots + write-log truncation), so
+    the stamp recorded here sits right at a truncation marker and the
+    common restart — nothing happened since — takes the warm path.  Returns
+    the checkpoint file's path.
+    """
+    store = store if store is not None else service.store
+    if store is None:
+        raise StoreError("service checkpoints need a store; pass store= or set one")
+    if service.graph is None:
+        raise StoreError("a multi-graph service cannot be checkpointed; bind a graph")
+    path = checkpoint_path(store, name)
+    graph = service.graph
+    account = result.account
+
+    store.checkpoint()
+
+    view_payload: Optional[Dict[str, Any]] = None
+    privileges = result.request.privileges
+    if len(privileges) == 1 and not result.request.protect_edges:
+        view = service.policy.markings.compile(graph, privileges[0])
+        view_payload = _marking_view_to_dict(view)
+
+    diff = _graph_diff(graph, account.graph)
+    if diff is not None:
+        account_payload: Dict[str, Any] = {"encoding": "diff", "diff": _encode_diff(diff)}
+    else:
+        account_payload = {"encoding": "full", "graph": graph_to_json(account.graph)}
+    account_payload["name"] = account.graph.name
+    account_payload["metadata"] = account_metadata_to_dict(account)
+
+    effective_adversary = (
+        result.request.adversary if result.request.adversary is not None else service.adversary
+    )
+    opacity_payload: Optional[Dict[str, Any]] = None
+    scores_payload: Optional[Dict[str, Any]] = None
+    if result.scores is not None and result.request.explicit_scores is None:
+        scores_payload = _scores_to_dict(result.scores)
+        view_obj = result.scores.opacity.view
+        if view_obj is not None:
+            opacity_payload = _opacity_view_to_dict(view_obj)
+
+    payload: Dict[str, Any] = {
+        "graph_name": graph_name if graph_name is not None else graph.name,
+        "node_count": len(graph.node_ids()),
+        "edge_count": len(graph.edge_keys()),
+        "wal_next_seq": store.storage.wal.next_seq,
+        "delta_journal_seq": service.delta_bus.journal_seq,
+        "tenant": service.tenant,
+        "policy_crc": _policy_crc(service.policy),
+        "adversary_crc": _adversary_crc(effective_adversary),
+        "marking_view": view_payload,
+        "account": account_payload,
+        "scores": scores_payload,
+        "opacity_view": opacity_payload,
+        "request": _request_to_dict(result.request),
+    }
+    store.storage.io.atomic_write_text(path, _wrap(payload))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# restore
+# --------------------------------------------------------------------------- #
+def restore_service(
+    service: "ProtectionService",
+    *,
+    store: Optional["GraphStore"] = None,
+    name: str = "service",
+    graph_name: Optional[str] = None,
+) -> RestoreReport:
+    """Bring a freshly constructed service back to its checkpointed state.
+
+    Call after binding the service to the graph recovered from ``store``.
+    Never raises on a bad checkpoint: corruption quarantines the file and
+    the report comes back ``cold`` — the service simply recompiles.
+    """
+    if not gc.isenabled():
+        return _restore_service_inner(
+            service, store=store, name=name, graph_name=graph_name
+        )
+    # A restore allocates a few hundred thousand objects in one burst, none
+    # of them garbage; the cyclic collector would otherwise run several full
+    # passes over the live heap mid-decode.  Pause it for the bounded
+    # critical section — this alone shaves tens of milliseconds off a warm
+    # restart at 8k nodes.
+    gc.disable()
+    try:
+        return _restore_service_inner(
+            service, store=store, name=name, graph_name=graph_name
+        )
+    finally:
+        gc.enable()
+
+
+def _restore_service_inner(
+    service: "ProtectionService",
+    *,
+    store: Optional["GraphStore"],
+    name: str,
+    graph_name: Optional[str],
+) -> RestoreReport:
+    """The restore flow proper (see :func:`restore_service`)."""
+    store = store if store is not None else service.store
+    report = RestoreReport()
+    if store is None or service.graph is None:
+        report.reason = "no store or no bound graph"
+        return report
+    try:
+        path = checkpoint_path(store, name)
+    except StoreError:
+        report.reason = "store is not durable"
+        return report
+    if not path.exists():
+        report.reason = "no checkpoint"
+        return report
+
+    io = store.storage.io
+    try:
+        payload = _unwrap(io.read_text(path))
+    except (CorruptionError, StoreError, UnicodeDecodeError) as exc:
+        # UnicodeDecodeError: bitrot can leave bytes that are not even text.
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            io.replace(path, quarantined)
+            report.quarantined = str(quarantined)
+        except StoreError:  # pragma: no cover - double-fault path
+            pass
+        record_maintenance("checkpoint", "quarantined")
+        report.reason = f"checkpoint corrupt: {exc}"
+        return report
+
+    graph = service.graph
+    expected_name = graph_name if graph_name is not None else graph.name
+    if payload["graph_name"] != expected_name:
+        report.reason = (
+            f"checkpoint is for graph {payload['graph_name']!r}, not {expected_name!r}"
+        )
+        return report
+    if payload["policy_crc"] != _policy_crc(service.policy):
+        report.reason = "policy changed since checkpoint"
+        return report
+
+    wal = store.storage.wal
+    stamp = payload["wal_next_seq"]
+    if stamp > wal.next_seq:
+        report.reason = "checkpoint is from the store's future (restored from backup?)"
+        return report
+    if stamp <= wal.base_seq:
+        report.reason = "write-log range since checkpoint was truncated away"
+        return report
+    tail = [
+        record
+        for record in wal.records_since(stamp - 1)
+        if record.graph == payload["graph_name"]
+    ]
+    if any(record.op == "drop_graph" for record in tail):
+        report.reason = "graph was dropped and recreated since checkpoint"
+        return report
+
+    try:
+        return _restore_from_payload(service, report, payload, graph, tail)
+    except (CorruptionError, KeyError, ValueError, TypeError, IndexError) as exc:
+        # The frame's CRC passed but the payload itself would not decode —
+        # a format drift or an impossible shape.  Undo any half-restored
+        # view, quarantine the file, and come back cold: never wrong.
+        markings = service.policy.markings
+        for key in [k for k in markings._compiled if k[0] == id(graph)]:
+            del markings._compiled[key]
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            io.replace(path, quarantined)
+        except StoreError:  # pragma: no cover - double-fault path
+            pass
+        record_maintenance("checkpoint", "quarantined")
+        return RestoreReport(
+            quarantined=str(quarantined),
+            reason=f"checkpoint unreadable: {exc}",
+        )
+
+
+def _restore_from_payload(
+    service: "ProtectionService",
+    report: RestoreReport,
+    payload: Dict[str, Any],
+    graph: PropertyGraph,
+    tail: List[LogRecord],
+) -> RestoreReport:
+    """Interpret a validated checkpoint payload into service state.
+
+    Raises decoding errors upward; :func:`restore_service` converts them
+    into a quarantine-and-cold outcome.
+    """
+    privilege = None
+    view = None
+    if payload["marking_view"] is not None:
+        privilege = service.policy.lattice.get(payload["marking_view"]["privilege"])
+        view = _marking_view_from_dict(
+            payload["marking_view"], graph, service.policy, privilege
+        )
+        for record in tail:
+            _patch_view_from_record(view, record)
+        if len(view.node_default) != len(graph._nodes) or len(
+            view.edge_state_table
+        ) != len(graph._edges):
+            # The tail didn't account for every mutation (e.g. the graph
+            # was renamed in the store): the view cannot be trusted.
+            record_maintenance("marking_view", "restore_rejected")
+            view = None
+        else:
+            markings = service.policy.markings
+            markings._compiled[(id(graph), privilege.name)] = view
+            report.view_restored = True
+            report.wal_tail_applied = len(tail)
+
+    if tail:
+        report.mode = "catchup" if report.view_restored else "cold"
+        report.reason = "write-log tail after checkpoint; account and scores are stale"
+        return report
+    if payload["node_count"] != len(graph._nodes) or payload["edge_count"] != len(
+        graph._edges
+    ):
+        report.mode = "catchup" if report.view_restored else "cold"
+        report.reason = "graph shape does not match the checkpoint"
+        return report
+
+    account_payload = payload["account"]
+    if account_payload["encoding"] == "diff":
+        account_graph = _apply_graph_diff(
+            graph, account_payload["diff"], account_payload["name"]
+        )
+    else:
+        account_graph = graph_from_json(account_payload["graph"])
+    account = account_from_metadata(
+        account_graph, account_payload["metadata"], lattice=service.policy.lattice
+    )
+    report.account_restored = True
+    report.account = account
+    record_maintenance("account_cache", "restored")
+
+    adversary_ok = payload["adversary_crc"] == _adversary_crc(service.adversary)
+    opacity_view = None
+    if adversary_ok and payload["opacity_view"] is not None:
+        opacity_view = _opacity_view_from_dict(
+            payload["opacity_view"], account.graph, service.adversary
+        )
+        service._opacity_views.seed(
+            account.graph,
+            service.adversary if service.adversary is not None else DEFAULT_ADVERSARY,
+            opacity_view,
+        )
+        report.opacity_view_restored = True
+
+    scores = None
+    if adversary_ok and payload["scores"] is not None:
+        scores = _scores_from_dict(payload["scores"], opacity_view)
+        report.scores_restored = True
+        report.scores = scores
+
+    if payload["request"] is not None and scores is not None:
+        request = _request_from_dict(payload["request"], service.policy.lattice)
+        fingerprint = request.cache_fingerprint(adversary=service.adversary)
+        if fingerprint is not None:
+            memoised = ProtectionResult(
+                request=request,
+                account=account,
+                scores=scores,
+                timings_ms={},
+                stored_as=None,
+            )
+            service.cache.store(
+                service.tenant, graph, service.policy, fingerprint, memoised
+            )
+            report.cache_seeded = True
+
+    report.mode = "warm"
+    report.reason = "checkpoint restored" + (
+        "" if adversary_ok else " (adversary changed; scores dropped)"
+    )
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# write-log tail → marking-view patches (delta catch-up)
+# --------------------------------------------------------------------------- #
+def _patch_view_from_record(view: CompiledMarkingView, record: LogRecord) -> None:
+    """Apply one write-log record's mutations to a restored marking view."""
+    if record.op == "txn":
+        for item in record.payload.get("operations", []):
+            _patch_view_op(view, item["op"], item["payload"])
+    else:
+        _patch_view_op(view, record.op, record.payload)
+
+
+def _patch_view_op(view: CompiledMarkingView, op: str, payload: Dict[str, Any]) -> None:
+    """One write-log operation as an O(affected) marking-view patch.
+
+    Mirrors :meth:`CompiledMarkingView.apply_delta`, but driven by the
+    durable log instead of in-memory :class:`~repro.graph.deltas.GraphDelta`
+    events — the restart-time equivalent of delta catch-up.
+    """
+    if op == "add_node":
+        node_id = payload["id"]
+        view.node_default[node_id] = view._default_for(node_id)
+    elif op == "remove_node":
+        node_id = payload["id"]
+        for key in [
+            key for key in view.edge_state_table if key[0] == node_id or key[1] == node_id
+        ]:
+            view._remove_edge_entry(key)
+        view.node_default.pop(node_id, None)
+    elif op == "add_edge":
+        view._set_edge_entry((payload["source"], payload["target"]))
+    elif op == "remove_edge":
+        view._remove_edge_entry((payload["source"], payload["target"]))
+    elif op == "set_node_features":
+        pass  # markings are feature-blind (mirrors CompiledMarkingView._apply_one)
+    # create_graph records and unknown ops carry no marking information.

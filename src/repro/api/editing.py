@@ -262,7 +262,18 @@ class EditSession:
                 return self.result
             timings: Dict[str, float] = {}
             start = time.perf_counter()
-            if self._can_patch(deltas) and self._apply_incremental(deltas, timings):
+            patched = False
+            if self._can_patch(deltas):
+                try:
+                    patched = self._apply_incremental(deltas, timings)
+                except Exception:
+                    # A failed patch must degrade to the (always-sound) full
+                    # rebuild, never take the session down: partially
+                    # patched index state is irrelevant because _rebuild
+                    # reconstructs everything from the live graph.
+                    patched = False
+                    record_maintenance("edit_session", "patch_error")
+            if patched:
                 timings["delta_apply"] = (time.perf_counter() - start) * 1000.0
                 timings["recompile_fallback"] = 0.0
                 record_maintenance("edit_session", "delta_applied")

@@ -106,8 +106,12 @@ def persist_account(store: GraphStore, account: ProtectedAccount, name: str) -> 
     descriptor.kind = "protected_account"
     descriptor.metadata[ACCOUNT_METADATA_KEY] = json.dumps(payload, default=str)
     if store.storage.durable:
-        _sidecar_path(store, stored_name).write_text(
-            json.dumps(payload, indent=2, default=str), encoding="utf-8"
+        # Through the storage I/O seam: temp + fsync + atomic rename, so a
+        # crash mid-persist leaves either the old sidecar or the new one —
+        # never a torn half-file — and the fault-injection suite covers it.
+        store.storage.io.atomic_write_text(
+            _sidecar_path(store, stored_name),
+            json.dumps(payload, indent=2, default=str),
         )
         # The kind/metadata mutations above must survive a reopen too.
         store.storage.save_catalog()

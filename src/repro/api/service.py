@@ -58,7 +58,20 @@ from __future__ import annotations
 import threading
 import time
 import weakref
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.cache import DEFAULT_TENANT, AccountCache, CacheStats
 from repro.api.persistence import load_account as _load_account
@@ -87,6 +100,9 @@ from repro.exceptions import (
 from repro.graph.deltas import DeltaBus, view_maintenance_stats
 from repro.graph.model import EdgeKey, NodeId, PropertyGraph
 from repro.store.engine import GraphStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.api.checkpoints import RestoreReport
 
 #: Anything `protect()` accepts as its request argument.
 RequestLike = Union[ProtectionRequest, object]
@@ -132,6 +148,12 @@ class ProtectionService:
         ``charge_request()`` method, e.g.
         :class:`~repro.api.registry.TenantQuota`); charged once per
         ``protect()`` call, cache hit or miss.
+    retry:
+        Optional :class:`~repro.reliability.retry.RetryPolicy` (anything
+        with ``call(fn)``) applied around the service's own store
+        round-trips — persist, load, checkpoint, restore — so a transient
+        I/O fault degrades to a retried operation instead of a failed
+        request.  ``None`` runs each operation exactly once.
     """
 
     def __init__(
@@ -144,6 +166,7 @@ class ProtectionService:
         cache: Optional[AccountCache] = None,
         tenant: str = DEFAULT_TENANT,
         quota: Optional[object] = None,
+        retry: Optional[object] = None,
     ) -> None:
         self.graph = graph
         self.policy = policy
@@ -152,6 +175,10 @@ class ProtectionService:
         self.cache = cache if cache is not None else AccountCache()
         self.tenant = tenant
         self.quota = quota
+        self.retry = retry
+        #: The report of the last :meth:`restore` call (surfaced in
+        #: :meth:`health`); ``None`` until a restore runs.
+        self.last_restore: Optional[object] = None
         #: Per-graph visible-walk registries shared across requests
         #: (see :meth:`protect_many`), keyed by graph identity.
         self._walks_caches: Dict[int, Dict[tuple, object]] = {}
@@ -171,6 +198,9 @@ class ProtectionService:
         #: account-cache eviction, opacity-view patching, compiled-view
         #: catch-up — instead of blanket version checks and recompiles).
         self.delta_bus = DeltaBus()
+        # The journal is what service checkpoints stamp; enabling it up
+        # front costs one bounded deque and makes every service restorable.
+        self.delta_bus.enable_journal()
         self.delta_bus.subscribe(self.cache.on_delta)
         self.delta_bus.subscribe(self._opacity_views.on_delta)
         self._attached_graphs: Dict[int, Tuple["weakref.ref[PropertyGraph]", int]] = {}
@@ -498,8 +528,8 @@ class ProtectionService:
         guard = getattr(self.quota, "persist_guard", None)
         if guard is not None:
             with guard(store, name):
-                return _persist_account(store, account, name)
-        return _persist_account(store, account, name)
+                return self._durable(lambda: _persist_account(store, account, name))
+        return self._durable(lambda: _persist_account(store, account, name))
 
     def load_account(
         self, name: str, *, store: Optional[GraphStore] = None
@@ -510,11 +540,126 @@ class ProtectionService:
             raise StoreError(
                 "ProtectionService has no store; pass store= to load_account() or the constructor"
             )
-        return _load_account(store, name, lattice=self.policy.lattice)
+        return self._durable(
+            lambda: _load_account(store, name, lattice=self.policy.lattice)
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpoints (warm restarts)
+    # ------------------------------------------------------------------ #
+    def checkpoint(
+        self,
+        result: ProtectionResult,
+        *,
+        name: str = "service",
+        store: Optional[GraphStore] = None,
+    ) -> Path:
+        """Checkpoint one served result so a restarted service resumes warm.
+
+        Snapshots the store (truncating its write log behind a sequence
+        marker), then writes the compiled marking view, the account (as a
+        diff against the original graph), the full ScoreCard and the
+        compiled adversary simulation next to it.  A future service over
+        the recovered graph calls :meth:`restore` to skip the O(V+E)
+        recompile.  Requires a durable store.  Returns the checkpoint path.
+        """
+        from repro.api.checkpoints import write_checkpoint
+
+        return self._durable(
+            lambda: write_checkpoint(self, result, store=store, name=name)
+        )
+
+    def restore(
+        self,
+        *,
+        name: str = "service",
+        store: Optional[GraphStore] = None,
+    ) -> "RestoreReport":
+        """Resume from the named checkpoint (plus write-log delta catch-up).
+
+        Never raises on a missing or damaged checkpoint: corruption is
+        quarantined and the returned
+        :class:`~repro.api.checkpoints.RestoreReport` comes back ``cold`` —
+        the service simply recompiles on first use, which is graceful
+        degradation, not failure.  The report is also kept on
+        :attr:`last_restore` and surfaced in :meth:`health`.
+        """
+        from repro.api.checkpoints import restore_service
+
+        report = restore_service(self, store=store, name=name)
+        self.last_restore = report
+        return report
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        """One dict describing the serving stack's condition.
+
+        ``status`` is ``"ok"`` or ``"degraded"`` — degraded means the
+        service is serving correctly but something needed intervention:
+        recovery quarantined corrupt state, the write log lost a torn tail,
+        retries were exhausted, or the last restore fell back to cold.
+        ``issues`` lists the reasons; the remaining keys are per-component
+        detail (store, caches, delta bus, retry counters).
+        """
+        issues: List[str] = []
+        store_health: Optional[Dict[str, Any]] = None
+        if self.store is not None:
+            store_health = self.store.health()
+            recovery = store_health.get("recovery") or {}
+            if recovery.get("quarantined"):
+                issues.append(
+                    f"store recovery quarantined {recovery['quarantined']} corrupt snapshot(s)"
+                )
+            if recovery.get("wal_torn_bytes"):
+                issues.append(
+                    f"write log lost {recovery['wal_torn_bytes']} torn byte(s) on recovery"
+                )
+            if not recovery.get("clean", True):
+                issues.append("store recovery replayed the write log")
+        retry_stats = getattr(self.retry, "stats", lambda: None)()
+        if retry_stats and (retry_stats.get("exhausted") or retry_stats.get("deadline_hits")):
+            issues.append("retries were exhausted for at least one operation")
+        restore_report = self.last_restore
+        if restore_report is not None and getattr(restore_report, "mode", "cold") == "cold":
+            issues.append(f"last restore was cold: {getattr(restore_report, 'reason', '')}")
+        return {
+            "status": "degraded" if issues else "ok",
+            "issues": issues,
+            "tenant": self.tenant,
+            "graph": (
+                {
+                    "name": self.graph.name,
+                    "nodes": len(self.graph.node_ids()),
+                    "edges": len(self.graph.edge_keys()),
+                    "version": self.graph.version,
+                }
+                if self.graph is not None
+                else None
+            ),
+            "cache": self.cache.stats(self.tenant).as_dict(),
+            "opacity_views": len(self._opacity_views),
+            "delta_bus": {
+                "listeners": len(self.delta_bus),
+                **self.delta_bus.journal_stats(),
+            },
+            "store": store_health,
+            "retry": retry_stats,
+            "last_restore": (
+                restore_report.as_dict() if restore_report is not None else None
+            ),
+        }
 
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _durable(self, operation: Callable[[], Any]) -> Any:
+        """Run one store round-trip, through the retry policy when configured."""
+        if self.retry is None:
+            return operation()
+        return self.retry.call(operation)
+
     def _attach_graph(self, graph: PropertyGraph) -> None:
         """Attach the delta bus to a graph the service serves (idempotent).
 

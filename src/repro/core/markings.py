@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import enum
 import weakref
+import zlib
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.privileges import Privilege, PrivilegeLattice
@@ -122,6 +123,11 @@ class MarkingPolicy:
         self.default_protected_marking = default_protected_marking
         #: (node, edge) -> {privilege name -> marking}
         self._explicit: Dict[Tuple[NodeId, EdgeKey], Dict[str, Marking]] = {}
+        #: Order-independent content fingerprint of ``_explicit``: the mod-2^32
+        #: sum of one CRC per (incidence, privilege, marking) item, maintained
+        #: incrementally by :meth:`set_marking` so checkpoint drift checks
+        #: read it in O(1) instead of folding thousands of incidences.
+        self._explicit_crc = 0
         #: Mutation counter; compiled views check it to detect staleness.
         self._version = 0
         #: (id(graph), privilege name) -> CompiledMarkingView, bounded LRU-ish.
@@ -160,7 +166,18 @@ class MarkingPolicy:
     ) -> None:
         """Record an explicit marking for one incidence at one privilege."""
         privilege = self.lattice.get(privilege)
-        self._explicit.setdefault((node_id, tuple(edge)), {})[privilege.name] = marking
+        edge = tuple(edge)
+        per_privilege = self._explicit.setdefault((node_id, edge), {})
+        name = privilege.name
+        item = (node_id, edge, name)
+        old = per_privilege.get(name)
+        crc = self._explicit_crc
+        if old is not None:
+            crc -= zlib.crc32(f"{item!r}\x1f{old.value}".encode("utf-8"))
+        per_privilege[name] = marking
+        self._explicit_crc = (
+            crc + zlib.crc32(f"{item!r}\x1f{marking.value}".encode("utf-8"))
+        ) & 0xFFFFFFFF
         self._version += 1
 
     def mark_edge(
@@ -211,6 +228,7 @@ class MarkingPolicy:
     def clear(self) -> None:
         """Drop every explicit marking (defaults still apply)."""
         self._explicit.clear()
+        self._explicit_crc = 0
         self._version += 1
 
     # ------------------------------------------------------------------ #
@@ -323,6 +341,7 @@ class MarkingPolicy:
             default_protected_marking=self.default_protected_marking,
         )
         clone._explicit = {key: dict(value) for key, value in self._explicit.items()}
+        clone._explicit_crc = self._explicit_crc
         return clone
 
 

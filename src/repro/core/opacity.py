@@ -680,6 +680,31 @@ class OpacityViewCache:
             self._entries[key] = view
         return view
 
+    def seed(
+        self,
+        account_graph: PropertyGraph,
+        adversary: AttackerModel,
+        view: CompiledOpacityView,
+    ) -> None:
+        """Insert an externally rebuilt view (warm-restart checkpoint restore).
+
+        The view must already be current for ``(account_graph, adversary)``;
+        stale or mismatched seeds are ignored rather than poisoning the
+        cache — :meth:`get_or_compile` would reject them on lookup anyway.
+        """
+        if not view.is_current_for(account_graph, adversary):
+            return
+        key = (
+            id(account_graph),
+            account_graph.version,
+            adversary_fingerprint(adversary),
+        )
+        with self._lock:
+            self._entries.pop(key, None)
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = view
+
     def on_delta(self, graph: PropertyGraph, delta: "GraphDelta") -> None:
         """Delta-scoped maintenance: patch this graph's views, drop corpses.
 

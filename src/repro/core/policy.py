@@ -15,6 +15,7 @@ It also offers the convenience operations the evaluation uses constantly:
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.core.markings import Marking, MarkingPolicy
@@ -55,6 +56,10 @@ class ReleasePolicy:
             self.lattice.get(default_lowest) if default_lowest is not None else self.lattice.public
         )
         self._lowest: Dict[NodeId, Privilege] = {}
+        #: Order-independent content fingerprint of ``_lowest`` (mod-2^32 sum
+        #: of per-assignment CRCs), maintained by :meth:`set_lowest` so
+        #: checkpoint drift checks read it in O(1).
+        self._lowest_crc = 0
         self.markings = MarkingPolicy(
             self.lattice,
             lowest_of=self.lowest,
@@ -71,7 +76,15 @@ class ReleasePolicy:
     # ------------------------------------------------------------------ #
     def set_lowest(self, node_id: NodeId, privilege: object) -> None:
         """Declare the lowest privilege required to see ``node_id``."""
-        self._lowest[node_id] = self.lattice.get(privilege)
+        privilege = self.lattice.get(privilege)
+        old = self._lowest.get(node_id)
+        crc = self._lowest_crc
+        if old is not None:
+            crc -= zlib.crc32(f"{node_id!r}\x1f{old.name}".encode("utf-8"))
+        self._lowest[node_id] = privilege
+        self._lowest_crc = (
+            crc + zlib.crc32(f"{node_id!r}\x1f{privilege.name}".encode("utf-8"))
+        ) & 0xFFFFFFFF
         # Default incidence markings read lowest() through the bound callable,
         # so compiled marking views must be invalidated explicitly.
         self.markings.touch()
@@ -224,6 +237,7 @@ class ReleasePolicy:
             use_null_surrogates=self.use_null_surrogates,
         )
         clone._lowest = dict(self._lowest)
+        clone._lowest_crc = self._lowest_crc
         clone.markings = self.markings.copy()
         clone.markings.bind_lowest(clone.lowest)
         clone.surrogates = self.surrogates

@@ -88,6 +88,38 @@ class TransactionError(StoreError):
     """A transaction was used after commit/rollback or violated store invariants."""
 
 
+class TransientError(StoreError):
+    """A store operation failed for a reason that may succeed on retry.
+
+    Raised by the storage I/O layer when the operating system rejects a
+    write/fsync/rename (``OSError``) — conditions that a
+    :class:`~repro.reliability.retry.RetryPolicy` is allowed to retry.  The
+    original error rides along as ``__cause__`` and the failing injection
+    point (when known) as :attr:`point`.
+    """
+
+    def __init__(self, message, *, point=None):
+        super().__init__(message)
+        self.point = point
+
+
+class CorruptionError(StoreError):
+    """Persisted state failed an integrity check (CRC, framing, or schema).
+
+    Distinct from :class:`TransientError`: retrying cannot help — the bytes
+    on disk are wrong.  Recovery either truncates (a torn write-log tail) or
+    quarantines the artifact and rebuilds from authoritative state.
+    """
+
+    def __init__(self, message, *, path=None):
+        super().__init__(message)
+        self.path = path
+
+
+class RecoveryError(StoreError):
+    """Crash recovery could not restore a consistent store state."""
+
+
 class CatalogError(StoreError, KeyError):
     """A named graph was not found in (or conflicts with) the store catalog."""
 

@@ -1,0 +1,106 @@
+"""Bounded retries with exponential backoff for transient store faults.
+
+:class:`RetryPolicy` wraps any zero-argument callable: transient failures
+(by default :class:`~repro.exceptions.TransientError`, the typed channel
+every ``OSError`` in the storage seam surfaces through) are retried with
+exponentially growing, capped delays until the attempt budget or an overall
+deadline runs out — then the last error propagates unchanged.  Anything not
+in ``retry_on`` (corruption, validation errors, simulated crashes) passes
+straight through on the first raise: retrying cannot fix those.
+
+The clock and sleep functions are injectable so tests drive the policy
+without real waiting, and :meth:`RetryPolicy.stats` feeds the counters into
+``service.health()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.exceptions import TransientError
+
+
+class RetryPolicy:
+    """Call wrapper: bounded attempts, exponential backoff, optional deadline.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retrying).
+    base_delay_s / multiplier / max_delay_s:
+        Backoff schedule: attempt *n* (1-based) failing sleeps
+        ``min(base_delay_s * multiplier**(n-1), max_delay_s)`` before the
+        next try.
+    deadline_s:
+        Overall wall-clock budget; a retry whose backoff would cross it is
+        abandoned and the last error re-raised.
+    retry_on:
+        Exception types worth retrying.  Everything else propagates
+        immediately.
+    sleep / clock:
+        Injectable for tests (defaults: ``time.sleep`` / ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        *,
+        base_delay_s: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay_s: float = 0.5,
+        deadline_s: Optional[float] = None,
+        retry_on: Tuple[Type[BaseException], ...] = (TransientError,),
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.deadline_s = deadline_s
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._clock = clock
+        self._calls = 0
+        self._retries = 0
+        self._exhausted = 0
+        self._deadline_hits = 0
+
+    # ------------------------------------------------------------------ #
+    def call(self, operation: Callable[[], Any]) -> Any:
+        """Run ``operation``, retrying transient failures per the schedule."""
+        self._calls += 1
+        start = self._clock()
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except self.retry_on:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    self._exhausted += 1
+                    raise
+                delay = min(
+                    self.base_delay_s * (self.multiplier ** (attempt - 1)),
+                    self.max_delay_s,
+                )
+                if (
+                    self.deadline_s is not None
+                    and (self._clock() - start) + delay > self.deadline_s
+                ):
+                    self._deadline_hits += 1
+                    raise
+                self._retries += 1
+                self._sleep(delay)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``health()``: calls, retries, exhausted, deadline hits."""
+        return {
+            "calls": self._calls,
+            "retries": self._retries,
+            "exhausted": self._exhausted,
+            "deadline_hits": self._deadline_hits,
+        }

@@ -14,14 +14,21 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Set, Union
 
-from repro.exceptions import StoreError
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    StoreError,
+)
 from repro.graph.model import NodeId, PropertyGraph
 from repro.graph.traversal import ancestors, descendants
 from repro.store.index import AdjacencyIndex, FeatureIndex
+from repro.store.io import StorageIO
 from repro.store.storage import GraphStorage
-from repro.store.transactions import Transaction, apply_operations
+from repro.store.transactions import Transaction, apply_to, validate_operations
 
 
 def _tenant_dirname(tenant: str) -> str:
@@ -120,17 +127,31 @@ class GraphStore:
         directory: Optional[Union[str, Path]] = None,
         *,
         tenant: Optional[str] = None,
+        io: Optional[StorageIO] = None,
+        retry: Optional[object] = None,
     ) -> None:
-        self.storage = GraphStorage(directory)
+        self.storage = GraphStorage(directory, io=io)
         self.timer = PhaseTimer()
         self.stats = StoreStats()
         #: Owning tenant; stamped on every catalog descriptor this engine
         #: creates so multi-tenant registries can audit who owns what.
         self.tenant = tenant
+        #: Optional retry policy (anything with ``call(fn)``, e.g.
+        #: :class:`~repro.reliability.retry.RetryPolicy`) applied around
+        #: durable writes — write-log appends, snapshots, checkpoints — so a
+        #: transient ``OSError`` surfaces as one retried operation instead of
+        #: a failed request.  ``None`` runs every write exactly once.
+        self.retry = retry
         self._adjacency: Dict[str, AdjacencyIndex] = {}
         self._features: Dict[str, FeatureIndex] = {}
         for name in self.storage.names():
             self._rebuild_indexes(name)
+
+    def _durable(self, operation: Callable[[], object]) -> object:
+        """Run one durable write, through the retry policy when configured."""
+        if self.retry is None:
+            return operation()
+        return self.retry.call(operation)
 
     @classmethod
     def for_tenant(
@@ -157,9 +178,11 @@ class GraphStore:
     def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> str:
         """Create an empty named graph and its indexes."""
         with self.timer.phase("db_access"):
-            self.storage.create_graph(name, kind=kind, description=description)
+            self._durable(
+                lambda: self.storage.create_graph(name, kind=kind, description=description)
+            )
         self._stamp_tenant(name)
-        self.storage.save_catalog()
+        self._durable(self.storage.save_catalog)
         self._adjacency[name] = AdjacencyIndex()
         self._features[name] = FeatureIndex()
         return name
@@ -169,7 +192,9 @@ class GraphStore:
         with self.timer.phase("db_access"):
             # Defer the catalog write until after the tenant stamp so one
             # put costs one catalog save, not two.
-            stored_name = self.storage.put_graph(graph, name=name, save_catalog=False)
+            stored_name = self._durable(
+                lambda: self.storage.put_graph(graph, name=name, save_catalog=False)
+            )
         self._stamp_tenant(stored_name)
         self.storage.save_catalog()
         self._rebuild_indexes(stored_name)
@@ -201,7 +226,28 @@ class GraphStore:
     def checkpoint(self) -> None:
         """Snapshot every graph and truncate the write log (durable stores only)."""
         with self.timer.phase("db_access"):
-            self.storage.checkpoint()
+            self._durable(self.storage.checkpoint)
+
+    def health(self) -> Dict[str, Any]:
+        """The store's condition: durability, write-log depth, last recovery.
+
+        The payload is what :meth:`repro.api.service.ProtectionService.health`
+        embeds under ``"store"`` for the future HTTP frontend.
+        """
+        report = self.storage.recovery_report
+        return {
+            "durable": self.storage.durable,
+            "directory": str(self.storage.directory) if self.storage.durable else None,
+            "graphs": len(self.storage.names()),
+            "tenant": self.tenant,
+            "wal": {
+                "records": len(self.storage.wal),
+                "next_seq": self.storage.wal.next_seq,
+                **self.storage.wal.recovery_info.as_dict(),
+            },
+            "recovery": report.as_dict(),
+            "retry": getattr(self.retry, "stats", lambda: None)(),
+        }
 
     # ------------------------------------------------------------------ #
     # mutations
@@ -214,13 +260,25 @@ class GraphStore:
         kind: Optional[str] = None,
         features: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        """Insert one node (logged)."""
+        """Insert one node (write-ahead logged).
+
+        Mutators validate first, make the operation durable in the write log,
+        then apply it in memory — the write-ahead discipline: a crash after
+        the append replays the operation on reopen, and a crash before it
+        never half-applied anything.
+        """
         graph = self.storage.graph(graph_name)
+        if graph.has_node(node_id):
+            raise DuplicateNodeError(node_id)
         with self.timer.phase("db_access"):
-            graph.add_node(node_id, kind=kind, features=features)
-            self.storage.log(
-                "add_node", graph_name, {"id": node_id, "kind": kind, "features": dict(features or {})}
+            self._durable(
+                lambda: self.storage.log(
+                    "add_node",
+                    graph_name,
+                    {"id": node_id, "kind": kind, "features": dict(features or {})},
+                )
             )
+            graph.add_node(node_id, kind=kind, features=features)
         self._index_for(graph_name).add_node(node_id)
         self._feature_index_for(graph_name).index_node(node_id, dict(features or {}))
         self.stats.nodes_written += 1
@@ -235,44 +293,70 @@ class GraphStore:
         label: Optional[str] = None,
         features: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        """Insert one edge (logged)."""
+        """Insert one edge (write-ahead logged)."""
         graph = self.storage.graph(graph_name)
+        if source == target:
+            raise ValueError(f"self-loops are not supported (node {source!r})")
+        if not graph.has_node(source):
+            raise NodeNotFoundError(source)
+        if not graph.has_node(target):
+            raise NodeNotFoundError(target)
+        if graph.has_edge(source, target):
+            raise DuplicateEdgeError(source, target)
         with self.timer.phase("db_access"):
-            graph.add_edge(source, target, label=label, features=features)
-            self.storage.log(
-                "add_edge",
-                graph_name,
-                {"source": source, "target": target, "label": label, "features": dict(features or {})},
+            self._durable(
+                lambda: self.storage.log(
+                    "add_edge",
+                    graph_name,
+                    {"source": source, "target": target, "label": label, "features": dict(features or {})},
+                )
             )
+            graph.add_edge(source, target, label=label, features=features)
         self._index_for(graph_name).add_edge(source, target)
         self.stats.edges_written += 1
         self._refresh(graph_name)
 
     def remove_node(self, graph_name: str, node_id: NodeId) -> None:
-        """Remove one node and its incident edges (logged)."""
+        """Remove one node and its incident edges (write-ahead logged)."""
         graph = self.storage.graph(graph_name)
+        if not graph.has_node(node_id):
+            raise NodeNotFoundError(node_id)
         with self.timer.phase("db_access"):
+            self._durable(
+                lambda: self.storage.log("remove_node", graph_name, {"id": node_id})
+            )
             graph.remove_node(node_id)
-            self.storage.log("remove_node", graph_name, {"id": node_id})
         self._index_for(graph_name).remove_node(node_id)
         self._feature_index_for(graph_name).remove_node(node_id)
         self._refresh(graph_name)
 
     def remove_edge(self, graph_name: str, source: NodeId, target: NodeId) -> None:
-        """Remove one edge (logged)."""
+        """Remove one edge (write-ahead logged)."""
         graph = self.storage.graph(graph_name)
+        if not graph.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
         with self.timer.phase("db_access"):
+            self._durable(
+                lambda: self.storage.log(
+                    "remove_edge", graph_name, {"source": source, "target": target}
+                )
+            )
             graph.remove_edge(source, target)
-            self.storage.log("remove_edge", graph_name, {"source": source, "target": target})
         self._index_for(graph_name).remove_edge(source, target)
         self._refresh(graph_name)
 
     def set_node_features(self, graph_name: str, node_id: NodeId, features: Mapping[str, Any]) -> None:
-        """Replace one node's features (logged)."""
+        """Replace one node's features (write-ahead logged)."""
         graph = self.storage.graph(graph_name)
+        if not graph.has_node(node_id):
+            raise NodeNotFoundError(node_id)
         with self.timer.phase("db_access"):
+            self._durable(
+                lambda: self.storage.log(
+                    "set_node_features", graph_name, {"id": node_id, "features": dict(features)}
+                )
+            )
             graph.set_node_features(node_id, features)
-            self.storage.log("set_node_features", graph_name, {"id": node_id, "features": dict(features)})
         self._feature_index_for(graph_name).index_node(node_id, dict(features))
 
     # ------------------------------------------------------------------ #
@@ -286,13 +370,29 @@ class GraphStore:
         def _apply(transaction: Transaction) -> None:
             graph = self.storage.graph(graph_name)
             with self.timer.phase("db_access"):
-                applied = apply_operations(graph, transaction.operations)
-                for op, payload in applied:
-                    self.storage.log(op, graph_name, payload)
+                # Crash-safe commit protocol: validate the whole batch on a
+                # scratch copy, make it durable as ONE framed ``txn`` record
+                # (a single fsynced append — the atomic commit point), then
+                # apply to the live graph.  A crash before the append loses
+                # the batch wholesale; after it, replay applies the batch
+                # wholesale.  No schedule exposes a partial transaction.
+                validate_operations(graph, transaction.operations)
+                applied = [
+                    {"op": operation.op, "payload": dict(operation.payload)}
+                    for operation in transaction.operations
+                ]
+                self._durable(
+                    lambda: self.storage.log("txn", graph_name, {"operations": applied})
+                )
+                apply_to(graph, transaction.operations)
             self._rebuild_indexes(graph_name)
             self.stats.transactions_committed += 1
-            self.stats.nodes_written += sum(1 for op, _ in applied if op == "add_node")
-            self.stats.edges_written += sum(1 for op, _ in applied if op == "add_edge")
+            self.stats.nodes_written += sum(
+                1 for entry in applied if entry["op"] == "add_node"
+            )
+            self.stats.edges_written += sum(
+                1 for entry in applied if entry["op"] == "add_edge"
+            )
             self._refresh(graph_name)
 
         return Transaction(graph_name=graph_name, _apply=_apply)

@@ -6,38 +6,99 @@ directory loads every snapshot and replays any log records appended after
 the latest snapshot, so the store recovers to its last durable state.  When
 constructed without a directory the storage is purely in-memory (the mode
 used by most tests and benchmarks).
+
+Crash consistency
+-----------------
+All file writes flow through the :class:`~repro.store.io.StorageIO` seam
+with explicit commit points:
+
+* snapshots and the catalog are written atomically (temp file + fsync +
+  ``os.replace`` + directory fsync) — a reader never observes partial JSON;
+* write-log appends are framed, checksummed and fsynced per record
+  (:mod:`repro.store.wal`), and a torn tail left by a crash is truncated on
+  reopen;
+* :meth:`GraphStorage.checkpoint` orders snapshot-then-truncate, and a crash
+  *between* the two is safe: replaying the full log over the fresh snapshots
+  converges, because replay applies operations in original order and the
+  existence guards only skip exact duplicates.
+
+Recovery keeps a :class:`RecoveryReport` of everything it had to do —
+snapshots quarantined (unreadable JSON is renamed aside, never silently
+deleted), torn write-log bytes truncated, orphaned temp files removed — so
+``service.health()`` can surface the store's last-known condition.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
-from repro.exceptions import CatalogError, StoreError
+from repro.exceptions import CatalogError, GraphError, StoreError
 from repro.graph.model import PropertyGraph
-from repro.graph.serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.graph.serialization import graph_from_dict, graph_to_dict, graph_to_json
 from repro.store.catalog import Catalog
+from repro.store.io import TMP_SUFFIX, StorageIO, resolve_io
 from repro.store.wal import LogRecord, WriteAheadLog
 
 _SNAPSHOT_SUFFIX = ".graph.json"
 _WAL_NAME = "wal.jsonl"
 _CATALOG_NAME = "catalog.json"
+_QUARANTINE_SUFFIX = ".corrupt"
+
+
+@dataclass
+class RecoveryReport:
+    """What one :class:`GraphStorage` open had to repair (health surface)."""
+
+    snapshots_loaded: int = 0
+    records_replayed: int = 0
+    #: Snapshot files renamed aside because their JSON would not parse.
+    quarantined: List[str] = field(default_factory=list)
+    #: Orphaned atomic-write temp files removed (crash between stage and rename).
+    tmp_files_removed: int = 0
+    #: Torn write-log bytes truncated on open.
+    wal_torn_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when recovery found nothing to repair."""
+        return not self.quarantined and self.tmp_files_removed == 0 and self.wal_torn_bytes == 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "snapshots_loaded": self.snapshots_loaded,
+            "records_replayed": self.records_replayed,
+            "quarantined": list(self.quarantined),
+            "tmp_files_removed": self.tmp_files_removed,
+            "wal_torn_bytes": self.wal_torn_bytes,
+        }
 
 
 class GraphStorage:
     """Named-graph persistence with write-log recovery."""
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        io: Optional[StorageIO] = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else None
+        self.io = resolve_io(io)
         self.catalog = Catalog()
         self._graphs: Dict[str, PropertyGraph] = {}
+        self.recovery_report = RecoveryReport()
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
-            self.wal = WriteAheadLog(self.directory / _WAL_NAME)
+            self._remove_orphan_tmp_files()
+            self.wal = WriteAheadLog(self.directory / _WAL_NAME, io=self.io)
+            self.recovery_report.wal_torn_bytes = self.wal.recovery_info.torn_bytes_truncated
             self._recover()
         else:
-            self.wal = WriteAheadLog()
+            self.wal = WriteAheadLog(io=self.io)
 
     @property
     def durable(self) -> bool:
@@ -48,11 +109,19 @@ class GraphStorage:
     # graph lifecycle
     # ------------------------------------------------------------------ #
     def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> PropertyGraph:
-        """Create (and log) an empty named graph."""
+        """Create (and log) an empty named graph.
+
+        Write-ahead ordering: the duplicate check runs first, the log record
+        becomes durable second, and only then does the catalog register the
+        graph — so a failed (or retried) append leaves no half-registered
+        state behind.
+        """
+        if name in self.catalog:
+            self.catalog.register(name)  # raises the canonical CatalogError
+        self.wal.append("create_graph", name, {"kind": kind, "description": description})
         self.catalog.register(name, kind=kind, description=description)
         graph = PropertyGraph(name=name)
         self._graphs[name] = graph
-        self.wal.append("create_graph", name, {"kind": kind, "description": description})
         return graph
 
     def put_graph(
@@ -84,13 +153,13 @@ class GraphStorage:
 
     def drop_graph(self, name: str) -> None:
         """Remove a graph from the store (and its snapshot, when durable)."""
+        if name not in self.catalog:
+            self.catalog.drop(name)  # raises the canonical CatalogError
+        self.wal.append("drop_graph", name)
         self.catalog.drop(name)
         self._graphs.pop(name, None)
-        self.wal.append("drop_graph", name)
         if self.durable:
-            snapshot = self._snapshot_path(name)
-            if snapshot.exists():
-                snapshot.unlink()
+            self.io.unlink(self._snapshot_path(name))
             self.save_catalog()
 
     def graph(self, name: str) -> PropertyGraph:
@@ -121,7 +190,14 @@ class GraphStorage:
     # durability
     # ------------------------------------------------------------------ #
     def checkpoint(self) -> None:
-        """Write a snapshot of every graph and truncate the write log."""
+        """Write a snapshot of every graph and truncate the write log.
+
+        Ordering matters: snapshots and the catalog become durable *before*
+        the log is emptied.  A crash between the two replays the full log
+        over the new snapshots on reopen, which converges (see the module
+        docstring); a crash before the snapshots leaves the old
+        snapshot+log pair intact.  Either way no committed state is lost.
+        """
         if not self.durable:
             return
         for name in self._graphs:
@@ -138,7 +214,8 @@ class GraphStorage:
         stamps the registry's audit report relies on.  Counts are excluded —
         they are recomputed from the graphs on recovery.  Callers that
         mutate a descriptor directly (e.g. account persistence) must call
-        this afterwards; it is a no-op for in-memory stores.
+        this afterwards; it is a no-op for in-memory stores.  The write is
+        atomic (temp + rename), so the catalog on disk is always whole.
         """
         if not self.durable:
             return
@@ -150,8 +227,8 @@ class GraphStorage:
             }
             for descriptor in self.catalog.descriptors()
         }
-        (self.directory / _CATALOG_NAME).write_text(
-            json.dumps(payload, indent=2, default=str), encoding="utf-8"
+        self.io.atomic_write_text(
+            self.directory / _CATALOG_NAME, json.dumps(payload, indent=2, default=str)
         )
 
     def _restore_catalog(self) -> None:
@@ -160,7 +237,15 @@ class GraphStorage:
         path = self.directory / _CATALOG_NAME
         if not path.exists():
             return
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            # Catalog writes are atomic, so damage here is external; the
+            # descriptors are advisory (graphs and accounts still load), so
+            # quarantine and continue rather than refuse to open.
+            self._quarantine(path)
+            self.recovery_report.quarantined.append(path.name)
+            return
         for name, attributes in payload.items():
             if name not in self.catalog:
                 continue  # snapshot gone: the graphs on disk win
@@ -171,25 +256,71 @@ class GraphStorage:
 
     def _write_snapshot(self, name: str) -> None:
         assert self.directory is not None
-        save_graph(self._graphs[name], self._snapshot_path(name))
+        self.io.atomic_write_text(self._snapshot_path(name), graph_to_json(self._graphs[name]))
 
     def _snapshot_path(self, name: str) -> Path:
         assert self.directory is not None
         safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in name)
         return self.directory / f"{safe}{_SNAPSHOT_SUFFIX}"
 
+    def snapshot_graph(self, name: str) -> Optional[PropertyGraph]:
+        """The graph exactly as its on-disk snapshot records it (or ``None``).
+
+        Warm-restart checkpoints validate against snapshot state before
+        trusting their cached views; this reads the snapshot file fresh so
+        post-snapshot write-log records are *not* included.
+        """
+        if not self.durable:
+            return None
+        path = self._snapshot_path(name)
+        if not path.exists():
+            return None
+        return graph_from_dict(json.loads(self.io.read_text(path)))
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def _remove_orphan_tmp_files(self) -> None:
+        """Delete staging files a crash left behind (never committed state)."""
+        assert self.directory is not None
+        for orphan in self.directory.glob(f"*{TMP_SUFFIX}"):
+            self.io.unlink(orphan)
+            self.recovery_report.tmp_files_removed += 1
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a damaged file aside (``<name>.corrupt``), never delete it."""
+        target = path.with_name(path.name + _QUARANTINE_SUFFIX)
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = path.with_name(f"{path.name}{_QUARANTINE_SUFFIX}.{suffix}")
+        self.io.replace(path, target)
+
     def _recover(self) -> None:
-        """Load snapshots, then replay write-log records on top of them."""
+        """Load snapshots, then replay write-log records on top of them.
+
+        A snapshot whose JSON will not parse is quarantined (renamed aside)
+        and recovery continues: the write log may still rebuild the graph
+        from its ``create_graph`` record, and every other graph in the store
+        stays available instead of one bad file taking the directory down.
+        """
         assert self.directory is not None
         for snapshot in sorted(self.directory.glob(f"*{_SNAPSHOT_SUFFIX}")):
-            graph = load_graph(snapshot)
+            try:
+                graph = graph_from_dict(json.loads(self.io.read_text(snapshot)))
+            except (json.JSONDecodeError, GraphError, KeyError, TypeError):
+                self._quarantine(snapshot)
+                self.recovery_report.quarantined.append(snapshot.name)
+                continue
             name = graph.name or snapshot.name[: -len(_SNAPSHOT_SUFFIX)]
             if name not in self.catalog:
                 self.catalog.register(name)
             self._graphs[name] = graph
             self._refresh_counts(name)
+            self.recovery_report.snapshots_loaded += 1
         for record in self.wal.records():
             self._replay(record)
+            self.recovery_report.records_replayed += 1
         self._restore_catalog()
 
     def _replay(self, record: LogRecord) -> None:
@@ -216,13 +347,24 @@ class GraphStorage:
             if name not in self.catalog:
                 self.catalog.register(name)
         graph = self._graphs[name]
-        if record.op == "add_node":
+        if record.op == "txn":
+            # One framed record per transaction: the whole batch replays (or
+            # was never durable) as a unit.
+            for operation in payload.get("operations", []):
+                self._replay_op(graph, operation.get("op"), operation.get("payload", {}))
+        else:
+            self._replay_op(graph, record.op, payload)
+        self._refresh_counts(name)
+
+    def _replay_op(self, graph: PropertyGraph, op: str, payload: Dict[str, Any]) -> None:
+        """Apply one primitive operation idempotently during replay."""
+        if op == "add_node":
             if not graph.has_node(payload["id"]):
                 graph.add_node(payload["id"], kind=payload.get("kind"), features=payload.get("features") or {})
-        elif record.op == "remove_node":
+        elif op == "remove_node":
             if graph.has_node(payload["id"]):
                 graph.remove_node(payload["id"])
-        elif record.op == "add_edge":
+        elif op == "add_edge":
             if not graph.has_edge(payload["source"], payload["target"]):
                 graph.add_edge(
                     payload["source"],
@@ -231,15 +373,14 @@ class GraphStorage:
                     features=payload.get("features") or {},
                     create_nodes=True,
                 )
-        elif record.op == "remove_edge":
+        elif op == "remove_edge":
             if graph.has_edge(payload["source"], payload["target"]):
                 graph.remove_edge(payload["source"], payload["target"])
-        elif record.op == "set_node_features":
+        elif op == "set_node_features":
             if graph.has_node(payload["id"]):
                 graph.set_node_features(payload["id"], payload.get("features") or {})
         else:  # pragma: no cover - KNOWN_OPS guards this
-            raise StoreError(f"cannot replay unknown operation {record.op!r}")
-        self._refresh_counts(name)
+            raise StoreError(f"cannot replay unknown operation {op!r}")
 
     # ------------------------------------------------------------------ #
     # export

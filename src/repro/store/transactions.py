@@ -126,15 +126,31 @@ class Transaction:
         return False
 
 
+def validate_operations(graph: PropertyGraph, operations: List[_Operation]) -> None:
+    """Dry-run a batch against a scratch copy of ``graph``.
+
+    Raises whatever the first invalid operation would raise, without touching
+    the live graph.  The engine validates before writing the batch's ``txn``
+    record to the write log, so an invalid batch is never made durable.
+    """
+    scratch = graph.copy()
+    _apply_to(scratch, operations)
+
+
+def apply_to(graph: PropertyGraph, operations: List[_Operation]) -> None:
+    """Apply an already-validated batch to the live graph."""
+    _apply_to(graph, operations)
+
+
 def apply_operations(graph: PropertyGraph, operations: List[_Operation]) -> List[Tuple[str, Dict[str, Any]]]:
     """Validate and apply a batch to ``graph``; returns (op, payload) pairs applied.
 
     Validation happens against a scratch copy first so a mid-batch error
-    cannot leave the live graph half-updated.
+    cannot leave the live graph half-updated.  (The engine now logs batches
+    as one ``txn`` record via :func:`validate_operations` + :func:`apply_to`;
+    this combined helper remains for direct library use.)
     """
-    scratch = graph.copy()
-    _apply_to(scratch, operations)
-    # The batch is valid; now apply to the live graph.
+    validate_operations(graph, operations)
     _apply_to(graph, operations)
     return [(operation.op, dict(operation.payload)) for operation in operations]
 

@@ -1,23 +1,45 @@
-"""A minimal append-only write log.
+"""A crash-safe append-only write log with framed, checksummed records.
 
-Every mutation of the store is recorded as one JSON line; replaying the log
-reconstructs the store's state, which is how the storage layer recovers a
-directory that has a log but no (or an outdated) snapshot.  The log is
-intentionally simple: records are ``{"seq": int, "op": str, "graph": str,
-"payload": {...}}`` and the file is only ever appended to or truncated as a
-whole (after a snapshot).
+Every mutation of the store is recorded as one framed line; replaying the
+log reconstructs the store's state, which is how the storage layer recovers
+a directory that has a log but no (or an outdated) snapshot.
+
+Record framing
+--------------
+Each durable record is one line::
+
+    W1 <length> <crc32> <json>\\n
+
+where ``length`` is the byte length of the UTF-8 JSON body and ``crc32`` its
+checksum (zlib, hex).  The frame makes torn writes *detectable*: a record
+cut at any byte offset fails the length or CRC check, so recovery can
+distinguish "the process died mid-append" (a torn tail — truncated and
+replay continues) from "the bytes rotted under us" (framed garbage *before*
+intact records — a :class:`~repro.exceptions.CorruptionError`, since
+truncating there would silently drop committed records).  Legacy un-framed
+plain-JSON lines from pre-framing logs still replay.
+
+Appends are durable at return: the framed line is written, flushed and
+fsynced through the :class:`~repro.store.io.StorageIO` seam (one fsync per
+record; see ``docs/reliability.md`` for the full failure model), and a
+failed append rolls the file back to its pre-append size so a retry cannot
+stack a half-record under a whole one.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.exceptions import StoreError
+from repro.exceptions import CorruptionError, StoreError
+from repro.store.io import StorageIO, resolve_io
 
-#: Operations understood by the replay logic.
+#: Operations understood by the replay logic.  ``txn`` is a composite record
+#: whose payload carries a whole transaction's operations — one fsynced
+#: append, so the batch commits (and replays) atomically.
 KNOWN_OPS = (
     "create_graph",
     "drop_graph",
@@ -26,7 +48,16 @@ KNOWN_OPS = (
     "add_edge",
     "remove_edge",
     "set_node_features",
+    "txn",
 )
+
+#: Frame marker of the current record format.
+_FRAME_MAGIC = "W1"
+
+#: Pseudo-op of the truncation marker record :meth:`WriteAheadLog.truncate`
+#: writes.  Markers carry the sequence counter across truncations; they are
+#: never replayed and never appear in :meth:`WriteAheadLog.records`.
+CHECKPOINT_MARKER_OP = "checkpoint"
 
 
 @dataclass(frozen=True)
@@ -45,51 +76,122 @@ class LogRecord:
             default=str,
         )
 
+    def to_frame(self) -> bytes:
+        """The durable on-disk form: ``W1 <length> <crc32> <json>\\n``."""
+        body = self.to_json().encode("utf-8")
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return b"%s %d %08x " % (_FRAME_MAGIC.encode("ascii"), len(body), crc) + body + b"\n"
+
     @classmethod
     def from_json(cls, line: str) -> "LogRecord":
         try:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise StoreError(f"corrupt write-log line: {line[:80]!r}") from exc
+            raise CorruptionError(f"corrupt write-log line: {line[:80]!r}") from exc
         for key in ("seq", "op", "graph", "payload"):
             if key not in data:
-                raise StoreError(f"write-log record missing {key!r}: {line[:80]!r}")
+                raise CorruptionError(f"write-log record missing {key!r}: {line[:80]!r}")
         return cls(seq=int(data["seq"]), op=data["op"], graph=data["graph"], payload=data["payload"])
+
+    @classmethod
+    def from_frame(cls, line: bytes) -> "LogRecord":
+        """Parse one framed line; raises :class:`CorruptionError` on any damage."""
+        if not line.startswith(_FRAME_MAGIC.encode("ascii") + b" "):
+            # Legacy pre-framing logs hold bare JSON lines.
+            return cls.from_json(line.decode("utf-8", errors="replace"))
+        try:
+            _, length_text, crc_text, body = line.split(b" ", 3)
+            length = int(length_text)
+            expected_crc = int(crc_text, 16)
+        except ValueError as exc:
+            raise CorruptionError(f"corrupt write-log frame: {line[:80]!r}") from exc
+        if len(body) != length:
+            raise CorruptionError(
+                f"write-log frame length mismatch (expected {length}, got {len(body)})"
+            )
+        if (zlib.crc32(body) & 0xFFFFFFFF) != expected_crc:
+            raise CorruptionError("write-log frame failed its CRC check")
+        return cls.from_json(body.decode("utf-8"))
+
+
+@dataclass
+class WalRecoveryInfo:
+    """What opening a write-log file found (surfaced via ``service.health()``)."""
+
+    records: int = 0
+    #: Bytes of torn tail truncated on open (0 on a clean log).
+    torn_bytes_truncated: int = 0
+    #: Legacy un-framed lines accepted during replay.
+    legacy_lines: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "torn_bytes_truncated": self.torn_bytes_truncated,
+            "legacy_lines": self.legacy_lines,
+        }
 
 
 class WriteAheadLog:
     """Append-only log, either in memory or backed by a file."""
 
-    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        io: Optional[StorageIO] = None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.io = resolve_io(io)
         self._records: List[LogRecord] = []
         self._next_seq = 1
+        self._base_seq = 0
+        self.recovery_info = WalRecoveryInfo()
         if self.path is not None and self.path.exists():
-            self._records = list(self._read_file())
-            if self._records:
-                self._next_seq = self._records[-1].seq + 1
+            self._records = self._read_file()
+            self.recovery_info.records = len(self._records)
 
     # ------------------------------------------------------------------ #
     # writing
     # ------------------------------------------------------------------ #
     def append(self, op: str, graph: str, payload: Optional[Dict[str, Any]] = None) -> LogRecord:
-        """Append one record (durably, when file-backed) and return it."""
+        """Append one record (durably, when file-backed) and return it.
+
+        The in-memory record list is only extended after the frame reached
+        disk, so a failed (and possibly retried) append never leaves the
+        memory image ahead of durable state.
+        """
         if op not in KNOWN_OPS:
             raise StoreError(f"unknown write-log operation {op!r}")
         record = LogRecord(seq=self._next_seq, op=op, graph=graph, payload=dict(payload or {}))
+        if self.path is not None:
+            self.io.append_bytes(self.path, record.to_frame())
         self._next_seq += 1
         self._records.append(record)
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(record.to_json() + "\n")
         return record
 
     def truncate(self) -> None:
-        """Discard every record (after a snapshot has captured the state)."""
+        """Discard every record (after a snapshot has captured the state).
+
+        The file is replaced atomically so a crash mid-truncate leaves
+        either the full old log or the truncated one — never a prefix that
+        would replay a partial history over the new snapshot.
+
+        The file is not left *empty*: a framed ``checkpoint`` marker record
+        preserves the sequence counter across truncation and reopen, so a
+        service checkpoint stamped with a WAL sequence number can tell
+        "nothing happened since" from "the range I would need was truncated"
+        (see :attr:`base_seq`).  Markers never appear in :meth:`records`.
+        """
+        marker = LogRecord(seq=self._next_seq, op=CHECKPOINT_MARKER_OP, graph="", payload={})
+        if self.path is not None:
+            # Written even when the log file does not exist yet: the marker
+            # is what carries the sequence counter across a reopen, and a
+            # snapshot-only store still hands out checkpoint stamps.
+            self.io.atomic_write_text(self.path, marker.to_frame().decode("utf-8"))
         self._records.clear()
-        if self.path is not None and self.path.exists():
-            self.path.write_text("", encoding="utf-8")
+        self._base_seq = marker.seq
+        self._next_seq = marker.seq + 1
 
     # ------------------------------------------------------------------ #
     # reading
@@ -98,16 +200,83 @@ class WriteAheadLog:
         """All records currently in the log, in order."""
         return list(self._records)
 
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended record will carry."""
+        return self._next_seq
+
+    @property
+    def base_seq(self) -> int:
+        """The highest sequence number truncated away (0 on a full log).
+
+        Every record with ``seq > base_seq`` is retained, so a caller
+        holding a stamp ``S`` can rely on :meth:`records_since` being the
+        *complete* history after ``S`` exactly when ``S > base_seq``.
+        """
+        return self._base_seq
+
+    def records_since(self, seq: int) -> List[LogRecord]:
+        """Records with sequence numbers strictly greater than ``seq``."""
+        return [record for record in self._records if record.seq > seq]
+
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[LogRecord]:
         return iter(self._records)
 
-    def _read_file(self) -> Iterator[LogRecord]:
+    def _read_file(self) -> List[LogRecord]:
+        """Parse the log file, truncating a torn tail in place.
+
+        Damage scanning works line by line: the first undecodable line marks
+        a *candidate* tear.  If nothing after it parses either, it is a torn
+        tail — the file is truncated back to the last good record and replay
+        continues.  If an intact record follows the damage, committed data
+        sits beyond the hole and recovery refuses to guess
+        (:class:`~repro.exceptions.CorruptionError`).
+        """
         assert self.path is not None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    yield LogRecord.from_json(line)
+        raw = self.io.read_bytes(self.path)
+        records: List[LogRecord] = []
+        good_end = 0
+        offset = 0
+        damage: Optional[Tuple[int, CorruptionError]] = None
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            line_end = len(raw) if newline < 0 else newline + 1
+            line = raw[offset:line_end].rstrip(b"\n")
+            if line:
+                try:
+                    record = self._parse_line(line)
+                except CorruptionError as exc:
+                    if damage is None:
+                        damage = (offset, exc)
+                else:
+                    if damage is not None:
+                        start, first_error = damage
+                        raise CorruptionError(
+                            f"write log {self.path} is corrupt at byte {start} with intact "
+                            f"records after the damage ({first_error}); refusing to truncate "
+                            "committed history",
+                            path=str(self.path),
+                        ) from first_error
+                    if record.op == CHECKPOINT_MARKER_OP:
+                        self._base_seq = max(self._base_seq, record.seq)
+                    else:
+                        records.append(record)
+                    self._next_seq = max(self._next_seq, record.seq + 1)
+                    good_end = line_end
+            elif damage is None:
+                good_end = line_end
+            offset = line_end
+        if damage is not None:
+            torn = len(raw) - good_end
+            self.io.truncate_file(self.path, good_end)
+            self.recovery_info.torn_bytes_truncated += torn
+        return records
+
+    def _parse_line(self, line: bytes) -> LogRecord:
+        record = LogRecord.from_frame(line)
+        if not line.startswith(_FRAME_MAGIC.encode("ascii") + b" "):
+            self.recovery_info.legacy_lines += 1
+        return record

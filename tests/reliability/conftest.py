@@ -1,0 +1,173 @@
+"""Shared machinery for the reliability suite: scripted workloads + snapshots.
+
+The crash tests all follow one shape: run a deterministic op script against
+a durable store under a fault injector, crash somewhere, reopen with plain
+I/O, and compare the recovered state against the states the completed
+prefix of the script predicts.  The helpers here keep that shape in one
+place: ops as data, an applier, a resumer, and a full structural snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.store.engine import GraphStore
+
+#: One op: ("kind", *args).  Kinds: create_graph, add_node, add_edge,
+#: remove_node, remove_edge, set_features, txn, checkpoint.
+Op = Tuple[Any, ...]
+
+
+def apply_op(store: GraphStore, op: Op) -> None:
+    """Apply one scripted op to a store."""
+    kind = op[0]
+    if kind == "create_graph":
+        store.create_graph(op[1])
+    elif kind == "add_node":
+        store.add_node(op[1], op[2], kind=op[3], features=op[4])
+    elif kind == "add_edge":
+        store.add_edge(op[1], op[2], op[3], label=op[4])
+    elif kind == "remove_node":
+        store.remove_node(op[1], op[2])
+    elif kind == "remove_edge":
+        store.remove_edge(op[1], op[2], op[3])
+    elif kind == "set_features":
+        store.set_node_features(op[1], op[2], op[3])
+    elif kind == "txn":
+        txn = store.transaction(op[1])
+        for sub in op[2]:
+            if sub[0] == "add_node":
+                txn.add_node(sub[1], kind=sub[2], features=sub[3])
+            elif sub[0] == "add_edge":
+                txn.add_edge(sub[1], sub[2], label=sub[3])
+        txn.commit()
+    elif kind == "checkpoint":
+        store.checkpoint()
+    else:  # pragma: no cover - script bug
+        raise AssertionError(f"unknown scripted op {kind!r}")
+
+
+def op_is_applied(store: GraphStore, op: Op) -> bool:
+    """Whether one op's effect is already present (for crash-resume).
+
+    Only called for the single op that was in flight when the crash hit, so
+    a local presence check is decisive: the op either committed to the
+    write log (its effect replays on reopen) or it did not.
+    """
+    kind = op[0]
+    if kind == "create_graph":
+        return store.has_graph(op[1])
+    if kind == "add_node":
+        return store.storage.graph(op[1]).has_node(op[2])
+    if kind == "add_edge":
+        return store.storage.graph(op[1]).has_edge(op[2], op[3])
+    if kind == "remove_node":
+        return not store.storage.graph(op[1]).has_node(op[2])
+    if kind == "remove_edge":
+        return not store.storage.graph(op[1]).has_edge(op[2], op[3])
+    if kind == "set_features":
+        node = store.storage.graph(op[1]).node(op[2])
+        return dict(node.features) == op[3]
+    if kind == "txn":
+        # Transactions commit atomically, so the first sub-op decides.
+        first = op[2][0]
+        graph = store.storage.graph(op[1])
+        if first[0] == "add_node":
+            return graph.has_node(first[1])
+        return graph.has_edge(first[1], first[2])
+    if kind == "checkpoint":
+        return False  # re-running a checkpoint is harmless and idempotent
+    raise AssertionError(f"unknown scripted op {kind!r}")  # pragma: no cover
+
+
+def state_snapshot(store: GraphStore) -> Dict[str, Any]:
+    """A full structural snapshot of every graph (order-insensitive)."""
+    snapshot: Dict[str, Any] = {}
+    for name in sorted(store.graph_names()):
+        graph = store.storage.graph(name)
+        snapshot[name] = {
+            "nodes": sorted(
+                (node_id, graph.node(node_id).kind, tuple(sorted(graph.node(node_id).features.items())))
+                for node_id in graph.node_ids()
+            ),
+            "edges": sorted(
+                (key[0], key[1], graph.edge(*key).label) for key in graph.edge_keys()
+            ),
+        }
+    return snapshot
+
+
+def expected_states(script: List[Op], completed: int) -> List[Dict[str, Any]]:
+    """The snapshots a crash after ``completed`` ops may legally recover to.
+
+    Two candidates: the op in flight either never became durable (state
+    after ``completed`` ops) or committed to the log right before the crash
+    (state after ``completed + 1``).  Both are computed on fresh in-memory
+    stores, which share the mutation code but none of the durability path.
+    """
+    states = []
+    for count in (completed, min(completed + 1, len(script))):
+        model = GraphStore()
+        for op in script[:count]:
+            if op[0] == "checkpoint":
+                continue  # no-op on in-memory stores
+            apply_op(model, op)
+        states.append(state_snapshot(model))
+    return states
+
+
+def random_script(seed: int, *, ops: int = 18) -> List[Op]:
+    """A deterministic random op script (one graph, unique effects).
+
+    Every added node/edge is fresh and nothing is added twice, so "is this
+    op applied?" has exactly one honest answer at any point — the property
+    crash-resume relies on.
+    """
+    rng = random.Random(seed)
+    graph_name = f"g{seed}"
+    script: List[Op] = [("create_graph", graph_name)]
+    nodes: List[str] = []
+    edges: List[Tuple[str, str]] = []
+    edge_set: set = set()
+    counter = 0
+
+    def fresh_node() -> str:
+        nonlocal counter
+        counter += 1
+        return f"n{counter}"
+
+    while len(script) < ops:
+        roll = rng.random()
+        if roll < 0.35 or len(nodes) < 2:
+            node = fresh_node()
+            nodes.append(node)
+            script.append(
+                ("add_node", graph_name, node, rng.choice(["data", "process"]), {"w": rng.randrange(10)})
+            )
+        elif roll < 0.60:
+            source, target = rng.sample(nodes, 2)
+            if (source, target) in edge_set or (target, source) in edge_set:
+                continue
+            edge_set.add((source, target))
+            edges.append((source, target))
+            script.append(("add_edge", graph_name, source, target, "used"))
+        elif roll < 0.70 and edges:
+            source, target = edges.pop(rng.randrange(len(edges)))
+            script.append(("remove_edge", graph_name, source, target))
+        elif roll < 0.80:
+            node = rng.choice(nodes)
+            script.append(("set_features", graph_name, node, {"w": rng.randrange(10, 20)}))
+        elif roll < 0.92:
+            batch: List[Op] = []
+            fresh = [fresh_node() for _ in range(2)]
+            for node in fresh:
+                batch.append(("add_node", node, "data", {"b": 1}))
+            batch.append(("add_edge", fresh[0], fresh[1], "txn"))
+            nodes.extend(fresh)
+            edge_set.add((fresh[0], fresh[1]))
+            edges.append((fresh[0], fresh[1]))
+            script.append(("txn", graph_name, batch))
+        else:
+            script.append(("checkpoint",))
+    return script

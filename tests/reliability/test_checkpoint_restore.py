@@ -1,0 +1,215 @@
+"""Service checkpoints: warm exactness, delta catch-up, corruption quarantine.
+
+Every test follows the restart shape for real: one process-worth of state
+builds and checkpoints, then a *fresh* store, policy and service — sharing
+no objects with the first — restore from disk.  Warm restores must be
+*exact* (tables equal a fresh compile, scores equal a fresh recompute);
+anything suspicious must come back ``cold``, never wrong.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import ProtectionService
+from repro.core.markings import Marking
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice
+from repro.exceptions import StoreError
+from repro.graph.builders import GraphBuilder
+from repro.store.engine import GraphStore
+
+
+def build_lattice() -> PrivilegeLattice:
+    lattice = PrivilegeLattice()
+    confidential = lattice.add("Confidential", dominates=["Public"])
+    lattice.add("Secret", dominates=[confidential])
+    return lattice
+
+
+def build_policy(lattice: PrivilegeLattice) -> ReleasePolicy:
+    """Chain policy hiding ``c`` from Public behind surrogate markings."""
+    policy = ReleasePolicy(lattice)
+    policy.set_lowest("c", "Secret")
+    public = lattice.public
+    policy.markings.mark_edge(
+        ("b", "c"), public, source=Marking.VISIBLE, target=Marking.SURROGATE
+    )
+    policy.markings.mark_edge(
+        ("c", "d"), public, source=Marking.SURROGATE, target=Marking.VISIBLE
+    )
+    return policy
+
+
+def first_boot(tmp_path):
+    """A durable store holding the chain graph, plus a service over it."""
+    store = GraphStore(tmp_path / "store")
+    store.put_graph(GraphBuilder("chain").chain(["a", "b", "c", "d"]).build())
+    graph = store.graph("chain")
+    service = ProtectionService(graph, build_policy(build_lattice()), store=store)
+    return store, service
+
+
+def reboot(tmp_path):
+    """A second process: fresh store handle, fresh policy, fresh service."""
+    store = GraphStore(tmp_path / "store")
+    graph = store.graph("chain")
+    service = ProtectionService(graph, build_policy(build_lattice()), store=store)
+    return store, service
+
+
+def fresh_tables(graph):
+    """A from-scratch compile on an unrelated policy object, for comparison."""
+    view = build_policy(build_lattice()).markings.compile(graph, "Public")
+    return dict(view.node_default), dict(view.edge_state_table)
+
+
+def test_warm_restore_is_exact(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    path = service.checkpoint(result, name="svc")
+    assert path.exists()
+
+    store2, service2 = reboot(tmp_path)
+    report = service2.restore(name="svc")
+    assert report.mode == "warm", report.reason
+    assert report.view_restored
+    assert report.account_restored
+    assert report.scores_restored
+    assert report.cache_seeded
+
+    # The restored compiled view's tables equal a from-scratch compile.
+    graph2 = service2.graph
+    restored = service2.policy.markings._compiled[(id(graph2), "Public")]
+    node_default, edge_states = fresh_tables(graph2)
+    assert dict(restored.node_default) == node_default
+    assert dict(restored.edge_state_table) == edge_states
+
+    # First protect after restart answers from the seeded cache, with the
+    # exact scores the original run produced.
+    warm = service2.protect(privilege="Public")
+    assert warm.timings_ms["cache_hit"] == 1.0
+    assert warm.scores.path_utility == result.scores.path_utility
+    assert warm.scores.node_utility == result.scores.node_utility
+    assert warm.scores.average_opacity == result.scores.average_opacity
+    assert set(warm.account.graph.node_ids()) == set(result.account.graph.node_ids())
+
+
+def test_catchup_restore_patches_the_wal_tail(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    service.checkpoint(result, name="svc")
+    # Post-checkpoint mutations land in the write-log tail.
+    store.add_node("chain", "e", kind="data")
+    store.add_edge("chain", "d", "e", label="used")
+
+    store2, service2 = reboot(tmp_path)
+    report = service2.restore(name="svc")
+    assert report.mode == "catchup", report.reason
+    assert report.view_restored
+    assert not report.account_restored  # stale: the graph moved on
+    assert report.wal_tail_applied >= 2
+
+    # The patched view equals a fresh compile of the *mutated* graph.
+    graph2 = service2.graph
+    assert graph2.has_node("e")
+    patched = service2.policy.markings._compiled[(id(graph2), "Public")]
+    node_default, edge_states = fresh_tables(graph2)
+    assert dict(patched.node_default) == node_default
+    assert dict(patched.edge_state_table) == edge_states
+
+    # And protecting over the patched view matches a cold service exactly.
+    catchup = service2.protect(privilege="Public")
+    cold = ProtectionService(graph2, build_policy(build_lattice())).protect(
+        privilege="Public"
+    )
+    assert "e" in catchup.account.graph.node_ids()
+    assert set(catchup.account.graph.node_ids()) == set(cold.account.graph.node_ids())
+    assert catchup.scores.path_utility == cold.scores.path_utility
+    assert catchup.scores.average_opacity == cold.scores.average_opacity
+
+
+def test_corrupt_checkpoint_is_quarantined_and_cold(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    path = service.checkpoint(result, name="svc")
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+    store2, service2 = reboot(tmp_path)
+    report = service2.restore(name="svc")
+    assert report.mode == "cold"
+    assert report.quarantined is not None
+    quarantine = Path(report.quarantined)
+    assert quarantine.exists() and quarantine.name.endswith(".corrupt")
+    assert not path.exists()  # the bad file is out of the way, not reread
+
+    # A second restore finds nothing — still a graceful cold start.
+    second = service2.restore(name="svc")
+    assert second.mode == "cold"
+    assert second.reason == "no checkpoint"
+
+    health = service2.health()
+    assert health["status"] == "degraded"
+    assert any("cold" in issue for issue in health["issues"])
+    # Degradation is not failure: the service still serves correctly.
+    assert service2.protect(privilege="Public").scores.path_utility == (
+        result.scores.path_utility
+    )
+
+
+def test_checkpoint_behind_a_later_truncation_goes_cold(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    service.checkpoint(result, name="svc")
+    # More mutations, then a *store* checkpoint without a fresh service
+    # checkpoint: the write-log range the old stamp needs is gone.
+    store.add_node("chain", "e", kind="data")
+    store.checkpoint()
+
+    store2, service2 = reboot(tmp_path)
+    report = service2.restore(name="svc")
+    assert report.mode == "cold"
+    assert "truncated" in report.reason
+
+
+def test_policy_drift_goes_cold(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    service.checkpoint(result, name="svc")
+
+    store2 = GraphStore(tmp_path / "store")
+    drifted = build_policy(build_lattice())
+    drifted.set_lowest("b", "Secret")  # the checkpointed tables are wrong now
+    service2 = ProtectionService(store2.graph("chain"), drifted, store=store2)
+    report = service2.restore(name="svc")
+    assert report.mode == "cold"
+    assert "policy" in report.reason
+
+
+def test_checkpoint_requires_a_durable_store(tmp_path):
+    graph = GraphBuilder("chain").chain(["a", "b", "c", "d"]).build()
+    service = ProtectionService(
+        graph, build_policy(build_lattice()), store=GraphStore()
+    )
+    result = service.protect(privilege="Public")
+    with pytest.raises(StoreError):
+        service.checkpoint(result, name="svc")
+
+
+def test_health_is_ok_after_a_warm_restart(tmp_path):
+    store, service = first_boot(tmp_path)
+    result = service.protect(privilege="Public")
+    service.checkpoint(result, name="svc")
+
+    store2, service2 = reboot(tmp_path)
+    report = service2.restore(name="svc")
+    assert report.mode == "warm"
+    health = service2.health()
+    assert health["status"] == "ok", health["issues"]
+    assert health["last_restore"]["mode"] == "warm"
+    assert health["store"]["durable"] is True
+    assert health["delta_bus"]["enabled"] is True

@@ -1,0 +1,179 @@
+"""Crash-everywhere: every fsync/rename boundary, every failure mode.
+
+One fixed workload runs once under a recording injector to enumerate every
+injection point it crosses.  Then, for every point: crash there (and, at
+write points, tear the write first), reopen the store with plain I/O, and
+assert the recovered state is a consistent prefix — the completed ops, plus
+at most the op that was in flight.  Zero data loss, no torn state, at every
+boundary the storage layer has.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TransientError
+from repro.reliability import FaultInjector, Injection, RetryPolicy, SimulatedCrash
+from repro.store.engine import GraphStore
+
+from tests.reliability.conftest import (
+    apply_op,
+    expected_states,
+    state_snapshot,
+)
+
+#: The fixed workload: every mutator, a transaction, and a checkpoint in the
+#: middle so truncation boundaries are crossed too.
+SCRIPT = [
+    ("create_graph", "wf"),
+    ("add_node", "wf", "a", "data", {"w": 1}),
+    ("add_node", "wf", "b", "process", {}),
+    ("add_edge", "wf", "a", "b", "used"),
+    ("txn", "wf", [("add_node", "c", "data", {"b": 1}), ("add_edge", "b", "c", "gen")]),
+    ("checkpoint",),
+    ("add_node", "wf", "d", "data", {}),
+    ("add_edge", "wf", "c", "d", "used"),
+    ("set_features", "wf", "a", {"w": 9}),
+    ("remove_edge", "wf", "a", "b"),
+    ("remove_node", "wf", "d"),
+]
+
+
+def run_script(store, script):
+    """Apply ops until a crash; returns how many completed."""
+    completed = 0
+    for op in script:
+        apply_op(store, op)
+        completed += 1
+    return completed
+
+
+def record_trace(tmp_path):
+    recorder = FaultInjector()
+    store = GraphStore(tmp_path / "record", io=recorder)
+    run_script(store, SCRIPT)
+    return recorder.trace
+
+
+def test_the_workload_crosses_every_kind_of_boundary(tmp_path):
+    trace = record_trace(tmp_path)
+    crossed = set(trace)
+    # Appends (write-log records), atomic writes (snapshots, catalog,
+    # truncation markers) and directory fsyncs must all be exercised, or
+    # the crash-everywhere sweep below proves less than it claims.
+    for point in (
+        "append.before",
+        "append.write",
+        "append.fsync",
+        "append.after",
+        "atomic.before",
+        "atomic.write",
+        "atomic.fsync",
+        "atomic.replace",
+        "atomic.after",
+        "dir.fsync",
+    ):
+        assert point in crossed, f"workload never crossed {point}"
+    assert len(trace) > 40
+
+
+@pytest.mark.parametrize("mode", ["crash", "torn_write"])
+def test_crash_at_every_injection_point_loses_no_committed_data(tmp_path, mode):
+    trace = record_trace(tmp_path)
+    for index in range(len(trace)):
+        directory = tmp_path / f"{mode}-{index}"
+        injector = FaultInjector([Injection(mode=mode, at=index)])
+        completed = 0
+        crashed = False
+        try:
+            store = GraphStore(directory, io=injector)
+            completed = run_script(store, SCRIPT)
+        except SimulatedCrash:
+            crashed = True
+        except TransientError:
+            pytest.fail(f"point {index} ({trace[index]}): crash mode raised TransientError")
+        if not crashed:
+            # The injection point was only crossed during recording (e.g.
+            # inside a read path the replay run skips); nothing to assert.
+            continue
+        # How many ops completed: re-derive by walking the script against
+        # the injector's surviving in-memory store is unsafe (it crashed),
+        # so count via a fresh recording run bounded by the crash index.
+        probe = FaultInjector()
+        probe_store = GraphStore(tmp_path / f"probe-{mode}-{index}", io=probe)
+        completed = 0
+        for op in SCRIPT:
+            before = len(probe.trace)
+            apply_op(probe_store, op)
+            after = len(probe.trace)
+            if after > index:
+                break  # this op crossed the crash point: it was in flight
+            completed += 1
+
+        reopened = GraphStore(directory)  # plain I/O: recovery must succeed
+        recovered = state_snapshot(reopened)
+        legal = expected_states(SCRIPT, completed)
+        assert recovered in legal, (
+            f"{mode} at point {index} ({trace[index]}): recovered state is not a "
+            f"consistent prefix (completed={completed})"
+        )
+
+
+def test_torn_write_leaves_bytes_on_disk_and_recovery_heals_them(tmp_path):
+    """A torn append is really torn (prefix on disk) and really healed."""
+    directory = tmp_path / "torn"
+    injector = FaultInjector([Injection(mode="torn_write", point="append.write", occurrence=3)])
+    store = GraphStore(directory, io=injector)
+    with pytest.raises(SimulatedCrash):
+        run_script(store, SCRIPT)
+    assert injector.fired == ["append.write"]
+    reopened = GraphStore(directory)
+    health = reopened.health()
+    assert health["wal"]["torn_bytes_truncated"] > 0
+    all_prefixes = [
+        state
+        for completed in range(len(SCRIPT) + 1)
+        for state in expected_states(SCRIPT, completed)
+    ]
+    assert state_snapshot(reopened) in all_prefixes
+
+
+def test_transient_fault_with_retry_completes_the_workload(tmp_path):
+    """os_error mode + engine retry: the workload finishes, state is exact."""
+    baseline = GraphStore()
+    for op in SCRIPT:
+        if op[0] != "checkpoint":
+            apply_op(baseline, op)
+    trace = record_trace(tmp_path)
+    # One transient fault at every write-ish point, one run each.
+    for index, point in enumerate(trace):
+        if not point.startswith(("append.", "atomic.")):
+            continue
+        directory = tmp_path / f"transient-{index}"
+        injector = FaultInjector([Injection(mode="os_error", at=index)])
+        store = GraphStore(
+            directory, io=injector, retry=RetryPolicy(3, sleep=lambda _s: None)
+        )
+        run_script(store, SCRIPT)  # must not raise: the retry absorbs it
+        assert state_snapshot(store) == state_snapshot(baseline)
+        if injector.fired:
+            assert store.retry.stats()["retries"] >= 1
+            # And the state is durable: reopen with plain I/O agrees.
+            assert state_snapshot(GraphStore(directory)) == state_snapshot(baseline)
+
+
+def test_transient_fault_without_retry_is_a_clean_typed_failure(tmp_path):
+    directory = tmp_path / "no-retry"
+    injector = FaultInjector([Injection(mode="os_error", point="append.fsync", occurrence=1)])
+    store = GraphStore(directory, io=injector)
+    store.create_graph("wf")
+    with pytest.raises(TransientError) as excinfo:
+        store.add_node("wf", "a")
+        store.add_node("wf", "b")
+    assert excinfo.value.point is not None
+    # The failed mutator is prefix-consistent: the record either became
+    # durable before the fault or it did not, but "b" (never attempted)
+    # can never appear and the store must reopen cleanly.
+    reopened = GraphStore(directory)
+    graph = reopened.storage.graph("wf")
+    assert not graph.has_node("b")

@@ -1,0 +1,113 @@
+"""RetryPolicy unit tests: backoff schedule, deadline, typed selectivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CorruptionError, TransientError
+from repro.reliability import RetryPolicy, SimulatedCrash
+
+
+class FakeClock:
+    """A manually advanced monotonic clock whose sleep() records delays."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.slept = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+def flaky(failures: int, exc: BaseException = None):
+    """A callable failing ``failures`` times before returning 42."""
+    state = {"left": failures}
+
+    def operation():
+        if state["left"]:
+            state["left"] -= 1
+            raise exc if exc is not None else TransientError("flaky")
+        return 42
+
+    return operation
+
+
+def test_first_try_success_never_sleeps():
+    fake = FakeClock()
+    policy = RetryPolicy(3, sleep=fake.sleep, clock=fake.clock)
+    assert policy.call(flaky(0)) == 42
+    assert fake.slept == []
+    assert policy.stats() == {"calls": 1, "retries": 0, "exhausted": 0, "deadline_hits": 0}
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    fake = FakeClock()
+    policy = RetryPolicy(
+        5, base_delay_s=0.01, multiplier=2.0, max_delay_s=0.03, sleep=fake.sleep, clock=fake.clock
+    )
+    assert policy.call(flaky(4)) == 42
+    # 0.01, 0.02, then 0.04 and 0.08 capped at 0.03.
+    assert fake.slept == [0.01, 0.02, 0.03, 0.03]
+    assert policy.stats()["retries"] == 4
+
+
+def test_exhaustion_reraises_the_transient_error():
+    fake = FakeClock()
+    policy = RetryPolicy(3, sleep=fake.sleep, clock=fake.clock)
+    with pytest.raises(TransientError):
+        policy.call(flaky(99))
+    assert len(fake.slept) == 2  # two retries, third failure exhausts
+    assert policy.stats()["exhausted"] == 1
+
+
+def test_deadline_abandons_rather_than_oversleeping():
+    fake = FakeClock()
+    policy = RetryPolicy(
+        10,
+        base_delay_s=1.0,
+        multiplier=1.0,
+        max_delay_s=1.0,
+        deadline_s=2.5,
+        sleep=fake.sleep,
+        clock=fake.clock,
+    )
+    with pytest.raises(TransientError):
+        policy.call(flaky(99))
+    # Slept 1.0 + 1.0; the third backoff would cross 2.5s, so it abandons.
+    assert fake.slept == [1.0, 1.0]
+    assert policy.stats()["deadline_hits"] == 1
+
+
+def test_non_retryable_errors_pass_straight_through():
+    fake = FakeClock()
+    policy = RetryPolicy(5, sleep=fake.sleep, clock=fake.clock)
+    with pytest.raises(CorruptionError):
+        policy.call(flaky(3, CorruptionError("rotted")))
+    assert fake.slept == []
+    assert policy.stats()["retries"] == 0
+
+
+def test_simulated_crash_is_never_retried():
+    fake = FakeClock()
+    policy = RetryPolicy(5, sleep=fake.sleep, clock=fake.clock)
+    with pytest.raises(SimulatedCrash):
+        policy.call(flaky(1, SimulatedCrash("power cut")))
+    assert fake.slept == []
+
+
+def test_single_attempt_disables_retrying():
+    fake = FakeClock()
+    policy = RetryPolicy(1, sleep=fake.sleep, clock=fake.clock)
+    with pytest.raises(TransientError):
+        policy.call(flaky(1))
+    assert fake.slept == []
+    assert policy.stats()["exhausted"] == 1
+
+
+def test_zero_attempts_is_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(0)

@@ -1,0 +1,133 @@
+"""Write-log framing regressions: torn tails at every byte offset.
+
+The satellite regression the issue pins: chop the log's last record at
+*every* byte offset and prove recovery truncates exactly the torn tail —
+never a committed record, never less than the whole tear — and that the
+log stays appendable afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CorruptionError
+from repro.store.wal import CHECKPOINT_MARKER_OP, LogRecord, WriteAheadLog
+
+
+def build_log(path, count=3):
+    """A log with ``count`` committed records; returns their frames."""
+    wal = WriteAheadLog(path)
+    for index in range(count):
+        wal.append("add_node", "g", {"id": f"n{index}", "kind": None, "features": {}})
+    return [record.to_frame() for record in wal.records()]
+
+
+def test_torn_tail_at_every_byte_offset(tmp_path):
+    """Bit-chopping the last record anywhere recovers the intact prefix."""
+    path = tmp_path / "wal.log"
+    frames = build_log(path, count=3)
+    intact = b"".join(frames[:-1])
+    last = frames[-1]
+    # Every proper prefix of the last frame, including the empty one.
+    for cut in range(len(last)):
+        path.write_bytes(intact + last[:cut])
+        reopened = WriteAheadLog(path)
+        if cut == len(last) - 1:
+            # Only the trailing newline is missing: every payload byte is
+            # on disk and the CRC checks out, so the record is legitimately
+            # recoverable — losing it would be over-truncation.
+            assert [r.payload["id"] for r in reopened.records()] == ["n0", "n1", "n2"]
+            continue
+        assert len(reopened) == 2, f"cut at {cut} byte(s) lost a committed record"
+        assert [record.payload["id"] for record in reopened.records()] == ["n0", "n1"]
+        if cut:
+            assert reopened.recovery_info.torn_bytes_truncated == cut
+        # The file was healed in place: the torn bytes are gone on disk.
+        assert path.read_bytes() == intact
+
+
+def test_torn_single_record_log_recovers_to_empty(tmp_path):
+    path = tmp_path / "wal.log"
+    frames = build_log(path, count=1)
+    for cut in range(1, len(frames[0]) - 1):
+        path.write_bytes(frames[0][:cut])
+        reopened = WriteAheadLog(path)
+        assert len(reopened) == 0
+        assert reopened.recovery_info.torn_bytes_truncated == cut
+
+
+def test_append_after_torn_recovery_continues_the_log(tmp_path):
+    path = tmp_path / "wal.log"
+    frames = build_log(path, count=2)
+    path.write_bytes(b"".join(frames) [: len(b"".join(frames)) - 5])
+    reopened = WriteAheadLog(path)
+    assert len(reopened) == 1
+    record = reopened.append("add_node", "g", {"id": "fresh"})
+    assert record.seq == reopened.records()[0].seq + 1
+    # And a further reopen sees both.
+    final = WriteAheadLog(path)
+    assert [r.payload["id"] for r in final.records()] == ["n0", "fresh"]
+
+
+def test_mid_log_damage_refuses_to_drop_committed_history(tmp_path):
+    """Garbage *before* intact records is corruption, not a torn tail."""
+    path = tmp_path / "wal.log"
+    frames = build_log(path, count=3)
+    mangled = bytearray(frames[1])
+    mangled[len(mangled) // 2] ^= 0xFF
+    path.write_bytes(frames[0] + bytes(mangled) + frames[2])
+    with pytest.raises(CorruptionError):
+        WriteAheadLog(path)
+
+
+def test_crc_catches_in_place_bitrot(tmp_path):
+    path = tmp_path / "wal.log"
+    [frame] = build_log(path, count=1)
+    body_start = frame.index(b"{")
+    flipped = bytearray(frame)
+    flipped[body_start + 5] ^= 0x01
+    path.write_bytes(bytes(flipped))
+    reopened = WriteAheadLog(path)  # single damaged record == torn tail
+    assert len(reopened) == 0
+    assert reopened.recovery_info.torn_bytes_truncated == len(frame)
+
+
+def test_legacy_bare_json_lines_still_replay(tmp_path):
+    path = tmp_path / "wal.log"
+    legacy = LogRecord(seq=1, op="add_node", graph="g", payload={"id": "old"})
+    path.write_bytes(legacy.to_json().encode("utf-8") + b"\n")
+    reopened = WriteAheadLog(path)
+    assert [record.payload["id"] for record in reopened.records()] == ["old"]
+    assert reopened.recovery_info.legacy_lines == 1
+    assert reopened.next_seq == 2
+
+
+def test_truncation_marker_preserves_the_sequence_counter(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    for index in range(4):
+        wal.append("add_node", "g", {"id": f"n{index}"})
+    stamp = wal.next_seq
+    wal.truncate()
+    assert len(wal) == 0
+    assert wal.base_seq == stamp
+    assert wal.next_seq == stamp + 1
+    # The marker survives a reopen: sequence numbers never restart.
+    reopened = WriteAheadLog(path)
+    assert len(reopened) == 0
+    assert reopened.base_seq == stamp
+    assert reopened.next_seq == stamp + 1
+    record = reopened.append("add_node", "g", {"id": "later"})
+    assert record.seq == stamp + 1
+
+
+def test_markers_never_surface_as_records(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append("add_node", "g", {"id": "a"})
+    wal.truncate()
+    wal.append("add_node", "g", {"id": "b"})
+    reopened = WriteAheadLog(path)
+    assert [record.op for record in reopened.records()] == ["add_node"]
+    assert all(record.op != CHECKPOINT_MARKER_OP for record in reopened)
+    assert reopened.records_since(reopened.base_seq) == reopened.records()
