@@ -1,0 +1,256 @@
+"""Serving latency benchmark: concurrent clients against a live HTTP server.
+
+Boots one :class:`~repro.server.app.ProtectionServer` on a background thread
+and drives it over real sockets with ``CLIENTS`` (≥ 8) concurrent keep-alive
+clients, then writes a ``BENCH_serving.json`` trajectory point at the repo
+root so serving-perf PRs have comparable before/after numbers.
+
+Four cases:
+
+* ``cached_replay`` — the designed hot path: the graph is registered once
+  via ``POST /v1/graphs`` and every client hammers the same ``graph_ref``
+  protect request.  After the first compile every request is answered by
+  the account cache, so the measured number is the HTTP overhead of a
+  cached replay (parse + auth + admission + cache lookup + encode).  The
+  acceptance bar is **p50 < 10 ms**, and every response is asserted
+  byte-identical to ``json_bytes(result_payload(...))`` computed by an
+  in-process :class:`~repro.api.ProtectionService` on the same workload.
+* ``inline_replay`` — the same replays with the full graph inline in every
+  request body; the delta over ``cached_replay`` is what re-parsing and
+  content-digesting a 300-node payload per request costs.  Recorded for
+  context, no bar.
+* ``cold_compile`` — each request carries a previously unseen graph
+  (distinct content digest), so every request pays a real compile; recorded
+  for context, no latency bar (it tracks the compiler, not the server).
+* ``stream_batch`` — one chunked ``protect_many`` stream over ``BATCH``
+  cached entries; records end-to-end stream time and lines/second.
+
+Latency percentiles are computed per request across all clients; RPS is
+total completed requests over the wall-clock window.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pathlib
+import socket
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import ProtectionService
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.server.app import ServerConfig, start_server_thread
+from repro.server.encoding import build_policy, decode_protection_request, json_bytes, result_payload
+from repro.workloads.random_graphs import random_connected_dag
+
+from tests.server.conftest import ApiClient
+
+#: Concurrent keep-alive clients (the acceptance criterion requires ≥ 8).
+CLIENTS = 8
+#: Cached-replay requests issued per client.
+REQUESTS_PER_CLIENT = 40
+#: Cold-compile requests (each a distinct graph → a distinct compile).
+COLD_REQUESTS = 12
+#: Entries in the streamed ``protect_many`` batch.
+BATCH = 64
+
+#: The benchmark workload: a 300-node random DAG, every 10th node lifted to
+#: a higher privilege so each protect routes real surrogates.
+WORKLOAD_NODES = 300
+WORKLOAD_EDGES = 900
+
+#: The cached-replay acceptance bar (milliseconds, median).
+CACHED_P50_BAR_MS = 10.0
+
+#: Where the trajectory point lands (repo root, next to BENCH_scaling.json).
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+_SEED = 11
+_cases: dict = {}
+
+
+def _workload_graph_payload(tag: str = "serve") -> dict:
+    graph = random_connected_dag(
+        WORKLOAD_NODES, WORKLOAD_EDGES, seed=_SEED, name=f"bench-{tag}"
+    )
+    return graph_to_dict(graph)
+
+
+def _policy_spec(payload: dict) -> dict:
+    node_ids = [node["id"] for node in payload["nodes"]]
+    return {
+        "lattice": {"High": ["Public"]},
+        "lowest": {node_id: "High" for node_id in node_ids[::10]},
+    }
+
+
+def _protect_body(payload: dict) -> dict:
+    body = {"tenant": "bench", "graph": payload, "privilege": "Public", "score": True}
+    body.update(_policy_spec(payload))
+    return body
+
+
+def _percentiles(samples_ms: list) -> dict:
+    ordered = sorted(samples_ms)
+    return {
+        "p50_ms": round(statistics.median(ordered), 3),
+        "p99_ms": round(ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))], 3),
+        "max_ms": round(ordered[-1], 3),
+    }
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """One server on a background thread, shared by every case in this module."""
+    handle, tokens = start_server_thread(
+        ServerConfig(workers=4), tenants={"bench": "token-bench"}
+    )
+    yield handle, tokens["bench"]
+    handle.stop()
+
+
+def _replay_sweep(handle, token: str, body: dict, expected: bytes) -> dict:
+    """CLIENTS concurrent keep-alive clients × REQUESTS_PER_CLIENT replays."""
+    raw_request = json.dumps(body).encode("utf-8")
+    headers = {"Content-Type": "application/json", "Authorization": f"Bearer {token}"}
+
+    def client_loop(index: int) -> list:
+        # One keep-alive connection per client for the whole loop.  Nagle
+        # off: http.client writes headers and body separately, and letting
+        # the kernel batch them costs a delayed-ACK round trip per request.
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=60)
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        samples = []
+        try:
+            for _ in range(REQUESTS_PER_CLIENT):
+                started = time.perf_counter()
+                conn.request("POST", "/v1/protect", body=raw_request, headers=headers)
+                response = conn.getresponse()
+                parsed = json.loads(response.read())
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                assert response.status == 200
+                assert parsed["cache_hit"] is True
+                assert json_bytes(parsed["result"]) == expected
+                samples.append(elapsed_ms)
+        finally:
+            conn.close()
+        return samples
+
+    window_started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        per_client = list(pool.map(client_loop, range(CLIENTS)))
+    window = time.perf_counter() - window_started
+
+    samples = [sample for client_samples in per_client for sample in client_samples]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "clients": CLIENTS,
+        "requests": total,
+        "rps": round(total / window, 1),
+        **_percentiles(samples),
+        "byte_identical": True,
+    }
+
+
+def test_bench_serving_cached_replay(live_server):
+    """≥ 8 concurrent clients; graph_ref cached replays under the 10 ms bar."""
+    handle, token = live_server
+    payload = _workload_graph_payload()
+    body = _protect_body(payload)
+
+    # The in-process ground truth for byte-identity.
+    service = ProtectionService(None, build_policy(body))
+    request = decode_protection_request(body, graph_from_dict(dict(payload)))
+    expected = json_bytes(result_payload(service.protect(request)))
+
+    # Register the graph once; replays carry only its content address.
+    client = ApiClient(handle.port, token)
+    registered = client.post("/v1/graphs", {"tenant": "bench", "graph": payload})
+    assert registered.status == 201
+    ref_body = dict(body)
+    del ref_body["graph"]
+    ref_body["graph_ref"] = registered.body["graph_ref"]
+
+    # Warm the server once: the first request pays the compile.
+    warm = client.post("/v1/protect", ref_body)
+    assert warm.status == 200
+    assert json_bytes(warm.body["result"]) == expected
+
+    case = _replay_sweep(handle, token, ref_body, expected)
+    _cases["cached_replay"] = case
+    assert case["p50_ms"] < CACHED_P50_BAR_MS
+
+    # Context number: the same replays re-sending the graph inline per
+    # request (each one re-parses + re-digests the payload before the
+    # dedup map resolves it onto the already-compiled objects).
+    _cases["inline_replay"] = _replay_sweep(handle, token, body, expected)
+
+
+def test_bench_serving_cold_compile(live_server):
+    """Context case: every request carries an unseen graph (a real compile)."""
+    handle, token = live_server
+    client = ApiClient(handle.port, token)
+    samples = []
+    for index in range(COLD_REQUESTS):
+        payload = _workload_graph_payload(tag=f"cold-{index}")
+        payload["nodes"][0]["features"]["tag"] = f"cold-{index}"  # unique digest
+        started = time.perf_counter()
+        response = client.post("/v1/protect", _protect_body(payload))
+        samples.append((time.perf_counter() - started) * 1000.0)
+        assert response.status == 200
+        assert response.body["cache_hit"] is False
+    _cases["cold_compile"] = {"requests": COLD_REQUESTS, **_percentiles(samples)}
+
+
+def test_bench_serving_stream_batch(live_server):
+    """One chunked protect_many stream over BATCH cached entries."""
+    handle, token = live_server
+    client = ApiClient(handle.port, token)
+    payload = _workload_graph_payload()
+    batch = _protect_body(payload)
+    del batch["privilege"]
+    batch["requests"] = [{"privilege": "Public"}] * BATCH
+
+    started = time.perf_counter()
+    status, headers, lines = client.stream("/v1/protect_many", batch)
+    window = time.perf_counter() - started
+    assert status == 200
+    assert headers.get("transfer-encoding") == "chunked"
+    assert len(lines) == BATCH + 1
+    assert lines[-1]["served"] == BATCH
+    _cases["stream_batch"] = {
+        "entries": BATCH,
+        "stream_s": round(window, 4),
+        "lines_per_s": round(BATCH / window, 1),
+    }
+
+
+def test_bench_serving_writes_trajectory(live_server):
+    """Write + shape-check BENCH_serving.json (runs in plain test mode too)."""
+    assert set(_cases) == {"cached_replay", "inline_replay", "cold_compile", "stream_batch"}
+    handle, _token = live_server
+    trajectory = {
+        "workload": {
+            "nodes": WORKLOAD_NODES,
+            "edges": WORKLOAD_EDGES,
+            "privileged_nodes": WORKLOAD_NODES // 10,
+        },
+        "server": {
+            "workers": handle.server.config.workers,
+            "admitted": handle.server.admission.snapshot()["admitted"],
+            "rejected": handle.server.admission.snapshot()["rejected"],
+        },
+        **_cases,
+    }
+    BENCH_JSON.write_text(json.dumps(trajectory, indent=2) + "\n")
+    written = json.loads(BENCH_JSON.read_text())
+    assert written["cached_replay"]["clients"] >= 8
+    assert written["cached_replay"]["p50_ms"] < CACHED_P50_BAR_MS
+    assert written["cached_replay"]["byte_identical"] is True
+    assert written["cached_replay"]["rps"] > 0
+    print("\nBENCH_serving:", json.dumps(written, indent=2))

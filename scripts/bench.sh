@@ -10,6 +10,8 @@
 #                              # full recompile; refreshes BENCH_scaling.json)
 #   scripts/bench.sh recovery  # just the crash-recovery case (warm restore from a
 #                              # checkpoint vs cold recompute; refreshes BENCH_scaling.json)
+#   scripts/bench.sh serve     # live-server latency case: boots the HTTP frontend and
+#                              # drives it with 8 concurrent clients; writes BENCH_serving.json
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
 #
 # Set REPRO_BENCH_FULL=1 to run the synthetic experiments at paper scale and
@@ -46,11 +48,22 @@ case "${1:-all}" in
     # file including the recovery section.
     python -m pytest benchmarks/test_bench_scaling.py -q -k recovery
     ;;
+  serve)
+    # Plain test mode: boots a ProtectionServer on a background thread and
+    # measures cached-replay/cold-compile/streaming latency over real
+    # sockets with 8 concurrent keep-alive clients.  Writes its own
+    # trajectory file, so it skips the shared BENCH_scaling.json tail.
+    python -m pytest benchmarks/test_bench_serving.py -q
+    echo
+    echo "BENCH_serving.json trajectory point:"
+    cat BENCH_serving.json
+    exit 0
+    ;;
   all)
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|serve|smoke]" >&2
     exit 2
     ;;
 esac

@@ -865,3 +865,54 @@ class EditSession:
             opacity=opacity,
             timings_ms={"opacity_compile": compile_ms, "opacity_score": score_ms},
         )
+
+
+# ---------------------------------------------------------------------- #
+# the JSON edit-script wire format (shared by the CLI and the HTTP server)
+# ---------------------------------------------------------------------- #
+#: Edit-script op -> (EditSession method, required JSON fields).  One entry
+#: is one mutation: ``{"op": "add_edge", "source": ..., "target": ...}``.
+SCRIPT_OPS = {
+    "add_edge": ("add_edge", ("source", "target")),
+    "remove_edge": ("remove_edge", ("source", "target")),
+    "add_bidirectional_edge": ("add_bidirectional_edge", ("source", "target")),
+    "add_node": ("add_node", ("node",)),
+    "remove_node": ("remove_node", ("node",)),
+    "set_node_features": ("set_node_features", ("node", "features")),
+}
+
+
+def apply_script_edit(session: "EditSession", entry: dict) -> None:
+    """Apply one edit-script entry to a session (raises ``ValueError`` on a bad entry).
+
+    This is the one decoder for the JSON edit wire format: the CLI ``edit``
+    subcommand and the server's ``/v1/sessions`` endpoint both replay
+    scripts through it, so an edit that works from a file works over HTTP.
+    """
+    if not isinstance(entry, dict) or "op" not in entry:
+        raise ValueError(f"each edit must be an object with an 'op', got {entry!r}")
+    op = entry["op"]
+    if op not in SCRIPT_OPS:
+        raise ValueError(f"unknown edit op {op!r}; expected one of {sorted(SCRIPT_OPS)}")
+    method, required = SCRIPT_OPS[op]
+    missing = [name for name in required if name not in entry]
+    if missing:
+        raise ValueError(f"edit op {op!r} is missing fields {missing}")
+    if op in ("add_edge", "add_bidirectional_edge"):
+        getattr(session, method)(
+            entry["source"],
+            entry["target"],
+            label=entry.get("label"),
+            features=entry.get("features"),
+            create_nodes=bool(entry.get("create_nodes", False)),
+        )
+    elif op == "remove_edge":
+        session.remove_edge(entry["source"], entry["target"])
+    elif op == "add_node":
+        session.add_node(
+            entry["node"], kind=entry.get("kind"), features=entry.get("features")
+        )
+    elif op == "remove_node":
+        session.remove_node(entry["node"])
+    else:
+        session.set_node_features(entry["node"], dict(entry["features"]))

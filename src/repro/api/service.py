@@ -179,6 +179,11 @@ class ProtectionService:
         #: The report of the last :meth:`restore` call (surfaced in
         #: :meth:`health`); ``None`` until a restore runs.
         self.last_restore: Optional[object] = None
+        #: Optional serving-stats provider (a zero-argument callable set by
+        #: the HTTP frontend): per-tenant admission counters, queue depths
+        #: and live session counts, surfaced under ``health()["serving"]``
+        #: so ``/v1/health`` needs no side channels.
+        self.serving: Optional[Callable[[], Dict[str, Any]]] = None
         #: Per-graph visible-walk registries shared across requests
         #: (see :meth:`protect_many`), keyed by graph identity.
         self._walks_caches: Dict[int, Dict[tuple, object]] = {}
@@ -601,7 +606,11 @@ class ProtectionService:
         recovery quarantined corrupt state, the write log lost a torn tail,
         retries were exhausted, or the last restore fell back to cold.
         ``issues`` lists the reasons; the remaining keys are per-component
-        detail (store, caches, delta bus, retry counters).
+        detail (store, caches, delta bus, retry counters).  When the HTTP
+        frontend owns this service, ``serving`` carries its live admission
+        counters (in-flight requests, queue depth, per-tenant admission
+        stats) and edit-session count; it is ``None`` for an in-process
+        service.
         """
         issues: List[str] = []
         store_health: Optional[Dict[str, Any]] = None
@@ -646,6 +655,7 @@ class ProtectionService:
             },
             "store": store_health,
             "retry": retry_stats,
+            "serving": self.serving() if self.serving is not None else None,
             "last_restore": (
                 restore_report.as_dict() if restore_report is not None else None
             ),

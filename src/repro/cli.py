@@ -20,6 +20,11 @@ Subcommands
                         report per-request results plus account-cache
                         statistics.  ``--repeat`` replays the batch to
                         demonstrate cached serving.
+``serve``               Run the async HTTP serving frontend
+                        (:mod:`repro.server`): per-tenant bearer tokens,
+                        admission control, streaming batch responses.
+                        ``--check`` starts the server, probes
+                        ``/v1/health`` once and exits (used by CI).
 ``edit``                Replay an edit script against a graph through an
                         incremental :meth:`ProtectionService.edit
                         <repro.api.service.ProtectionService.edit>` session:
@@ -40,6 +45,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro.api.editing import apply_script_edit
 from repro.api.registry import ServiceRegistry
 from repro.api.requests import ProtectionRequest
 from repro.api.service import ProtectionService
@@ -54,6 +60,7 @@ from repro.experiments.runner import run_all
 from repro.experiments.table1 import run_table1
 from repro.graph.serialization import graph_to_dict, load_graph, save_graph
 from repro.graph.statistics import summarize
+from repro.server.errors import error_envelope
 from repro.store.engine import GraphStore
 from repro.workloads.motifs import all_motifs
 
@@ -121,6 +128,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit full per-request results and cache stats as JSON"
     )
 
+    http_serve = subparsers.add_parser(
+        "serve", help="Run the async HTTP serving frontend (repro.server)"
+    )
+    http_serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    http_serve.add_argument("--port", type=int, default=8080, help="bind port (0 picks a free one)")
+    http_serve.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        metavar="NAME[=TOKEN]",
+        help="tenant to enroll, optionally with a fixed bearer token (repeatable;"
+        " default: one 'default' tenant with a generated token)",
+    )
+    http_serve.add_argument(
+        "--store-root", default=None, help="root directory for per-tenant durable stores"
+    )
+    http_serve.add_argument("--workers", type=int, default=4, help="executor threads (default 4)")
+    http_serve.add_argument(
+        "--max-inflight", type=int, default=None, help="concurrent requests per tenant lane"
+    )
+    http_serve.add_argument(
+        "--max-queue", type=int, default=None, help="queued requests per tenant lane"
+    )
+    http_serve.add_argument(
+        "--max-requests", type=int, default=None, help="per-tenant total request quota"
+    )
+    http_serve.add_argument(
+        "--check",
+        action="store_true",
+        help="start, probe /v1/health once, print the result and exit (CI smoke)",
+    )
+    http_serve.add_argument(
+        "--json", action="store_true", help="emit startup/check output as JSON"
+    )
+
     edit = subparsers.add_parser(
         "edit", help="Replay an edit script through an incremental edit session"
     )
@@ -150,10 +192,22 @@ def _print(text: str) -> None:
     sys.stdout.write(text + "\n")
 
 
-def _print_error(message: str, *, kind: str, as_json: bool) -> None:
-    """One structured error line: JSON on ``--json``, ``error: ...`` otherwise."""
+def _print_error(
+    message: str, *, kind: str = "usage", as_json: bool, exc: Optional[BaseException] = None
+) -> None:
+    """One structured error line: JSON on ``--json``, ``error: ...`` otherwise.
+
+    The JSON shape is the server's envelope
+    (:func:`repro.server.errors.error_envelope`), so scripted callers parse
+    one format whether the stack answered over HTTP or from a subcommand;
+    usage errors (no exception object) map to status 400.
+    """
     if as_json:
-        _print(json.dumps({"error": {"kind": kind, "message": message}}))
+        if exc is not None:
+            envelope = error_envelope(exc, message=message)
+        else:
+            envelope = error_envelope(kind=kind, message=message, status=400)
+        _print(json.dumps(envelope))
     else:
         _print(f"error: {message}")
 
@@ -174,7 +228,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     try:
         graph = load_graph(args.input)
     except (OSError, ReproError) as exc:
-        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json)
+        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
     policy = ReleasePolicy(PrivilegeLattice())
     service = ProtectionService(graph, policy)
@@ -189,7 +243,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     except ReproError as exc:
         # NodeNotFoundError, EdgeNotFoundError, PolicyError, ProtectionError:
         # a structured one-line diagnosis instead of a traceback.
-        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
     account = result.account
     try:
@@ -199,6 +253,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
             f"cannot write protected account to {args.output}: {exc}",
             kind=type(exc).__name__,
             as_json=as_json,
+            exc=exc,
         )
         return 1
     if as_json:
@@ -248,7 +303,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             name: load_graph(path) for name, path in dict(spec.get("graphs", {})).items()
         }
     except (OSError, ReproError) as exc:
-        _print_error(f"cannot load batch graph: {exc}", kind=type(exc).__name__, as_json=as_json)
+        _print_error(f"cannot load batch graph: {exc}", kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
 
     policy = ReleasePolicy(PrivilegeLattice())
@@ -258,7 +313,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         for node_id, privilege in dict(spec.get("lowest", {})).items():
             policy.set_lowest(node_id, privilege)
     except ReproError as exc:
-        _print_error(str(exc), kind=type(exc).__name__, as_json=as_json)
+        _print_error(str(exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
 
     if args.tenant is not None:
@@ -282,7 +337,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
             service.protect_many(requests)
         results = service.protect_many(requests)
     except ReproError as exc:
-        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
 
     stats = service.cache_stats()
@@ -360,46 +415,75 @@ def _stats_since(
     return delta
 
 
-#: Edit-script op -> (EditSession method, required JSON fields).
-_EDIT_OPS = {
-    "add_edge": ("add_edge", ("source", "target")),
-    "remove_edge": ("remove_edge", ("source", "target")),
-    "add_bidirectional_edge": ("add_bidirectional_edge", ("source", "target")),
-    "add_node": ("add_node", ("node",)),
-    "remove_node": ("remove_node", ("node",)),
-    "set_node_features": ("set_node_features", ("node", "features")),
-}
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run (or ``--check``) the async HTTP frontend on a background thread."""
+    # Imported lazily: only this subcommand needs the asyncio server stack.
+    from repro.server.app import ServerConfig, start_server_thread
 
+    as_json = getattr(args, "json", False)
+    tenants: Dict[str, Optional[str]] = {}
+    for raw in args.tenant or ["default"]:
+        name, sep, token = raw.partition("=")
+        if not name:
+            _print_error(f"--tenant expects NAME[=TOKEN], got {raw!r}", as_json=as_json)
+            return 2
+        tenants[name] = token if sep else None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_root=args.store_root,
+    )
+    if args.max_inflight is not None:
+        config.max_inflight = args.max_inflight
+    if args.max_queue is not None:
+        config.max_queue = args.max_queue
+    tenant_options = (
+        {name: {"max_requests": args.max_requests} for name in tenants}
+        if args.max_requests is not None
+        else None
+    )
+    try:
+        handle, tokens = start_server_thread(
+            config, tenants=tenants, tenant_options=tenant_options
+        )
+    except (OSError, ReproError, RuntimeError) as exc:
+        _print_error(f"cannot start server: {exc}", kind=type(exc).__name__, as_json=as_json)
+        return 1
 
-def _apply_script_edit(session, entry: dict) -> None:
-    """Apply one edit-script entry to the session (raises on a bad entry)."""
-    if not isinstance(entry, dict) or "op" not in entry:
-        raise ValueError(f"each edit must be an object with an 'op', got {entry!r}")
-    op = entry["op"]
-    if op not in _EDIT_OPS:
-        raise ValueError(f"unknown edit op {op!r}; expected one of {sorted(_EDIT_OPS)}")
-    method, required = _EDIT_OPS[op]
-    missing = [name for name in required if name not in entry]
-    if missing:
-        raise ValueError(f"edit op {op!r} is missing fields {missing}")
-    if op in ("add_edge", "add_bidirectional_edge"):
-        getattr(session, method)(
-            entry["source"],
-            entry["target"],
-            label=entry.get("label"),
-            features=entry.get("features"),
-            create_nodes=bool(entry.get("create_nodes", False)),
-        )
-    elif op == "remove_edge":
-        session.remove_edge(entry["source"], entry["target"])
-    elif op == "add_node":
-        session.add_node(
-            entry["node"], kind=entry.get("kind"), features=entry.get("features")
-        )
-    elif op == "remove_node":
-        session.remove_node(entry["node"])
+    if args.check:
+        import http.client
+
+        try:
+            conn = http.client.HTTPConnection(config.host, handle.port, timeout=10)
+            conn.request("GET", "/v1/health")
+            response = conn.getresponse()
+            health = json.loads(response.read())
+            conn.close()
+        finally:
+            handle.stop()
+        if as_json:
+            _print(json.dumps({"port": handle.port, "health": health}))
+        else:
+            _print(f"serving check ok: port={handle.port} status={health['status']}")
+        return 0 if health.get("status") in ("ok", "degraded") else 1
+
+    if as_json:
+        _print(json.dumps({"host": config.host, "port": handle.port, "tokens": tokens}))
     else:
-        session.set_node_features(entry["node"], dict(entry["features"]))
+        _print(f"serving on http://{config.host}:{handle.port} (Ctrl-C to drain and stop)")
+        for name, token in tokens.items():
+            _print(f"tenant {name}: Authorization: Bearer {token}")
+    try:
+        import time as _time
+
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        _print("draining...")
+    finally:
+        handle.stop()
+    return 0
 
 
 def _cmd_edit(args: argparse.Namespace) -> int:
@@ -407,7 +491,7 @@ def _cmd_edit(args: argparse.Namespace) -> int:
     try:
         graph = load_graph(args.input)
     except (OSError, ReproError) as exc:
-        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json)
+        _print_error(f"cannot load graph from {args.input}: {exc}", kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
     try:
         with open(args.script, "r", encoding="utf-8") as handle:
@@ -435,7 +519,7 @@ def _cmd_edit(args: argparse.Namespace) -> int:
         service = ProtectionService(graph, policy)
         session = service.edit(privilege)
     except ReproError as exc:
-        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
 
     # Maintenance counters are process-wide and cumulative; snapshot before
@@ -445,7 +529,7 @@ def _cmd_edit(args: argparse.Namespace) -> int:
     try:
         for index, entry in enumerate(script["edits"]):
             try:
-                _apply_script_edit(session, entry)
+                apply_script_edit(session, entry)
             except (ValueError, TypeError) as exc:
                 _print_error(f"bad edit [{index}]: {exc}", kind="usage", as_json=as_json)
                 return 2
@@ -463,7 +547,7 @@ def _cmd_edit(args: argparse.Namespace) -> int:
                 }
             )
     except ReproError as exc:
-        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json)
+        _print_error(str(exc.args[0] if exc.args else exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
     finally:
         session.close()
@@ -543,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_protect(args)
     elif args.command == "serve-batch":
         return _cmd_serve_batch(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "edit":
         return _cmd_edit(args)
     elif args.command == "motifs":

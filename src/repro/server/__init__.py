@@ -1,0 +1,44 @@
+"""The async HTTP serving frontend (stdlib-asyncio, no third-party deps).
+
+Layering, top down:
+
+* :mod:`repro.server.app` — listener, dispatch, lifecycle
+  (:class:`ProtectionServer`, :class:`ServerConfig`,
+  :func:`start_server_thread`);
+* :mod:`repro.server.router` — route table;
+* :mod:`repro.server.auth` — per-tenant bearer tokens over
+  :mod:`repro.security.credentials`;
+* :mod:`repro.server.admission` — bounded per-tenant queues and drain;
+* :mod:`repro.server.sessions` — long-lived edit sessions;
+* :mod:`repro.server.http` — HTTP/1.1 wire parsing and chunked streaming;
+* :mod:`repro.server.encoding` — JSON wire formats (deterministic result
+  payloads, graph/policy content digests);
+* :mod:`repro.server.errors` — the single exception → HTTP-status mapping
+  and structured error envelope (shared with the CLI).
+
+See ``docs/serving.md`` for the endpoint reference.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import ProtectionServer, ServerConfig, ServerHandle, start_server_thread
+from repro.server.auth import Principal, TokenAuthenticator
+from repro.server.encoding import json_bytes, result_payload
+from repro.server.errors import error_envelope, status_for
+from repro.server.router import Router
+from repro.server.sessions import SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "Principal",
+    "ProtectionServer",
+    "Router",
+    "ServerConfig",
+    "ServerHandle",
+    "SessionManager",
+    "TokenAuthenticator",
+    "error_envelope",
+    "json_bytes",
+    "result_payload",
+    "start_server_thread",
+    "status_for",
+]

@@ -1,0 +1,224 @@
+"""Request admission: per-tenant bounded queues and backpressure.
+
+Every request enters through :meth:`AdmissionController.admit` before any
+work is queued on the executor.  Each tenant gets a *lane*: at most
+``max_inflight`` requests executing and at most ``max_queue`` waiting
+behind them.  A request arriving with the queue full is rejected
+immediately with :class:`~repro.server.errors.AdmissionError` (→ 429 with a
+``Retry-After`` estimated from the lane's smoothed service time), so a
+flooding tenant experiences backpressure instead of unbounded latency — and
+never starves other tenants, whose lanes are independent.
+
+During drain (:meth:`AdmissionController.drain`) new admissions raise
+:class:`~repro.server.errors.ShuttingDownError` (→ 503) while already
+admitted requests run to completion; :meth:`AdmissionController.wait_idle`
+lets the server block until the last one finishes.
+
+The controller is written for a single asyncio loop (counter updates happen
+inline in coroutines, never across threads); snapshots are plain int reads
+and safe from any thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Any, Dict, Optional
+
+from repro.server.errors import AdmissionError, ShuttingDownError
+
+#: Lane defaults: enough parallel slack for an interactive tenant, small
+#: enough that a misbehaving client hits backpressure within one burst.
+DEFAULT_MAX_INFLIGHT = 8
+DEFAULT_MAX_QUEUE = 16
+
+
+class _Lane:
+    """One tenant's admission lane: slots, queue bound, counters."""
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_queue = max(0, int(max_queue))
+        self.inflight = 0
+        self.queued = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.peak_inflight = 0
+        self.peak_queued = 0
+        #: Exponentially-smoothed service time (seconds); seeds Retry-After.
+        self.ewma_seconds = 0.05
+        self._slots = asyncio.Semaphore(self.max_inflight)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self.inflight,
+            "queued": self.queued,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "peak_inflight": self.peak_inflight,
+            "peak_queued": self.peak_queued,
+            "ewma_service_ms": round(self.ewma_seconds * 1000.0, 3),
+        }
+
+
+class _Admission:
+    """The context manager one admitted request holds while it runs."""
+
+    def __init__(self, controller: "AdmissionController", lane: _Lane) -> None:
+        self._controller = controller
+        self._lane = lane
+        self._started = 0.0
+
+    async def __aenter__(self) -> "_Admission":
+        self._started = time.perf_counter()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        lane = self._lane
+        lane.inflight -= 1
+        lane.completed += 1
+        elapsed = time.perf_counter() - self._started
+        lane.ewma_seconds += 0.2 * (elapsed - lane.ewma_seconds)
+        lane._slots.release()
+        self._controller._note_release()
+
+
+class AdmissionController:
+    """Per-tenant bounded admission with drain support.
+
+    Parameters
+    ----------
+    max_inflight:
+        Default concurrent-execution bound per tenant lane.
+    max_queue:
+        Default bound on requests *waiting* for a slot per lane; a request
+        beyond it is rejected with 429 rather than parked.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+    ) -> None:
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.draining = False
+        self._lanes: Dict[str, _Lane] = {}
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    def configure(
+        self,
+        tenant: str,
+        *,
+        max_inflight: Optional[int] = None,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        """Create (or re-bound) one tenant's lane ahead of traffic."""
+        lane = self._lanes.get(tenant)
+        if lane is not None and (lane.inflight or lane.queued):
+            raise RuntimeError(f"cannot reconfigure busy lane for tenant {tenant!r}")
+        self._lanes[tenant] = _Lane(
+            max_inflight if max_inflight is not None else self.max_inflight,
+            max_queue if max_queue is not None else self.max_queue,
+        )
+
+    def _lane(self, tenant: str) -> _Lane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _Lane(self.max_inflight, self.max_queue)
+            self._lanes[tenant] = lane
+        return lane
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    async def admit(self, tenant: str) -> _Admission:
+        """Admit one request for ``tenant`` (``async with`` the result).
+
+        Raises :class:`~repro.server.errors.ShuttingDownError` during drain
+        and :class:`~repro.server.errors.AdmissionError` when the lane's
+        wait queue is full.
+        """
+        if self.draining:
+            raise ShuttingDownError()
+        lane = self._lane(tenant)
+        if lane.inflight >= lane.max_inflight and lane.queued >= lane.max_queue:
+            lane.rejected += 1
+            backlog = lane.queued + 1
+            raise AdmissionError(
+                f"tenant {tenant!r} admission queue is full "
+                f"({lane.inflight} in flight, {lane.queued} queued)",
+                retry_after=math.ceil(lane.ewma_seconds * backlog) or 1,
+            )
+        lane.queued += 1
+        lane.peak_queued = max(lane.peak_queued, lane.queued)
+        try:
+            await lane._slots.acquire()
+        finally:
+            lane.queued -= 1
+        if self.draining:
+            # Drain began while this request was parked; it was never
+            # admitted, so it must not start executing.  It also has to
+            # notify the idle event: it may have been the last occupant
+            # keeping `wait_idle` from returning.
+            lane._slots.release()
+            self._note_release()
+            raise ShuttingDownError()
+        lane.admitted += 1
+        lane.inflight += 1
+        lane.peak_inflight = max(lane.peak_inflight, lane.inflight)
+        self._idle.clear()
+        return _Admission(self, lane)
+
+    def _note_release(self) -> None:
+        if not any(lane.inflight or lane.queued for lane in self._lanes.values()):
+            self._idle.set()
+
+    # ------------------------------------------------------------------ #
+    # drain
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Stop admitting; already admitted requests run to completion."""
+        self.draining = True
+        self._note_release()
+
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has finished (True on success)."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def tenant_snapshot(self, tenant: str) -> Dict[str, Any]:
+        """One tenant lane's counters (zeros for a lane not yet used)."""
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _Lane(self.max_inflight, self.max_queue)
+        return lane.snapshot()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Whole-controller view: totals plus every tenant lane."""
+        tenants = {name: lane.snapshot() for name, lane in self._lanes.items()}
+        return {
+            "draining": self.draining,
+            "inflight": sum(lane.inflight for lane in self._lanes.values()),
+            "queued": sum(lane.queued for lane in self._lanes.values()),
+            "admitted": sum(lane.admitted for lane in self._lanes.values()),
+            "rejected": sum(lane.rejected for lane in self._lanes.values()),
+            "completed": sum(lane.completed for lane in self._lanes.values()),
+            "tenants": tenants,
+        }

@@ -1,0 +1,183 @@
+"""The single exception → HTTP-status mapping for the serving stack.
+
+Every error a request can hit — library errors
+(:class:`~repro.exceptions.ReproError` subclasses), serving-layer errors
+(authentication, admission, drain) and unexpected internals — is turned
+into one structured JSON envelope by :func:`error_envelope`::
+
+    {"error": {"kind": "QuotaExceededError",
+               "message": "tenant 'acme' exceeded its requests quota (limit 10)",
+               "status": 429,
+               "retry_after": 1}}
+
+The HTTP server sends the envelope as the response body with
+``error["status"]`` as the status code (and a ``Retry-After`` header when
+``retry_after`` is present); the CLI prints the *same* envelope on
+``--json`` so scripted callers parse one shape no matter how they invoked
+the stack.
+
+Status mapping
+--------------
+=============================================  ======
+exception                                      status
+=============================================  ======
+bad request / graph / policy / protection      400
+:class:`AuthenticationError`                   401
+:class:`AuthorizationError`, unknown tenant    403
+:class:`NotFoundError` (route, session)        404
+:class:`~repro.exceptions.QuotaExceededError`  429
+:class:`AdmissionError` (queue overflow)       429
+:class:`~repro.exceptions.CorruptionError`     500
+anything unexpected                            500
+:class:`~repro.exceptions.TransientError`      503
+:class:`ShuttingDownError` (drain)             503
+=============================================  ======
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import (
+    CorruptionError,
+    ExperimentError,
+    GraphError,
+    PolicyError,
+    PrivilegeError,
+    ProtectionError,
+    QuotaExceededError,
+    RecoveryError,
+    ReproError,
+    StoreError,
+    TenantError,
+    TransientError,
+    UnknownTenantError,
+    WorkloadError,
+)
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the serving layer itself."""
+
+
+class BadRequestError(ServingError):
+    """The request body or parameters could not be understood (400)."""
+
+
+class AuthenticationError(ServingError):
+    """The request carried no token, or an unknown/expired one (401)."""
+
+
+class AuthorizationError(ServingError):
+    """A valid principal asked for another tenant's resources (403)."""
+
+
+class NotFoundError(ServingError):
+    """The requested route or session does not exist (404)."""
+
+
+class MethodNotAllowedError(ServingError):
+    """The route exists but not for this HTTP method (405)."""
+
+
+class AdmissionError(ServingError):
+    """The tenant's admission queue is full — back off and retry (429).
+
+    ``retry_after`` is the server's estimate, in whole seconds, of when a
+    retry is likely to be admitted (sent as the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, *, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class ShuttingDownError(ServingError):
+    """The server is draining: in-flight requests finish, new ones don't (503)."""
+
+    def __init__(self, message: str = "server is shutting down") -> None:
+        super().__init__(message)
+        self.retry_after = 1
+
+
+#: Most-specific-first (class, status) table; :func:`status_for` walks it
+#: with ``isinstance`` so subclass ordering matters.
+_STATUS_TABLE: Tuple[Tuple[type, int], ...] = (
+    (AuthenticationError, 401),
+    (AuthorizationError, 403),
+    (NotFoundError, 404),
+    (MethodNotAllowedError, 405),
+    (AdmissionError, 429),
+    (ShuttingDownError, 503),
+    (BadRequestError, 400),
+    (QuotaExceededError, 429),
+    (UnknownTenantError, 403),
+    (TenantError, 400),
+    (CorruptionError, 500),
+    (RecoveryError, 500),
+    (TransientError, 503),
+    (StoreError, 500),
+    (GraphError, 400),
+    (PrivilegeError, 400),
+    (PolicyError, 400),
+    (ProtectionError, 400),
+    (WorkloadError, 400),
+    (ExperimentError, 400),
+    (ReproError, 400),
+)
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status an exception maps to (500 for anything unknown)."""
+    for exc_type, status in _STATUS_TABLE:
+        if isinstance(exc, exc_type):
+            return status
+    return 500
+
+
+def retry_after_for(exc: BaseException) -> Optional[int]:
+    """Whole seconds for the ``Retry-After`` header, or ``None``.
+
+    Serving errors carry their own estimate; a quota breach gets a flat
+    1 second — the budget will not refill, but the client learns the
+    rejection is not transient-load related from the ``kind`` field.
+    """
+    explicit = getattr(exc, "retry_after", None)
+    if explicit is not None:
+        return max(1, int(explicit))
+    if isinstance(exc, (QuotaExceededError, TransientError)):
+        return 1
+    return None
+
+
+def error_envelope(
+    exc: Optional[BaseException] = None,
+    *,
+    kind: Optional[str] = None,
+    message: Optional[str] = None,
+    status: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The structured error body shared by the HTTP server and the CLI.
+
+    Pass an exception to derive every field, or override ``kind`` /
+    ``message`` / ``status`` individually (the CLI's usage errors have no
+    exception object).
+    """
+    if exc is not None:
+        derived_kind = type(exc).__name__
+        derived_message = str(exc.args[0]) if exc.args else str(exc)
+        derived_status = status_for(exc)
+        retry_after = retry_after_for(exc)
+    else:
+        derived_kind = "error"
+        derived_message = ""
+        derived_status = 400
+        retry_after = None
+    error: Dict[str, Any] = {
+        "kind": kind if kind is not None else derived_kind,
+        "message": message if message is not None else derived_message,
+        "status": status if status is not None else derived_status,
+    }
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"error": error}

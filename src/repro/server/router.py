@@ -1,0 +1,87 @@
+"""Route table: (method, path pattern) → handler.
+
+Patterns are literal segments with ``{name}`` placeholders
+(``/v1/sessions/{session_id}/edits``); resolution extracts the placeholder
+values as string parameters.  An unknown path raises
+:class:`~repro.server.errors.NotFoundError` (404); a known path hit with
+the wrong method raises
+:class:`~repro.server.errors.MethodNotAllowedError` (405) — both flow
+through the shared error envelope like every other failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.server.errors import MethodNotAllowedError, NotFoundError
+
+#: A handler coroutine: (request, path params, context) → response decision.
+Handler = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered endpoint."""
+
+    method: str
+    segments: Tuple[str, ...]
+    handler: Handler
+    #: Routes with ``auth=False`` (health) skip bearer authentication.
+    auth: bool = True
+    #: Streaming routes write their own chunked response.
+    stream: bool = False
+
+    def match(self, parts: Tuple[str, ...]) -> Optional[Dict[str, str]]:
+        """Path params when ``parts`` matches this route's pattern, else None."""
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for pattern, actual in zip(self.segments, parts):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                params[pattern[1:-1]] = actual
+            elif pattern != actual:
+                return None
+        return params
+
+
+class Router:
+    """Registers routes and resolves incoming (method, path) pairs."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(
+        self,
+        method: str,
+        pattern: str,
+        handler: Handler,
+        *,
+        auth: bool = True,
+        stream: bool = False,
+    ) -> None:
+        """Register one endpoint (first match wins on resolution)."""
+        segments = tuple(part for part in pattern.strip("/").split("/") if part)
+        self._routes.append(
+            Route(method=method.upper(), segments=segments, handler=handler, auth=auth, stream=stream)
+        )
+
+    def resolve(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        """The route and path params for one request target."""
+        parts = tuple(part for part in path.strip("/").split("/") if part)
+        path_matched = False
+        for route in self._routes:
+            params = route.match(parts)
+            if params is None:
+                continue
+            if route.method != method.upper():
+                path_matched = True
+                continue
+            return route, params
+        if path_matched:
+            raise MethodNotAllowedError(f"{method} is not supported on {path}")
+        raise NotFoundError(f"no route for {path}")
+
+    def routes(self) -> Tuple[Route, ...]:
+        """Every registered route (introspection/docs)."""
+        return tuple(self._routes)

@@ -1,0 +1,188 @@
+"""Long-lived edit sessions behind ``/v1/sessions``.
+
+A session wraps one :class:`~repro.api.editing.EditSession` (and the bound
+:class:`~repro.api.service.ProtectionService` it runs on) behind an opaque
+id.  Clients create a session with a graph + policy + privilege, then POST
+batches of edits in the CLI ``edit`` JSON script format — the decoder is
+literally the same function (:func:`repro.api.editing.apply_script_edit`) —
+and every batch returns per-edit scores computed off the delta-patched
+compiled views.
+
+Sessions are tenant-scoped: ids are unguessable, lookups check ownership
+(a wrong-tenant id is indistinguishable from an unknown one → 404 would
+leak existence, so ownership failures are 404 too), and each tenant is
+bounded to ``max_sessions_per_tenant`` live sessions (429 beyond it — a
+session holds compiled views and a graph copy, so the bound is a memory
+quota).  Each session serialises its own edits behind a lock; different
+sessions commit concurrently.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.editing import EditSession, apply_script_edit
+from repro.api.service import ProtectionService
+from repro.server.encoding import result_payload, timings_payload
+from repro.server.errors import AdmissionError, BadRequestError, NotFoundError
+
+#: Live-session bound per tenant; each session pins a graph copy plus its
+#: compiled views, so this is a memory quota, not a rate limit.
+DEFAULT_MAX_SESSIONS = 16
+
+
+@dataclass
+class SessionRecord:
+    """One live edit session plus its bookkeeping."""
+
+    session_id: str
+    tenant: str
+    service: ProtectionService
+    session: EditSession
+    privilege: str
+    created_at: float = field(default_factory=time.time)
+    edits_applied: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def describe(self) -> Dict[str, Any]:
+        """The wire summary of this session (listing + create response)."""
+        return {
+            "session": self.session_id,
+            "privilege": self.privilege,
+            "edits_applied": self.edits_applied,
+            "graph": {
+                "name": self.service.graph.name if self.service.graph is not None else None,
+                "nodes": self.service.graph.node_count() if self.service.graph is not None else 0,
+                "edges": self.service.graph.edge_count() if self.service.graph is not None else 0,
+            },
+        }
+
+
+class SessionManager:
+    """Creates, resolves and bounds the server's edit sessions."""
+
+    def __init__(self, *, max_sessions_per_tenant: int = DEFAULT_MAX_SESSIONS) -> None:
+        self.max_sessions_per_tenant = max_sessions_per_tenant
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, SessionRecord] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def create(
+        self,
+        tenant: str,
+        service: ProtectionService,
+        privilege: object,
+        *,
+        normalize_focus: bool = False,
+        name: Optional[str] = None,
+    ) -> SessionRecord:
+        """Open a session on ``service`` (must have a bound graph)."""
+        with self._lock:
+            live = sum(1 for record in self._sessions.values() if record.tenant == tenant)
+            if live >= self.max_sessions_per_tenant:
+                raise AdmissionError(
+                    f"tenant {tenant!r} already holds {live} live edit sessions "
+                    f"(limit {self.max_sessions_per_tenant}); close one first",
+                    retry_after=5,
+                )
+        session = service.edit(privilege, normalize_focus=normalize_focus, name=name)
+        record = SessionRecord(
+            session_id=secrets.token_hex(12),
+            tenant=tenant,
+            service=service,
+            session=session,
+            privilege=getattr(service.policy.lattice.get(privilege), "name", str(privilege)),
+        )
+        with self._lock:
+            self._sessions[record.session_id] = record
+        return record
+
+    def get(self, tenant: str, session_id: str) -> SessionRecord:
+        """Resolve a tenant's session id (wrong tenant looks like not-found)."""
+        with self._lock:
+            record = self._sessions.get(session_id)
+        if record is None or record.tenant != tenant:
+            raise NotFoundError(f"no edit session {session_id!r} for this tenant")
+        return record
+
+    def close(self, tenant: str, session_id: str) -> Dict[str, Any]:
+        """Close and forget one session; returns its final summary."""
+        record = self.get(tenant, session_id)
+        with record.lock:
+            record.session.close()
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        summary = record.describe()
+        summary["result"] = result_payload(record.session.result)
+        return summary
+
+    def close_all(self) -> int:
+        """Close every live session (drain); returns how many were closed."""
+        with self._lock:
+            records = list(self._sessions.values())
+            self._sessions.clear()
+        for record in records:
+            with record.lock:
+                record.session.close()
+        return len(records)
+
+    # ------------------------------------------------------------------ #
+    # edits
+    # ------------------------------------------------------------------ #
+    def apply_edits(
+        self, record: SessionRecord, edits: List[dict]
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Replay one batch of script edits; returns (per-edit rows, summary).
+
+        Runs on an executor thread; the record's lock serialises batches
+        against the same session.  A bad entry aborts the batch *before*
+        the offending edit mutates anything — entries are validated by
+        :func:`~repro.api.editing.apply_script_edit` one at a time, and the
+        rows already committed stand (the session is a live incremental
+        object, not a transaction).
+        """
+        if not isinstance(edits, list) or not edits:
+            raise BadRequestError("'edits' must be a non-empty list of edit objects")
+        rows: List[Dict[str, Any]] = []
+        with record.lock:
+            for index, entry in enumerate(edits):
+                try:
+                    apply_script_edit(record.session, entry)
+                except (ValueError, TypeError) as exc:
+                    raise BadRequestError(f"bad edit [{index}]: {exc}") from exc
+                result = record.session.commit()
+                record.edits_applied += 1
+                rows.append(
+                    {
+                        "edit": entry,
+                        "result": result_payload(result),
+                        "timings_ms": timings_payload(result.timings_ms),
+                    }
+                )
+            summary = record.describe()
+        return rows, summary
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def list_for(self, tenant: str) -> List[Dict[str, Any]]:
+        """Wire summaries of one tenant's live sessions (creation order)."""
+        with self._lock:
+            return [
+                record.describe()
+                for record in self._sessions.values()
+                if record.tenant == tenant
+            ]
+
+    def count(self, tenant: Optional[str] = None) -> int:
+        """Live session count, overall or for one tenant."""
+        with self._lock:
+            if tenant is None:
+                return len(self._sessions)
+            return sum(1 for record in self._sessions.values() if record.tenant == tenant)

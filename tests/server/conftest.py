@@ -1,0 +1,220 @@
+"""Fixtures for the HTTP serving tests: a live server plus a tiny JSON client.
+
+The module-scoped ``server`` fixture boots one :class:`ProtectionServer` on a
+background thread with three tenants:
+
+* ``acme`` / ``globex`` — unconstrained, for auth/endpoint/session tests;
+* ``metered`` — ``max_requests=3``, for deterministic quota-exhaustion tests.
+
+Tests that need special bounds (tiny admission lanes, session caps, drain)
+start their own server through the function-scoped ``make_server`` factory.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import pytest
+
+from repro.graph.builders import GraphBuilder
+from repro.graph.serialization import graph_to_dict
+from repro.server.app import ServerConfig, ServerHandle, start_server_thread
+
+TOKENS = {"acme": "token-acme", "globex": "token-globex", "metered": "token-metered"}
+
+#: Policy spec in the serve-batch convention shared by every test request.
+POLICY_SPEC = {
+    "lattice": {"Confidential": ["Public"], "Secret": ["Confidential"]},
+    "lowest": {"b": "Confidential", "d": "Secret"},
+}
+
+_USE_DEFAULT = object()
+
+
+def small_graph_payload(name: str = "wire-small", tag: Optional[str] = None) -> Dict[str, Any]:
+    """The shared 5-node test graph as its wire dict.
+
+    ``tag`` perturbs one node feature, which changes the content digest —
+    use it to force distinct (uncached) graphs per request.
+    """
+    features = {"name": "A", "owner": "alice"}
+    if tag is not None:
+        features["tag"] = tag
+    graph = (
+        GraphBuilder(name)
+        .node("a", kind="data", features=features)
+        .node("b", kind="process", features={"name": "B"})
+        .node("c", kind="data")
+        .node("d", kind="data")
+        .node("e", kind="data")
+        .edge("a", "b")
+        .edge("b", "c")
+        .edge("b", "d")
+        .edge("c", "e")
+        .edge("d", "e")
+        .build()
+    )
+    return graph_to_dict(graph)
+
+
+def chain_graph_payload(length: int, tag: str) -> Dict[str, Any]:
+    """A ``length``-node chain with a branch per node, as its wire dict.
+
+    Distinct ``tag`` values give distinct content digests, so a batch of
+    these forces one fresh compile per entry — the deterministic way to
+    keep an admission lane busy for a measurable window.
+    """
+    builder = GraphBuilder(f"chain-{tag}")
+    builder.node("n0", kind="data", features={"tag": tag})
+    for index in range(1, length):
+        builder.node(f"n{index}", kind="data")
+        builder.edge(f"n{index - 1}", f"n{index}")
+        builder.node(f"s{index}", kind="data")
+        builder.edge(f"n{index}", f"s{index}")
+    return graph_to_dict(builder.build())
+
+
+def protect_body(tenant: str = "acme", privilege: str = "Public", **extra: Any) -> Dict[str, Any]:
+    """A complete ``/v1/protect`` body (inline graph + policy spec)."""
+    body: Dict[str, Any] = {
+        "tenant": tenant,
+        "graph": small_graph_payload(),
+        "privilege": privilege,
+    }
+    body.update(POLICY_SPEC)
+    body.update(extra)
+    return body
+
+
+@dataclass
+class ApiResponse:
+    """One decoded HTTP exchange."""
+
+    status: int
+    headers: Dict[str, str]
+    body: Any
+    raw: bytes
+
+
+class ApiClient:
+    """A blocking JSON client over :mod:`http.client` (one connection per call)."""
+
+    def __init__(self, port: int, token: Optional[str] = None, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.port = port
+        self.token = token
+
+    def _headers(
+        self, token: Any, extra: Optional[Mapping[str, str]] = None
+    ) -> Dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        token = self.token if token is _USE_DEFAULT else token
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
+        if extra:
+            headers.update(extra)
+        return headers
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        token: Any = _USE_DEFAULT,
+        headers: Optional[Mapping[str, str]] = None,
+        raw_body: Optional[bytes] = None,
+        timeout: float = 60.0,
+    ) -> ApiResponse:
+        """One buffered request/response round trip."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            body = raw_body
+            if body is None and payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+            conn.request(method, path, body=body, headers=self._headers(token, headers))
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else None
+            return ApiResponse(
+                status=response.status,
+                headers={name.lower(): value for name, value in response.getheaders()},
+                body=parsed,
+                raw=raw,
+            )
+        finally:
+            conn.close()
+
+    def get(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, payload: Any, **kwargs: Any) -> ApiResponse:
+        return self.request("POST", path, payload, **kwargs)
+
+    def delete(self, path: str, **kwargs: Any) -> ApiResponse:
+        return self.request("DELETE", path, **kwargs)
+
+    def stream(
+        self, path: str, payload: Any, *, token: Any = _USE_DEFAULT, timeout: float = 120.0
+    ) -> Tuple[int, Dict[str, str], List[Any]]:
+        """POST and decode a chunked NDJSON response into parsed lines."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=json.dumps(payload).encode("utf-8"),
+                headers=self._headers(token),
+            )
+            response = conn.getresponse()
+            headers = {name.lower(): value for name, value in response.getheaders()}
+            raw = response.read()
+            lines = [json.loads(line) for line in raw.splitlines() if line.strip()]
+            return response.status, headers, lines
+        finally:
+            conn.close()
+
+
+@pytest.fixture(scope="module")
+def server() -> ServerHandle:
+    """One live server shared by a test module (three tenants, see module doc)."""
+    handle, _tokens = start_server_thread(
+        ServerConfig(workers=4),
+        tenants=dict(TOKENS),
+        tenant_options={"metered": {"max_requests": 3}},
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server: ServerHandle) -> ApiClient:
+    """An ``acme``-authenticated client against the shared server."""
+    return ApiClient(server.port, TOKENS["acme"])
+
+
+@pytest.fixture
+def make_server():
+    """Factory for tests needing their own server (tiny lanes, drain, caps)."""
+    handles: List[ServerHandle] = []
+
+    def factory(
+        config: Optional[ServerConfig] = None,
+        *,
+        tenants: Optional[Dict[str, Optional[str]]] = None,
+        tenant_options: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Tuple[ServerHandle, Dict[str, str]]:
+        handle, tokens = start_server_thread(
+            config if config is not None else ServerConfig(workers=2),
+            tenants=tenants if tenants is not None else dict(TOKENS),
+            tenant_options=tenant_options,
+        )
+        handles.append(handle)
+        return handle, tokens
+
+    yield factory
+    for handle in handles:
+        handle.stop()

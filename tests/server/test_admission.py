@@ -1,0 +1,183 @@
+"""Admission control: lane bounds, drain, quota exhaustion, backpressure."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.server.admission import AdmissionController
+from repro.server.errors import AdmissionError, ShuttingDownError
+from tests.server.conftest import (
+    POLICY_SPEC,
+    TOKENS,
+    ApiClient,
+    ServerConfig,
+    chain_graph_payload,
+    protect_body,
+)
+
+
+# ---------------------------------------------------------------------- #
+# unit: the controller itself (deterministic, no server)
+# ---------------------------------------------------------------------- #
+def test_full_lane_rejects_with_retry_after() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        first = await controller.admit("t")
+        async with first:
+            with pytest.raises(AdmissionError) as excinfo:
+                await controller.admit("t")
+            assert excinfo.value.retry_after >= 1
+        # The slot is free again once the first request finishes.
+        async with await controller.admit("t"):
+            pass
+
+    asyncio.run(scenario())
+
+
+def test_queue_parks_up_to_max_queue_then_rejects() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController(max_inflight=1, max_queue=1)
+        first = await controller.admit("t")
+        await first.__aenter__()
+        parked = asyncio.create_task(controller.admit("t"))
+        await asyncio.sleep(0)  # let the second request park in the queue
+        assert controller.tenant_snapshot("t")["queued"] == 1
+        with pytest.raises(AdmissionError):
+            await controller.admit("t")  # queue bound hit: rejected, not parked
+        await first.__aexit__(None, None, None)
+        second = await parked  # the parked request gets the freed slot
+        async with second:
+            pass
+        snapshot = controller.tenant_snapshot("t")
+        assert snapshot["admitted"] == 2
+        assert snapshot["rejected"] == 1
+        assert snapshot["completed"] == 2
+
+    asyncio.run(scenario())
+
+
+def test_lanes_are_independent_per_tenant() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        async with await controller.admit("noisy"):
+            # A full lane for one tenant never blocks another tenant.
+            async with await controller.admit("quiet"):
+                pass
+            with pytest.raises(AdmissionError):
+                await controller.admit("noisy")
+
+    asyncio.run(scenario())
+
+
+def test_drain_rejects_new_admissions_with_503() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController()
+        controller.drain()
+        with pytest.raises(ShuttingDownError):
+            await controller.admit("t")
+        assert await controller.wait_idle(0.1) is True
+
+    asyncio.run(scenario())
+
+
+def test_drain_releases_parked_requests_without_admitting_them() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController(max_inflight=1, max_queue=4)
+        first = await controller.admit("t")
+        await first.__aenter__()
+        parked = asyncio.create_task(controller.admit("t"))
+        await asyncio.sleep(0)
+        controller.drain()
+        await first.__aexit__(None, None, None)
+        # The parked request wakes up into drain: it must not start executing.
+        with pytest.raises(ShuttingDownError):
+            await parked
+        assert await controller.wait_idle(1.0) is True
+
+    asyncio.run(scenario())
+
+
+def test_wait_idle_times_out_while_work_is_in_flight() -> None:
+    async def scenario() -> None:
+        controller = AdmissionController()
+        admission = await controller.admit("t")
+        await admission.__aenter__()
+        assert await controller.wait_idle(0.05) is False
+        await admission.__aexit__(None, None, None)
+        assert await controller.wait_idle(1.0) is True
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# integration: quota exhaustion over HTTP (deterministic via max_requests)
+# ---------------------------------------------------------------------- #
+def test_quota_exhaustion_is_429_with_retry_after(server) -> None:
+    metered = ApiClient(server.port, TOKENS["metered"])
+    for _ in range(3):  # the metered tenant's whole max_requests budget
+        response = metered.post("/v1/protect", protect_body(tenant="metered"))
+        assert response.status == 200
+    rejected = metered.post("/v1/protect", protect_body(tenant="metered"))
+    assert rejected.status == 429
+    assert rejected.body["error"]["kind"] == "QuotaExceededError"
+    assert int(rejected.headers["retry-after"]) >= 1
+
+
+# ---------------------------------------------------------------------- #
+# integration: lane overflow over HTTP (a slow stream holds the only slot)
+# ---------------------------------------------------------------------- #
+def test_busy_lane_rejects_concurrent_request_with_429(make_server) -> None:
+    handle, _ = make_server(
+        ServerConfig(workers=2),
+        tenants={"narrow": "token-narrow"},
+        tenant_options={"narrow": {"max_inflight": 1, "max_queue": 0}},
+    )
+    client = ApiClient(handle.port, "token-narrow")
+
+    # One protect_many stream holds the lane's single slot for its whole
+    # duration.  Every entry carries a *distinct* graph (digest differs), so
+    # each one compiles fresh and the stream stays busy long enough to probe.
+    batch = dict(POLICY_SPEC)
+    batch.update(
+        {
+            "tenant": "narrow",
+            "privilege": "Public",
+            "score": True,
+            "requests": [
+                {"graph": chain_graph_payload(40, tag=f"busy-{index}")}
+                for index in range(30)
+            ],
+        }
+    )
+    outcome: dict = {}
+
+    def run_stream() -> None:
+        status, _headers, lines = client.stream("/v1/protect_many", batch)
+        outcome.update(status=status, lines=lines)
+
+    streamer = threading.Thread(target=run_stream)
+    streamer.start()
+    try:
+        # Wait until the stream is genuinely in flight, then probe the lane.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if handle.server.admission.tenant_snapshot("narrow")["inflight"] >= 1:
+                break
+            time.sleep(0.005)
+        probe = client.post("/v1/protect", protect_body(tenant="narrow"))
+    finally:
+        streamer.join()
+
+    assert probe.status == 429
+    assert probe.body["error"]["kind"] == "AdmissionError"
+    assert int(probe.headers["retry-after"]) >= 1
+    # The stream itself finished untouched: 30 results plus the summary line.
+    assert outcome["status"] == 200
+    assert len(outcome["lines"]) == 31
+    assert outcome["lines"][-1]["served"] == 30
+    rejected = handle.server.admission.tenant_snapshot("narrow")["rejected"]
+    assert rejected >= 1

@@ -1,0 +1,71 @@
+"""Bearer-token authentication and tenant authorization over HTTP."""
+
+from __future__ import annotations
+
+from tests.server.conftest import TOKENS, ApiClient, protect_body
+
+
+def test_health_needs_no_auth(client: ApiClient) -> None:
+    response = client.get("/v1/health", token=None)
+    assert response.status == 200
+    assert response.body["status"] in {"ok", "degraded"}
+
+
+def test_missing_token_is_401(client: ApiClient) -> None:
+    response = client.post("/v1/protect", protect_body(), token=None)
+    assert response.status == 401
+    assert response.body["error"]["kind"] == "AuthenticationError"
+    assert response.body["error"]["status"] == 401
+    assert response.headers.get("www-authenticate") == "Bearer"
+
+
+def test_non_bearer_scheme_is_401(client: ApiClient) -> None:
+    response = client.post(
+        "/v1/protect",
+        protect_body(),
+        token=None,
+        headers={"Authorization": f"Token {TOKENS['acme']}"},
+    )
+    assert response.status == 401
+
+
+def test_empty_bearer_token_is_401(client: ApiClient) -> None:
+    response = client.post(
+        "/v1/protect", protect_body(), token=None, headers={"Authorization": "Bearer"}
+    )
+    assert response.status == 401
+
+
+def test_unknown_token_is_401(client: ApiClient) -> None:
+    response = client.post("/v1/protect", protect_body(), token="not-a-real-token")
+    assert response.status == 401
+    assert response.body["error"]["kind"] == "AuthenticationError"
+
+
+def test_cross_tenant_body_is_403(client: ApiClient) -> None:
+    # An acme token may not act on globex's resources.
+    response = client.post("/v1/protect", protect_body(tenant="globex"))
+    assert response.status == 403
+    assert response.body["error"]["kind"] == "AuthorizationError"
+    assert "globex" in response.body["error"]["message"]
+
+
+def test_cross_tenant_applies_to_every_tenant_scoped_endpoint(client: ApiClient) -> None:
+    for path in ("/v1/graphs", "/v1/score", "/v1/sessions"):
+        response = client.post(path, protect_body(tenant="globex"))
+        assert response.status == 403, path
+
+
+def test_tenant_defaults_to_token_owner(client: ApiClient) -> None:
+    body = protect_body()
+    del body["tenant"]
+    response = client.post("/v1/protect", body)
+    assert response.status == 200
+    assert response.body["tenant"] == "acme"
+
+
+def test_each_tenant_token_maps_to_its_own_tenant(server) -> None:
+    globex = ApiClient(server.port, TOKENS["globex"])
+    response = globex.post("/v1/protect", protect_body(tenant="globex"))
+    assert response.status == 200
+    assert response.body["tenant"] == "globex"

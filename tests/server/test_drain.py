@@ -1,0 +1,105 @@
+"""Graceful drain: in-flight work finishes, new work is refused."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from tests.server.conftest import (
+    POLICY_SPEC,
+    ApiClient,
+    ServerConfig,
+    chain_graph_payload,
+    protect_body,
+)
+
+
+def test_drain_finishes_inflight_stream_and_rejects_new_work(make_server) -> None:
+    handle, _ = make_server(
+        ServerConfig(workers=2), tenants={"draintest": "token-drain"}
+    )
+    client = ApiClient(handle.port, "token-drain")
+
+    # A keep-alive connection established *before* drain begins: the listener
+    # closes at drain onset, but this socket stays usable until drain ends.
+    survivor = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=60)
+    survivor.request("GET", "/v1/health")
+    assert survivor.getresponse().read() is not None
+
+    # A long protect_many stream (distinct graphs, all fresh compiles) that
+    # will straddle the drain.
+    batch = dict(POLICY_SPEC)
+    batch.update(
+        {
+            "tenant": "draintest",
+            "privilege": "Public",
+            "score": True,
+            "requests": [
+                {"graph": chain_graph_payload(40, tag=f"drain-{index}")}
+                for index in range(30)
+            ],
+        }
+    )
+    outcome: dict = {}
+
+    def run_stream() -> None:
+        status, _headers, lines = client.stream("/v1/protect_many", batch)
+        outcome.update(status=status, lines=lines)
+
+    streamer = threading.Thread(target=run_stream)
+    streamer.start()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if handle.server.admission.tenant_snapshot("draintest")["inflight"] >= 1:
+            break
+        time.sleep(0.005)
+
+    stopper = threading.Thread(target=handle.stop)
+    stopper.start()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and not handle.server.admission.draining:
+        time.sleep(0.005)
+    assert handle.server.admission.draining
+
+    # New work on the surviving connection is refused with 503 + Retry-After.
+    body = json.dumps(protect_body(tenant="draintest")).encode("utf-8")
+    survivor.request(
+        "POST",
+        "/v1/protect",
+        body=body,
+        headers={
+            "Content-Type": "application/json",
+            "Authorization": "Bearer token-drain",
+        },
+    )
+    refused = survivor.getresponse()
+    payload = json.loads(refused.read())
+    assert refused.status == 503
+    assert payload["error"]["kind"] == "ShuttingDownError"
+    assert int(refused.getheader("Retry-After")) >= 1
+    survivor.close()
+
+    streamer.join(60.0)
+    stopper.join(60.0)
+    assert not streamer.is_alive() and not stopper.is_alive()
+
+    # The in-flight stream ran to completion through the drain.
+    assert outcome["status"] == 200
+    assert len(outcome["lines"]) == 31
+    assert outcome["lines"][-1]["served"] == 30
+
+    # Once drain completes, the listener is gone entirely.
+    with pytest.raises(OSError):
+        probe = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=2)
+        probe.request("GET", "/v1/health")
+        probe.getresponse()
+
+
+def test_stop_is_idempotent(make_server) -> None:
+    handle, _ = make_server(ServerConfig(workers=1), tenants={"once": None})
+    handle.stop()
+    handle.stop()  # a second stop on a dead server is a no-op

@@ -1,0 +1,154 @@
+"""Long-lived edit sessions over HTTP: lifecycle, equivalence, isolation."""
+
+from __future__ import annotations
+
+from repro.api.editing import apply_script_edit
+from repro.api.service import ProtectionService
+from repro.graph.serialization import graph_from_dict
+from repro.server.encoding import build_policy, json_bytes, result_payload
+from tests.server.conftest import (
+    POLICY_SPEC,
+    TOKENS,
+    ApiClient,
+    ServerConfig,
+    protect_body,
+    small_graph_payload,
+)
+
+#: One edit-script batch in the shared CLI/server wire format.
+EDITS = [
+    {"op": "add_node", "node": "x", "kind": "data", "features": {"name": "X"}},
+    {"op": "add_edge", "source": "e", "target": "x"},
+    {"op": "remove_edge", "source": "b", "target": "d"},
+]
+
+
+def _session_body(**extra):
+    body = protect_body()
+    body.update(extra)
+    return body
+
+
+def _create(client: ApiClient, **extra):
+    response = client.post("/v1/sessions", _session_body(**extra))
+    assert response.status == 201
+    return response
+
+
+def test_create_returns_initial_result(client: ApiClient) -> None:
+    response = _create(client)
+    assert response.body["session"]
+    assert response.body["edits_applied"] == 0
+    assert response.body["graph"]["nodes"] == 5
+
+    # The initial result is the same protect computed in-process.
+    graph = graph_from_dict(small_graph_payload())
+    service = ProtectionService(graph, build_policy(POLICY_SPEC))
+    session = service.edit("Public")
+    assert json_bytes(response.body["result"]) == json_bytes(
+        result_payload(session.result)
+    )
+    client.delete(f"/v1/sessions/{response.body['session']}")
+
+
+def test_session_requires_privilege(client: ApiClient) -> None:
+    body = _session_body()
+    del body["privilege"]
+    response = client.post("/v1/sessions", body)
+    assert response.status == 400
+
+
+def test_edits_match_in_process_replay(client: ApiClient) -> None:
+    created = _create(client)
+    session_id = created.body["session"]
+    response = client.post(f"/v1/sessions/{session_id}/edits", {"edits": EDITS})
+    assert response.status == 200
+    rows = response.body["edits"]
+    assert len(rows) == len(EDITS)
+    assert response.body["session"]["edits_applied"] == len(EDITS)
+
+    # Replay the same script on a fresh in-process session: every per-edit
+    # result must be byte-identical to what the server streamed back.
+    graph = graph_from_dict(small_graph_payload())
+    service = ProtectionService(graph, build_policy(POLICY_SPEC))
+    session = service.edit("Public")
+    for entry, row in zip(EDITS, rows):
+        apply_script_edit(session, entry)
+        result = session.commit()
+        assert row["edit"] == entry
+        assert json_bytes(row["result"]) == json_bytes(result_payload(result))
+
+    closed = client.delete(f"/v1/sessions/{session_id}")
+    assert closed.status == 200
+    assert closed.body["edits_applied"] == len(EDITS)
+
+
+def test_edits_do_not_mutate_the_shared_graph(client: ApiClient) -> None:
+    # Protect before, edit inside a session, protect after: the digest-shared
+    # graph other requests run against must be untouched by session edits.
+    before = client.post("/v1/protect", protect_body())
+    created = _create(client)
+    session_id = created.body["session"]
+    client.post(f"/v1/sessions/{session_id}/edits", {"edits": EDITS})
+    after = client.post("/v1/protect", protect_body())
+    assert json_bytes(after.body["result"]) == json_bytes(before.body["result"])
+    client.delete(f"/v1/sessions/{session_id}")
+
+
+def test_bad_edit_is_400_and_prior_rows_stand(client: ApiClient) -> None:
+    created = _create(client)
+    session_id = created.body["session"]
+    response = client.post(
+        f"/v1/sessions/{session_id}/edits",
+        {"edits": [{"op": "add_node", "node": "y"}, {"op": "teleport"}]},
+    )
+    assert response.status == 400
+    assert "teleport" in response.body["error"]["message"]
+    # The first (valid) edit committed before the bad one was rejected.
+    listing = client.get("/v1/sessions")
+    entry = next(
+        item for item in listing.body["sessions"] if item["session"] == session_id
+    )
+    assert entry["edits_applied"] == 1
+    client.delete(f"/v1/sessions/{session_id}")
+
+
+def test_list_shows_only_this_tenants_sessions(server, client: ApiClient) -> None:
+    created = _create(client)
+    session_id = created.body["session"]
+    globex = ApiClient(server.port, TOKENS["globex"])
+    listing = globex.get("/v1/sessions")
+    assert listing.status == 200
+    assert all(item["session"] != session_id for item in listing.body["sessions"])
+    client.delete(f"/v1/sessions/{session_id}")
+
+
+def test_cross_tenant_session_access_is_404(server, client: ApiClient) -> None:
+    # Another tenant probing a foreign session id must not learn it exists.
+    created = _create(client)
+    session_id = created.body["session"]
+    globex = ApiClient(server.port, TOKENS["globex"])
+    response = globex.post(f"/v1/sessions/{session_id}/edits", {"edits": EDITS})
+    assert response.status == 404
+    assert globex.delete(f"/v1/sessions/{session_id}").status == 404
+    client.delete(f"/v1/sessions/{session_id}")
+
+
+def test_unknown_session_is_404(client: ApiClient) -> None:
+    response = client.post("/v1/sessions/deadbeef/edits", {"edits": EDITS})
+    assert response.status == 404
+    assert client.delete("/v1/sessions/deadbeef").status == 404
+
+
+def test_session_cap_is_429(make_server) -> None:
+    handle, tokens = make_server(
+        ServerConfig(workers=2, max_sessions_per_tenant=2),
+        tenants={"capped": "token-capped"},
+    )
+    client = ApiClient(handle.port, "token-capped")
+    for _ in range(2):
+        assert client.post("/v1/sessions", _session_body(tenant="capped")).status == 201
+    rejected = client.post("/v1/sessions", _session_body(tenant="capped"))
+    assert rejected.status == 429
+    assert rejected.body["error"]["kind"] == "AdmissionError"
+    assert int(rejected.headers["retry-after"]) >= 1

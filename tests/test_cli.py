@@ -222,3 +222,40 @@ class TestEditCommand:
         second = json.loads(capsys.readouterr().out)
         assert first["maintenance"]["edit_session"] == {"delta_applied": 1}
         assert second["maintenance"]["edit_session"] == {"delta_applied": 1}
+
+
+class TestServeCommand:
+    def test_serve_check_probes_health_and_exits(self, capsys):
+        # --port 0 binds an ephemeral port; --check probes /v1/health,
+        # prints it, drains and returns 0 on an ok/degraded status.
+        exit_code = main(
+            ["serve", "--port", "0", "--tenant", "acme=sekrit", "--check"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "serving check ok" in output
+        assert "status=ok" in output
+
+    def test_serve_check_json_reports_port_and_health(self, capsys):
+        exit_code = main(
+            [
+                "serve",
+                "--port", "0",
+                "--tenant", "acme=sekrit",
+                "--tenant", "globex",
+                "--max-requests", "5",
+                "--workers", "2",
+                "--check",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["port"] > 0
+        assert payload["health"]["status"] == "ok"
+        assert set(payload["health"]["tenants"]) == {"acme", "globex"}
+
+    def test_serve_rejects_empty_tenant_name(self, capsys):
+        exit_code = main(["serve", "--port", "0", "--tenant", "=token"])
+        assert exit_code == 2
+        assert "NAME[=TOKEN]" in capsys.readouterr().out
