@@ -10,6 +10,9 @@
 #                              # full recompile; refreshes BENCH_scaling.json)
 #   scripts/bench.sh recovery  # just the crash-recovery case (warm restore from a
 #                              # checkpoint vs cold recompute; refreshes BENCH_scaling.json)
+#   scripts/bench.sh store     # just the store-engine case (SQLite vs file: cold load,
+#                              # indexed reachability vs BFS, warm restart on the SQLite
+#                              # engine; refreshes BENCH_scaling.json)
 #   scripts/bench.sh serve     # live-server latency case: boots the HTTP frontend and
 #                              # drives it with 8 concurrent clients; writes BENCH_serving.json
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
@@ -48,6 +51,14 @@ case "${1:-all}" in
     # file including the recovery section.
     python -m pytest benchmarks/test_bench_scaling.py -q -k recovery
     ;;
+  store)
+    # Plain test mode: SQLite engine vs file engine on the 8k-node workload —
+    # cold store load, interval-scan reachability against BFS (exactness
+    # asserted before any ratio is recorded), and the ≥5× warm-restart gate
+    # on the SQLite engine; the module teardown rewrites the trajectory file
+    # including the store section.
+    python -m pytest benchmarks/test_bench_scaling.py -q -k store
+    ;;
   serve)
     # Plain test mode: boots a ProtectionServer on a background thread and
     # measures cached-replay/cold-compile/streaming latency over real
@@ -63,7 +74,7 @@ case "${1:-all}" in
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|serve|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|store|serve|smoke]" >&2
     exit 2
     ;;
 esac

@@ -55,7 +55,6 @@ from __future__ import annotations
 
 import gc
 import json
-import re
 import weakref
 import zlib
 from collections import Counter
@@ -65,6 +64,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.api.persistence import account_from_metadata, account_metadata_to_dict
+from repro.codec import (
+    col_num as _col_num,
+    col_str as _col_str,
+    escape_field as _escape_field,
+    split_num as _split_num,
+    split_str as _split_str,
+)
 from repro.api.requests import ProtectionRequest
 from repro.api.results import ProtectionResult, ScoreCard
 from repro.core.markings import CompiledMarkingView, EdgeState, Marking
@@ -186,85 +192,9 @@ def _unwrap(text: str) -> Dict[str, Any]:
 # --------------------------------------------------------------------------- #
 # The per-node and per-edge tables dominate a checkpoint (a 2.5 MB payload
 # at 8k nodes).  Serialised as JSON rows they cost hundreds of thousands of
-# parser tokens *and* a Python-level loop per row on restore.  Packed as
-# tab-joined *columns* inside single JSON strings they parse at memcpy
-# speed, and decode with bulk C operations only — ``str.split``,
-# ``map(float, ...)``, ``zip``, ``dict.fromkeys`` — no per-row Python.
-# ``None`` fields ride as a NUL sentinel; tabs/newlines/backslashes inside
-# fields are escaped (a column takes the slow unescape path only when its
-# packed text actually contains an escape or sentinel).  Every packer falls
-# back to plain JSON rows when a column is not uniformly typed (exotic node
-# ids); every unpacker accepts both shapes.
-
-_NONE_FIELD = "\x00"
-_UNESCAPE_RE = re.compile(r"\\(.)")
-_UNESCAPE_MAP = {"n": "\n", "t": "\t", "\\": "\\"}
-
-
-def _escape_field(field: Optional[str]) -> str:
-    if field is None:
-        return _NONE_FIELD
-    if "\\" in field or "\t" in field or "\n" in field:
-        return field.replace("\\", "\\\\").replace("\t", "\\t").replace("\n", "\\n")
-    return field
-
-
-def _unescape_field(field: str) -> Optional[str]:
-    if field == _NONE_FIELD:
-        return None
-    if "\\" not in field:
-        return field
-    return _UNESCAPE_RE.sub(lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(1)), field)
-
-
-def _col_str(values: List[Any]) -> Optional[str]:
-    """Strings (or Nones) as one tab-joined column; ``None`` if unpackable."""
-    if not all(value is None or isinstance(value, str) for value in values):
-        return None
-    return "\t".join(_escape_field(value) for value in values)
-
-
-def _split_str(text: str, count: int) -> List[Optional[str]]:
-    """A string column back into its fields, validating the row count."""
-    if count == 0:
-        return []
-    fields: List[Optional[str]] = text.split("\t")
-    if len(fields) != count:
-        raise CorruptionError(
-            f"packed column holds {len(fields)} fields where {count} were recorded"
-        )
-    if "\\" in text or _NONE_FIELD in text:
-        fields = [_unescape_field(field) for field in fields]
-    return fields
-
-
-def _col_num(values: List[Any]) -> Optional[Dict[str, str]]:
-    """Uniform ints or floats as a type-tagged ``repr`` column (exact).
-
-    ``None`` when the values are mixed or exotic (bools, Decimals): the
-    caller falls back to raw JSON rows.  The type tag lets the decoder use
-    a single ``map(int, ...)`` / ``map(float, ...)`` pass — ``repr``/``float``
-    round-trips are exact, and there is no per-value try/except.
-    """
-    if all(type(value) is int for value in values):
-        tag = "i"
-    elif all(type(value) is float for value in values):
-        tag = "f"
-    else:
-        return None
-    return {"ty": tag, "t": "\t".join(map(repr, values))}
-
-
-def _split_num(spec: Dict[str, str], count: int) -> List[Any]:
-    """A numeric column back into its values."""
-    if count == 0:
-        return []
-    fields = spec["t"].split("\t")
-    if len(fields) != count:
-        raise CorruptionError(
-            f"packed column holds {len(fields)} fields where {count} were recorded"
-        )
-    return list(map(int if spec["ty"] == "i" else float, fields))
+# parser tokens *and* a Python-level loop per row on restore; the packed
+# column codecs (shared with the account-metadata serialiser) live in
+# :mod:`repro.api.columns`.
 
 
 def _pack_map(mapping: Any) -> Any:
@@ -575,7 +505,12 @@ def _opacity_view_from_dict(
         inference_weights=_unpack_map(payload["inference_weights"]),
         total_focus=payload["total_focus"],
         total_inference=payload["total_inference"],
-        guess_denominators=_unpack_map(payload["guess_denominators"]),
+        # The leave-one-out denominators are derived state: rebuilt from the
+        # exact total and the weight-value multiset on first read (the same
+        # stale-refresh path every patched copy uses), bit-identical to the
+        # persisted column — so restore skips decoding the largest map.
+        guess_denominators={},
+        _denominators_stale=True,
         adversary_key=adversary_fingerprint(effective),
         _graph_ref=weakref.ref(account_graph),
         _total_focus_exact=Fraction(payload["total_focus_exact"]),
@@ -676,14 +611,13 @@ def _build_edges(sources, targets, labels, features_col) -> list:
     roughly two thirds of the time.
     """
     new = Edge.__new__
-    out = []
-    append = out.append
-    for source, target, label, features in zip(sources, targets, labels, features_col):
-        edge = new(Edge)
+    out = [new(Edge) for _ in sources]
+    for edge, source, target, label, features in zip(
+        out, sources, targets, labels, features_col
+    ):
         edge.__dict__.update(
             source=source, target=target, label=label, features=features
         )
-        append(edge)
     return out
 
 

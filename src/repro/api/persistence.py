@@ -19,6 +19,12 @@ The payload format mirrors :mod:`repro.graph.serialization`'s style::
       "surrogate_nodes": [...],
       "surrogate_edges": [[source, target], ...]
     }
+
+except that the three row tables above are written as packed tab-joined
+columns (:mod:`repro.api.columns`) when their fields are uniformly
+strings — at protection density a surrogate edge set holds tens of
+thousands of rows, and the packed shape is what keeps checkpoint restore
+decode-bound rather than parse-bound.  Readers accept both shapes.
 """
 
 from __future__ import annotations
@@ -27,6 +33,12 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.codec import (
+    pack_id_list as _pack_id_list,
+    pack_pair_table as _pack_pair_table,
+    unpack_id_list as _unpack_id_list,
+    unpack_pair_table as _unpack_pair_table,
+)
 from repro.core.protected_account import ProtectedAccount
 from repro.core.privileges import PrivilegeLattice
 from repro.exceptions import StoreError
@@ -48,12 +60,9 @@ def account_metadata_to_dict(account: ProtectedAccount) -> Dict[str, Any]:
         "graph_name": account.graph.name,
         "privilege": account.privilege.name if account.privilege is not None else None,
         "strategy": account.strategy,
-        "correspondence": [
-            [account_node, original_node]
-            for account_node, original_node in account.correspondence.items()
-        ],
-        "surrogate_nodes": list(account.surrogate_nodes),
-        "surrogate_edges": [[source, target] for source, target in account.surrogate_edges],
+        "correspondence": _pack_pair_table(account.correspondence.items()),
+        "surrogate_nodes": _pack_id_list(account.surrogate_nodes),
+        "surrogate_edges": _pack_pair_table(account.surrogate_edges),
     }
 
 
@@ -80,15 +89,10 @@ def account_from_metadata(
         privilege = lattice.get(privilege_name)
     return ProtectedAccount(
         graph=graph,
-        correspondence={
-            account_node: original_node
-            for account_node, original_node in payload.get("correspondence", [])
-        },
+        correspondence=dict(_unpack_pair_table(payload.get("correspondence", []))),
         privilege=privilege,
-        surrogate_nodes=set(payload.get("surrogate_nodes", [])),
-        surrogate_edges={
-            (source, target) for source, target in payload.get("surrogate_edges", [])
-        },
+        surrogate_nodes=set(_unpack_id_list(payload.get("surrogate_nodes", []))),
+        surrogate_edges=set(_unpack_pair_table(payload.get("surrogate_edges", []))),
         strategy=payload.get("strategy", "custom"),
     )
 

@@ -140,6 +140,12 @@ class ServiceRegistry:
     cache_capacity:
         Default per-tenant LRU bound of the shared account cache
         (individual tenants may override it via ``max_cache_entries``).
+    store_engine:
+        Storage backend every tenant store is opened with (``"file"`` or
+        ``"sqlite"``; see :data:`repro.store.engine.STORE_ENGINES`).
+        ``None`` auto-detects per tenant root — an existing SQLite root
+        reopens as SQLite, anything else (including fresh and in-memory
+        roots) gets the file engine.
     """
 
     def __init__(
@@ -147,8 +153,10 @@ class ServiceRegistry:
         base_dir: Optional[Union[str, Path]] = None,
         *,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        store_engine: Optional[str] = None,
     ) -> None:
         self.base_dir = Path(base_dir) if base_dir is not None else None
+        self.store_engine = store_engine
         self.cache = AccountCache(cache_capacity)
         self._lock = threading.RLock()
         self._tenants: Dict[str, _TenantRecord] = {}
@@ -189,7 +197,7 @@ class ServiceRegistry:
             )
             record = _TenantRecord(
                 name=tenant,
-                store=GraphStore.for_tenant(self.base_dir, tenant),
+                store=GraphStore.for_tenant(self.base_dir, tenant, engine=self.store_engine),
                 quota=quota,
             )
             if max_cache_entries is not None:

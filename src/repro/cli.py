@@ -122,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="store directory (per-tenant subdirectories with --tenant, one shared store otherwise)",
     )
     serve.add_argument(
+        "--store-engine",
+        default=None,
+        choices=("file", "sqlite"),
+        help="storage backend for the store root (default: auto-detect;"
+        " file for fresh roots)",
+    )
+    serve.add_argument(
         "--repeat", type=int, default=1, metavar="N", help="serve the batch N times (default 1)"
     )
     serve.add_argument(
@@ -143,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     http_serve.add_argument(
         "--store-root", default=None, help="root directory for per-tenant durable stores"
+    )
+    http_serve.add_argument(
+        "--store-engine",
+        default=None,
+        choices=("file", "sqlite"),
+        help="storage backend for tenant stores (default: auto-detect;"
+        " file for fresh roots)",
     )
     http_serve.add_argument("--workers", type=int, default=4, help="executor threads (default 4)")
     http_serve.add_argument(
@@ -316,14 +330,15 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         _print_error(str(exc), kind=type(exc).__name__, as_json=as_json, exc=exc)
         return 1
 
+    engine = getattr(args, "store_engine", None)
     if args.tenant is not None:
-        registry = ServiceRegistry(args.store_root)
+        registry = ServiceRegistry(args.store_root, store_engine=engine)
         registry.register(args.tenant)
         service = registry.service(args.tenant, None, policy)
     else:
         # An explicit --store-root without --tenant still deserves a store:
         # requests with persist_as would otherwise fail despite the flag.
-        store = GraphStore(args.store_root) if args.store_root is not None else None
+        store = GraphStore(args.store_root, engine=engine) if args.store_root is not None else None
         service = ProtectionService(None, policy, store=store)
 
     try:
@@ -433,6 +448,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         store_root=args.store_root,
+        store_engine=getattr(args, "store_engine", None),
     )
     if args.max_inflight is not None:
         config.max_inflight = args.max_inflight

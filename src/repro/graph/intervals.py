@@ -1,0 +1,221 @@
+"""Pre/post-order interval encoding of a graph's DFS forest.
+
+The XPath-accelerator technique: number every node with its preorder rank
+``pre``, its postorder rank ``post`` and its DFS depth ``level``.  Within
+the DFS *forest* those two ranks characterise ancestry as a pure range
+predicate::
+
+    u is a forest ancestor of v   iff   u.pre < v.pre  and  v.post < u.post
+
+which a database can answer with an indexed range scan instead of a graph
+walk.  A general digraph is not a forest, so the encoding also keeps the
+**extra edges** — every edge the DFS did not use as a tree edge (forward,
+back and cross edges).  Exact reachability then becomes a small fixpoint
+over *intervals*: start from the source node's ``(pre, post)`` interval and
+repeatedly add the interval of every extra edge whose source lies inside an
+already-reached interval; the answer is the union of the reached intervals.
+The fixpoint touches one interval per extra-edge expansion — usually a
+handful — while the range predicate does the heavy lifting, so the SQLite
+engine (:mod:`repro.store.sqlite`) can serve ancestor/descendant closures
+as recursive-CTE range scans over ``(pre, post)`` columns without loading
+the graph into Python at all.
+
+Ancestor queries use a second encoding of the *reversed* graph (``rpre``,
+``rpost``, ``rlevel``), because "ancestors of n" is "descendants of n over
+reversed edges".
+
+Delta maintenance
+-----------------
+:class:`IntervalIndex` subscribes to :class:`~repro.graph.deltas.GraphDelta`
+events (see :meth:`IntervalIndex.apply_delta`): feature-only deltas carry
+the encoding forward unchanged — re-labelling a node cannot change
+reachability — while structural deltas mark it dirty so the next query
+re-encodes lazily.  That mirrors how the compiled views maintain themselves
+and is what keeps `EditSession` edit loops from re-encoding on every
+feature tweak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.graph.deltas import DeltaKind, GraphDelta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.model import NodeId, PropertyGraph
+
+#: Delta kinds that cannot change reachability: the encoding survives them.
+_FEATURE_ONLY_KINDS = frozenset(
+    {DeltaKind.SET_NODE_FEATURES, DeltaKind.REPLACE_NODE, DeltaKind.REPLACE_EDGE}
+)
+
+
+@dataclass
+class IntervalForest:
+    """One direction's encoding: ranks per node plus the non-tree edges."""
+
+    pre: Dict["NodeId", int] = field(default_factory=dict)
+    post: Dict["NodeId", int] = field(default_factory=dict)
+    level: Dict["NodeId", int] = field(default_factory=dict)
+    #: Edges the DFS skipped because the head was already discovered, in
+    #: walk direction (forward/back/cross edges of the DFS forest).
+    extra_edges: List[Tuple["NodeId", "NodeId"]] = field(default_factory=list)
+
+    def contains(self, ancestor: "NodeId", node: "NodeId") -> bool:
+        """Forest ancestor-or-self test via the range predicate."""
+        return (
+            self.pre[ancestor] <= self.pre[node]
+            and self.post[node] <= self.post[ancestor]
+        )
+
+    def reachable(self, start: "NodeId") -> Set["NodeId"]:
+        """Exact reachable-from closure (excluding ``start``) via intervals.
+
+        This is the pure-Python mirror of the SQL recursive CTE the SQLite
+        engine runs; the differential suite pins both against the BFS in
+        :mod:`repro.graph.traversal`.
+        """
+        if start not in self.pre:
+            return set()
+        reached: List[Tuple[int, int]] = [(self.pre[start], self.post[start])]
+        seen_intervals = {reached[0]}
+        frontier = [reached[0]]
+        while frontier:
+            lo, hi = frontier.pop()
+            for source, target in self.extra_edges:
+                if lo <= self.pre[source] and self.post[source] <= hi:
+                    interval = (self.pre[target], self.post[target])
+                    if interval not in seen_intervals:
+                        seen_intervals.add(interval)
+                        reached.append(interval)
+                        frontier.append(interval)
+        out: Set["NodeId"] = set()
+        for node, rank in self.pre.items():
+            node_post = self.post[node]
+            for lo, hi in reached:
+                if lo <= rank and node_post <= hi:
+                    out.add(node)
+                    break
+        out.discard(start)
+        return out
+
+
+def encode_forest(graph: "PropertyGraph", *, reverse: bool = False) -> IntervalForest:
+    """DFS-forest interval encoding of ``graph`` (or its reverse).
+
+    Roots are taken in node insertion order and children are scanned in
+    adjacency insertion order, so the encoding is deterministic for a given
+    graph construction history.
+    """
+    forest = IntervalForest()
+    neighbors = graph.iter_predecessors if reverse else graph.iter_successors
+    pre_counter = 0
+    post_counter = 0
+    for root in graph:
+        if root in forest.pre:
+            continue
+        forest.pre[root] = pre_counter
+        pre_counter += 1
+        forest.level[root] = 0
+        stack: List[Tuple["NodeId", int, object]] = [
+            (root, 0, iter(list(neighbors(root))))
+        ]
+        while stack:
+            node, depth, scan = stack[-1]
+            descended = False
+            for child in scan:  # type: ignore[attr-defined]
+                if child not in forest.pre:
+                    forest.pre[child] = pre_counter
+                    pre_counter += 1
+                    forest.level[child] = depth + 1
+                    stack.append((child, depth + 1, iter(list(neighbors(child)))))
+                    descended = True
+                    break
+                forest.extra_edges.append((node, child))
+            if not descended:
+                forest.post[node] = post_counter
+                post_counter += 1
+                stack.pop()
+    return forest
+
+
+class IntervalIndex:
+    """Forward + reverse interval encodings of one graph, delta-maintained.
+
+    The owner (the SQLite storage engine, or anything else that wants
+    range-scan reachability) builds one index per graph and feeds it the
+    graph's deltas; :meth:`refresh` re-encodes only when a structural delta
+    invalidated the ranks or when the version drifted outside the delta
+    stream (e.g. mutations made before the index subscribed).
+    """
+
+    __slots__ = ("forward", "reverse", "version", "revision", "_dirty")
+
+    def __init__(self, graph: "PropertyGraph") -> None:
+        self.forward = encode_forest(graph)
+        self.reverse = encode_forest(graph, reverse=True)
+        self.version = graph.version
+        #: Bumped on every re-encode; storage layers key persisted interval
+        #: rows on it to know when the tables need rewriting.
+        self.revision = 0
+        self._dirty = False
+
+    @property
+    def dirty(self) -> bool:
+        """True when a structural delta invalidated the current ranks."""
+        return self._dirty
+
+    def apply_delta(self, delta: GraphDelta) -> bool:
+        """Advance the index over one delta; False when it went stale.
+
+        Feature-only deltas (including batches of them) keep the encoding
+        valid — only the version stamp moves.  Anything that adds or removes
+        nodes or edges marks the index dirty; the next :meth:`refresh`
+        re-encodes.  ``REPLACE_EDGE`` keeps both endpoints, so it is
+        feature-only for reachability purposes.
+        """
+        kinds = {sub.kind for sub in delta.flatten()} or {delta.kind}
+        if kinds <= _FEATURE_ONLY_KINDS:
+            self.version = delta.post_version
+            return not self._dirty
+        self._dirty = True
+        self.version = delta.post_version
+        return False
+
+    def refresh(self, graph: "PropertyGraph") -> bool:
+        """Re-encode if needed; returns True when a re-encode happened."""
+        if not self._dirty and self.version == graph.version:
+            return False
+        self.forward = encode_forest(graph)
+        self.reverse = encode_forest(graph, reverse=True)
+        self.version = graph.version
+        self.revision += 1
+        self._dirty = False
+        return True
+
+    def descendants(self, node: "NodeId") -> Set["NodeId"]:
+        """Reachable-from closure (excluding ``node``) via forward intervals."""
+        return self.forward.reachable(node)
+
+    def ancestors(self, node: "NodeId") -> Set["NodeId"]:
+        """Reaching-to closure (excluding ``node``) via reverse intervals."""
+        return self.reverse.reachable(node)
+
+
+def attach_interval_maintenance(
+    graph: "PropertyGraph", index: IntervalIndex
+) -> Optional[int]:
+    """Subscribe ``index`` to ``graph``'s deltas; returns the token.
+
+    A convenience for owners that hold the graph and the index together
+    (the SQLite engine). The subscription is a bound method, which the
+    graph holds weakly — dropping the index unsubscribes it naturally.
+    """
+
+    def _listen(_graph: "PropertyGraph", delta: GraphDelta) -> None:
+        index.apply_delta(delta)
+
+    # Closures are held strongly by the graph; keep a reference on the
+    # index so unsubscribing remains possible via the returned token.
+    return graph.subscribe(_listen)

@@ -99,6 +99,9 @@ class ServerConfig:
     max_sessions_per_tenant: int = 16
     #: Root directory for per-tenant durable stores (None = in-memory).
     store_root: Optional[str] = None
+    #: Storage backend for tenant stores (``"file"`` or ``"sqlite"``;
+    #: ``None`` auto-detects per tenant root).
+    store_engine: Optional[str] = None
     #: Seconds :meth:`ProtectionServer.shutdown` waits for in-flight work.
     drain_timeout: float = 10.0
 
@@ -123,7 +126,9 @@ class ProtectionServer:
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self.registry = (
-            registry if registry is not None else ServiceRegistry(self.config.store_root)
+            registry
+            if registry is not None
+            else ServiceRegistry(self.config.store_root, store_engine=self.config.store_engine)
         )
         self.auth = TokenAuthenticator()
         self.admission = AdmissionController(

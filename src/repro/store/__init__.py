@@ -12,21 +12,27 @@ this package provides the equivalent substrate in pure Python:
 * :mod:`repro.store.transactions` — atomic multi-operation batches;
 * :mod:`repro.store.catalog` — the named-graph catalog;
 * :mod:`repro.store.engine` — the :class:`~repro.store.engine.GraphStore`
-  facade with phase timing instrumentation used by the Figure-10 benchmark.
+  facade with phase timing instrumentation used by the Figure-10 benchmark;
+* :mod:`repro.store.sqlite` — the SQLite storage engine: the same surface
+  over one database per store root, with interval-encoded reachability
+  served as SQL range scans, paged out-of-core loads and FTS node search
+  (``GraphStore(..., engine="sqlite")``).
 """
 
-from repro.store.engine import GraphStore, PhaseTimer, StoreStats
-from repro.store.storage import GraphStorage
+from repro.store.engine import STORE_ENGINES, GraphStore, PhaseTimer, StoreStats
+from repro.store.storage import GraphStorage, RecoveryReport
 from repro.store.transactions import Transaction
 from repro.store.catalog import Catalog, GraphDescriptor
 from repro.store.index import AdjacencyIndex, FeatureIndex
 from repro.store.wal import WriteAheadLog, LogRecord
 
 __all__ = [
+    "STORE_ENGINES",
     "GraphStore",
     "PhaseTimer",
     "StoreStats",
     "GraphStorage",
+    "RecoveryReport",
     "Transaction",
     "Catalog",
     "GraphDescriptor",

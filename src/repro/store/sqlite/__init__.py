@@ -1,0 +1,31 @@
+"""SQLite-backed storage engine for the tenant store.
+
+One database per store root (WAL mode), presenting the exact
+:class:`~repro.store.storage.GraphStorage` surface plus relational
+extras: interval-encoded reachability served as recursive range scans
+(:mod:`repro.store.sqlite.reachability`), paged out-of-core graph loads
+(:mod:`repro.store.sqlite.paging`), FTS node search and a materialized
+account listing.  Select it with ``GraphStore(..., engine="sqlite")``.
+"""
+
+from repro.store.sqlite.connection import BUSY_TIMEOUT_MS, Database
+from repro.store.sqlite.paging import DEFAULT_PAGE_ROWS, PagingStats, load_graph_paged
+from repro.store.sqlite.reachability import interval_reach, visible_frontier
+from repro.store.sqlite.schema import SCHEMA_VERSION, ensure_schema
+from repro.store.sqlite.storage import DATABASE_NAME, SQLiteGraphStorage
+from repro.store.sqlite.wal import SQLiteWriteLog
+
+__all__ = [
+    "BUSY_TIMEOUT_MS",
+    "DATABASE_NAME",
+    "DEFAULT_PAGE_ROWS",
+    "Database",
+    "PagingStats",
+    "SCHEMA_VERSION",
+    "SQLiteGraphStorage",
+    "SQLiteWriteLog",
+    "ensure_schema",
+    "interval_reach",
+    "load_graph_paged",
+    "visible_frontier",
+]

@@ -1,0 +1,140 @@
+"""SQLite connection management for the store engine.
+
+One :class:`Database` wraps one ``sqlite3`` connection with:
+
+* the WAL-mode pragma recipe (``journal_mode=WAL``, ``synchronous=NORMAL``,
+  ``busy_timeout``, ``foreign_keys=ON``) — group commit with durable-enough
+  sync for a single-writer store, concurrent readers never block the writer;
+* explicit transactions with **named injection points** threaded through the
+  :class:`~repro.store.io.StorageIO` seam, so the fault-injection harness
+  can crash the process on either side of every commit exactly as it does
+  for the file engine;
+* typed error mapping — ``sqlite3.OperationalError`` (locks, I/O) surfaces
+  as :class:`~repro.exceptions.TransientError` so retry policies apply, and
+  other ``sqlite3.DatabaseError``\\ s (a corrupt or non-database file)
+  surface as :class:`~repro.exceptions.CorruptionError` so the storage
+  layer can quarantine the file.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from repro.exceptions import CorruptionError, TransientError
+from repro.store.io import StorageIO
+
+#: Matches the recipe in SNIPPETS.md Snippet 1: wait up to 30 s on a locked
+#: database before surfacing a transient error.
+BUSY_TIMEOUT_MS = 30_000
+
+
+class Database:
+    """One SQLite connection with pragmas, locking and injection points."""
+
+    def __init__(
+        self,
+        target: Union[str, Path],
+        *,
+        io: StorageIO,
+        page_cache_pages: Optional[int] = None,
+    ) -> None:
+        self.io = io
+        self.path = None if str(target) == ":memory:" else Path(target)
+        self._lock = threading.RLock()
+        try:
+            self.conn = sqlite3.connect(
+                str(target),
+                timeout=BUSY_TIMEOUT_MS / 1000.0,
+                isolation_level=None,  # explicit BEGIN/COMMIT below
+                check_same_thread=False,
+            )
+            self._apply_pragmas(page_cache_pages)
+        except sqlite3.DatabaseError as exc:
+            raise CorruptionError(f"cannot open SQLite database {target}: {exc}") from exc
+        self.fts_enabled = self._probe_fts()
+
+    def _apply_pragmas(self, page_cache_pages: Optional[int]) -> None:
+        cursor = self.conn.cursor()
+        if self.path is not None:
+            cursor.execute("PRAGMA journal_mode=WAL")
+        cursor.execute("PRAGMA synchronous=NORMAL")
+        cursor.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        cursor.execute("PRAGMA foreign_keys=ON")
+        if page_cache_pages is not None:
+            # Positive values are page counts; this is the out-of-core
+            # budget knob the paging regression test turns down hard.
+            cursor.execute(f"PRAGMA cache_size={int(page_cache_pages)}")
+        cursor.close()
+
+    def _probe_fts(self) -> bool:
+        try:
+            self.conn.execute("CREATE VIRTUAL TABLE temp.fts_probe USING fts5(body)")
+            self.conn.execute("DROP TABLE temp.fts_probe")
+            return True
+        except sqlite3.DatabaseError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, sql: str, params: Union[Sequence, dict] = ()) -> sqlite3.Cursor:
+        """Run one statement, mapping SQLite errors onto the store's types."""
+        with self._lock:
+            try:
+                return self.conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                raise TransientError(f"sqlite statement failed: {exc}", point="sqlite") from exc
+            except sqlite3.DatabaseError as exc:
+                raise CorruptionError(f"sqlite database damaged: {exc}") from exc
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        with self._lock:
+            try:
+                self.conn.executemany(sql, rows)
+            except sqlite3.OperationalError as exc:
+                raise TransientError(f"sqlite batch failed: {exc}", point="sqlite") from exc
+            except sqlite3.DatabaseError as exc:
+                raise CorruptionError(f"sqlite database damaged: {exc}") from exc
+
+    @contextmanager
+    def transaction(self, point: str) -> Iterator[None]:
+        """One explicit transaction with ``<point>.begin/.commit/.after`` hooks.
+
+        The commit is the durability point (SQLite's own WAL makes it
+        atomic); any exception — including a simulated crash injected at
+        ``<point>.commit`` — rolls the transaction back so the connection is
+        reusable and the database reflects only committed state, exactly
+        what a real process death would leave behind.
+        """
+        with self._lock:
+            self.io.checkpoint(f"{point}.begin")
+            self.execute("BEGIN IMMEDIATE")
+            try:
+                yield
+                self.io.checkpoint(f"{point}.commit")
+                try:
+                    self.conn.execute("COMMIT")
+                except sqlite3.OperationalError as exc:
+                    raise TransientError(f"sqlite commit failed: {exc}", point=point) from exc
+            except BaseException:
+                try:
+                    self.conn.rollback()
+                except sqlite3.Error:  # pragma: no cover - double-fault path
+                    pass
+                raise
+            self.io.checkpoint(f"{point}.after")
+
+    def integrity_probe(self) -> None:
+        """Touch the schema so a corrupt file fails *now*, not mid-request."""
+        self.execute("SELECT count(*) FROM sqlite_master").fetchone()
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self.conn.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort close
+                pass

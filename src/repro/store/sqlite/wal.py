@@ -1,0 +1,121 @@
+"""The logical write log of the SQLite engine.
+
+Presents the exact :class:`~repro.store.wal.WriteAheadLog` surface —
+``append`` / ``truncate`` / ``records`` / ``records_since`` / ``next_seq``
+/ ``base_seq`` / ``recovery_info`` — over a ``wal_log`` table instead of a
+framed file.  Durability moves down a layer: each append is one committed
+SQLite transaction, so torn-tail truncation and CRC framing (the ``W1``
+format) are unnecessary — SQLite's own WAL guarantees the row is either
+wholly durable or absent.  ``recovery_info.torn_bytes_truncated`` is
+therefore always 0 on this engine.
+
+Sequence numbers survive truncation exactly as the file log's checkpoint
+marker records do: :meth:`truncate` persists ``base_seq`` (the highest
+sequence truncated away) into the ``meta`` table in the same transaction
+that clears the rows, so the service-checkpoint stamp protocol
+(:mod:`repro.api.checkpoints`) works unchanged — a stamp ``S`` is provably
+complete history exactly when ``S > base_seq``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.exceptions import StoreError
+from repro.store.io import StorageIO
+from repro.store.sqlite.connection import Database
+from repro.store.wal import KNOWN_OPS, LogRecord, WalRecoveryInfo
+
+
+class SQLiteWriteLog:
+    """Append-only logical write log stored in the ``wal_log`` table."""
+
+    def __init__(self, db: Database, *, io: StorageIO) -> None:
+        self.db = db
+        self.io = io
+        self.recovery_info = WalRecoveryInfo()
+        self._records: List[LogRecord] = []
+        self._base_seq = int(self._meta("wal_base_seq") or 0)
+        for seq, op, graph, payload in self.db.execute(
+            "SELECT seq, op, graph, payload FROM wal_log ORDER BY seq"
+        ).fetchall():
+            self._records.append(
+                LogRecord(seq=seq, op=op, graph=graph, payload=json.loads(payload))
+            )
+        self.recovery_info.records = len(self._records)
+        top = self._records[-1].seq if self._records else self._base_seq
+        self._next_seq = max(top, self._base_seq) + 1
+
+    def _meta(self, key: str) -> Optional[str]:
+        row = self.db.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row is not None else None
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+    def append(self, op: str, graph: str, payload: Optional[Dict[str, Any]] = None) -> LogRecord:
+        """Durably append one record: one INSERT, one committed transaction.
+
+        The in-memory record list and the sequence counter advance only
+        after the commit succeeded, so a failed (and retried) append never
+        leaves the memory image ahead of durable state — the same contract
+        the file log keeps by extending its list after the fsync.
+        """
+        if op not in KNOWN_OPS:
+            raise StoreError(f"unknown write-log operation {op!r}")
+        record = LogRecord(seq=self._next_seq, op=op, graph=graph, payload=dict(payload or {}))
+        with self.db.transaction("sqlite.append"):
+            self.db.execute(
+                "INSERT INTO wal_log (seq, op, graph, payload) VALUES (?, ?, ?, ?)",
+                (record.seq, record.op, record.graph, json.dumps(record.payload, default=str)),
+            )
+        self._next_seq += 1
+        self._records.append(record)
+        return record
+
+    def truncate(self) -> None:
+        """Discard every record, preserving the sequence counter in ``meta``.
+
+        Clearing the rows and advancing ``base_seq`` commit atomically —
+        a crash mid-truncate leaves either the full old log or the
+        truncated one, never a partial history.
+        """
+        marker_seq = self._next_seq
+        with self.db.transaction("sqlite.wal.truncate"):
+            self.db.execute("DELETE FROM wal_log")
+            self.db.execute(
+                "INSERT INTO meta (key, value) VALUES ('wal_base_seq', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(marker_seq),),
+            )
+        self._records.clear()
+        self._base_seq = marker_seq
+        self._next_seq = marker_seq + 1
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[LogRecord]:
+        """All records currently in the log, in order."""
+        return list(self._records)
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended record will carry."""
+        return self._next_seq
+
+    @property
+    def base_seq(self) -> int:
+        """The highest sequence number truncated away (0 on a full log)."""
+        return self._base_seq
+
+    def records_since(self, seq: int) -> List[LogRecord]:
+        """Records with sequence numbers strictly greater than ``seq``."""
+        return [record for record in self._records if record.seq > seq]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)

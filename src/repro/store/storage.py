@@ -48,6 +48,40 @@ _CATALOG_NAME = "catalog.json"
 _QUARANTINE_SUFFIX = ".corrupt"
 
 
+def replay_operation(graph: PropertyGraph, op: str, payload: Dict[str, Any]) -> None:
+    """Apply one primitive write-log operation to ``graph`` idempotently.
+
+    Shared by every storage engine (the JSON file engine below and the
+    SQLite engine in :mod:`repro.store.sqlite`): replay semantics are part
+    of the log format, not of any one backend.  The existence guards make
+    replay idempotent, which is what lets a checkpoint crash between
+    snapshot and log truncation converge on reopen.
+    """
+    if op == "add_node":
+        if not graph.has_node(payload["id"]):
+            graph.add_node(payload["id"], kind=payload.get("kind"), features=payload.get("features") or {})
+    elif op == "remove_node":
+        if graph.has_node(payload["id"]):
+            graph.remove_node(payload["id"])
+    elif op == "add_edge":
+        if not graph.has_edge(payload["source"], payload["target"]):
+            graph.add_edge(
+                payload["source"],
+                payload["target"],
+                label=payload.get("label"),
+                features=payload.get("features") or {},
+                create_nodes=True,
+            )
+    elif op == "remove_edge":
+        if graph.has_edge(payload["source"], payload["target"]):
+            graph.remove_edge(payload["source"], payload["target"])
+    elif op == "set_node_features":
+        if graph.has_node(payload["id"]):
+            graph.set_node_features(payload["id"], payload.get("features") or {})
+    else:  # pragma: no cover - KNOWN_OPS guards this
+        raise StoreError(f"cannot replay unknown operation {op!r}")
+
+
 @dataclass
 class RecoveryReport:
     """What one :class:`GraphStorage` open had to repair (health surface)."""
@@ -60,6 +94,9 @@ class RecoveryReport:
     tmp_files_removed: int = 0
     #: Torn write-log bytes truncated on open.
     wal_torn_bytes: int = 0
+    #: Graphs imported from another engine's on-disk format (the SQLite
+    #: engine's compatibility reader for legacy JSON file stores).
+    migrated_graphs: int = 0
 
     @property
     def clean(self) -> bool:
@@ -74,6 +111,7 @@ class RecoveryReport:
             "quarantined": list(self.quarantined),
             "tmp_files_removed": self.tmp_files_removed,
             "wal_torn_bytes": self.wal_torn_bytes,
+            "migrated_graphs": self.migrated_graphs,
         }
 
 
@@ -173,6 +211,10 @@ class GraphStorage:
 
     def names(self) -> List[str]:
         return self.catalog.names()
+
+    def resident_names(self) -> List[str]:
+        """Graphs held in memory — all of them, on this eager engine."""
+        return list(self._graphs)
 
     # ------------------------------------------------------------------ #
     # logged mutations (called by the engine)
@@ -358,29 +400,7 @@ class GraphStorage:
 
     def _replay_op(self, graph: PropertyGraph, op: str, payload: Dict[str, Any]) -> None:
         """Apply one primitive operation idempotently during replay."""
-        if op == "add_node":
-            if not graph.has_node(payload["id"]):
-                graph.add_node(payload["id"], kind=payload.get("kind"), features=payload.get("features") or {})
-        elif op == "remove_node":
-            if graph.has_node(payload["id"]):
-                graph.remove_node(payload["id"])
-        elif op == "add_edge":
-            if not graph.has_edge(payload["source"], payload["target"]):
-                graph.add_edge(
-                    payload["source"],
-                    payload["target"],
-                    label=payload.get("label"),
-                    features=payload.get("features") or {},
-                    create_nodes=True,
-                )
-        elif op == "remove_edge":
-            if graph.has_edge(payload["source"], payload["target"]):
-                graph.remove_edge(payload["source"], payload["target"])
-        elif op == "set_node_features":
-            if graph.has_node(payload["id"]):
-                graph.set_node_features(payload["id"], payload.get("features") or {})
-        else:  # pragma: no cover - KNOWN_OPS guards this
-            raise StoreError(f"cannot replay unknown operation {op!r}")
+        replay_operation(graph, op, payload)
 
     # ------------------------------------------------------------------ #
     # export

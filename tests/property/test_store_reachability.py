@@ -1,0 +1,231 @@
+"""Differential suite: SQL interval-scan reachability == Python BFS.
+
+The SQLite engine answers ancestor/descendant closures with a recursive
+CTE over the persisted pre/post interval encoding and visible-walk
+frontiers with a recursive CTE over marking-resolved edges
+(:mod:`repro.store.sqlite.reachability`).  This suite pins both query
+shapes **exactly equal** — same sets, every node, every graph — to the
+reference implementations (:mod:`repro.graph.traversal` BFS and
+:func:`repro.core.permitted.forward_visible_set` /
+:func:`~repro.core.permitted.backward_visible_set`) across the four
+workload generator families, through randomized edit scripts, and through
+:class:`~repro.api.editing.EditSession` edits (the lazy re-encoding path).
+
+The pure-Python interval fixpoint (:meth:`IntervalForest.reachable
+<repro.graph.intervals.IntervalForest.reachable>`) is pinned against both,
+so a divergence localizes immediately: encoding bug vs SQL bug.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.permitted import backward_visible_set, forward_visible_set
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import figure1_lattice
+from repro.exceptions import NodeNotFoundError
+from repro.graph.intervals import IntervalIndex, encode_forest
+from repro.graph.traversal import ancestors, descendants
+from repro.store.sqlite import SQLiteGraphStorage
+from repro.workloads.motifs import all_motifs
+from repro.workloads.random_graphs import random_digraph, sample_edges
+from repro.workloads.social import figure2_variant
+from repro.workloads.synthetic import small_family_for_tests
+
+
+def random_family(seed=13):
+    graph = random_digraph(60, 180, seed=seed)
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    rng = random.Random(seed)
+    for node_id in rng.sample(graph.node_ids(), 8):
+        policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+    policy.protect_edges(sample_edges(graph, 12, seed=seed), privileges["Low-2"])
+    return graph, policy, privileges["Low-2"]
+
+
+def synthetic_family():
+    instance = small_family_for_tests(node_count=30, connectivity_targets=(6,))[0]
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    policy.protect_edges(instance.protected_edges, privileges["Low-2"])
+    return instance.graph, policy, privileges["Low-2"]
+
+
+def motif_family():
+    motif = all_motifs()[0]
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    policy.protect_edge(motif.protected_edge, privileges["Low-2"])
+    return motif.graph, policy, privileges["Low-2"]
+
+
+def social_family():
+    example = figure2_variant("b")
+    return example.graph, example.policy, example.high2
+
+
+WORKLOADS = [random_family, synthetic_family, motif_family, social_family]
+WORKLOAD_IDS = ["random", "synthetic", "motif", "social"]
+
+
+def apply_random_edit(graph, rng, step):
+    """One random mutation drawn from every supported mutator."""
+    nodes = graph.node_ids()
+    edges = graph.edge_keys()
+    roll = rng.random()
+    if roll < 0.28 and edges:
+        graph.remove_edge(*rng.choice(edges))
+    elif roll < 0.5 and len(nodes) >= 2:
+        source, target = rng.sample(nodes, 2)
+        if not graph.has_edge(source, target):
+            graph.add_edge(source, target, label=f"e{step}")
+    elif roll < 0.62 and nodes:
+        graph.set_node_features(rng.choice(nodes), {"step": step})
+    elif roll < 0.74 and len(nodes) > 4:
+        graph.remove_node(rng.choice(nodes))
+    elif roll < 0.86 and nodes:
+        graph.add_node(f"fresh-{step}", kind="data")
+        graph.add_bidirectional_edge(f"fresh-{step}", rng.choice(nodes))
+    elif len(nodes) >= 2:
+        source, target = rng.sample(nodes, 2)
+        graph.add_edge(source, target, label=f"r{step}", replace=True, create_nodes=True)
+
+
+def assert_closures_equal(storage, name, graph):
+    """SQL interval reach == BFS, both directions, for every node."""
+    for node_id in graph.node_ids():
+        assert storage.sql_lineage(name, node_id, direction="descendants") == descendants(
+            graph, node_id
+        ), f"descendants diverge at {node_id!r}"
+        assert storage.sql_lineage(name, node_id, direction="ancestors") == ancestors(
+            graph, node_id
+        ), f"ancestors diverge at {node_id!r}"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=WORKLOAD_IDS)
+class TestIntervalClosureEqualsBFS:
+    def test_static_graph_all_nodes(self, workload):
+        graph, _policy, _consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        assert_closures_equal(storage, "g", graph)
+
+    def test_python_interval_mirror_matches_both(self, workload):
+        """The in-process fixpoint == BFS, so SQL vs Python bugs localize."""
+        graph, _policy, _consumer = workload()
+        forward = encode_forest(graph)
+        reverse = encode_forest(graph, reverse=True)
+        for node_id in graph.node_ids():
+            assert forward.reachable(node_id) == descendants(graph, node_id)
+            assert reverse.reachable(node_id) == ancestors(graph, node_id)
+
+    def test_random_edit_script_stays_equal(self, workload):
+        """Structural edits invalidate and lazily re-encode the intervals."""
+        graph, _policy, _consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        live = storage.graph("g")  # the engine's resident object
+        rng = random.Random(99)
+        for step in range(30):
+            apply_random_edit(live, rng, step)
+            if step % 5 == 4:  # closures checked every 5 edits (still 6 sweeps)
+                assert_closures_equal(storage, "g", live)
+        assert_closures_equal(storage, "g", live)
+
+    def test_feature_only_edits_do_not_reencode(self, workload):
+        graph, _policy, _consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        live = storage.graph("g")
+        assert_closures_equal(storage, "g", live)
+        index = storage._interval_index["g"]
+        revision = index.revision
+        for step, node_id in enumerate(live.node_ids()[:10]):
+            live.set_node_features(node_id, {"step": step})
+        assert_closures_equal(storage, "g", live)
+        assert index.revision == revision  # encoding survived untouched
+
+    def test_unknown_node_raises(self, workload):
+        graph, _policy, _consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        with pytest.raises(NodeNotFoundError):
+            storage.sql_lineage("g", "definitely-not-a-node", direction="descendants")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=WORKLOAD_IDS)
+class TestVisibleFrontierEqualsWalk:
+    def test_frontier_matches_walk_both_directions(self, workload):
+        graph, policy, consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        for node_id in graph.node_ids():
+            assert storage.visible_frontier(
+                "g", policy.markings, consumer, node_id, forward=True
+            ) == forward_visible_set(graph, policy.markings, consumer, node_id)
+            assert storage.visible_frontier(
+                "g", policy.markings, consumer, node_id, forward=False
+            ) == backward_visible_set(graph, policy.markings, consumer, node_id)
+
+    def test_frontier_tracks_edits(self, workload):
+        graph, policy, consumer = workload()
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        live = storage.graph("g")
+        rng = random.Random(41)
+        for step in range(10):
+            edges = live.edge_keys()
+            nodes = live.node_ids()
+            if step % 2 == 0 and edges:
+                live.remove_edge(*rng.choice(edges))
+            elif len(nodes) >= 2:
+                source, target = rng.sample(nodes, 2)
+                if not live.has_edge(source, target):
+                    live.add_edge(source, target)
+            for node_id in live.node_ids():
+                assert storage.visible_frontier(
+                    "g", policy.markings, consumer, node_id, forward=True
+                ) == forward_visible_set(live, policy.markings, consumer, node_id), step
+
+
+class TestEditSessionReencoding:
+    """Interval rows stay exact through the incremental edit loop."""
+
+    def _service(self):
+        from repro.api import ProtectionService
+
+        graph, policy, consumer = random_family(seed=23)
+        storage = SQLiteGraphStorage()
+        storage.put_graph(graph, name="g")
+        live = storage.graph("g")
+        return ProtectionService(live, policy), storage, live, consumer
+
+    def test_closures_exact_after_each_session_round(self):
+        service, storage, live, consumer = self._service()
+        rng = random.Random(7)
+        with service.edit(consumer) as session:
+            for step in range(8):
+                nodes = live.node_ids()
+                edges = live.edge_keys()
+                if step % 3 == 0 and edges:
+                    session.remove_edge(*rng.choice(edges))
+                else:
+                    source, target = rng.sample(nodes, 2)
+                    if not live.has_edge(source, target):
+                        session.add_edge(source, target)
+                session.commit()
+                assert_closures_equal(storage, "g", live)
+
+    def test_index_maintained_not_rebuilt_per_query(self):
+        """Version-stable queries reuse the encoding (no revision churn)."""
+        service, storage, live, consumer = self._service()
+        storage.sql_lineage("g", live.node_ids()[0], direction="descendants")
+        index = storage._interval_index["g"]
+        revision = index.revision
+        for node_id in live.node_ids()[:10]:
+            storage.sql_lineage("g", node_id, direction="descendants")
+            storage.sql_lineage("g", node_id, direction="ancestors")
+        assert index.revision == revision

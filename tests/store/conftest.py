@@ -1,0 +1,47 @@
+"""Engine parameterization for the store contract suite.
+
+Every test that takes ``make_store`` / ``make_storage`` runs once per
+storage backend (the JSON file engine and the SQLite engine) with a single
+body — the fixtures are the only place the engine name appears.  The
+factories accept an optional directory: ``None`` builds an in-memory
+store, a path builds a durable one, and calling the factory again with the
+same path reopens it (the recovery path).
+"""
+
+import pytest
+
+from repro.store.engine import STORE_ENGINES, GraphStore
+
+
+@pytest.fixture(params=STORE_ENGINES)
+def store_engine(request):
+    """The storage backend under test: ``"file"`` or ``"sqlite"``."""
+    return request.param
+
+
+@pytest.fixture
+def make_store(store_engine):
+    """Factory for :class:`GraphStore` instances on the current engine."""
+
+    def factory(directory=None, **kwargs):
+        return GraphStore(directory, engine=store_engine, **kwargs)
+
+    factory.engine = store_engine
+    return factory
+
+
+@pytest.fixture
+def make_storage(store_engine):
+    """Factory for raw storage backends on the current engine."""
+
+    def factory(directory=None, **kwargs):
+        if store_engine == "sqlite":
+            from repro.store.sqlite import SQLiteGraphStorage
+
+            return SQLiteGraphStorage(directory, **kwargs)
+        from repro.store.storage import GraphStorage
+
+        return GraphStorage(directory, **kwargs)
+
+    factory.engine = store_engine
+    return factory

@@ -1,0 +1,285 @@
+"""SQLite-engine specifics the file engine has no counterpart for.
+
+The cross-engine contract lives in ``test_storage_engine.py``; this module
+covers what only the relational backend provides: the FTS search index,
+the materialized account listing, the legacy-file migration reader, the
+database quarantine path, the table-backed write log and the paged loader.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import CatalogError, StoreError, TransientError
+from repro.graph.builders import GraphBuilder
+from repro.graph.model import PropertyGraph
+from repro.store.engine import GraphStore
+from repro.store.io import StorageIO
+from repro.store.sqlite import (
+    DATABASE_NAME,
+    Database,
+    SQLiteGraphStorage,
+    SQLiteWriteLog,
+    ensure_schema,
+)
+from repro.store.storage import GraphStorage
+
+
+def _db(storage):
+    return storage.db
+
+
+class TestSQLiteWriteLog:
+    def _fresh(self):
+        db = Database(":memory:", io=StorageIO())
+        ensure_schema(db)
+        return db, SQLiteWriteLog(db, io=StorageIO())
+
+    def test_append_and_sequence(self):
+        _, wal = self._fresh()
+        first = wal.append("create_graph", "g")
+        second = wal.append("add_node", "g", {"id": "a"})
+        assert first.seq == 1 and second.seq == 2
+        assert len(wal) == 2
+        assert [record.op for record in wal] == ["create_graph", "add_node"]
+
+    def test_unknown_operation_rejected(self):
+        _, wal = self._fresh()
+        with pytest.raises(StoreError):
+            wal.append("truncate_table", "g")
+
+    def test_truncate_preserves_sequence(self):
+        db, wal = self._fresh()
+        wal.append("create_graph", "g")
+        wal.append("add_node", "g", {"id": "a"})
+        wal.truncate()
+        assert len(wal) == 0
+        assert wal.base_seq == 3
+        assert wal.append("add_node", "g", {"id": "b"}).seq == 4
+        # A fresh log over the same database sees the carried-over counter.
+        reopened = SQLiteWriteLog(db, io=StorageIO())
+        assert reopened.next_seq == 5
+        assert reopened.records_since(3)[0].payload["id"] == "b"
+
+    def test_no_torn_bytes_ever(self):
+        _, wal = self._fresh()
+        wal.append("create_graph", "g")
+        assert wal.recovery_info.torn_bytes_truncated == 0
+
+
+class TestDatabase:
+    def test_operational_error_is_transient(self, tmp_path):
+        db = Database(tmp_path / "x.sqlite", io=StorageIO())
+        with pytest.raises(TransientError):
+            db.execute("SELECT * FROM missing_table")
+
+    def test_wal_mode_on_file_backed(self, tmp_path):
+        db = Database(tmp_path / "x.sqlite", io=StorageIO())
+        (mode,) = db.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+    def test_page_cache_budget_applied(self, tmp_path):
+        db = Database(tmp_path / "x.sqlite", io=StorageIO(), page_cache_pages=16)
+        (size,) = db.execute("PRAGMA cache_size").fetchone()
+        assert size == 16
+
+
+class TestFullTextSearch:
+    def test_fts_match_queries(self):
+        storage = SQLiteGraphStorage()
+        if not storage.db.fts_enabled:
+            pytest.skip("sqlite built without FTS5")
+        graph = (
+            GraphBuilder("docs")
+            .node("a", kind="paper", features={"title": "provenance security"})
+            .node("b", kind="paper", features={"title": "graph databases"})
+            .node("c", kind="review", features={"title": "provenance graphs"})
+            .build()
+        )
+        storage.put_graph(graph)
+        assert storage.search_nodes("docs", "provenance") == {"a", "c"}
+        # Full MATCH syntax is available, not just single terms.
+        assert storage.search_nodes("docs", "provenance AND security") == {"a"}
+        assert storage.search_nodes("docs", "review") == {"c"}
+
+    def test_search_tracks_feature_edits(self):
+        store = GraphStore(engine="sqlite")
+        store.create_graph("g")
+        store.add_node("g", "a", features={"name": "before"})
+        assert store.search_nodes("g", "before") == {"a"}
+        store.set_node_features("g", "a", {"name": "after"})
+        assert store.search_nodes("g", "before") == set()
+        assert store.search_nodes("g", "after") == {"a"}
+
+    def test_search_unknown_graph_rejected(self):
+        with pytest.raises(CatalogError):
+            SQLiteGraphStorage().search_nodes("nope", "term")
+
+
+class TestAccountListing:
+    def test_listing_materialized_from_catalog(self, tmp_path):
+        store = GraphStore(tmp_path, engine="sqlite", tenant="acme")
+        account_graph = GraphBuilder("alice-account").chain(["a", "b", "c"]).build()
+        store.put_graph(account_graph, name="alice-account")
+        descriptor = store.storage.catalog.get("alice-account")
+        descriptor.kind = "protected_account"
+        descriptor.metadata["protected_account"] = json.dumps(
+            {
+                "format_version": 1,
+                "graph_name": "alice-account",
+                "privilege": "Secret",
+                "strategy": "surrogate",
+                "correspondence": [],
+                "surrogate_nodes": ["b"],
+                "surrogate_edges": [["a", "b"], ["b", "c"]],
+            }
+        )
+        store.storage.save_catalog()
+        listing = store.list_accounts()
+        assert len(listing) == 1
+        entry = listing[0]
+        assert entry["name"] == "alice-account"
+        assert entry["privilege"] == "Secret"
+        assert entry["strategy"] == "surrogate"
+        assert entry["tenant"] == "acme"
+        assert entry["surrogate_nodes"] == 1
+        assert entry["surrogate_edges"] == 2
+        assert store.list_accounts(tenant="other") == []
+        # The listing is real rows, not a per-call scan.
+        rows = _db(store.storage).execute("SELECT count(*) FROM account_listing").fetchone()
+        assert rows == (1,)
+        # Markings rows carry the surrogate sets.
+        markings = _db(store.storage).execute(
+            "SELECT marking, count(*) FROM markings GROUP BY marking ORDER BY marking"
+        ).fetchall()
+        assert markings == [("surrogate_edge", 2), ("surrogate_node", 1)]
+
+    def test_drop_graph_clears_account_rows(self, tmp_path):
+        store = GraphStore(tmp_path, engine="sqlite")
+        store.put_graph(GraphBuilder("acct").chain(["a", "b"]).build(), name="acct")
+        descriptor = store.storage.catalog.get("acct")
+        descriptor.kind = "protected_account"
+        descriptor.metadata["protected_account"] = json.dumps(
+            {"graph_name": "acct", "surrogate_nodes": [], "surrogate_edges": []}
+        )
+        store.storage.save_catalog()
+        assert len(store.list_accounts()) == 1
+        store.drop_graph("acct")
+        assert store.list_accounts() == []
+
+
+class TestLegacyMigration:
+    def _legacy_store(self, root):
+        legacy = GraphStorage(root)
+        graph = legacy.create_graph("lg", kind="provenance", description="old store")
+        legacy.log("add_edge", "lg", {"source": "x", "target": "y"})
+        graph.add_edge("x", "y", create_nodes=True)
+        legacy.checkpoint()
+        legacy.log("add_edge", "lg", {"source": "y", "target": "z"})
+        graph.add_edge("y", "z", create_nodes=True)
+        return legacy
+
+    def test_file_store_imports_on_first_sqlite_open(self, tmp_path):
+        legacy = self._legacy_store(tmp_path)
+        seq_before = legacy.wal.next_seq
+        storage = SQLiteGraphStorage(tmp_path)
+        assert storage.recovery_report.migrated_graphs == 1
+        assert storage.graph("lg").edge_count() == 2
+        assert storage.catalog.get("lg").kind == "provenance"
+        # The W1 log's tail was replayed by the compatibility reader and the
+        # sequence counter carries over, keeping checkpoint stamps comparable.
+        assert storage.wal.next_seq >= seq_before
+        # Interval reachability works immediately on migrated rows.
+        assert storage.sql_lineage("lg", "x", direction="descendants") == {"y", "z"}
+
+    def test_second_open_does_not_remigrate(self, tmp_path):
+        self._legacy_store(tmp_path)
+        first = SQLiteGraphStorage(tmp_path)
+        first.db.close()
+        second = SQLiteGraphStorage(tmp_path)
+        assert second.recovery_report.migrated_graphs == 0
+        assert second.graph("lg").edge_count() == 2
+
+    def test_migration_leaves_legacy_files_in_place(self, tmp_path):
+        self._legacy_store(tmp_path)
+        SQLiteGraphStorage(tmp_path)
+        assert (tmp_path / "wal.jsonl").exists()
+        assert list(tmp_path.glob("*.graph.json"))
+
+
+class TestQuarantine:
+    def test_corrupt_database_quarantined_not_deleted(self, tmp_path):
+        storage = SQLiteGraphStorage(tmp_path)
+        storage.put_graph(GraphBuilder("g").chain(["a", "b"]).build(), name="g")
+        storage.db.close()
+        (tmp_path / DATABASE_NAME).write_bytes(b"this is not a database" * 64)
+        for sidecar in (f"{DATABASE_NAME}-wal", f"{DATABASE_NAME}-shm"):
+            path = tmp_path / sidecar
+            if path.exists():
+                path.unlink()
+        reopened = SQLiteGraphStorage(tmp_path)
+        assert DATABASE_NAME in reopened.recovery_report.quarantined
+        assert not reopened.recovery_report.clean
+        # The damaged file was renamed aside, never silently removed.
+        assert list(tmp_path.glob(f"{DATABASE_NAME}.corrupt*"))
+        # The store stays usable.
+        reopened.put_graph(GraphBuilder("h").chain(["x", "y"]).build(), name="h")
+        assert reopened.graph("h").has_edge("x", "y")
+
+
+class TestPagedLoading:
+    def test_lazy_open_loads_nothing(self, tmp_path):
+        storage = SQLiteGraphStorage(tmp_path)
+        storage.put_graph(GraphBuilder("g").chain(["a", "b", "c"]).build(), name="g")
+        storage.checkpoint()
+        storage.db.close()
+        reopened = SQLiteGraphStorage(tmp_path)
+        assert reopened.resident_names() == []
+        assert reopened.names() == ["g"]
+        assert reopened.paging.rows_streamed == 0
+
+    def test_page_budget_respected(self, tmp_path):
+        storage = SQLiteGraphStorage(tmp_path, page_rows=4)
+        graph = PropertyGraph(name="g")
+        for index in range(37):
+            graph.add_node(f"n{index}")
+        storage.put_graph(graph)
+        storage.checkpoint()
+        storage.db.close()
+        reopened = SQLiteGraphStorage(tmp_path, page_rows=4)
+        loaded = reopened.graph("g")
+        assert loaded.node_count() == 37
+        assert reopened.paging.peak_page_rows <= 4
+        assert reopened.paging.pages_fetched >= 10
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(StoreError):
+            GraphStore(engine="parquet")
+
+    def test_sqlite_store_uses_one_database_file(self, tmp_path):
+        store = GraphStore(tmp_path, engine="sqlite")
+        store.create_graph("g")
+        store.add_node("g", "a")
+        store.checkpoint()
+        assert (tmp_path / DATABASE_NAME).exists()
+        assert not list(tmp_path.glob("*.graph.json"))
+        # It really is SQLite on disk.
+        raw = sqlite3.connect(tmp_path / DATABASE_NAME)
+        tables = {
+            row[0]
+            for row in raw.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        raw.close()
+        assert {"graphs", "nodes", "edges", "wal_log", "intervals"} <= tables
+
+    def test_registry_respects_store_engine(self, tmp_path):
+        from repro.api.registry import ServiceRegistry
+
+        registry = ServiceRegistry(tmp_path, store_engine="sqlite")
+        registry.register("acme")
+        health = registry.store_for("acme").health()
+        assert health["engine"] == "sqlite"
+        assert health["tenant"] == "acme"

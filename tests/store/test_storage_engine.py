@@ -1,75 +1,123 @@
-"""Unit tests for durable storage, transactions and the GraphStore engine."""
+"""The storage contract suite: one body per behavior, run on every engine.
+
+Each test receives the ``make_store`` / ``make_storage`` factories from
+``conftest.py`` and therefore runs twice — once on the JSON file engine and
+once on the SQLite engine.  The bodies never branch on the engine: anything
+the two backends genuinely cannot share (FTS search syntax, the migration
+reader, quarantine file layout) lives in ``test_sqlite_store.py`` instead.
+"""
 
 import pytest
 
 from repro.exceptions import CatalogError, StoreError, TransactionError
-from repro.graph.builders import graph_from_edges
-from repro.store.engine import GraphStore, PhaseTimer
-from repro.store.storage import GraphStorage
+from repro.store.engine import PhaseTimer
 
 
-class TestGraphStorage:
-    def test_create_and_fetch(self):
-        storage = GraphStorage()
+class TestStorageContract:
+    def test_create_and_fetch(self, make_storage):
+        storage = make_storage()
         storage.create_graph("g")
         assert storage.has_graph("g")
         assert storage.names() == ["g"]
         assert storage.graph("g").node_count() == 0
         assert not storage.durable
 
-    def test_missing_graph_raises(self):
-        storage = GraphStorage()
+    def test_missing_graph_raises(self, make_storage):
+        storage = make_storage()
         with pytest.raises(CatalogError):
             storage.graph("nope")
 
-    def test_put_graph_and_export_import(self, small_graph):
-        storage = GraphStorage()
+    def test_put_graph_and_export_import(self, make_storage, small_graph):
+        storage = make_storage()
         storage.put_graph(small_graph, name="snapshot")
         payload = storage.export_graph("snapshot")
-        other = GraphStorage()
+        other = make_storage()
         other.import_graph(payload, name="copy")
         assert other.graph("copy").edge_count() == small_graph.edge_count()
 
-    def test_unnamed_graph_rejected(self):
-        storage = GraphStorage()
+    def test_unnamed_graph_rejected(self, make_storage):
         from repro.graph.model import PropertyGraph
 
+        storage = make_storage()
         with pytest.raises(StoreError):
             storage.put_graph(PropertyGraph())
 
-    def test_durable_snapshot_recovery(self, tmp_path, small_graph):
-        storage = GraphStorage(tmp_path)
+    def test_duplicate_create_rejected(self, make_storage):
+        storage = make_storage()
+        storage.create_graph("g")
+        with pytest.raises(CatalogError):
+            storage.create_graph("g")
+
+    def test_drop_missing_graph_rejected(self, make_storage):
+        storage = make_storage()
+        with pytest.raises(CatalogError):
+            storage.drop_graph("nope")
+
+    def test_durable_snapshot_recovery(self, make_storage, tmp_path, small_graph):
+        storage = make_storage(tmp_path)
         storage.put_graph(small_graph, name="persisted")
-        reopened = GraphStorage(tmp_path)
+        reopened = make_storage(tmp_path)
         assert reopened.has_graph("persisted")
         assert reopened.graph("persisted") == small_graph
 
-    def test_wal_replay_recovers_logged_mutations(self, tmp_path):
-        store = GraphStore(tmp_path)
+    def test_catalog_attributes_survive_reopen(self, make_storage, tmp_path):
+        storage = make_storage(tmp_path)
+        storage.create_graph("g", kind="provenance", description="lineage demo")
+        storage.catalog.get("g").metadata["tenant"] = "acme"
+        storage.save_catalog()
+        reopened = make_storage(tmp_path)
+        descriptor = reopened.catalog.get("g")
+        assert descriptor.kind == "provenance"
+        assert descriptor.description == "lineage demo"
+        assert descriptor.metadata["tenant"] == "acme"
+
+    def test_wal_replay_recovers_logged_mutations(self, make_store, tmp_path):
+        store = make_store(tmp_path)
         store.create_graph("g")
         store.add_node("g", "a", features={"v": 1})
         store.add_node("g", "b")
         store.add_edge("g", "a", "b")
         store.remove_node("g", "b")
-        reopened = GraphStore(tmp_path)
+        reopened = make_store(tmp_path)
         graph = reopened.graph("g")
         assert graph.has_node("a") and not graph.has_node("b")
         assert graph.node("a").features == {"v": 1}
 
-    def test_checkpoint_truncates_log(self, tmp_path):
-        store = GraphStore(tmp_path)
+    def test_checkpoint_truncates_log(self, make_store, tmp_path):
+        store = make_store(tmp_path)
         store.create_graph("g")
         store.add_node("g", "a")
         assert len(store.storage.wal) > 0
         store.checkpoint()
         assert len(store.storage.wal) == 0
-        reopened = GraphStore(tmp_path)
+        reopened = make_store(tmp_path)
         assert reopened.graph("g").has_node("a")
+
+    def test_sequence_counter_survives_checkpoint(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.create_graph("g")
+        store.add_node("g", "a")
+        seq_before = store.storage.wal.next_seq
+        store.checkpoint()
+        assert store.storage.wal.next_seq >= seq_before
+        assert store.storage.wal.base_seq >= seq_before - 1
+        reopened = make_store(tmp_path)
+        assert reopened.storage.wal.next_seq >= seq_before
+
+    def test_snapshot_graph_excludes_wal_tail(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.create_graph("g")
+        store.add_node("g", "a")
+        store.checkpoint()
+        store.add_node("g", "b")
+        snapshot = store.storage.snapshot_graph("g")
+        assert snapshot is not None
+        assert snapshot.has_node("a") and not snapshot.has_node("b")
 
 
 class TestGraphStoreEngine:
-    def test_mutations_and_indexed_queries(self):
-        store = GraphStore()
+    def test_mutations_and_indexed_queries(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a", features={"role": "person"})
         store.add_node("g", "b")
@@ -84,16 +132,16 @@ class TestGraphStoreEngine:
         with pytest.raises(ValueError):
             store.lineage("g", "a", direction="sideways")
 
-    def test_graph_returns_a_copy(self):
-        store = GraphStore()
+    def test_graph_returns_a_copy(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a")
         copy = store.graph("g")
         copy.add_node("intruder")
         assert not store.graph("g").has_node("intruder")
 
-    def test_remove_operations_update_indexes(self):
-        store = GraphStore()
+    def test_remove_operations_update_indexes(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a")
         store.add_node("g", "b")
@@ -103,24 +151,32 @@ class TestGraphStoreEngine:
         store.remove_node("g", "b")
         assert not store.graph("g").has_node("b")
 
-    def test_set_node_features_reindexes(self):
-        store = GraphStore()
+    def test_set_node_features_reindexes(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a", features={"role": "person"})
         store.set_node_features("g", "a", {"role": "robot"})
         assert store.find_nodes("g", "role", "person") == set()
         assert store.find_nodes("g", "role", "robot") == {"a"}
 
-    def test_put_and_drop_graph(self, small_graph):
-        store = GraphStore()
+    def test_put_and_drop_graph(self, make_store, small_graph):
+        store = make_store()
         store.put_graph(small_graph, name="demo")
         assert store.has_graph("demo")
         assert store.successors("demo", "b") == {"c", "d"}
         store.drop_graph("demo")
         assert not store.has_graph("demo")
 
-    def test_stats_accumulate(self):
-        store = GraphStore()
+    def test_drop_graph_survives_reopen(self, make_store, tmp_path, small_graph):
+        store = make_store(tmp_path)
+        store.put_graph(small_graph, name="demo")
+        store.drop_graph("demo")
+        reopened = make_store(tmp_path)
+        assert not reopened.has_graph("demo")
+        assert reopened.graph_names() == []
+
+    def test_stats_accumulate(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a")
         store.add_node("g", "b")
@@ -131,10 +187,44 @@ class TestGraphStoreEngine:
         assert store.stats.queries_answered == 1
         assert store.stats.as_dict()["nodes_written"] == 2
 
+    def test_lineage_after_structural_edits(self, make_store):
+        """Lineage answers track edits on every engine (interval re-encode)."""
+        store = make_store()
+        store.create_graph("g")
+        for node in "abcd":
+            store.add_node("g", node)
+        store.add_edge("g", "a", "b")
+        store.add_edge("g", "b", "c")
+        assert store.lineage("g", "a", direction="descendants") == {"b", "c"}
+        store.add_edge("g", "c", "d")
+        assert store.lineage("g", "a", direction="descendants") == {"b", "c", "d"}
+        store.remove_edge("g", "b", "c")
+        assert store.lineage("g", "a", direction="descendants") == {"b"}
+        assert store.lineage("g", "d", direction="ancestors") == {"c"}
+
+    def test_search_nodes_single_term(self, make_store):
+        store = make_store()
+        store.create_graph("g")
+        store.add_node("g", "a", kind="person", features={"name": "alice"})
+        store.add_node("g", "b", kind="process", features={"name": "builder"})
+        assert store.search_nodes("g", "alice") == {"a"}
+        assert "a" in store.search_nodes("g", "person")
+        assert store.search_nodes("g", "nomatch") == set()
+
+    def test_health_reports_engine(self, make_store):
+        store = make_store()
+        health = store.health()
+        assert health["engine"] == make_store.engine
+        assert health["durable"] is False
+        assert health["recovery"]["clean"] is True
+
+    def test_list_accounts_empty(self, make_store):
+        assert make_store().list_accounts() == []
+
 
 class TestTransactions:
-    def test_commit_applies_all_operations(self):
-        store = GraphStore()
+    def test_commit_applies_all_operations(self, make_store):
+        store = make_store()
         store.create_graph("g")
         with store.transaction("g") as txn:
             txn.add_node("a").add_node("b").add_edge("a", "b", label="next")
@@ -142,8 +232,8 @@ class TestTransactions:
         assert graph.has_edge("a", "b")
         assert store.stats.transactions_committed == 1
 
-    def test_rollback_discards_buffer(self):
-        store = GraphStore()
+    def test_rollback_discards_buffer(self, make_store):
+        store = make_store()
         store.create_graph("g")
         txn = store.transaction("g")
         txn.add_node("a")
@@ -152,8 +242,8 @@ class TestTransactions:
         with pytest.raises(TransactionError):
             txn.commit()
 
-    def test_failed_batch_leaves_graph_untouched(self):
-        store = GraphStore()
+    def test_failed_batch_leaves_graph_untouched(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "existing")
         txn = store.transaction("g")
@@ -165,8 +255,8 @@ class TestTransactions:
         assert not graph.has_node("new_node")
         assert graph.has_node("existing")
 
-    def test_exception_inside_context_rolls_back(self):
-        store = GraphStore()
+    def test_exception_inside_context_rolls_back(self, make_store):
+        store = make_store()
         store.create_graph("g")
         with pytest.raises(RuntimeError):
             with store.transaction("g") as txn:
@@ -174,13 +264,13 @@ class TestTransactions:
                 raise RuntimeError("boom")
         assert not store.graph("g").has_node("a")
 
-    def test_transaction_on_missing_graph_rejected(self):
-        store = GraphStore()
+    def test_transaction_on_missing_graph_rejected(self, make_store):
+        store = make_store()
         with pytest.raises(StoreError):
             store.transaction("nope")
 
-    def test_transactional_set_features_and_removals(self):
-        store = GraphStore()
+    def test_transactional_set_features_and_removals(self, make_store):
+        store = make_store()
         store.create_graph("g")
         store.add_node("g", "a", features={"v": 1})
         store.add_node("g", "b")
@@ -190,6 +280,14 @@ class TestTransactions:
         graph = store.graph("g")
         assert graph.node("a").features == {"v": 2}
         assert not graph.has_node("b")
+
+    def test_transaction_survives_reopen(self, make_store, tmp_path):
+        store = make_store(tmp_path)
+        store.create_graph("g")
+        with store.transaction("g") as txn:
+            txn.add_node("a").add_node("b").add_edge("a", "b")
+        reopened = make_store(tmp_path)
+        assert reopened.graph("g").has_edge("a", "b")
 
 
 class TestPhaseTimer:
