@@ -53,6 +53,13 @@ return identical closures on every probe — and the PR-6 warm-restart case
 re-run end-to-end on the SQLite engine, where the ≥ 5× acceptance bar must
 hold just as it does on the file engine.
 
+A ``replication`` section (PR 9) tracks the leader/follower stack on the
+2k-node workload: a published graph streams a few hundred structural edits
+through the durable delta log, a fresh follower catches up in one poll
+(recorded as deltas/second), and both sides serve the same protect request
+— the p50s are only recorded after the follower's result payload is
+asserted bit-identical to the leader's.
+
 Quick mode (the default) benchmarks the 500- and 2 000-node cases and runs
 the 8 000-node case once for the JSON trajectory; ``REPRO_BENCH_FULL=1``
 benchmarks all three sizes.
@@ -125,6 +132,12 @@ BASELINE_EDITS = 3
 #: is recorded as a per-edge extrapolation.
 OPACITY_SAMPLE = 200
 
+#: Size and edit-stream length of the leader/follower replication case,
+#: plus how many served reads each side's p50 is taken over.
+REPLICATION_SIZE = (2_000, 6_000)
+REPLICATION_EDITS = 300
+REPLICATION_READS = 15
+
 #: Where the trajectory point lands (repo root, next to ROADMAP.md).
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
 
@@ -135,6 +148,7 @@ _opacity = {}
 _incremental = {}
 _recovery = {}
 _store = {}
+_replication = {}
 
 
 def build_workload(node_count, edge_count, seed=_SEED):
@@ -664,6 +678,87 @@ def measure_store():
     }
 
 
+def measure_replication():
+    """Leader/follower catch-up throughput + read-path parity p50.
+
+    A leader publishes the 2k-node workload into a durable SQLite store,
+    streams a few hundred structural edits through the delta log, and a
+    fresh follower process-equivalent (:class:`ReplicaService` over the
+    same root) catches up in one poll — timed as deltas/second.  Both
+    sides then serve the same protect request and the recorded p50s only
+    count after the follower's result payload is **bit-identical** to the
+    leader's.
+    """
+    import statistics
+
+    from repro.replication.log import ReplicationPublisher
+    from repro.replication.replica import ReplicaService
+    from repro.server.encoding import result_payload
+
+    node_count, edge_count = REPLICATION_SIZE
+    graph, policy, consumer = build_workload(node_count, edge_count)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = GraphStore(pathlib.Path(tmp) / "leader", engine="sqlite")
+        anchor = ProtectionService(None, policy, store=store)
+        publisher = ReplicationPublisher(anchor)
+        publisher.publish("bench", graph)
+        rng = random.Random(_SEED)
+        nodes = graph.node_ids()
+        for step in range(REPLICATION_EDITS):
+            if step % 3 == 2 and graph.edge_keys():
+                graph.remove_edge(*rng.choice(graph.edge_keys()))
+            else:
+                source, target = rng.sample(nodes, 2)
+                if graph.has_edge(source, target):
+                    graph.remove_edge(source, target)
+                else:
+                    graph.add_edge(source, target, label="bench")
+        deltas = publisher.log.head_for("bench")
+
+        follower = ReplicaService(store.storage.directory)
+        gc.collect()
+        start = time.perf_counter()
+        follower.poll()
+        catchup_s = time.perf_counter() - start
+        assert follower.applied_vector()["bench"] == deltas
+
+        # Read path: one warm-up compile each, then p50 over served reads.
+        request = ProtectionRequest(privileges=(consumer,))
+        leader_service = ProtectionService(graph, policy.copy())
+        follower_service = ProtectionService(follower.graph("bench"), policy.copy())
+        leader_result = leader_service.protect(request)
+        follower_result = follower_service.protect(request)
+        # Parity gate: no p50 is recorded unless the follower's payload is
+        # bit-identical to the leader's for the same request.
+        assert result_payload(follower_result) == result_payload(leader_result)
+
+        def p50(service):
+            samples = []
+            for _ in range(REPLICATION_READS):
+                start = time.perf_counter()
+                service.protect(request)
+                samples.append(time.perf_counter() - start)
+            return statistics.median(samples)
+
+        leader_p50 = p50(leader_service)
+        follower_p50 = p50(follower_service)
+        follower.close()
+        publisher.close()
+        publisher.log.close()
+        store.storage.close()
+    return {
+        "nodes": node_count,
+        "edges": edge_count,
+        "deltas": deltas,
+        "catchup_s": round(catchup_s, 6),
+        "catchup_deltas_per_s": round(deltas / catchup_s, 1),
+        "leader_read_p50_s": round(leader_p50, 6),
+        "follower_read_p50_s": round(follower_p50, 6),
+        "follower_over_leader_read_ratio": round(follower_p50 / leader_p50, 2),
+        "read_parity": True,
+    }
+
+
 def _write_trajectory():
     """Fill in any un-benchmarked sizes, then write BENCH_scaling.json."""
     for node_count, edge_count in SIZES:
@@ -684,6 +779,8 @@ def _write_trajectory():
         _recovery.update(measure_recovery())
     if not _store:
         _store.update(measure_store())
+    if not _replication:
+        _replication.update(measure_replication())
     payload = {
         "benchmark": "protect_and_score_scaling",
         "workload": "random_digraph seed=7, 10% protected nodes, 5% protected edges, Low-2 consumer",
@@ -694,6 +791,7 @@ def _write_trajectory():
         "incremental": dict(_incremental),
         "recovery": dict(_recovery),
         "store": dict(_store),
+        "replication": dict(_replication),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -783,6 +881,22 @@ def test_bench_store_engine(bench_quick):
     assert _store["cold_load"]["sqlite_s"] < 20 * _store["cold_load"]["file_s"]
 
 
+def test_bench_replication_catchup_and_parity(bench_quick):
+    """Replication case: follower catch-up is fast and reads are identical.
+
+    The measurement gates on parity first (see :func:`measure_replication`):
+    the follower's protect payload must equal the leader's bit-for-bit
+    before any latency is recorded.  The throughput bar is deliberately
+    loose — catch-up replays hundreds of deltas in well under a second even
+    on a contended runner — and the read-path ratio only guards against the
+    follower paying a structurally different (recompiling) serve path.
+    """
+    _replication.update(measure_replication())
+    assert _replication["read_parity"] is True
+    assert _replication["catchup_deltas_per_s"] >= 50.0
+    assert _replication["follower_over_leader_read_ratio"] < 25.0
+
+
 def test_bench_scaling_writes_trajectory(bench_quick):
     """Shape-check the emitted BENCH_scaling.json (runs in plain test mode)."""
     _write_trajectory()
@@ -798,6 +912,8 @@ def test_bench_scaling_writes_trajectory(bench_quick):
     assert written["opacity"]["speedup"] >= 20.0
     assert written["incremental"]["speedup"] >= 20.0
     assert written["incremental"]["edits"] == EDIT_LOOP
+    assert written["replication"]["read_parity"] is True
+    assert written["replication"]["deltas"] >= REPLICATION_EDITS
     assert written["recovery"]["restore_mode"] == "warm"
     assert written["recovery"]["speedup"] >= 5.0
     assert written["store"]["reachability"]["results_equal"] is True

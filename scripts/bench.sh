@@ -13,6 +13,9 @@
 #   scripts/bench.sh store     # just the store-engine case (SQLite vs file: cold load,
 #                              # indexed reachability vs BFS, warm restart on the SQLite
 #                              # engine; refreshes BENCH_scaling.json)
+#   scripts/bench.sh replicate # just the leader/follower case (delta-log catch-up
+#                              # deltas/sec + read-path parity p50 vs the leader;
+#                              # refreshes BENCH_scaling.json)
 #   scripts/bench.sh serve     # live-server latency case: boots the HTTP frontend and
 #                              # drives it with 8 concurrent clients; writes BENCH_serving.json
 #   scripts/bench.sh smoke     # tier-1-equivalent smoke: full test suite, no benchmarks
@@ -59,6 +62,14 @@ case "${1:-all}" in
     # including the store section.
     python -m pytest benchmarks/test_bench_scaling.py -q -k store
     ;;
+  replicate)
+    # Plain test mode: a leader streams a few hundred edits through the
+    # durable delta log, a fresh follower catches up in one poll, and both
+    # sides serve the same read — parity is asserted bit-identical before
+    # any p50 is recorded; the module teardown rewrites the trajectory file
+    # including the replication section.
+    python -m pytest benchmarks/test_bench_scaling.py -q -k replication
+    ;;
   serve)
     # Plain test mode: boots a ProtectionServer on a background thread and
     # measures cached-replay/cold-compile/streaming latency over real
@@ -74,7 +85,7 @@ case "${1:-all}" in
     python -m pytest benchmarks/ --benchmark-only -q
     ;;
   *)
-    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|store|serve|smoke]" >&2
+    echo "usage: scripts/bench.sh [all|scaling|opacity|edits|recovery|store|replicate|serve|smoke]" >&2
     exit 2
     ;;
 esac

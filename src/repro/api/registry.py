@@ -146,6 +146,12 @@ class ServiceRegistry:
         ``None`` auto-detects per tenant root — an existing SQLite root
         reopens as SQLite, anything else (including fresh and in-memory
         roots) gets the file engine.
+    read_only:
+        Open every tenant store read-only (follower processes).  This is
+        what relaxes the one-process-per-root assumption: any number of
+        read-only registries may share a root with one writer, because a
+        ``mode=ro`` SQLite open takes no write locks and refuses every
+        mutation up front (:class:`~repro.exceptions.ReadOnlyStoreError`).
     """
 
     def __init__(
@@ -154,9 +160,11 @@ class ServiceRegistry:
         *,
         cache_capacity: int = DEFAULT_CACHE_CAPACITY,
         store_engine: Optional[str] = None,
+        read_only: bool = False,
     ) -> None:
         self.base_dir = Path(base_dir) if base_dir is not None else None
         self.store_engine = store_engine
+        self.read_only = read_only
         self.cache = AccountCache(cache_capacity)
         self._lock = threading.RLock()
         self._tenants: Dict[str, _TenantRecord] = {}
@@ -197,7 +205,12 @@ class ServiceRegistry:
             )
             record = _TenantRecord(
                 name=tenant,
-                store=GraphStore.for_tenant(self.base_dir, tenant, engine=self.store_engine),
+                store=GraphStore.for_tenant(
+                    self.base_dir,
+                    tenant,
+                    engine=self.store_engine,
+                    read_only=self.read_only,
+                ),
                 quota=quota,
             )
             if max_cache_entries is not None:

@@ -160,6 +160,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     http_serve.add_argument("--workers", type=int, default=4, help="executor threads (default 4)")
     http_serve.add_argument(
+        "--replicate",
+        action="store_true",
+        help="lead: stream published graphs' deltas into per-tenant delta logs"
+        " (needs --store-root; sqlite engine)",
+    )
+    http_serve.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="URL",
+        help="follow: serve reads from the leader's --store-root (opened"
+        " read-only), tailing its delta logs; URL is the leader's base"
+        " address quoted back to stale clients",
+    )
+    http_serve.add_argument(
+        "--staleness-budget",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="how long a follower blocks to cover a request's X-Repro-Vector"
+        " before answering 503 (default 2.0)",
+    )
+    http_serve.add_argument(
         "--max-inflight", type=int, default=None, help="concurrent requests per tenant lane"
     )
     http_serve.add_argument(
@@ -449,6 +471,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         store_root=args.store_root,
         store_engine=getattr(args, "store_engine", None),
+        replicate=getattr(args, "replicate", False),
+        replica_of=getattr(args, "replica_of", None),
+        staleness_budget=getattr(args, "staleness_budget", 2.0),
     )
     if args.max_inflight is not None:
         config.max_inflight = args.max_inflight
@@ -463,7 +488,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         handle, tokens = start_server_thread(
             config, tenants=tenants, tenant_options=tenant_options
         )
-    except (OSError, ReproError, RuntimeError) as exc:
+    except (OSError, ReproError, RuntimeError, ValueError) as exc:
         _print_error(f"cannot start server: {exc}", kind=type(exc).__name__, as_json=as_json)
         return 1
 

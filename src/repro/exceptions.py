@@ -88,6 +88,38 @@ class TransactionError(StoreError):
     """A transaction was used after commit/rollback or violated store invariants."""
 
 
+class ReadOnlyStoreError(StoreError):
+    """A mutation was attempted through a store opened read-only.
+
+    Raised by follower-side opens (``GraphStore(..., read_only=True)``): a
+    replica process must never write the leader's root, so every mutator and
+    write transaction refuses up front instead of racing the leader's locks.
+    """
+
+
+class ReplicationError(ReproError):
+    """Base class for leader/follower replication errors."""
+
+
+class StaleReplicaError(ReplicationError):
+    """A follower could not reach the requested version vector in budget.
+
+    Carries the requested and applied vectors so HTTP handlers can surface a
+    redirect-to-leader response with concrete positions.
+    """
+
+    def __init__(self, message, *, wanted=None, applied=None):
+        super().__init__(message)
+        self.wanted = wanted
+        self.applied = applied
+
+
+class ReplicationGapError(ReplicationError):
+    """The delta log cannot prove a contiguous suffix from the follower's
+    position (compaction passed it, or the leader dropped an unsupported
+    delta); the follower must reseed from the store snapshot + stamp."""
+
+
 class TransientError(StoreError):
     """A store operation failed for a reason that may succeed on retry.
 

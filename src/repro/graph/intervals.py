@@ -150,7 +150,7 @@ class IntervalIndex:
     stream (e.g. mutations made before the index subscribed).
     """
 
-    __slots__ = ("forward", "reverse", "version", "revision", "_dirty")
+    __slots__ = ("forward", "reverse", "version", "revision", "encodes", "_dirty")
 
     def __init__(self, graph: "PropertyGraph") -> None:
         self.forward = encode_forest(graph)
@@ -159,12 +159,20 @@ class IntervalIndex:
         #: Bumped on every re-encode; storage layers key persisted interval
         #: rows on it to know when the tables need rewriting.
         self.revision = 0
+        #: Total full re-encodes this index has paid (both directions count
+        #: as one), including the one in this constructor.  The batching
+        #: regression test asserts a burst of edits costs one, not N.
+        self.encodes = 1
         self._dirty = False
 
     @property
     def dirty(self) -> bool:
         """True when a structural delta invalidated the current ranks."""
         return self._dirty
+
+    def stale_for(self, graph: "PropertyGraph") -> bool:
+        """True when :meth:`refresh` against ``graph`` would re-encode."""
+        return self._dirty or self.version != graph.version
 
     def apply_delta(self, delta: GraphDelta) -> bool:
         """Advance the index over one delta; False when it went stale.
@@ -184,13 +192,23 @@ class IntervalIndex:
         return False
 
     def refresh(self, graph: "PropertyGraph") -> bool:
-        """Re-encode if needed; returns True when a re-encode happened."""
+        """Re-encode if needed; returns True when a re-encode happened.
+
+        While a ``graph.batch()`` is open this is a deliberate no-op even
+        when stale: the batch commits as one composite delta, and refreshing
+        mid-batch would re-encode once per sub-edit — exactly the burst
+        behaviour the batching is there to coalesce.  The index stays dirty
+        and the first refresh after the batch closes pays one encode.
+        """
         if not self._dirty and self.version == graph.version:
+            return False
+        if graph.in_batch:
             return False
         self.forward = encode_forest(graph)
         self.reverse = encode_forest(graph, reverse=True)
         self.version = graph.version
         self.revision += 1
+        self.encodes += 1
         self._dirty = False
         return True
 

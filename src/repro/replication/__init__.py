@@ -1,0 +1,57 @@
+"""Leader/follower replication: durable delta log, follower replay, vectors.
+
+The "leader writes, N followers serve reads" deployment shape (cf. Becla
+et al., *Designing a Multi-petabyte Database for LSST*): a leader process
+streams every :class:`~repro.graph.deltas.GraphDelta` of its published
+graphs into a per-tenant SQLite delta log (:mod:`repro.replication.log`);
+follower processes open the store root read-only, seed from checkpoint
+stamps and replay the tail (:mod:`repro.replication.replica`); reads
+negotiate freshness with the leader's published version vector
+(:mod:`repro.replication.wire`).  See ``docs/replication.md``.
+"""
+
+from repro.replication.log import (
+    DELTA_LOG_NAME,
+    GAP_KIND,
+    DeltaLog,
+    ReplicationPublisher,
+    delta_log_path,
+)
+from repro.replication.replica import (
+    DEFAULT_POLL_INTERVAL,
+    DEFAULT_STALENESS_BUDGET,
+    ReplicaService,
+    apply_delta_to_graph,
+)
+from repro.replication.wire import (
+    VECTOR_HEADER,
+    UnsupportedDeltaError,
+    decode_vector,
+    delta_to_record,
+    dumps_delta,
+    encode_vector,
+    loads_delta,
+    record_to_delta,
+    vector_covers,
+)
+
+__all__ = [
+    "DELTA_LOG_NAME",
+    "DEFAULT_POLL_INTERVAL",
+    "DEFAULT_STALENESS_BUDGET",
+    "GAP_KIND",
+    "VECTOR_HEADER",
+    "DeltaLog",
+    "ReplicaService",
+    "ReplicationPublisher",
+    "UnsupportedDeltaError",
+    "apply_delta_to_graph",
+    "decode_vector",
+    "delta_log_path",
+    "delta_to_record",
+    "dumps_delta",
+    "encode_vector",
+    "loads_delta",
+    "record_to_delta",
+    "vector_covers",
+]

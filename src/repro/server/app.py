@@ -46,9 +46,10 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from repro.api.registry import ServiceRegistry
 from repro.api.service import ProtectionService
 from repro.core.policy import ReleasePolicy
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, StaleReplicaError
 from repro.graph.model import PropertyGraph
 from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.replication.wire import VECTOR_HEADER
 from repro.security.enforcement import EnforcementMode, QueryEnforcer
 from repro.server.admission import DEFAULT_MAX_INFLIGHT, DEFAULT_MAX_QUEUE, AdmissionController
 from repro.server.auth import Principal, TokenAuthenticator
@@ -75,6 +76,7 @@ from repro.server.errors import (
     status_for,
 )
 from repro.server.http import ChunkedStream, HttpRequest, read_request, response_bytes
+from repro.server.replication import FollowerReplication, LeaderReplication
 from repro.server.router import Router
 from repro.server.sessions import SessionManager
 
@@ -104,6 +106,18 @@ class ServerConfig:
     store_engine: Optional[str] = None
     #: Seconds :meth:`ProtectionServer.shutdown` waits for in-flight work.
     drain_timeout: float = 10.0
+    #: Lead: stream every published graph's deltas into per-tenant delta
+    #: logs (needs a durable ``store_root`` on the sqlite engine).
+    replicate: bool = False
+    #: Follow: serve reads from the leader's store root (opened read-only),
+    #: tailing its delta logs.  The value is the leader's base URL, quoted
+    #: back to clients that outrun the staleness budget.
+    replica_of: Optional[str] = None
+    #: Seconds a follower may block waiting to cover a request's
+    #: ``X-Repro-Vector`` before answering 503 (see docs/replication.md).
+    staleness_budget: float = 2.0
+    #: Follower tail-thread poll delay (``None`` = library default).
+    replica_poll_interval: Optional[float] = None
 
 
 @dataclass
@@ -125,11 +139,36 @@ class ProtectionServer:
         registry: Optional[ServiceRegistry] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
+        if self.config.replicate and self.config.replica_of:
+            raise ValueError("a server is a leader or a follower, not both")
+        if (self.config.replicate or self.config.replica_of) and registry is None:
+            if self.config.store_root is None:
+                raise ValueError("replication needs a durable --store-root")
+            if self.config.store_engine not in (None, "sqlite"):
+                raise ValueError("replication needs the sqlite store engine")
         self.registry = (
             registry
             if registry is not None
-            else ServiceRegistry(self.config.store_root, store_engine=self.config.store_engine)
+            else ServiceRegistry(
+                self.config.store_root,
+                store_engine=(
+                    "sqlite"
+                    if (self.config.replicate or self.config.replica_of)
+                    else self.config.store_engine
+                ),
+                read_only=bool(self.config.replica_of),
+            )
         )
+        self.replication: Optional[Any] = None
+        if self.config.replicate:
+            self.replication = LeaderReplication(self)
+        elif self.config.replica_of:
+            self.replication = FollowerReplication(
+                self,
+                self.config.replica_of,
+                staleness_budget=self.config.staleness_budget,
+                poll_interval=self.config.replica_poll_interval,
+            )
         self.auth = TokenAuthenticator()
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight, max_queue=self.config.max_queue
@@ -194,6 +233,8 @@ class ProtectionServer:
             writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self.replication is not None:
+            self.replication.close()
         return {"drained": drained, "closed_sessions": closed_sessions}
 
     # ------------------------------------------------------------------ #
@@ -242,13 +283,26 @@ class ProtectionServer:
             principal = self.auth.authenticate(request.headers.get("authorization"))
             admission = await self.admission.admit(principal.tenant)
             async with admission:
+                if self.replication is not None:
+                    # The freshness handshake runs before the handler so a
+                    # stale follower never half-serves: wait up to the
+                    # budget, or fail the whole request with 503.
+                    raw_vector = request.headers.get(VECTOR_HEADER.lower())
+                    if raw_vector:
+                        await self._run(
+                            self.replication.wait_current, principal.tenant, raw_vector
+                        )
                 if route.stream:
                     stream = ChunkedStream(writer, keep_alive=keep_alive)
                     await route.handler(request, params, principal, stream)
                     await stream.finish()
                     return True
                 response = await route.handler(request, params, principal)
-            writer.write(self._encode_response(response, keep_alive))
+            writer.write(
+                self._encode_response(
+                    response, keep_alive, extra=self._replication_headers(principal.tenant)
+                )
+            )
             await writer.drain()
             return True
         except Exception as exc:  # noqa: BLE001 - every failure becomes an envelope
@@ -265,12 +319,29 @@ class ProtectionServer:
             return True
 
     def _encode_response(
-        self, response: Tuple[int, Any, Optional[Mapping[str, object]]], keep_alive: bool
+        self,
+        response: Tuple[int, Any, Optional[Mapping[str, object]]],
+        keep_alive: bool,
+        *,
+        extra: Optional[Mapping[str, object]] = None,
     ) -> bytes:
         status, payload, headers = response
+        if extra:
+            merged: Dict[str, object] = dict(headers or {})
+            merged.update(extra)
+            headers = merged
         return response_bytes(
             status, json_bytes(payload) + b"\n", headers=headers, keep_alive=keep_alive
         )
+
+    def _replication_headers(self, tenant: str) -> Optional[Mapping[str, object]]:
+        """The role's version-vector response header (or ``None``)."""
+        if self.replication is None:
+            return None
+        try:
+            return self.replication.response_headers(tenant)
+        except ReproError:  # pragma: no cover - status must never fail a request
+            return None
 
     def _error_response(self, exc: BaseException, *, keep_alive: bool) -> bytes:
         envelope = error_envelope(exc)
@@ -280,6 +351,12 @@ class ProtectionServer:
             headers["Retry-After"] = retry_after
         if status_for(exc) == 401:
             headers["WWW-Authenticate"] = "Bearer"
+        if isinstance(exc, StaleReplicaError):
+            leader = getattr(self.replication, "leader_url", None)
+            if leader:
+                # The redirect half of the staleness contract: a client past
+                # the budget learns where current reads live.
+                headers["X-Repro-Leader"] = leader
         return response_bytes(
             status_for(exc), json_bytes(envelope) + b"\n", headers=headers, keep_alive=keep_alive
         )
@@ -322,7 +399,15 @@ class ProtectionServer:
         return digest, graph
 
     def _resolve_graph(self, tenant: str, body: Mapping[str, Any]) -> Tuple[str, PropertyGraph]:
-        """The graph one request runs against (inline payload or graph_ref)."""
+        """The graph one request runs against (inline, graph_ref or graph_name)."""
+        name = body.get("graph_name")
+        if name is not None:
+            if self.replication is None:
+                raise BadRequestError(
+                    "'graph_name' needs replication enabled"
+                    " (start the server with --replicate or --replica-of)"
+                )
+            return f"name:{name}", self.replication.named_graph(tenant, str(name), body)
         ref = body.get("graph_ref")
         if ref is not None:
             with self._artifacts_lock:
@@ -395,6 +480,7 @@ class ProtectionServer:
     def _install_routes(self) -> None:
         add = self.router.add
         add("GET", "/v1/health", self._h_health, auth=False)
+        add("GET", "/v1/replication", self._h_replication, auth=False)
         add("POST", "/v1/graphs", self._h_register_graph)
         add("POST", "/v1/protect", self._h_protect)
         add("POST", "/v1/protect_many", self._h_protect_many, stream=True)
@@ -423,6 +509,14 @@ class ProtectionServer:
             degraded = degraded or health.get("status") != "ok"
         status = "draining" if self.admission.draining else ("degraded" if degraded else "ok")
         return 200, {"status": status, "serving": serving, "tenants": tenants}, None
+
+    async def _h_replication(
+        self, request: HttpRequest, params: Dict[str, str], principal: Optional[Principal]
+    ) -> Tuple[int, Any, None]:
+        if self.replication is None:
+            return 200, {"role": "standalone"}, None
+        status = await self._run(self.replication.status)
+        return 200, status, None
 
     async def _h_register_graph(
         self, request: HttpRequest, params: Dict[str, str], principal: Principal
@@ -576,10 +670,23 @@ class ProtectionServer:
         if privilege is None:
             raise BadRequestError("'privilege' is required to open an edit session")
 
+        named = body.get("graph_name") is not None
+        if named and self.replication is not None and self.replication.role == "replica":
+            raise BadRequestError(
+                "replicas are read-only; open edit sessions on the leader at "
+                f"{self.replication.leader_url}"
+            )
+
         def open_session():
-            # The session owns a private copy: edits must never mutate the
-            # digest-shared graph other requests are being served from.
-            graph = graph_from_dict(graph_to_dict(shared_graph))
+            if named:
+                # A named session edits the *published* graph itself — that
+                # is the leader's write path: every committed edit streams
+                # through the delta log to the followers.
+                graph = shared_graph
+            else:
+                # The session owns a private copy: edits must never mutate
+                # the digest-shared graph other requests are served from.
+                graph = graph_from_dict(graph_to_dict(shared_graph))
             policy = build_policy(body)
             service = self.registry.service(tenant, graph, policy)
             self._attach_serving_stats(tenant, service)

@@ -154,7 +154,15 @@ _REQUEST_FIELDS = (
 )
 
 #: Body fields consumed by the HTTP layer before request construction.
-_ENVELOPE_FIELDS = ("graph", "graph_ref", "lattice", "lowest", "tenant", "requests")
+_ENVELOPE_FIELDS = (
+    "graph",
+    "graph_ref",
+    "graph_name",
+    "lattice",
+    "lowest",
+    "tenant",
+    "requests",
+)
 
 
 def decode_protection_request(

@@ -47,7 +47,9 @@ from repro.exceptions import (
     ProtectionError,
     QuotaExceededError,
     RecoveryError,
+    ReplicationError,
     ReproError,
+    StaleReplicaError,
     StoreError,
     TenantError,
     TransientError,
@@ -113,6 +115,8 @@ _STATUS_TABLE: Tuple[Tuple[type, int], ...] = (
     (QuotaExceededError, 429),
     (UnknownTenantError, 403),
     (TenantError, 400),
+    (StaleReplicaError, 503),
+    (ReplicationError, 500),
     (CorruptionError, 500),
     (RecoveryError, 500),
     (TransientError, 503),
@@ -145,7 +149,7 @@ def retry_after_for(exc: BaseException) -> Optional[int]:
     explicit = getattr(exc, "retry_after", None)
     if explicit is not None:
         return max(1, int(explicit))
-    if isinstance(exc, (QuotaExceededError, TransientError)):
+    if isinstance(exc, (QuotaExceededError, TransientError, StaleReplicaError)):
         return 1
     return None
 

@@ -1,0 +1,229 @@
+"""Server-side replication roles: the leader publisher and the follower.
+
+:class:`ProtectionServer <repro.server.app.ProtectionServer>` stays
+replication-agnostic except for four seams, all routed through the small
+role objects here:
+
+* resolving a ``graph_name`` body field to a *live named graph* — on the
+  leader the published (and streamed) original, on a follower the replayed
+  replica;
+* the freshness handshake — a follower honours the request's
+  ``X-Repro-Vector`` header by waiting up to the staleness budget before
+  the handler runs, and answers 503 (with the leader's URL) past it;
+* response headers — every authenticated response carries the role's
+  current version vector so clients can chain read-your-writes requests
+  from leader to follower;
+* the no-auth ``GET /v1/replication`` status route.
+
+The leader side anchors one :class:`~repro.replication.log
+.ReplicationPublisher` per tenant on a dedicated registry service: the
+publisher taps that service's delta bus, and because
+:meth:`DeltaBus.attach <repro.graph.deltas.DeltaBus.attach>` subscribes at
+the *graph*, edits made through any other service bound to the published
+graph (edit sessions included) still reach the log.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice
+from repro.exceptions import ReplicationError, StaleReplicaError
+from repro.graph.model import PropertyGraph
+from repro.replication.log import ReplicationPublisher
+from repro.replication.replica import ReplicaService
+from repro.replication.wire import VECTOR_HEADER, decode_vector, encode_vector
+from repro.server.encoding import decode_graph, resolve_graph_payload
+from repro.server.errors import BadRequestError, NotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.app import ProtectionServer
+
+
+def _decode_vector_header(raw: str) -> Dict[str, int]:
+    try:
+        return decode_vector(raw)
+    except (ValueError, TypeError) as exc:
+        raise BadRequestError(f"bad {VECTOR_HEADER} header: {exc}") from exc
+
+
+class LeaderReplication:
+    """Publishes named graphs and streams their deltas (one log per tenant)."""
+
+    role = "leader"
+
+    def __init__(self, server: "ProtectionServer") -> None:
+        self.server = server
+        self._lock = threading.Lock()
+        self._publishers: Dict[str, ReplicationPublisher] = {}
+        # The publisher tracks graphs weakly (so per-request ephemerals never
+        # leak); a *published* graph is long-lived server state, pinned here.
+        self._graphs: Dict[tuple, PropertyGraph] = {}
+
+    # ------------------------------------------------------------------ #
+    # per-tenant publishers
+    # ------------------------------------------------------------------ #
+    def publisher(self, tenant: str) -> ReplicationPublisher:
+        """The tenant's publisher (created on first use, on a dedicated
+        anchor service so its delta bus outlives request-scoped services)."""
+        with self._lock:
+            publisher = self._publishers.get(tenant)
+            if publisher is None:
+                anchor = self.server.registry.service(
+                    tenant, None, ReleasePolicy(PrivilegeLattice())
+                )
+                publisher = ReplicationPublisher(anchor)
+                self._publishers[tenant] = publisher
+            return publisher
+
+    def named_graph(
+        self, tenant: str, name: str, body: Mapping[str, Any]
+    ) -> PropertyGraph:
+        """The live published graph, publishing an inline payload first-time."""
+        publisher = self.publisher(tenant)
+        graph = publisher.graph_for(name)
+        if graph is not None:
+            return graph
+        payload = resolve_graph_payload(body)
+        if payload is None:
+            raise NotFoundError(
+                f"graph {name!r} is not published; include an inline 'graph'"
+                " payload once to publish it"
+            )
+        graph = publisher.publish(name, decode_graph(payload))
+        with self._lock:
+            self._graphs[(tenant, name)] = graph
+        return graph
+
+    def checkpoint(self, tenant: str, name: str) -> int:
+        return self.publisher(tenant).checkpoint(name)
+
+    # ------------------------------------------------------------------ #
+    # handshake seams
+    # ------------------------------------------------------------------ #
+    def wait_current(self, tenant: str, raw_vector: str) -> None:
+        """The leader *is* the source of truth — validate and serve."""
+        _decode_vector_header(raw_vector)
+
+    def response_headers(self, tenant: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            publisher = self._publishers.get(tenant)
+        if publisher is None:
+            return None
+        return {VECTOR_HEADER: encode_vector(publisher.vector())}
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            publishers = dict(self._publishers)
+        return {
+            "role": self.role,
+            "tenants": {name: pub.status() for name, pub in publishers.items()},
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            publishers = list(self._publishers.values())
+            self._publishers.clear()
+            self._graphs.clear()
+        for publisher in publishers:
+            publisher.close()
+            publisher.log.close()
+
+
+class FollowerReplication:
+    """Serves reads from replayed replicas, honouring the staleness budget."""
+
+    role = "replica"
+
+    def __init__(
+        self,
+        server: "ProtectionServer",
+        leader_url: str,
+        *,
+        staleness_budget: float,
+        poll_interval: Optional[float] = None,
+    ) -> None:
+        self.server = server
+        self.leader_url = leader_url
+        self.staleness_budget = staleness_budget
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self._replicas: Dict[str, ReplicaService] = {}
+
+    # ------------------------------------------------------------------ #
+    # per-tenant replicas
+    # ------------------------------------------------------------------ #
+    def replica(self, tenant: str) -> ReplicaService:
+        """The tenant's tailing replica (created + started on first use)."""
+        with self._lock:
+            replica = self._replicas.get(tenant)
+            if replica is None:
+                store = self.server.registry.store_for(tenant)
+                root = getattr(store.storage, "directory", None)
+                if root is None:
+                    raise ReplicationError(
+                        "a follower needs the leader's durable store root"
+                    )
+                kwargs: Dict[str, Any] = {}
+                if self.poll_interval is not None:
+                    kwargs["poll_interval"] = self.poll_interval
+                replica = ReplicaService(Path(root), **kwargs).start()
+                self._replicas[tenant] = replica
+            return replica
+
+    def named_graph(
+        self, tenant: str, name: str, body: Mapping[str, Any]
+    ) -> PropertyGraph:
+        replica = self.replica(tenant)
+        replica.poll()
+        try:
+            return replica.graph(name)
+        except ReplicationError as exc:
+            raise NotFoundError(
+                f"graph {name!r} is not replicated here; the leader at "
+                f"{self.leader_url} may know it"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # handshake seams
+    # ------------------------------------------------------------------ #
+    def wait_current(self, tenant: str, raw_vector: str) -> None:
+        """Block until the replica covers the client's vector, or 503."""
+        vector = _decode_vector_header(raw_vector)
+        replica = self.replica(tenant)
+        try:
+            replica.wait_for(vector, budget=self.staleness_budget)
+        except StaleReplicaError as exc:
+            raise StaleReplicaError(
+                f"{exc.args[0] if exc.args else exc}; retry against the leader "
+                f"at {self.leader_url}",
+                wanted=exc.wanted,
+                applied=exc.applied,
+            ) from exc
+
+    def response_headers(self, tenant: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            replica = self._replicas.get(tenant)
+        if replica is None:
+            return None
+        return {VECTOR_HEADER: encode_vector(replica.applied_vector())}
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            replicas = dict(self._replicas)
+        return {
+            "role": self.role,
+            "leader": self.leader_url,
+            "staleness_budget": self.staleness_budget,
+            "tenants": {name: replica.status() for name, replica in replicas.items()},
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            replicas = list(self._replicas.values())
+            self._replicas.clear()
+        for replica in replicas:
+            replica.close()

@@ -23,6 +23,7 @@ from repro.exceptions import (
     DuplicateNodeError,
     EdgeNotFoundError,
     NodeNotFoundError,
+    ReadOnlyStoreError,
     StoreError,
 )
 
@@ -152,6 +153,7 @@ class GraphStore:
         engine: Optional[str] = None,
         page_cache_pages: Optional[int] = None,
         page_rows: Optional[int] = None,
+        read_only: bool = False,
     ) -> None:
         if engine is None:
             engine = detect_engine(directory)
@@ -161,13 +163,24 @@ class GraphStore:
             )
         #: Which storage backend this store runs on (``"file"`` or ``"sqlite"``).
         self.engine = engine
+        #: True when this process may only read the root (follower opens).
+        self.read_only = read_only
         if engine == "sqlite":
             from repro.store.sqlite import SQLiteGraphStorage
 
             self.storage: GraphStorage = SQLiteGraphStorage(  # type: ignore[assignment]
-                directory, io=io, page_cache_pages=page_cache_pages, page_rows=page_rows
+                directory,
+                io=io,
+                page_cache_pages=page_cache_pages,
+                page_rows=page_rows,
+                read_only=read_only,
             )
         else:
+            if read_only:
+                raise StoreError(
+                    "read-only opens require the sqlite engine (the file engine "
+                    "rewrites its root on open)"
+                )
             self.storage = GraphStorage(directory, io=io)
         self.timer = PhaseTimer()
         self.stats = StoreStats()
@@ -195,6 +208,10 @@ class GraphStore:
         if self.retry is None:
             return operation()
         return self.retry.call(operation)
+
+    def _require_writable(self, action: str) -> None:
+        if self.read_only:
+            raise ReadOnlyStoreError(f"cannot {action}: store opened read-only")
 
     @classmethod
     def for_tenant(
@@ -231,6 +248,7 @@ class GraphStore:
     # ------------------------------------------------------------------ #
     def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> str:
         """Create an empty named graph and its indexes."""
+        self._require_writable("create a graph")
         with self.timer.phase("db_access"):
             self._durable(
                 lambda: self.storage.create_graph(name, kind=kind, description=description)
@@ -243,6 +261,7 @@ class GraphStore:
 
     def put_graph(self, graph: PropertyGraph, *, name: Optional[str] = None) -> str:
         """Store a prebuilt graph wholesale (snapshot write when durable)."""
+        self._require_writable("store a graph")
         with self.timer.phase("db_access"):
             # Defer the catalog write until after the tenant stamp so one
             # put costs one catalog save, not two.
@@ -258,6 +277,7 @@ class GraphStore:
 
     def drop_graph(self, name: str) -> None:
         """Remove a named graph, its indexes and its snapshot."""
+        self._require_writable("drop a graph")
         with self.timer.phase("db_access"):
             self.storage.drop_graph(name)
         self._adjacency.pop(name, None)
@@ -279,6 +299,7 @@ class GraphStore:
 
     def checkpoint(self) -> None:
         """Snapshot every graph and truncate the write log (durable stores only)."""
+        self._require_writable("checkpoint the store")
         with self.timer.phase("db_access"):
             self._durable(self.storage.checkpoint)
 
@@ -322,6 +343,7 @@ class GraphStore:
         the append replays the operation on reopen, and a crash before it
         never half-applied anything.
         """
+        self._require_writable("add a node")
         graph = self.storage.graph(graph_name)
         if graph.has_node(node_id):
             raise DuplicateNodeError(node_id)
@@ -349,6 +371,7 @@ class GraphStore:
         features: Optional[Mapping[str, Any]] = None,
     ) -> None:
         """Insert one edge (write-ahead logged)."""
+        self._require_writable("add an edge")
         graph = self.storage.graph(graph_name)
         if source == target:
             raise ValueError(f"self-loops are not supported (node {source!r})")
@@ -373,6 +396,7 @@ class GraphStore:
 
     def remove_node(self, graph_name: str, node_id: NodeId) -> None:
         """Remove one node and its incident edges (write-ahead logged)."""
+        self._require_writable("remove a node")
         graph = self.storage.graph(graph_name)
         if not graph.has_node(node_id):
             raise NodeNotFoundError(node_id)
@@ -387,6 +411,7 @@ class GraphStore:
 
     def remove_edge(self, graph_name: str, source: NodeId, target: NodeId) -> None:
         """Remove one edge (write-ahead logged)."""
+        self._require_writable("remove an edge")
         graph = self.storage.graph(graph_name)
         if not graph.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
@@ -402,6 +427,7 @@ class GraphStore:
 
     def set_node_features(self, graph_name: str, node_id: NodeId, features: Mapping[str, Any]) -> None:
         """Replace one node's features (write-ahead logged)."""
+        self._require_writable("set node features")
         graph = self.storage.graph(graph_name)
         if not graph.has_node(node_id):
             raise NodeNotFoundError(node_id)
@@ -419,6 +445,7 @@ class GraphStore:
     # ------------------------------------------------------------------ #
     def transaction(self, graph_name: str) -> Transaction:
         """Open a buffered transaction against one graph."""
+        self._require_writable("open a transaction")
         if not self.storage.has_graph(graph_name):
             raise StoreError(f"graph {graph_name!r} is not in the store")
 
@@ -439,7 +466,11 @@ class GraphStore:
                 self._durable(
                     lambda: self.storage.log("txn", graph_name, {"operations": applied})
                 )
-                apply_to(graph, transaction.operations)
+                # The batch mirrors the log record's atomicity for every
+                # delta subscriber: one composite delta, one version bump,
+                # one interval re-encode — not one per operation.
+                with graph.batch():
+                    apply_to(graph, transaction.operations)
             self._rebuild_indexes(graph_name)
             self.stats.transactions_committed += 1
             self.stats.nodes_written += sum(

@@ -24,7 +24,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
-from repro.exceptions import CorruptionError, TransientError
+from repro.exceptions import CorruptionError, ReadOnlyStoreError, TransientError
 from repro.store.io import StorageIO
 
 #: Matches the recipe in SNIPPETS.md Snippet 1: wait up to 30 s on a locked
@@ -41,17 +41,33 @@ class Database:
         *,
         io: StorageIO,
         page_cache_pages: Optional[int] = None,
+        read_only: bool = False,
     ) -> None:
         self.io = io
         self.path = None if str(target) == ":memory:" else Path(target)
+        self.read_only = read_only
         self._lock = threading.RLock()
+        if read_only and self.path is None:
+            raise ValueError("an in-memory database cannot be opened read-only")
         try:
-            self.conn = sqlite3.connect(
-                str(target),
-                timeout=BUSY_TIMEOUT_MS / 1000.0,
-                isolation_level=None,  # explicit BEGIN/COMMIT below
-                check_same_thread=False,
-            )
+            if read_only:
+                # A ``mode=ro`` URI open never takes write locks and never
+                # creates the file — exactly what follower processes need to
+                # coexist with a live writer on the same WAL-mode root.
+                self.conn = sqlite3.connect(
+                    f"file:{self.path}?mode=ro",
+                    uri=True,
+                    timeout=BUSY_TIMEOUT_MS / 1000.0,
+                    isolation_level=None,
+                    check_same_thread=False,
+                )
+            else:
+                self.conn = sqlite3.connect(
+                    str(target),
+                    timeout=BUSY_TIMEOUT_MS / 1000.0,
+                    isolation_level=None,  # explicit BEGIN/COMMIT below
+                    check_same_thread=False,
+                )
             self._apply_pragmas(page_cache_pages)
         except sqlite3.DatabaseError as exc:
             raise CorruptionError(f"cannot open SQLite database {target}: {exc}") from exc
@@ -59,7 +75,7 @@ class Database:
 
     def _apply_pragmas(self, page_cache_pages: Optional[int]) -> None:
         cursor = self.conn.cursor()
-        if self.path is not None:
+        if self.path is not None and not self.read_only:
             cursor.execute("PRAGMA journal_mode=WAL")
         cursor.execute("PRAGMA synchronous=NORMAL")
         cursor.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
@@ -110,6 +126,10 @@ class Database:
         reusable and the database reflects only committed state, exactly
         what a real process death would leave behind.
         """
+        if self.read_only:
+            raise ReadOnlyStoreError(
+                f"refusing write transaction {point!r} on a read-only connection"
+            )
         with self._lock:
             self.io.checkpoint(f"{point}.begin")
             self.execute("BEGIN IMMEDIATE")
@@ -127,6 +147,33 @@ class Database:
                     pass
                 raise
             self.io.checkpoint(f"{point}.after")
+
+    @contextmanager
+    def read_snapshot(self) -> Iterator[None]:
+        """One consistent read view across several SELECTs.
+
+        A ``BEGIN DEFERRED`` transaction takes only read locks, pinning a
+        single WAL snapshot for its duration — a multi-statement scan (node
+        rows, then edge rows) can never observe a concurrent writer's
+        commit landing between its statements.  Legal on read-only
+        connections (it writes nothing), and a no-op when already inside a
+        transaction, whose snapshot it would inherit anyway.
+        """
+        with self._lock:
+            if self.conn.in_transaction:
+                yield
+                return
+            self.execute("BEGIN DEFERRED")
+            try:
+                yield
+            finally:
+                try:
+                    self.conn.execute("COMMIT")
+                except sqlite3.Error:  # pragma: no cover - read txns don't fail
+                    try:
+                        self.conn.rollback()
+                    except sqlite3.Error:
+                        pass
 
     def integrity_probe(self) -> None:
         """Touch the schema so a corrupt file fails *now*, not mid-request."""

@@ -45,9 +45,17 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.codec import unpack_id_list, unpack_pair_table
-from repro.exceptions import CatalogError, CorruptionError, NodeNotFoundError, StoreError
+from repro.exceptions import (
+    CatalogError,
+    CorruptionError,
+    NodeNotFoundError,
+    ReadOnlyStoreError,
+    StoreError,
+)
+from repro.graph.deltas import record_maintenance
 from repro.graph.intervals import IntervalIndex, attach_interval_maintenance
 from repro.graph.model import PropertyGraph
+from repro.graph.traversal import ancestors, descendants
 from repro.graph.serialization import graph_from_dict, graph_to_dict
 from repro.store.catalog import Catalog
 from repro.store.io import TMP_SUFFIX, StorageIO, resolve_io
@@ -87,9 +95,11 @@ class SQLiteGraphStorage:
         io: Optional[StorageIO] = None,
         page_cache_pages: Optional[int] = None,
         page_rows: Optional[int] = None,
+        read_only: bool = False,
     ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.io = resolve_io(io)
+        self.read_only = read_only
         self.catalog = Catalog()
         self.recovery_report = RecoveryReport()
         self._page_rows = page_rows if page_rows is not None else DEFAULT_PAGE_ROWS
@@ -99,8 +109,24 @@ class SQLiteGraphStorage:
         self._interval_index: Dict[str, IntervalIndex] = {}
         self._interval_written: Dict[str, int] = {}
         self._interval_tokens: Dict[str, int] = {}
+        self._lineage_seen: Dict[str, int] = {}
         self._snapshotted: Set[str] = set()
-        if self.directory is not None:
+        if read_only:
+            # Follower-style open: never create, migrate, clean up or write —
+            # another process owns this root.  WAL records are replayed into
+            # memory only, so reads reflect the leader's full durable state.
+            if self.directory is None:
+                raise StoreError("a read-only store needs a durable root directory")
+            path = self.directory / DATABASE_NAME
+            if not path.exists():
+                raise StoreError(f"no SQLite store at {path} to open read-only")
+            self.db = Database(
+                path, io=self.io, page_cache_pages=page_cache_pages, read_only=True
+            )
+            self.db.integrity_probe()
+            self.wal = SQLiteWriteLog(self.db, io=self.io)
+            self._recover()
+        elif self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._remove_orphan_tmp_files()
             self.db = self._open_database(page_cache_pages)
@@ -266,7 +292,8 @@ class SQLiteGraphStorage:
             self.catalog.register(name)
             self._graphs[name] = PropertyGraph(name=name)
             return self._graphs[name]
-        graph = load_graph_paged(self.db, name, page_rows=self._page_rows, stats=self.paging)
+        with self.db.read_snapshot():
+            graph = load_graph_paged(self.db, name, page_rows=self._page_rows, stats=self.paging)
         self._graphs[name] = graph
         self._row_versions[name] = graph.version
         self.recovery_report.snapshots_loaded += 1
@@ -280,8 +307,13 @@ class SQLiteGraphStorage:
         """True when backed by a directory on disk."""
         return self.directory is not None
 
+    def _require_writable(self, action: str) -> None:
+        if self.read_only:
+            raise ReadOnlyStoreError(f"cannot {action}: store opened read-only")
+
     def create_graph(self, name: str, *, kind: str = "graph", description: str = "") -> PropertyGraph:
         """Create (and log) an empty named graph (write-ahead ordering)."""
+        self._require_writable("create a graph")
         if name in self.catalog:
             self.catalog.register(name)  # raises the canonical CatalogError
         self.wal.append("create_graph", name, {"kind": kind, "description": description})
@@ -298,6 +330,7 @@ class SQLiteGraphStorage:
         save_catalog: bool = True,
     ) -> str:
         """Store an already-built graph under ``name`` (default: its own name)."""
+        self._require_writable("store a graph")
         name = name if name is not None else graph.name
         if not name:
             raise StoreError("a stored graph needs a name")
@@ -316,6 +349,7 @@ class SQLiteGraphStorage:
 
     def drop_graph(self, name: str) -> None:
         """Remove a graph from the store (rows, indexes, accounts and all)."""
+        self._require_writable("drop a graph")
         if name not in self.catalog:
             self.catalog.drop(name)  # raises the canonical CatalogError
         self.wal.append("drop_graph", name)
@@ -356,6 +390,7 @@ class SQLiteGraphStorage:
     # ------------------------------------------------------------------ #
     def log(self, op: str, graph_name: str, payload: Optional[dict] = None) -> LogRecord:
         """Append one mutation record to the logical write log."""
+        self._require_writable("log a mutation")
         return self.wal.append(op, graph_name, payload)
 
     def _refresh_counts(self, name: str) -> None:
@@ -375,6 +410,7 @@ class SQLiteGraphStorage:
         """
         if not self.durable:
             return
+        self._require_writable("checkpoint the store")
         for name in self.catalog.names():
             graph = self._graphs.get(name)
             if graph is None:
@@ -394,7 +430,7 @@ class SQLiteGraphStorage:
         ``account_listing`` from the ``protected_account`` descriptors.
         No-op for in-memory stores, matching the file engine.
         """
-        if not self.durable:
+        if not self.durable or self.read_only:
             return
         with self.db.transaction("sqlite.catalog"):
             self.db.execute("DELETE FROM graphs")
@@ -619,7 +655,11 @@ class SQLiteGraphStorage:
             return None
         if name not in self._snapshotted:
             return None
-        return load_graph_paged(self.db, name, page_rows=self._page_rows, stats=self.paging)
+        # The snapshot pin matters to concurrent readers: node rows and
+        # edge rows load in separate statements, and a checkpoint landing
+        # between them must not produce a torn graph.
+        with self.db.read_snapshot():
+            return load_graph_paged(self.db, name, page_rows=self._page_rows, stats=self.paging)
 
     # ------------------------------------------------------------------ #
     # SQL query surface (what the relational engine adds)
@@ -628,15 +668,63 @@ class SQLiteGraphStorage:
         """Ancestor/descendant closure as an interval range scan.
 
         Runs entirely against the ``intervals``/``extra_edges`` tables —
-        a graph that was never materialized stays on disk.
+        a graph that was never materialized stays on disk.  During an edit
+        burst — structural changes still arriving between queries — the
+        closure is answered by an in-memory traversal instead (pinned equal
+        to the interval scan by the cross-engine differential suite), so
+        the O(V) forest re-encode runs once when the burst settles rather
+        than once per interleaved query.  Read-only opens whose write-log
+        replay advanced a graph past its snapshot rows take the same
+        traversal path: a follower never rewrites the leader's rows.
         """
         if name not in self.catalog:
             raise CatalogError(f"graph {name!r} is not in the store")
+        if self._defer_interval_encode(name):
+            record_maintenance("interval_index", "deferred_traversal")
+            graph = self._graphs[name]
+            if not graph.has_node(node_id):
+                raise NodeNotFoundError(node_id)
+            if direction == "ancestors":
+                return ancestors(graph, node_id)
+            return descendants(graph, node_id)
         self._ensure_intervals(name)
         result = reachability.interval_reach(self.db, name, node_id, direction=direction)
         if result is None:
             raise NodeNotFoundError(node_id)
         return result
+
+    def _defer_interval_encode(self, name: str) -> bool:
+        """Should this lineage query skip the interval re-encode?
+
+        True while a structural edit burst is in flight over a resident
+        graph: the graph's version moved since the previous lineage query
+        (or a batch is literally open, or this store is read-only and
+        replay advanced the graph past its persisted rows).  The version
+        watermark makes the heuristic self-settling — the first query *not*
+        preceded by new edits re-encodes, and every later query scans rows.
+        """
+        graph = self._graphs.get(name)
+        if graph is None:
+            return False
+        if graph.in_batch:
+            return True
+        if self.read_only:
+            # A follower never rewrites the leader's interval rows, and a
+            # resident graph here means the write-log replay (or a caller)
+            # already paid for the in-memory structure — traverse it.
+            return True
+        index = self._interval_index.get(name)
+        rows_current = (
+            index is not None
+            and not index.stale_for(graph)
+            and self._interval_written.get(name) == index.revision
+        )
+        if rows_current:
+            self._lineage_seen[name] = graph.version
+            return False
+        last_seen = self._lineage_seen.get(name)
+        self._lineage_seen[name] = graph.version
+        return last_seen is not None and last_seen != graph.version
 
     def visible_frontier(
         self, name: str, markings: Any, privilege: Any, start: Any, *, forward: bool = True
@@ -667,6 +755,15 @@ class SQLiteGraphStorage:
             raise CatalogError(f"graph {name!r} is not in the store")
         graph = self._graphs.get(name)
         if graph is not None and self._row_versions.get(name) != graph.version:
+            if self.read_only:
+                # Followers cannot refresh the FTS rows; scan the replayed
+                # in-memory graph with the substring semantics instead.
+                needle = query.lower()
+                return {
+                    node.node_id
+                    for node in graph.nodes()
+                    if needle in _search_body(node).lower()
+                }
             self._write_graph_rows(name)
         if self.db.fts_enabled:
             rows = self.db.execute(
@@ -734,7 +831,7 @@ class SQLiteGraphStorage:
         changes (or a fresh residency) trigger an encode + row rewrite.
         """
         graph = self._graphs.get(name)
-        if graph is None:
+        if graph is None or self.read_only:
             return
         index = self._interval_index.get(name)
         if index is None:

@@ -1,0 +1,191 @@
+"""The durable delta log: sequencing, stamps, gaps and the publisher.
+
+These pin the log's contract with followers: per-graph monotone
+sequences, ``records_since`` either proves a contiguous suffix or raises
+:class:`ReplicationGapError` (never silently skips), and the publisher
+turns unreplicable deltas into explicit gap markers plus a fresh seed
+point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.service import ProtectionService
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import PrivilegeLattice
+from repro.exceptions import ReadOnlyStoreError, ReplicationError, ReplicationGapError
+from repro.graph.model import PropertyGraph
+from repro.replication.log import DeltaLog, ReplicationPublisher, delta_log_path
+
+
+def emitted(graph, build):
+    version = graph.version
+    build(graph)
+    return graph.deltas_since(version)
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph(name="log")
+    g.add_node("a", kind="entity")
+    g.add_node("b", kind="entity")
+    g.add_edge("a", "b", label="used")
+    g.enable_delta_log()
+    return g
+
+
+@pytest.fixture
+def log(tmp_path):
+    log = DeltaLog(tmp_path)
+    yield log
+    log.close()
+
+
+class TestDeltaLog:
+    def test_sequences_are_per_graph_and_monotone(self, log, graph):
+        deltas = emitted(graph, lambda g: (g.add_node("c"), g.add_node("d")))
+        assert [log.append("g1", d) for d in deltas] == [1, 2]
+        assert log.append("g2", deltas[0]) == 1  # independent counter
+        assert log.vector() == {"g1": 2, "g2": 1}
+        assert log.head_for("g1") == 2
+
+    def test_records_since_replays_in_order(self, log, graph):
+        deltas = emitted(
+            graph, lambda g: (g.add_node("c"), g.add_edge("c", "a"), g.remove_node("b"))
+        )
+        for delta in deltas:
+            log.append("g", delta)
+        records = log.records_since("g", 0)
+        assert [seq for seq, _ in records] == [1, 2, 3]
+        assert [d for _, d in records] == deltas
+        assert log.records_since("g", 3) == []
+
+    def test_compaction_below_stamp_raises_gap_for_laggards(self, log, graph):
+        for delta in emitted(graph, lambda g: (g.add_node("c"), g.add_node("d"))):
+            log.append("g", delta)
+        log.stamp("g", 2)
+        assert log.compact("g") == 2
+        with pytest.raises(ReplicationGapError):
+            log.records_since("g", 0)  # follower behind the stamp must reseed
+        assert log.records_since("g", 2) == []  # at the stamp: clean tail
+
+    def test_compact_never_deletes_above_the_stamp(self, log, graph):
+        deltas = emitted(
+            graph, lambda g: (g.add_node("c"), g.add_node("d"), g.add_node("e"))
+        )
+        for delta in deltas:
+            log.append("g", delta)
+        log.stamp("g", 1)
+        # An operator asking for more than the stamp allows is clamped.
+        assert log.compact("g", below=3) == 1
+        assert [seq for seq, _ in log.records_since("g", 1)] == [2, 3]
+
+    def test_stamps_only_move_forward(self, log, graph):
+        for delta in emitted(graph, lambda g: (g.add_node("c"), g.add_node("d"))):
+            log.append("g", delta)
+        assert log.stamp("g", 2) == 2
+        log.stamp("g", 1)
+        assert log.stamp_for("g") == 2
+
+    def test_gap_marker_poisons_the_suffix(self, log, graph):
+        (delta,) = emitted(graph, lambda g: g.add_node("c"))
+        log.append("g", delta)
+        log.append_gap("g")
+        log.append("g", delta)
+        with pytest.raises(ReplicationGapError):
+            log.records_since("g", 0)
+        with pytest.raises(ReplicationGapError):
+            log.records_since("g", 1)
+        assert [seq for seq, _ in log.records_since("g", 2)] == [3]
+
+    def test_read_only_open_requires_an_existing_log(self, tmp_path):
+        with pytest.raises(ReplicationError):
+            DeltaLog(tmp_path / "missing", read_only=True)
+
+    def test_read_only_log_refuses_appends(self, tmp_path, graph):
+        writer = DeltaLog(tmp_path)
+        (delta,) = emitted(graph, lambda g: g.add_node("c"))
+        writer.append("g", delta)
+        reader = DeltaLog(tmp_path, read_only=True)
+        try:
+            assert reader.vector() == {"g": 1}
+            with pytest.raises(ReadOnlyStoreError):
+                reader.append("g", delta)
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_stamped_but_never_edited_graph_is_in_the_vector(self, log):
+        log.stamp("fresh", 0)
+        assert log.vector() == {"fresh": 0}
+
+
+class TestPublisher:
+    @pytest.fixture
+    def service(self, leader_store):
+        return ProtectionService(None, ReleasePolicy(PrivilegeLattice()), store=leader_store)
+
+    def test_published_graph_streams_only_its_own_deltas(self, service, graph):
+        publisher = ReplicationPublisher(service)
+        try:
+            publisher.publish("g", graph)
+            bystander = PropertyGraph(name="other")
+            service._attach_graph(bystander)
+            bystander.add_node("noise")
+            graph.add_node("c")
+            graph.add_edge("c", "a", label="used")
+            assert publisher.vector()["g"] == 2
+            assert "other" not in publisher.vector()
+            assert delta_log_path(service.store.storage.directory).exists()
+        finally:
+            publisher.close()
+            publisher.log.close()
+
+    def test_publish_checkpoints_a_seed_snapshot(self, service, graph):
+        publisher = ReplicationPublisher(service)
+        try:
+            publisher.publish("g", graph)
+            assert service.store.has_graph("g")
+            assert publisher.log.stamp_for("g") == 0
+            graph.add_node("c")
+            publisher.checkpoint("g")
+            assert publisher.log.stamp_for("g") == 1
+        finally:
+            publisher.close()
+            publisher.log.close()
+
+    def test_unsupported_delta_becomes_gap_plus_fresh_seed(self, service, graph):
+        publisher = ReplicationPublisher(service)
+        try:
+            publisher.publish("g", graph)
+            graph.add_node("c")
+            graph.set_node_features("c", {"bad": object()})  # unreplicable
+            graph.add_node("d")
+            head = publisher.log.head_for("g")
+            with pytest.raises(ReplicationGapError):
+                publisher.log.records_since("g", 1)
+            # The gap came with an immediate checkpoint: a reseeding
+            # follower lands at the stamp and replays a clean tail.
+            stamp = publisher.log.stamp_for("g")
+            assert stamp >= 2
+            for _seq, _delta in publisher.log.records_since("g", stamp):
+                pass  # contiguous, gap-free suffix
+            assert head == 3
+        finally:
+            publisher.close()
+            publisher.log.close()
+
+    def test_compact_checkpoints_first_so_followers_never_strand(self, service, graph):
+        publisher = ReplicationPublisher(service)
+        try:
+            publisher.publish("g", graph)
+            for step in range(5):
+                graph.add_node(f"n{step}")
+            deleted = publisher.compact("g")
+            assert deleted == 5
+            assert publisher.log.stamp_for("g") == 5
+            assert publisher.log.records_since("g", 5) == []
+        finally:
+            publisher.close()
+            publisher.log.close()

@@ -1,0 +1,127 @@
+"""Regression: an edit burst costs one interval re-encode, not N.
+
+The SQLite engine keeps a pre/post interval encoding per resident graph
+(:class:`~repro.graph.intervals.IntervalIndex`) and re-encodes lazily when
+a structural delta lands.  Two coalescing mechanisms keep a burst of K
+edits from paying K encodes:
+
+* ``graph.batch()`` awareness — :meth:`IntervalIndex.refresh` is a no-op
+  while a batch is open, and the storage layer's deferral heuristic
+  answers lineage queries by direct traversal instead;
+* the version watermark — an unbatched edit/query/edit/query burst defers
+  until the first query *not* preceded by new edits, which pays the single
+  settle encode.
+
+Each test counts :attr:`IntervalIndex.encodes` exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.builders import GraphBuilder
+from repro.graph.deltas import DeltaKind
+from repro.graph.traversal import ancestors, descendants
+from repro.store.sqlite import SQLiteGraphStorage
+
+
+def chain_graph(length=12):
+    builder = GraphBuilder("chain")
+    for i in range(length):
+        builder.node(f"n{i}", kind="artifact")
+    for i in range(length - 1):
+        builder.edge(f"n{i}", f"n{i + 1}", label="derivedFrom")
+    return builder.build()
+
+
+def warm_storage():
+    storage = SQLiteGraphStorage()
+    storage.put_graph(chain_graph(), name="g")
+    live = storage.graph("g")
+    # Warm the index so later deltas are the only re-encode triggers.
+    storage.sql_lineage("g", "n0", direction="descendants")
+    return storage, live, storage._interval_index["g"]
+
+
+def burst(live, rng, steps, offset=0):
+    """Structural edits only — the kind that invalidates interval ranks."""
+    for step in range(offset, offset + steps):
+        if step % 3 == 2 and live.edge_keys():
+            live.remove_edge(*rng.choice(live.edge_keys()))
+        else:
+            node = f"fresh-{step}"
+            source = rng.choice(live.node_ids())
+            live.add_node(node, kind="artifact")
+            live.add_edge(source, node, label="derivedFrom")
+
+
+class TestBatchedBurst:
+    def test_burst_inside_batch_costs_exactly_one_encode(self):
+        storage, live, index = warm_storage()
+        before = index.encodes
+        rng = random.Random(17)
+        with live.batch():
+            burst(live, rng, 20)
+            # Mid-batch lineage answers come from direct traversal and must
+            # not trigger a re-encode (the ranks are knowingly stale).
+            assert storage.sql_lineage("g", "n0", direction="descendants") == descendants(
+                live, "n0"
+            )
+            assert index.encodes == before
+            # refresh() itself is batch-aware: explicitly a no-op here.
+            assert index.refresh(live) is False
+        # The batch commit bumps the version once, so the first post-batch
+        # query still sees "edits since my last visit" and defers...
+        assert storage.sql_lineage("g", "n0", direction="descendants") == descendants(
+            live, "n0"
+        )
+        assert index.encodes == before
+        # ...and the first *quiet* query settles with one encode, total.
+        assert storage.sql_lineage("g", "n0", direction="descendants") == descendants(
+            live, "n0"
+        )
+        assert index.encodes == before + 1
+        # And it stays settled: further queries reuse the encoding.
+        for node_id in live.node_ids()[:8]:
+            storage.sql_lineage("g", node_id, direction="ancestors")
+        assert index.encodes == before + 1
+
+    def test_batch_emits_one_composite_delta(self):
+        storage, live, index = warm_storage()
+        seen = []
+        live.subscribe(lambda graph, delta: seen.append(delta))
+        with live.batch():
+            burst(live, random.Random(5), 9)
+        assert len(seen) == 1
+        assert seen[0].kind is DeltaKind.BATCH
+        # The maintained index digests the composite in one invalidation
+        # and the next query's single re-encode is exact.
+        assert storage.sql_lineage("g", live.node_ids()[-1], direction="ancestors") == ancestors(
+            live, live.node_ids()[-1]
+        )
+
+
+class TestUnbatchedBurstWatermark:
+    def test_interleaved_edit_query_burst_settles_to_one_encode(self):
+        storage, live, index = warm_storage()
+        before = index.encodes
+        rng = random.Random(23)
+        for step in range(15):
+            burst(live, rng, 1, offset=step)
+            # Every query here is preceded by a fresh edit: the watermark
+            # heuristic answers by traversal and defers the encode.
+            assert storage.sql_lineage("g", "n0", direction="descendants") == descendants(
+                live, "n0"
+            )
+        assert index.encodes == before
+        # The burst ends; the first quiet query settles with one encode.
+        storage.sql_lineage("g", "n0", direction="descendants")
+        assert index.encodes == before + 1
+
+    def test_feature_edits_never_count_as_burst(self):
+        storage, live, index = warm_storage()
+        before = index.encodes
+        for step, node_id in enumerate(live.node_ids()[:6]):
+            live.set_node_features(node_id, {"step": step})
+            storage.sql_lineage("g", node_id, direction="descendants")
+        assert index.encodes == before
