@@ -123,7 +123,11 @@ def compare_motif(
     return _comparison_from_results(motif, hide, surrogate)
 
 
-def run_figure7(*, adversary: Optional[AttackerModel] = None) -> Figure7Result:
+def run_figure7(
+    *,
+    adversary: Optional[AttackerModel] = None,
+    workers: Optional[int] = None,
+) -> Figure7Result:
     """Reproduce Figure 7 over every motif of Figure 6.
 
     All seven motifs run as **one** cross-graph
@@ -131,7 +135,8 @@ def run_figure7(*, adversary: Optional[AttackerModel] = None) -> Figure7Result:
     multi-graph service (each request carries its motif's graph), the same
     serving shape the Figures-8/9 sweep uses; per-motif results are
     identical to :func:`compare_motif` because both paths score through the
-    compiled opacity engine.
+    compiled opacity engine.  ``workers=N`` shards the batch across N
+    worker processes (results are bit-identical to the serial run).
     """
     adversary = adversary if adversary is not None else AdvancedAdversary()
     policy = ReleasePolicy(PrivilegeLattice())
@@ -140,7 +145,7 @@ def run_figure7(*, adversary: Optional[AttackerModel] = None) -> Figure7Result:
     requests: List[ProtectionRequest] = []
     for motif in motifs:
         requests.extend(_motif_requests(motif, policy.lattice.public, with_graph=True))
-    results = service.protect_many(requests)
+    results = service.protect_many(requests, parallel=workers)
     result = Figure7Result()
     for index, motif in enumerate(motifs):
         result.comparisons.append(

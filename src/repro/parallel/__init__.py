@@ -1,0 +1,24 @@
+"""Process-pool execution layer: multi-core sharding for batch workloads.
+
+The GIL caps a single process at one core of compiled-view work, so this
+package shards the embarrassingly parallel units — one ``protect_many``
+fingerprint group, one ``(graph, adversary)`` opacity simulation — across
+warm worker processes and merges the results back into the parent's
+caches bit-identically (see ``docs/parallelism.md``).
+
+Public surface:
+
+* :class:`~repro.parallel.pool.WorkerPool` — warm stdlib process pool
+  with crash detection, bounded respawn and graceful drain.
+* :mod:`~repro.parallel.wire` — the codec-packed task wire format.
+* :mod:`~repro.parallel.tasks` — worker-side task entrypoints.
+"""
+
+from .pool import PoolBrokenError, PoolTimeoutError, WorkerCrashError, WorkerPool
+
+__all__ = [
+    "WorkerPool",
+    "WorkerCrashError",
+    "PoolTimeoutError",
+    "PoolBrokenError",
+]

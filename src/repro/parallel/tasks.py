@@ -1,0 +1,110 @@
+"""Worker-process task entrypoints for the :class:`~repro.parallel.pool.WorkerPool`.
+
+Each function here is a top-level callable (picklable by qualified name)
+that takes one wire payload dict from :mod:`repro.parallel.wire` and
+returns one wire payload dict — workers never see live graph, policy or
+service objects from the parent.  :func:`warm_worker` runs once per
+worker process as the pool initializer so the first real task does not
+pay the repro import cost.
+
+A small chaos hook (``REPRO_PARALLEL_CHAOS_FILE``) lets the crash-path
+tests kill a worker *mid-shard* exactly once: the first shard that sees
+the variable set and the sentinel file absent creates the file and hard
+exits, so the respawned worker (which sees the file) completes the
+retried task.  The hook is inert unless the environment variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+#: Environment variable naming a sentinel file for the one-shot crash hook.
+CHAOS_ENV = "REPRO_PARALLEL_CHAOS_FILE"
+
+
+def warm_worker() -> None:
+    """Pool initializer: pre-import the service stack in the worker.
+
+    Importing ``repro.api.service`` pulls in the graph model, the codec,
+    the compiled-view machinery and the checkpoint serialisers, so shard
+    tasks start computing immediately instead of importing.
+    """
+    import repro.api.checkpoints  # noqa: F401
+    import repro.api.service  # noqa: F401
+    import repro.parallel.wire  # noqa: F401
+
+
+def _maybe_chaos_exit() -> None:
+    """Hard-exit this worker once if the crash-test hook is armed."""
+    sentinel = os.environ.get(CHAOS_ENV)
+    if not sentinel:
+        return
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("crashed\n")
+        os._exit(1)
+
+
+def protect_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Compute one shard of a ``protect_many`` batch in this worker.
+
+    The payload carries one packed graph, one packed policy, the parent
+    service's adversary spec and a list of packed requests.  The worker
+    rebuilds the world, runs the requests through a private
+    :class:`~repro.api.service.ProtectionService` (so generation and
+    scoring take exactly the code path the parent would have taken) and
+    returns one :func:`~repro.parallel.wire.pack_group_result` payload
+    per request, in order.
+    """
+    _maybe_chaos_exit()
+    from repro.api.service import ProtectionService
+    from repro.parallel import wire
+
+    graph = wire.unpack_graph(payload["graph"])
+    policy = wire.unpack_policy(payload["policy"])
+    adversary = None
+    if payload["adversary"] is not None:
+        adversary = wire.unpack_adversary(payload["adversary"])
+    service = ProtectionService(graph, policy, adversary=adversary)
+    results = []
+    for request_payload in payload["requests"]:
+        request = wire.unpack_request(request_payload, policy.lattice)
+        result = service.protect(request)
+        effective = (
+            request.adversary if request.adversary is not None else adversary
+        )
+        results.append(
+            wire.pack_group_result(graph, policy, request, result, effective)
+        )
+    return {"results": results}
+
+
+def opacity_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one (account graph, adversary) opacity simulation in this worker.
+
+    Returns the compiled view as its exact-Fraction checkpoint payload,
+    ready for :func:`repro.api.checkpoints._opacity_view_from_dict` +
+    :meth:`~repro.core.opacity.OpacityViewCache.seed` in the parent.
+    """
+    _maybe_chaos_exit()
+    from repro.api.checkpoints import _opacity_view_to_dict
+    from repro.core.opacity import DEFAULT_ADVERSARY, CompiledOpacityView
+    from repro.parallel import wire
+
+    graph = wire.unpack_graph(payload["graph"])
+    adversary = None
+    if payload["adversary"] is not None:
+        adversary = wire.unpack_adversary(payload["adversary"])
+    effective = adversary if adversary is not None else DEFAULT_ADVERSARY
+    view = CompiledOpacityView.compile(graph, effective)
+    return {"name": payload.get("name"), "view": _opacity_view_to_dict(view)}
+
+
+def echo(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Round-trip a payload unchanged (pool health probes and tests)."""
+    _maybe_chaos_exit()
+    return payload
+
+
+__all__ = ["warm_worker", "protect_shard", "opacity_shard", "echo", "CHAOS_ENV"]

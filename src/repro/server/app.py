@@ -38,7 +38,9 @@ from __future__ import annotations
 import asyncio
 import functools
 import logging
+import math
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -76,6 +78,7 @@ from repro.server.errors import (
     status_for,
 )
 from repro.server.http import ChunkedStream, HttpRequest, read_request, response_bytes
+from repro.server.metrics import LatencyRegistry
 from repro.server.replication import FollowerReplication, LeaderReplication
 from repro.server.router import Router
 from repro.server.sessions import SessionManager
@@ -94,8 +97,13 @@ class ServerConfig:
 
     host: str = "127.0.0.1"
     port: int = 0
-    #: Executor threads actually compiling/scoring (the CPU-bound pool).
+    #: Executor threads serving requests (cached replays, decode, merge).
     workers: int = 4
+    #: Worker *processes* for cold compiles (``repro serve --workers``);
+    #: ``None``/0 keeps every compile on the executor threads.
+    pool_workers: Optional[int] = None
+    #: Per-task wall-clock budget on the process pool, seconds.
+    pool_timeout: Optional[float] = 120.0
     max_inflight: int = DEFAULT_MAX_INFLIGHT
     max_queue: int = DEFAULT_MAX_QUEUE
     max_sessions_per_tenant: int = 16
@@ -186,6 +194,11 @@ class ProtectionServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self.port: Optional[int] = None
+        #: Per-endpoint latency histograms (route pattern → histogram).
+        self.latency = LatencyRegistry()
+        #: Cold-compile process pool (created in :meth:`start` when
+        #: ``config.pool_workers`` is set).
+        self.pool: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # tenant management
@@ -214,6 +227,12 @@ class ProtectionServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-serve"
         )
+        if self.config.pool_workers:
+            from repro.parallel import WorkerPool
+
+            self.pool = WorkerPool(
+                self.config.pool_workers, timeout_s=self.config.pool_timeout
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -233,6 +252,12 @@ class ProtectionServer:
             writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self.pool is not None:
+            # Executor threads are gone, so no new pool submissions can
+            # race this: let in-flight worker tasks settle, then release
+            # the processes.
+            self.pool.drain(self.config.drain_timeout)
+            self.pool.shutdown(wait=True)
         if self.replication is not None:
             self.replication.close()
         return {"drained": drained, "closed_sessions": closed_sessions}
@@ -273,8 +298,11 @@ class ProtectionServer:
     ) -> bool:
         """Serve one parsed request; False means the connection must close."""
         stream: Optional[ChunkedStream] = None
+        label = "unrouted"
+        started = time.perf_counter()
         try:
             route, params = self.router.resolve(request.method, request.path)
+            label = f"{route.method} /{'/'.join(route.segments)}"
             if not route.auth:
                 response = await route.handler(request, params, None)
                 writer.write(self._encode_response(response, keep_alive))
@@ -317,6 +345,8 @@ class ProtectionServer:
             writer.write(self._error_response(exc, keep_alive=keep_alive))
             await writer.drain()
             return True
+        finally:
+            self.latency.record(label, (time.perf_counter() - started) * 1000.0)
 
     def _encode_response(
         self,
@@ -348,6 +378,12 @@ class ProtectionServer:
         headers: Dict[str, object] = {}
         retry_after = retry_after_for(exc)
         if retry_after is not None:
+            if self.pool is not None and self.pool.depth:
+                # A deep worker-pool backlog means admission capacity will
+                # not free up at the usual rate: stretch the client's
+                # back-off by the backlog's expected drain time (≥1 s per
+                # full wave of busy workers).
+                retry_after += max(1, math.ceil(self.pool.depth / self.pool.workers))
             headers["Retry-After"] = retry_after
         if status_for(exc) == 401:
             headers["WWW-Authenticate"] = "Bearer"
@@ -451,7 +487,23 @@ class ProtectionServer:
             "admission": self.admission.tenant_snapshot(tenant),
             "sessions": self.sessions.count(tenant),
             "draining": self.admission.draining,
+            "pool": self.pool.stats() if self.pool is not None else None,
         }
+
+    def _protect_one(
+        self, service: ProtectionService, protection_request: Any
+    ) -> Any:
+        """Executor-thread body for one protect: cold compiles go to the pool.
+
+        Cached replays answer inline (a cache lookup — milliseconds, no
+        reason to cross a process boundary); cold compiles ship to the
+        worker pool when one is configured, keeping the O(V+E) generate +
+        simulate work off this process's GIL.  Requests the pool cannot
+        express fall back to the inline path inside ``protect_many``.
+        """
+        if self.pool is not None and not service.is_cached(protection_request):
+            return service.protect_many([protection_request], pool=self.pool)[0]
+        return service.protect(protection_request)
 
     def _resolve_enforcer(
         self, tenant: str, body: Mapping[str, Any]
@@ -497,6 +549,8 @@ class ProtectionServer:
         serving = self.admission.snapshot()
         serving["sessions"] = self.sessions.count()
         serving["connections"] = len(self._connections)
+        serving["latency"] = self.latency.snapshot()
+        serving["pool"] = self.pool.stats() if self.pool is not None else None
         tenants: Dict[str, Any] = {}
         degraded = False
         for tenant in self.registry.tenants():
@@ -546,7 +600,7 @@ class ProtectionServer:
         _, graph = self._resolve_graph(tenant, body)
         _, _, service = self._resolve_service(tenant, body)
         protection_request = decode_protection_request(body, graph)
-        result = await self._run(service.protect, protection_request)
+        result = await self._run(self._protect_one, service, protection_request)
         return (
             200,
             {
@@ -585,7 +639,7 @@ class ProtectionServer:
         failed = 0
         for index, protection_request in enumerate(decoded):
             try:
-                result = await self._run(service.protect, protection_request)
+                result = await self._run(self._protect_one, service, protection_request)
             except ReproError as exc:
                 failed += 1
                 line = {"index": index, **error_envelope(exc)}
@@ -615,7 +669,7 @@ class ProtectionServer:
         merged = dict(body)
         merged["score"] = True
         protection_request = decode_protection_request(merged, graph)
-        result = await self._run(service.protect, protection_request)
+        result = await self._run(self._protect_one, service, protection_request)
         assert result.scores is not None  # score=True above
         return (
             200,

@@ -1,0 +1,64 @@
+"""Shared fixtures for the process-pool suites.
+
+The workload families mirror ``tests/replication/conftest.py`` (which
+itself mirrors the PR-5 maintenance suite): random digraphs, the
+synthetic generator, the Figure-6 motifs and the Figure-1/2 social
+example.  Every family builder is deterministic, so calling it twice
+builds two independent but content-identical (graph, policy, consumer)
+triples — exactly what the serial-vs-parallel differential suite needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.policy import ReleasePolicy
+from repro.core.privileges import figure1_lattice
+from repro.workloads.motifs import all_motifs
+from repro.workloads.random_graphs import random_digraph, sample_edges
+from repro.workloads.social import figure2_variant
+from repro.workloads.synthetic import small_family_for_tests
+
+
+def random_family(seed=13):
+    graph = random_digraph(40, 110, seed=seed)
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    rng = random.Random(seed)
+    for node_id in rng.sample(graph.node_ids(), 6):
+        policy.protect_node(graph, node_id, privileges["Low-2"], lowest=privileges["High-1"])
+    policy.protect_edges(sample_edges(graph, 8, seed=seed), privileges["Low-2"])
+    return graph, policy, privileges["Low-2"]
+
+
+def synthetic_family():
+    instance = small_family_for_tests(node_count=24, connectivity_targets=(5,))[0]
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    policy.protect_edges(instance.protected_edges, privileges["Low-2"])
+    return instance.graph, policy, privileges["Low-2"]
+
+
+def motif_family():
+    motif = all_motifs()[0]
+    lattice, privileges = figure1_lattice()
+    policy = ReleasePolicy(lattice)
+    policy.protect_edge(motif.protected_edge, privileges["Low-2"])
+    return motif.graph, policy, privileges["Low-2"]
+
+
+def social_family():
+    example = figure2_variant("b")
+    return example.graph, example.policy, example.high2
+
+
+WORKLOADS = [random_family, synthetic_family, motif_family, social_family]
+WORKLOAD_IDS = ["random", "synthetic", "motif", "social"]
+
+
+@pytest.fixture(params=WORKLOADS, ids=WORKLOAD_IDS)
+def family(request):
+    """One deterministic (graph, policy, consumer) builder per workload family."""
+    return request.param

@@ -1,0 +1,157 @@
+"""Serial vs parallel differential suite: bit-identical results, warm caches.
+
+The contract the pool must honour: for every workload family and every
+worker count, ``protect_many`` through a :class:`WorkerPool` returns
+accounts, scores and store payloads **bit-identical** to the serial run
+(:func:`repro.server.encoding.result_payload` is the timing-free
+comparison body, the same one the HTTP layer pins across transports),
+and leaves the parent service's caches warm enough that replays hit.
+
+Worker counts {1, 2, 8} all run as real process pools — with more
+processes than cores where necessary — because the exactness bar is
+scheduling-independent; speedup is asserted only in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.requests import ProtectionRequest
+from repro.api.service import ProtectionService
+from repro.core.opacity import DEFAULT_ADVERSARY, NaiveAdversary
+from repro.core.policy import STRATEGY_HIDE, STRATEGY_SURROGATE
+from repro.graph.serialization import graph_to_dict
+from repro.parallel import WorkerPool
+from repro.parallel.tasks import CHAOS_ENV
+from repro.server.encoding import result_payload
+
+WORKER_COUNTS = (1, 2, 8)
+
+
+def build_requests(graph, policy, consumer):
+    """A request batch covering every lane the parallel path classifies.
+
+    All single-privilege surrogate requests (one per lattice class), both
+    edge-protection strategies over a sampled edge set, a merged
+    multi-privilege account where the lattice offers two incomparable
+    classes, a per-request adversary override, and a duplicate of the
+    first request (the *deferred* lane: same fingerprint, replayed from
+    the warmed cache after the shard merge).
+    """
+    lattice = policy.lattice
+    privileges = list(lattice.privileges())
+    requests = [ProtectionRequest(privileges=(p,)) for p in privileges]
+    edges = tuple(graph.edge_keys()[:3])
+    for strategy in (STRATEGY_HIDE, STRATEGY_SURROGATE):
+        requests.append(
+            ProtectionRequest(
+                privileges=(consumer,),
+                strategy=strategy,
+                protect_edges=edges,
+                opacity_edges=edges,
+            )
+        )
+    non_public = [p for p in privileges if p is not lattice.public]
+    if len(non_public) >= 2:
+        requests.append(ProtectionRequest(privileges=tuple(non_public[-2:])))
+    requests.append(
+        ProtectionRequest(privileges=(consumer,), adversary=NaiveAdversary())
+    )
+    requests.append(ProtectionRequest(privileges=(privileges[0],)))
+    return requests
+
+
+def run_batch(family, pool=None):
+    """One fresh (graph, policy) build served through one protect_many call."""
+    graph, policy, consumer = family()
+    service = ProtectionService(graph, policy)
+    requests = build_requests(graph, policy, consumer)
+    results = service.protect_many(requests, pool=pool)
+    return service, requests, results
+
+
+def canonical(results):
+    """The bit-identity body: store payload plus the full account graph."""
+    return [
+        (result_payload(result), graph_to_dict(result.account.graph))
+        for result in results
+    ]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_matches_serial_bit_for_bit(family, workers):
+    _service, _requests, serial = run_batch(family)
+    with WorkerPool(workers) as pool:
+        _pservice, _prequests, parallel = run_batch(family, pool=pool)
+        stats = pool.stats()
+    assert canonical(parallel) == canonical(serial)
+    # The batch really went through the pool (cold shards dispatched).
+    assert stats["submitted"] >= 1
+    assert stats["failed"] == 0
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_replay_after_parallel_hits_the_warm_cache(family, workers):
+    _service, _requests, serial = run_batch(family)
+    with WorkerPool(workers) as pool:
+        service, requests, parallel = run_batch(family, pool=pool)
+    assert canonical(parallel) == canonical(serial)
+    # The merge must leave the parent warm: replaying the same batch
+    # serially answers every position from the account cache.
+    hits_before = service.cache_stats().hits
+    replayed = service.protect_many(requests)
+    assert canonical(replayed) == canonical(serial)
+    assert all(result.timings_ms.get("cache_hit") for result in replayed)
+    assert service.cache_stats().hits >= hits_before + len(requests)
+
+
+def test_worker_crash_mid_batch_is_corruption_free(family, tmp_path, monkeypatch):
+    _service, _requests, serial = run_batch(family)
+    sentinel = tmp_path / "chaos"
+    monkeypatch.setenv(CHAOS_ENV, str(sentinel))
+    with WorkerPool(2, max_respawns=2) as pool:
+        _pservice, _prequests, parallel = run_batch(family, pool=pool)
+        stats = pool.stats()
+    assert sentinel.exists()
+    assert stats["respawns"] >= 1
+    assert canonical(parallel) == canonical(serial)
+
+
+def test_explicit_parallel_argument_owns_a_pool(family):
+    _service, _requests, serial = run_batch(family)
+    graph, policy, consumer = family()
+    service = ProtectionService(graph, policy)
+    requests = build_requests(graph, policy, consumer)
+    parallel = service.protect_many(requests, parallel=2)
+    assert canonical(parallel) == canonical(serial)
+
+
+def test_warm_opacity_views_differential(family):
+    graph_a, policy_a, _ = family()
+    serial_service = ProtectionService(graph_a, policy_a)
+    serial_graphs = [graph_a, serial_service.protect(
+        privilege=policy_a.lattice.public
+    ).account.graph]
+    warmed = serial_service.warm_opacity_views(serial_graphs)
+    assert warmed == len(serial_graphs)
+
+    graph_c, policy_c, _ = family()
+    pooled_service = ProtectionService(graph_c, policy_c)
+    pooled_graphs = [graph_c, pooled_service.protect(
+        privilege=policy_c.lattice.public
+    ).account.graph]
+    with WorkerPool(2) as pool:
+        warmed_pooled = pooled_service.warm_opacity_views(pooled_graphs, pool=pool)
+    assert warmed_pooled == len(pooled_graphs)
+
+    from repro.api.checkpoints import _opacity_view_to_dict
+
+    for serial_graph, pooled_graph in zip(serial_graphs, pooled_graphs):
+        serial_view = serial_service._opacity_views.peek(serial_graph, DEFAULT_ADVERSARY)
+        pooled_view = pooled_service._opacity_views.peek(pooled_graph, DEFAULT_ADVERSARY)
+        assert serial_view is not None and pooled_view is not None
+        assert _opacity_view_to_dict(pooled_view) == _opacity_view_to_dict(serial_view)
+        # Warm means warm: a fresh score over the seeded view pays no compile.
+        assert pooled_service._opacity_views.get_or_compile(
+            pooled_graph, DEFAULT_ADVERSARY
+        ) is pooled_view

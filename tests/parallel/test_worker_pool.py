@@ -1,0 +1,118 @@
+"""WorkerPool lifecycle tests: ordering, crash respawn, timeouts, drain.
+
+The crash tests arm the one-shot chaos hook in
+:mod:`repro.parallel.tasks` — the first task to run after the hook is
+armed hard-exits its worker — and then assert that the pool respawns,
+replays the lost tasks and finishes the batch with zero corruption.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.parallel import (
+    PoolBrokenError,
+    PoolTimeoutError,
+    WorkerPool,
+)
+from repro.parallel.tasks import CHAOS_ENV, echo
+
+
+def test_map_preserves_payload_order():
+    payloads = [{"i": index} for index in range(12)]
+    with WorkerPool(2) as pool:
+        results = pool.map(echo, payloads)
+    assert results == payloads
+
+
+def test_run_round_trips_one_payload():
+    with WorkerPool(1) as pool:
+        assert pool.run(echo, {"ping": True}) == {"ping": True}
+        stats = pool.stats()
+    assert stats["submitted"] == 1
+    assert stats["completed"] == 1
+    assert stats["respawns"] == 0
+
+
+def test_crash_mid_batch_respawns_and_completes(tmp_path, monkeypatch):
+    sentinel = tmp_path / "chaos"
+    monkeypatch.setenv(CHAOS_ENV, str(sentinel))
+    payloads = [{"i": index} for index in range(8)]
+    with WorkerPool(2, max_respawns=2) as pool:
+        results = pool.map(echo, payloads)
+        stats = pool.stats()
+    # Zero corruption: every payload came back exactly once, in order.
+    assert results == payloads
+    assert sentinel.exists()
+    assert stats["respawns"] >= 1
+    assert stats["broken"] is False
+    assert stats["generation"] >= 1
+    assert stats["retry"]["retries"] >= 1
+
+
+def test_respawn_budget_exhaustion_breaks_the_pool(tmp_path, monkeypatch):
+    from repro.parallel import WorkerCrashError
+
+    sentinel = tmp_path / "chaos"
+    monkeypatch.setenv(CHAOS_ENV, str(sentinel))
+    pool = WorkerPool(1, max_respawns=0)
+    try:
+        # max_respawns=0 means the retry policy gets a single attempt: the
+        # crash surfaces as the transient error itself, unreplayed...
+        with pytest.raises(WorkerCrashError):
+            pool.run(echo, {"ping": True})
+        assert pool.stats()["broken"] is True
+        # ...and the pool, past its budget, refuses new work outright.
+        with pytest.raises(PoolBrokenError):
+            pool.run(echo, {"ping": True})
+    finally:
+        pool.shutdown(wait=True)
+
+
+def test_timeout_raises_without_retry():
+    with WorkerPool(1, timeout_s=0.2) as pool:
+        with pytest.raises(PoolTimeoutError):
+            pool.run(time.sleep, 5)
+        stats = pool.stats()
+    assert stats["timeouts"] == 1
+    # Timeouts are terminal, never replayed through the retry policy.
+    assert stats["retry"]["retries"] == 0
+
+
+def test_drain_waits_for_idle():
+    with WorkerPool(1) as pool:
+        pool.run(echo, {"ping": True})
+        assert pool.drain(timeout_s=5.0) is True
+        assert pool.depth == 0
+
+
+def test_shutdown_refuses_new_work():
+    pool = WorkerPool(1)
+    pool.run(echo, {"ping": True})
+    pool.shutdown(wait=True)
+    with pytest.raises(PoolBrokenError):
+        pool.run(echo, {"ping": True})
+
+
+def test_stats_shape():
+    with WorkerPool(2) as pool:
+        pool.run(echo, {})
+        stats = pool.stats()
+    expected = {
+        "workers",
+        "mp_context",
+        "generation",
+        "submitted",
+        "completed",
+        "failed",
+        "pending",
+        "respawns",
+        "timeouts",
+        "broken",
+        "retry",
+    }
+    assert expected <= set(stats)
+    assert stats["workers"] == 2
+    assert stats["pending"] == 0

@@ -1,0 +1,54 @@
+"""Unit tests for the fixed-bucket latency histograms."""
+
+from __future__ import annotations
+
+from repro.server.metrics import BUCKET_BOUNDS_MS, LatencyHistogram, LatencyRegistry
+
+
+def test_bucket_bounds_are_log_scale_powers_of_two():
+    assert BUCKET_BOUNDS_MS[0] == 0.125
+    assert BUCKET_BOUNDS_MS[-1] == 0.125 * 2 ** 17  # 16.384 s
+    for lower, upper in zip(BUCKET_BOUNDS_MS, BUCKET_BOUNDS_MS[1:]):
+        assert upper == lower * 2
+
+
+def test_observations_land_in_their_buckets():
+    histogram = LatencyHistogram()
+    histogram.record(0.1)  # <= 0.125 ms
+    histogram.record(3.0)  # <= 4 ms
+    histogram.record(10 ** 6)  # past the last bound: overflow
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 3
+    assert snapshot["buckets"]["le_0.125ms"] == 1
+    assert snapshot["buckets"]["le_4ms"] == 1
+    assert snapshot["buckets"]["le_inf"] == 1
+    assert snapshot["max_ms"] == 10 ** 6
+
+
+def test_quantiles_estimate_from_bucket_upper_bounds():
+    histogram = LatencyHistogram()
+    for _ in range(99):
+        histogram.record(1.0)  # le_1ms
+    histogram.record(300.0)  # le_512ms
+    snapshot = histogram.snapshot()
+    assert snapshot["p50_ms"] == 1.0
+    assert snapshot["p99_ms"] == 1.0
+    assert histogram.quantile(1.0) == 512.0
+
+
+def test_empty_histogram_snapshot_is_all_zero():
+    snapshot = LatencyHistogram().snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["p50_ms"] == 0.0
+    assert snapshot["buckets"] == {}
+
+
+def test_registry_keys_snapshots_by_label():
+    registry = LatencyRegistry()
+    registry.record("POST /v1/protect", 2.0)
+    registry.record("POST /v1/protect", 4.0)
+    registry.record("GET /v1/health", 0.2)
+    snapshot = registry.snapshot()
+    assert sorted(snapshot) == ["GET /v1/health", "POST /v1/protect"]
+    assert snapshot["POST /v1/protect"]["count"] == 2
+    assert snapshot["GET /v1/health"]["count"] == 1

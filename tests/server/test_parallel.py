@@ -1,0 +1,162 @@
+"""Worker-pool serving: routed cold compiles, health stats, backpressure.
+
+A server started with ``pool_workers`` ships cold compiles to worker
+processes while cached replays stay on the executor threads.  These
+tests pin (1) byte-identical results against an unpooled server, (2)
+pool and latency observability in ``/v1/health``, and (3) admission
+``Retry-After`` stretching with the pool backlog.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.server.encoding import json_bytes
+from tests.server.conftest import (
+    POLICY_SPEC,
+    TOKENS,
+    ApiClient,
+    ServerConfig,
+    chain_graph_payload,
+    protect_body,
+)
+
+
+def test_pooled_server_is_byte_identical_to_unpooled(make_server) -> None:
+    plain_handle, _ = make_server(ServerConfig(workers=2))
+    pooled_handle, _ = make_server(ServerConfig(workers=2, pool_workers=2))
+    plain = ApiClient(plain_handle.port, TOKENS["acme"])
+    pooled = ApiClient(pooled_handle.port, TOKENS["acme"])
+
+    body = protect_body(score=True)
+    expected = plain.post("/v1/protect", body)
+    cold = pooled.post("/v1/protect", body)
+    assert expected.status == 200 and cold.status == 200
+    assert cold.body["cache_hit"] is False
+    assert json_bytes(cold.body["result"]) == json_bytes(expected.body["result"])
+
+    # The compile crossed the process boundary...
+    stats = pooled_handle.server.pool.stats()
+    assert stats["submitted"] >= 1
+    assert stats["completed"] >= 1
+
+    # ...and left the parent warm: the replay answers from the cache
+    # without another pool submission, still byte-identical.
+    submitted_before = pooled_handle.server.pool.stats()["submitted"]
+    warm = pooled.post("/v1/protect", body)
+    assert warm.body["cache_hit"] is True
+    assert json_bytes(warm.body["result"]) == json_bytes(expected.body["result"])
+    assert pooled_handle.server.pool.stats()["submitted"] == submitted_before
+
+
+def test_health_reports_pool_and_latency(make_server) -> None:
+    handle, _ = make_server(ServerConfig(workers=2, pool_workers=2))
+    client = ApiClient(handle.port, TOKENS["acme"])
+    assert client.post("/v1/protect", protect_body()).status == 200
+
+    health = client.get("/v1/health")
+    serving = health.body["serving"]
+
+    pool = serving["pool"]
+    assert pool["workers"] == 2
+    assert pool["submitted"] >= 1
+    assert pool["broken"] is False
+
+    latency = serving["latency"]
+    protect = latency["POST /v1/protect"]
+    assert protect["count"] >= 1
+    assert protect["p50_ms"] > 0
+    assert sum(protect["buckets"].values()) == protect["count"]
+    # Labels are route *patterns*: no concrete paths, no cardinality blowup.
+    assert all(" /v1/" in label or label == "unrouted" for label in latency)
+
+
+def test_unpooled_health_reports_null_pool(make_server) -> None:
+    handle, _ = make_server(ServerConfig(workers=2))
+    client = ApiClient(handle.port, TOKENS["acme"])
+    health = client.get("/v1/health")
+    assert health.body["serving"]["pool"] is None
+
+
+def test_retry_after_stretches_with_pool_backlog(make_server) -> None:
+    handle, _ = make_server(
+        ServerConfig(workers=2),
+        tenant_options={"metered": {"max_requests": 3}},
+    )
+    metered = ApiClient(handle.port, TOKENS["metered"])
+    for _ in range(3):  # burn the metered tenant's whole request budget
+        assert metered.post("/v1/protect", protect_body(tenant="metered")).status == 200
+    baseline = metered.post("/v1/protect", protect_body(tenant="metered"))
+    assert baseline.status == 429
+    base_backoff = int(baseline.headers["retry-after"])
+
+    class _BackloggedPool:
+        workers = 2
+        depth = 4  # two full waves of busy workers
+
+        def stats(self) -> dict:
+            return {"workers": self.workers, "pending": self.depth}
+
+        def drain(self, timeout_s=None) -> bool:
+            return True
+
+        def shutdown(self, wait=True) -> None:
+            pass
+
+    handle.server.pool = _BackloggedPool()
+    stretched = metered.post("/v1/protect", protect_body(tenant="metered"))
+    assert stretched.status == 429
+    # ceil(4 / 2) = 2 extra seconds of expected backlog drain time.
+    assert int(stretched.headers["retry-after"]) >= base_backoff + 2
+
+
+def test_pool_exhaustion_rejects_with_429_retry_after(make_server) -> None:
+    handle, _ = make_server(
+        ServerConfig(workers=2, pool_workers=1),
+        tenants={"narrow": "token-narrow"},
+        tenant_options={"narrow": {"max_inflight": 1, "max_queue": 0}},
+    )
+    client = ApiClient(handle.port, "token-narrow")
+
+    # One protect_many stream of fresh graphs keeps the single admission
+    # slot busy (every entry is a cold compile routed through the
+    # one-worker pool); a concurrent probe must bounce with 429.
+    batch = dict(POLICY_SPEC)
+    batch.update(
+        {
+            "tenant": "narrow",
+            "privilege": "Public",
+            "score": True,
+            "requests": [
+                {"graph": chain_graph_payload(40, tag=f"pool-busy-{index}")}
+                for index in range(12)
+            ],
+        }
+    )
+    outcome: dict = {}
+
+    def run_stream() -> None:
+        status, _headers, lines = client.stream("/v1/protect_many", batch)
+        outcome.update(status=status, lines=lines)
+
+    streamer = threading.Thread(target=run_stream)
+    streamer.start()
+    try:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if handle.server.admission.tenant_snapshot("narrow")["inflight"] >= 1:
+                break
+            time.sleep(0.005)
+        probe = client.post("/v1/protect", protect_body(tenant="narrow"))
+    finally:
+        streamer.join()
+
+    assert probe.status == 429
+    assert probe.body["error"]["kind"] == "AdmissionError"
+    assert int(probe.headers["retry-after"]) >= 1
+    # The stream completed through the pool with zero lost results.
+    assert outcome["status"] == 200
+    assert len(outcome["lines"]) == 13
+    assert outcome["lines"][-1]["served"] == 12
+    assert handle.server.pool.stats()["failed"] == 0
